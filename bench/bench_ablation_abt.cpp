@@ -1,0 +1,24 @@
+// Ablation (beyond the paper's tables, motivated by its §1 discussion):
+// ABT with agent_view-as-nogood learning — "cost virtually zero ... but the
+// obtained nogood is not so effective" — vs ABT with resolvent learning
+// grafted on, vs AWC with resolvent learning. Run on small coloring
+// instances (classic ABT's view-sized nogoods blow up quickly).
+//
+// Expected shape: AWC+Rslv < ABT+Rslv < ABT(classic) in cycles.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Ablation: ABT (view nogoods) vs ABT+Rslv vs AWC+Rslv on distributed 3-coloring";
+  bench.family = analysis::ProblemFamily::kColoring3;
+  bench.ns = {20, 30, 40};
+  bench.make_runners = [](const ReproConfig& config) {
+    return std::vector<analysis::NamedRunner>{
+        {"ABT", analysis::abt_runner(/*use_resolvent=*/false, config.max_cycles)},
+        {"ABT+Rslv", analysis::abt_runner(/*use_resolvent=*/true, config.max_cycles)},
+        {"AWC+Rslv", analysis::awc_runner("Rslv", true, config.max_cycles)},
+    };
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

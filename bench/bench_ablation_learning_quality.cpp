@@ -1,0 +1,17 @@
+// Ablation: the learning-quality spectrum of the paper's §1 taxonomy inside
+// one algorithm. AWC with No / View (ABT-style agent_view nogoods) / Rslv /
+// Mcs on distributed 3-coloring. Expected ordering on cycles:
+// No >> View > Rslv ~ Mcs; on per-deadend cost: View ~ Rslv << Mcs; View's
+// big recorded nogoods also bloat the stores (maxcck) without pruning much.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Ablation: learning quality spectrum (No / View / Rslv / Mcs) within AWC";
+  bench.family = analysis::ProblemFamily::kColoring3;
+  bench.ns = {60};  // View's huge stores make larger n very slow; the
+                    // qualitative ordering is fully visible at n = 60
+  bench.make_runners = bench::awc_runners({"No", "View", "Rslv", "Mcs"});
+  return bench::run_table_bench(argc, argv, bench);
+}

@@ -1,0 +1,95 @@
+// Figure 2: estimated efficiency (total time-units = maxcck + cycle x
+// communication delay) of AWC+4thRslv vs DB on n = 50 distributed 3SAT with
+// exactly one solution. Prints the two lines as a series plus the measured
+// crossover delay; also reports the paper's two other quoted crossovers
+// (d3s n = 150 with 5thRslv ~ 210, d3c n = 150 with 3rdRslv ~ 370).
+//
+// Expected shape: DB wins at delay 0 (cheap local computation), AWC wins
+// once a cycle costs more than a few dozen nogood checks; the n = 50 d3s1
+// crossover sits around 50 time-units in the paper.
+#include <iostream>
+
+#include "analysis/efficiency.h"
+#include "harness.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace discsp;
+
+struct Scenario {
+  std::string name;
+  analysis::ProblemFamily family;
+  int n;
+  std::string strategy;
+  double paper_crossover;
+};
+
+analysis::AlgorithmCost cost_of(const analysis::AggregateRow& row) {
+  return {row.mean_cycles, row.mean_maxcck};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  try {
+    const Options opts(argc, argv);
+    const ReproConfig config = repro_config_from(opts);
+
+    const std::vector<Scenario> scenarios = {
+        {"d3s1 n=50 (Figure 2)", analysis::ProblemFamily::kOneSat3, 50, "4thRslv", 50.0},
+        {"d3s n=150", analysis::ProblemFamily::kSat3, 150, "5thRslv", 210.0},
+        {"d3c n=150", analysis::ProblemFamily::kColoring3, 150, "3rdRslv", 370.0},
+    };
+
+    std::cout << "Figure 2: estimated efficiency vs communication delay "
+                 "(total = maxcck + cycle * delay)\n"
+              << "trials/n=" << config.trials << " seed=" << config.seed << "\n\n";
+
+    for (const auto& sc : scenarios) {
+      const auto spec = analysis::spec_for(sc.family, sc.n, config);
+      const std::vector<analysis::NamedRunner> runners = {
+          {"AWC+" + sc.strategy,
+           analysis::awc_runner(sc.strategy, true, config.max_cycles)},
+          {"DB", analysis::db_runner(config.max_cycles)},
+      };
+      const auto rows = analysis::run_comparison(spec, runners);
+      const auto awc_cost = cost_of(rows[0]);
+      const auto db_cost = cost_of(rows[1]);
+      const double crossover = analysis::crossover_delay(awc_cost, db_cost);
+
+      std::cout << sc.name << ": AWC cycle=" << format_fixed(awc_cost.cycles, 1)
+                << " maxcck=" << format_fixed(awc_cost.maxcck, 1)
+                << " | DB cycle=" << format_fixed(db_cost.cycles, 1)
+                << " maxcck=" << format_fixed(db_cost.maxcck, 1) << '\n';
+      std::cout << "  crossover delay: measured "
+                << (crossover < 0 ? std::string("none (one algorithm dominates)")
+                                  : format_fixed(crossover, 1))
+                << " time-units, paper ~" << format_fixed(sc.paper_crossover, 0)
+                << '\n';
+
+      if (&sc == &scenarios.front()) {
+        // Print the Figure-2 series itself for the headline scenario.
+        const double max_delay = crossover > 0 ? 2.0 * crossover : 100.0;
+        const auto series = analysis::efficiency_series(awc_cost, db_cost, max_delay, 11);
+        TextTable table({"delay", "AWC total", "DB total", "winner"});
+        for (const auto& pt : series) {
+          table.row()
+              .cell(pt.delay, 1)
+              .cell(pt.total_a, 0)
+              .cell(pt.total_b, 0)
+              .cell(pt.total_a < pt.total_b  ? "AWC"
+                    : pt.total_a > pt.total_b ? "DB"
+                                              : "tie");
+        }
+        table.print(std::cout);
+      }
+      std::cout << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,28 @@
+// Table 10: AWC + 4thRslv vs distributed breakout on distributed 3SAT with
+// exactly one solution (3ONESAT-GEN stand-in).
+//
+// Expected shape: the single-solution instances are brutal for DB's local
+// search (paper: 69% solved at n = 200, 5246 cycles) while AWC+4thRslv
+// stays in the hundreds of cycles.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title =
+      "Table 10: AWC+4thRslv vs distributed breakout on distributed 3SAT (3ONESAT-GEN)";
+  bench.family = analysis::ProblemFamily::kOneSat3;
+  bench.ns = {50, 100, 200};
+  bench.make_runners = [](const ReproConfig& config) {
+    return std::vector<analysis::NamedRunner>{
+        {"AWC+4thRslv", analysis::awc_runner("4thRslv", true, config.max_cycles)},
+        {"DB", analysis::db_runner(config.max_cycles)},
+    };
+  };
+  bench.paper = {
+      {{50, "AWC+4thRslv"}, {130.8, 38892.5, 100}},  {{50, "DB"}, {690.1, 11691.1, 100}},
+      {{100, "AWC+4thRslv"}, {167.8, 68777.9, 100}}, {{100, "DB"}, {1917.4, 38210.5, 97}},
+      {{200, "AWC+4thRslv"}, {265.7, 181491.7, 100}}, {{200, "DB"}, {5246.5, 117277.4, 69}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

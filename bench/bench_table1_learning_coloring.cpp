@@ -1,0 +1,24 @@
+// Table 1: Rslv vs Mcs vs No learning on distributed 3-coloring problems
+// (n in {60, 90, 120, 150}, m = 2.7n, cycle cap 10000).
+//
+// Expected shape: Rslv and Mcs competitive on cycle; Rslv clearly lower on
+// maxcck; No explodes in cycles (and loses trials) as n grows.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Table 1: comparison with other learning methods on distributed 3-coloring";
+  bench.family = analysis::ProblemFamily::kColoring3;
+  bench.ns = {60, 90, 120, 150};
+  bench.make_runners = bench::awc_runners({"Rslv", "Mcs", "No"});
+  bench.paper = {
+      {{60, "Rslv"}, {83.2, 58084.4, 100}},   {{60, "Mcs"}, {88.8, 119019.2, 100}},
+      {{60, "No"}, {458.2, 52601.6, 100}},    {{90, "Rslv"}, {125.4, 135569.8, 100}},
+      {{90, "Mcs"}, {133.2, 275099.1, 100}},  {{90, "No"}, {2923.9, 358486.1, 91}},
+      {{120, "Rslv"}, {178.5, 263115.1, 100}}, {{120, "Mcs"}, {172.3, 494266.7, 100}},
+      {{120, "No"}, {6121.9, 793280.3, 60}},  {{150, "Rslv"}, {173.9, 273823.3, 100}},
+      {{150, "Mcs"}, {177.1, 512657.0, 100}}, {{150, "No"}, {8800.5, 1188345.1, 21}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

@@ -1,0 +1,23 @@
+// Table 2: Rslv vs Mcs vs No learning on distributed 3SAT (3SAT-GEN
+// stand-in: planted-satisfiable, m = 4.3n; n in {50, 100, 150}).
+//
+// Expected shape: Rslv/Mcs competitive on cycle, Rslv much cheaper on
+// maxcck; No loses trials as n grows.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Table 2: comparison with other learning methods on distributed 3SAT (3SAT-GEN)";
+  bench.family = analysis::ProblemFamily::kSat3;
+  bench.ns = {50, 100, 150};
+  bench.make_runners = bench::awc_runners({"Rslv", "Mcs", "No"});
+  bench.paper = {
+      {{50, "Rslv"}, {125.0, 76256.2, 100}},   {{50, "Mcs"}, {120.7, 180122.0, 100}},
+      {{50, "No"}, {360.0, 15959.3, 100}},     {{100, "Rslv"}, {215.3, 233003.8, 100}},
+      {{100, "Mcs"}, {238.9, 830660.5, 100}},  {{100, "No"}, {3949.8, 188182.3, 80}},
+      {{150, "Rslv"}, {275.3, 399146.6, 100}}, {{150, "Mcs"}, {286.0, 1146204.1, 100}},
+      {{150, "No"}, {7793.8, 382634.7, 41}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

@@ -1,0 +1,25 @@
+// Table 3: Rslv vs Mcs vs No learning on distributed 3SAT with exactly one
+// solution (3ONESAT-GEN stand-in; n in {50, 100, 200}).
+//
+// Expected shape: both learners solve everything; Mcs slightly better on
+// cycle (the instances hide many small nogoods) but clearly worse on
+// maxcck; No collapses (0% at n = 200 in the paper).
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title =
+      "Table 3: comparison with other learning methods on distributed 3SAT (3ONESAT-GEN)";
+  bench.family = analysis::ProblemFamily::kOneSat3;
+  bench.ns = {50, 100, 200};
+  bench.make_runners = bench::awc_runners({"Rslv", "Mcs", "No"});
+  bench.paper = {
+      {{50, "Rslv"}, {140.4, 64011.0, 100}},   {{50, "Mcs"}, {120.3, 90813.5, 100}},
+      {{50, "No"}, {1378.1, 47784.3, 62}},     {{100, "Rslv"}, {155.4, 81086.1, 100}},
+      {{100, "Mcs"}, {138.2, 132518.7, 100}},  {{100, "No"}, {9179.5, 340172.3, 14}},
+      {{200, "Rslv"}, {263.8, 294334.5, 100}}, {{200, "Mcs"}, {237.4, 544732.6, 100}},
+      {{200, "No"}, {10000.0, 0.0, 0}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

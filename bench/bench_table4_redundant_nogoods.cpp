@@ -1,0 +1,78 @@
+// Table 4: total number of redundant nogood generations, Rslv/rec (normal
+// resolvent learning) vs Rslv/norec (nogoods generated and sent but never
+// recorded by recipients), across all three problem families.
+//
+// Expected shape: without recording, agents regenerate the same nogoods over
+// and over — orders of magnitude more redundant generations; with recording
+// the redundancy collapses. This is the paper's explanation for *why*
+// learning slashes the communication cost.
+#include <iostream>
+
+#include "harness.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  try {
+    const Options opts(argc, argv);
+    const ReproConfig config = repro_config_from(opts);
+
+    struct FamilyBlock {
+      analysis::ProblemFamily family;
+      std::vector<int> ns;
+    };
+    const std::vector<FamilyBlock> blocks = {
+        {analysis::ProblemFamily::kColoring3, {60, 90, 120, 150}},
+        {analysis::ProblemFamily::kSat3, {50, 100, 150}},
+        {analysis::ProblemFamily::kOneSat3, {50, 100, 200}},
+    };
+    // Paper values for (family, n) -> (rec, norec).
+    const std::map<std::pair<std::string, int>, std::pair<double, double>> paper = {
+        {{"d3c", 60}, {69.1, 1612.3}},    {{"d3c", 90}, {208.1, 24399.3}},
+        {{"d3c", 120}, {432.5, 69784.6}}, {{"d3c", 150}, {565.3, 135502.5}},
+        {{"d3s", 50}, {195.3, 1105.3}},   {{"d3s", 100}, {908.0, 42998.7}},
+        {{"d3s", 150}, {1947.2, 133162.6}},
+        {{"d3s1", 50}, {276.6, 5523.3}},  {{"d3s1", 100}, {651.9, 86595.8}},
+        {{"d3s1", 200}, {2683.4, 190501.8}},
+    };
+
+    std::cout << "Table 4: total redundant nogood generations, Rslv/rec vs Rslv/norec\n"
+              << "trials/n=" << config.trials << " max_cycles=" << config.max_cycles
+              << " seed=" << config.seed << "\n\n";
+
+    for (const auto& block : blocks) {
+      TextTable table({"problem", "n", "Rslv/rec", "Rslv/norec",
+                       "| paper:rec", "paper:norec"});
+      for (int n : block.ns) {
+        const auto spec = analysis::spec_for(block.family, n, config);
+        const std::vector<analysis::NamedRunner> runners = {
+            {"Rslv/rec", analysis::awc_runner("Rslv", /*record_received=*/true,
+                                              config.max_cycles)},
+            {"Rslv/norec", analysis::awc_runner("Rslv", /*record_received=*/false,
+                                                config.max_cycles)},
+        };
+        const auto rows = analysis::run_comparison(spec, runners);
+        const std::string fam = analysis::family_name(block.family);
+        table.row()
+            .cell(fam)
+            .cell(std::to_string(n))
+            .cell(rows[0].mean_redundant_generations, 1)
+            .cell(rows[1].mean_redundant_generations, 1);
+        auto it = paper.find({fam, n});
+        if (it != paper.end()) {
+          table.cell("| " + format_fixed(it->second.first, 1))
+              .cell(it->second.second, 1);
+        } else {
+          table.cell("| -").cell("-");
+        }
+      }
+      // Stream per family so a timeout cannot erase completed blocks.
+      table.print(std::cout);
+      std::cout << std::endl;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,25 @@
+// Table 5: size-bounded resolvent learning on distributed 3-coloring
+// (Rslv vs 3rdRslv vs 4thRslv).
+//
+// Expected shape: 3rdRslv competitive with Rslv on cycle while clearly
+// cheaper on maxcck.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Table 5: AWC with size-bounded resolvent learning on distributed 3-coloring";
+  bench.family = analysis::ProblemFamily::kColoring3;
+  bench.ns = {60, 90, 120, 150};
+  bench.make_runners = bench::awc_runners({"Rslv", "3rdRslv", "4thRslv"});
+  bench.paper = {
+      {{60, "Rslv"}, {83.2, 58084.4, 100}},     {{60, "3rdRslv"}, {85.6, 40594.2, 100}},
+      {{60, "4thRslv"}, {90.6, 66622.4, 100}},  {{90, "Rslv"}, {125.4, 135569.8, 100}},
+      {{90, "3rdRslv"}, {126.4, 76923.5, 100}}, {{90, "4thRslv"}, {136.0, 151973.7, 100}},
+      {{120, "Rslv"}, {178.5, 263115.1, 100}},  {{120, "3rdRslv"}, {171.8, 124226.1, 100}},
+      {{120, "4thRslv"}, {167.3, 217033.4, 100}},
+      {{150, "Rslv"}, {173.9, 273823.3, 100}},  {{150, "3rdRslv"}, {186.1, 153139.2, 100}},
+      {{150, "4thRslv"}, {180.4, 249459.3, 100}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

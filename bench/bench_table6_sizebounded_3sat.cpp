@@ -1,0 +1,24 @@
+// Table 6: size-bounded resolvent learning on distributed 3SAT (3SAT-GEN
+// stand-in): Rslv vs 4thRslv vs 5thRslv.
+//
+// Expected shape: 5thRslv works well on the hard large-n instances; 4thRslv
+// degrades there (over-aggressive bound drops nogoods that matter).
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Table 6: AWC with size-bounded resolvent learning on distributed 3SAT (3SAT-GEN)";
+  bench.family = analysis::ProblemFamily::kSat3;
+  bench.ns = {50, 100, 150};
+  bench.make_runners = bench::awc_runners({"Rslv", "4thRslv", "5thRslv"});
+  bench.paper = {
+      {{50, "Rslv"}, {125.0, 76256.2, 100}},    {{50, "4thRslv"}, {124.7, 37717.9, 100}},
+      {{50, "5thRslv"}, {113.0, 49770.3, 100}}, {{100, "Rslv"}, {215.3, 233003.8, 100}},
+      {{100, "4thRslv"}, {387.9, 311048.8, 100}},
+      {{100, "5thRslv"}, {216.0, 171115.7, 100}},
+      {{150, "Rslv"}, {275.3, 399146.6, 100}},  {{150, "4thRslv"}, {595.7, 522191.2, 100}},
+      {{150, "5thRslv"}, {255.5, 246534.5, 100}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

@@ -1,0 +1,25 @@
+// Table 7: size-bounded resolvent learning on distributed 3SAT with exactly
+// one solution (3ONESAT-GEN stand-in): Rslv vs 4thRslv vs 5thRslv.
+//
+// Expected shape: 4thRslv wins maxcck — the instances implicitly carry many
+// small nogoods, so large recorded nogoods mostly become redundant weight.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title =
+      "Table 7: AWC with size-bounded resolvent learning on distributed 3SAT (3ONESAT-GEN)";
+  bench.family = analysis::ProblemFamily::kOneSat3;
+  bench.ns = {50, 100, 200};
+  bench.make_runners = bench::awc_runners({"Rslv", "4thRslv", "5thRslv"});
+  bench.paper = {
+      {{50, "Rslv"}, {140.4, 64011.0, 100}},    {{50, "4thRslv"}, {130.8, 38892.5, 100}},
+      {{50, "5thRslv"}, {128.9, 46611.6, 100}}, {{100, "Rslv"}, {155.4, 81086.1, 100}},
+      {{100, "4thRslv"}, {167.8, 68777.9, 100}},
+      {{100, "5thRslv"}, {162.8, 84404.4, 100}},
+      {{200, "Rslv"}, {263.8, 294334.5, 100}},  {{200, "4thRslv"}, {265.7, 181491.7, 100}},
+      {{200, "5thRslv"}, {272.6, 290999.9, 100}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

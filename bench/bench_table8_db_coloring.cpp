@@ -1,0 +1,26 @@
+// Table 8: AWC + 3rdRslv (the best size bound for coloring) vs the
+// distributed breakout algorithm on distributed 3-coloring.
+//
+// Expected shape: AWC wins cycle in all rows, DB wins maxcck in all rows.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Table 8: AWC+3rdRslv vs distributed breakout on distributed 3-coloring";
+  bench.family = analysis::ProblemFamily::kColoring3;
+  bench.ns = {60, 90, 120, 150};
+  bench.make_runners = [](const ReproConfig& config) {
+    return std::vector<analysis::NamedRunner>{
+        {"AWC+3rdRslv", analysis::awc_runner("3rdRslv", true, config.max_cycles)},
+        {"DB", analysis::db_runner(config.max_cycles)},
+    };
+  };
+  bench.paper = {
+      {{60, "AWC+3rdRslv"}, {85.6, 40594.2, 100}},   {{60, "DB"}, {164.9, 7730.0, 100}},
+      {{90, "AWC+3rdRslv"}, {126.4, 76923.5, 100}},  {{90, "DB"}, {282.1, 14228.5, 100}},
+      {{120, "AWC+3rdRslv"}, {171.8, 124226.1, 100}}, {{120, "DB"}, {522.4, 26931.5, 100}},
+      {{150, "AWC+3rdRslv"}, {186.1, 153139.2, 100}}, {{150, "DB"}, {523.7, 29207.0, 100}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

@@ -1,0 +1,25 @@
+// Table 9: AWC + 5thRslv vs distributed breakout on distributed 3SAT
+// (3SAT-GEN stand-in).
+//
+// Expected shape: AWC wins cycle (gap growing with n), DB wins maxcck.
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace discsp;
+  bench::TableBench bench;
+  bench.title = "Table 9: AWC+5thRslv vs distributed breakout on distributed 3SAT (3SAT-GEN)";
+  bench.family = analysis::ProblemFamily::kSat3;
+  bench.ns = {50, 100, 150};
+  bench.make_runners = [](const ReproConfig& config) {
+    return std::vector<analysis::NamedRunner>{
+        {"AWC+5thRslv", analysis::awc_runner("5thRslv", true, config.max_cycles)},
+        {"DB", analysis::db_runner(config.max_cycles)},
+    };
+  };
+  bench.paper = {
+      {{50, "AWC+5thRslv"}, {113.0, 49770.3, 100}},   {{50, "DB"}, {322.6, 6461.3, 100}},
+      {{100, "AWC+5thRslv"}, {216.0, 171115.7, 100}}, {{100, "DB"}, {847.2, 19870.8, 100}},
+      {{150, "AWC+5thRslv"}, {255.5, 246534.5, 100}}, {{150, "DB"}, {1257.2, 31717.2, 100}},
+  };
+  return bench::run_table_bench(argc, argv, bench);
+}

@@ -1,0 +1,80 @@
+#include "harness.h"
+
+#include <chrono>
+#include <exception>
+#include <iostream>
+
+#include "common/table.h"
+
+namespace discsp::bench {
+
+RunnerFactory awc_runners(std::vector<std::string> strategy_labels) {
+  return [labels = std::move(strategy_labels)](const ReproConfig& config) {
+    std::vector<analysis::NamedRunner> runners;
+    runners.reserve(labels.size());
+    for (const std::string& label : labels) {
+      runners.push_back({label, analysis::awc_runner(label, /*record_received=*/true,
+                                                     config.max_cycles)});
+    }
+    return runners;
+  };
+}
+
+int run_table_bench(int argc, const char* const* argv, const TableBench& bench) {
+  try {
+    const Options opts(argc, argv);
+    const ReproConfig config = repro_config_from(opts);
+
+    std::cout << bench.title << '\n'
+              << "family=" << analysis::family_name(bench.family)
+              << " trials/n=" << config.trials << " max_cycles=" << config.max_cycles
+              << " seed=" << config.seed;
+    if (config.n_scale != 1.0) std::cout << " n_scale=" << config.n_scale;
+    std::cout << "\n(paper columns show the published values for shape comparison)\n\n";
+
+    const bool with_paper = !bench.paper.empty();
+    std::vector<std::string> header{"n", "learn", "cycle", "maxcck", "%"};
+    if (with_paper) {
+      header.insert(header.end(), {"| paper:cycle", "paper:maxcck", "paper:%"});
+    }
+
+    // One table per n, printed (and flushed) as soon as its rows exist —
+    // a killed or timed-out run still leaves every completed block behind.
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int n : bench.ns) {
+      const auto spec = analysis::spec_for(bench.family, n, config);
+      const auto runners = bench.make_runners(config);
+      const auto rows = analysis::run_comparison(spec, runners);
+      TextTable table(header);
+      for (const auto& row : rows) {
+        table.row()
+            .cell(std::to_string(n))
+            .cell(row.label)
+            .cell(row.mean_cycles, 1)
+            .cell(row.mean_maxcck, 1)
+            .cell(row.solved_percent, 0);
+        if (with_paper) {
+          auto it = bench.paper.find({n, row.label});
+          if (it != bench.paper.end()) {
+            table.cell("| " + format_fixed(it->second.cycle, 1))
+                .cell(it->second.maxcck, 1)
+                .cell(it->second.percent, 0);
+          } else {
+            table.cell("| -").cell("-").cell("-");
+          }
+        }
+      }
+      table.print(std::cout);
+      std::cout << std::endl;  // flush per block
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    std::cout << "elapsed: " << elapsed.count() / 1000.0 << " s\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench failed: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace discsp::bench

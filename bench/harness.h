@@ -1,0 +1,50 @@
+// Shared harness for the paper-table benches: runs a set of algorithms over
+// a problem family at several sizes and prints the paper's table layout
+// (n / learn / cycle / maxcck / %), side by side with the paper's reported
+// numbers so shape can be eyeballed directly.
+//
+// Every bench accepts:
+//   --trials N      trials per n           (default 20; REPRO_TRIALS)
+//   --full          paper scale, 100 trials (REPRO_FULL=1)
+//   --max-cycles N  cycle cap              (default 10000)
+//   --seed S        root seed              (REPRO_SEED)
+//   --n-scale F     scale the paper's n values (REPRO_N_SCALE)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "common/options.h"
+
+namespace discsp::bench {
+
+/// The paper's reported row for (n, label): cycle / maxcck / %.
+struct PaperRef {
+  double cycle = 0.0;
+  double maxcck = 0.0;
+  double percent = 100.0;
+};
+
+using PaperRefs = std::map<std::pair<int, std::string>, PaperRef>;
+
+using RunnerFactory =
+    std::function<std::vector<analysis::NamedRunner>(const ReproConfig&)>;
+
+struct TableBench {
+  std::string title;                 // e.g. "Table 1: learning methods on d3c"
+  analysis::ProblemFamily family = analysis::ProblemFamily::kColoring3;
+  std::vector<int> ns;               // the paper's n values
+  RunnerFactory make_runners;        // per-config runner construction
+  PaperRefs paper;                   // reference values from the paper
+};
+
+/// Run the bench and print the table. Returns a process exit code.
+int run_table_bench(int argc, const char* const* argv, const TableBench& bench);
+
+/// Convenience: AWC runners for a list of strategy labels.
+RunnerFactory awc_runners(std::vector<std::string> strategy_labels);
+
+}  // namespace discsp::bench

@@ -1,0 +1,169 @@
+// discsp_cli — generate, convert and solve distributed CSP instances from
+// the command line. Ties the whole library surface together:
+//
+//   discsp_cli gen coloring --n 60 --out inst.dcsp
+//   discsp_cli gen sat3 --n 50 --out inst.cnf
+//   discsp_cli gen onesat --n 30 --out one.cnf
+//   discsp_cli convert inst.cnf inst.dcsp
+//   discsp_cli solve inst.dcsp --algo awc --strategy 3rdRslv --seed 7
+//   discsp_cli solve inst.cnf --algo db
+#include <iostream>
+
+#include "abt/abt_solver.h"
+#include "awc/awc_solver.h"
+#include "common/options.h"
+#include "csp/serialize.h"
+#include "csp/validate.h"
+#include "db/db_solver.h"
+#include "gen/coloring_gen.h"
+#include "gen/onesat_gen.h"
+#include "gen/sat_gen.h"
+#include "learning/strategy.h"
+#include "sat/cnf_to_csp.h"
+#include "sat/dimacs.h"
+
+namespace {
+
+using namespace discsp;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+DistributedProblem load(const std::string& path) {
+  if (ends_with(path, ".cnf")) return sat::to_distributed(sat::read_dimacs_file(path));
+  return read_distributed_file(path);
+}
+
+int cmd_gen(const Options& opts) {
+  if (opts.positional().size() < 2) {
+    std::cerr << "usage: discsp_cli gen <coloring|sat3|onesat> --n N [--seed S] --out FILE\n";
+    return 2;
+  }
+  const std::string kind = opts.positional()[1];
+  const int n = static_cast<int>(opts.get_int("n", 60));
+  Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  const std::string out = opts.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "gen: --out FILE is required\n";
+    return 2;
+  }
+
+  if (kind == "coloring") {
+    const auto inst = gen::generate_coloring3(n, rng);
+    write_problem_file(out, inst.problem,
+                       "solvable 3-coloring, n=" + std::to_string(n) + ", m=2.7n");
+    std::cout << "wrote " << out << " (" << inst.problem.num_nogoods() << " nogoods)\n";
+  } else if (kind == "sat3") {
+    const auto inst = gen::generate_sat3(n, rng);
+    sat::write_dimacs_file(out, inst.cnf, "planted-satisfiable 3SAT, m=4.3n");
+    std::cout << "wrote " << out << " (" << inst.cnf.num_clauses() << " clauses)\n";
+  } else if (kind == "onesat") {
+    gen::OneSatParams params;
+    params.n = n;
+    const auto inst = gen::generate_onesat(params, rng);
+    gen::save_onesat(inst, out);
+    std::cout << "wrote " << out << " (" << inst.cnf.num_clauses()
+              << " clauses, exactly one model)\n";
+  } else {
+    std::cerr << "gen: unknown kind '" << kind << "'\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_convert(const Options& opts) {
+  if (opts.positional().size() != 3) {
+    std::cerr << "usage: discsp_cli convert <in.cnf|in.dcsp> <out.dcsp|out.cnf>\n";
+    return 2;
+  }
+  const std::string& in = opts.positional()[1];
+  const std::string& out = opts.positional()[2];
+  if (ends_with(in, ".cnf") && ends_with(out, ".dcsp")) {
+    write_problem_file(out, sat::to_problem(sat::read_dimacs_file(in)),
+                       "converted from " + in);
+  } else if (ends_with(in, ".dcsp") && ends_with(out, ".cnf")) {
+    sat::write_dimacs_file(out, sat::to_cnf(read_problem_file(in)),
+                           "converted from " + in);
+  } else {
+    std::cerr << "convert: need .cnf -> .dcsp or .dcsp -> .cnf\n";
+    return 2;
+  }
+  std::cout << "wrote " << out << '\n';
+  return 0;
+}
+
+int cmd_solve(const Options& opts) {
+  if (opts.positional().size() < 2) {
+    std::cerr << "usage: discsp_cli solve FILE [--algo awc|db|abt] [--strategy Rslv] "
+                 "[--seed S] [--max-cycles N]\n";
+    return 2;
+  }
+  const auto dp = load(opts.positional()[1]);
+  const std::string algo = opts.get_string("algo", "awc");
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  const int max_cycles = static_cast<int>(opts.get_int("max-cycles", 10000));
+  Rng rng(seed);
+
+  sim::RunResult result;
+  if (algo == "awc") {
+    auto strategy = learning::make_strategy(opts.get_string("strategy", "Rslv"));
+    awc::AwcOptions options;
+    options.max_cycles = max_cycles;
+    awc::AwcSolver solver(dp, *strategy, options);
+    result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  } else if (algo == "db") {
+    db::DbSolver solver(dp, {.max_cycles = max_cycles});
+    result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  } else if (algo == "abt") {
+    abt::AbtOptions options;
+    options.max_cycles = max_cycles;
+    options.use_resolvent = opts.get_bool("abt-resolvent", true);
+    abt::AbtSolver solver(dp, options);
+    result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  } else {
+    std::cerr << "solve: unknown algorithm '" << algo << "'\n";
+    return 2;
+  }
+
+  if (result.metrics.solved) {
+    const auto validation = validate_solution(dp.problem(), result.assignment);
+    std::cout << "SOLVED in " << result.metrics.cycles << " cycles (maxcck "
+              << result.metrics.maxcck << ", " << result.metrics.messages
+              << " messages); validated: " << (validation.ok ? "yes" : "NO") << '\n';
+    std::cout << "assignment:";
+    for (VarId v = 0; v < dp.problem().num_variables(); ++v) {
+      std::cout << " x" << v << '=' << result.assignment[static_cast<std::size_t>(v)];
+    }
+    std::cout << '\n';
+    return validation.ok ? 0 : 1;
+  }
+  if (result.metrics.insoluble) {
+    std::cout << "INSOLUBLE (empty nogood derived after " << result.metrics.cycles
+              << " cycles)\n";
+    return 0;
+  }
+  std::cout << "UNDECIDED after " << result.metrics.cycles << " cycles\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts(argc, argv);
+    if (opts.positional().empty()) {
+      std::cerr << "usage: discsp_cli <gen|convert|solve> ...\n";
+      return 2;
+    }
+    const std::string& cmd = opts.positional()[0];
+    if (cmd == "gen") return cmd_gen(opts);
+    if (cmd == "convert") return cmd_convert(opts);
+    if (cmd == "solve") return cmd_solve(opts);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

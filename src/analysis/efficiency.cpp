@@ -1,0 +1,32 @@
+#include "analysis/efficiency.h"
+
+#include <stdexcept>
+
+namespace discsp::analysis {
+
+double total_time(const AlgorithmCost& cost, double delay) {
+  return cost.maxcck + cost.cycles * delay;
+}
+
+double crossover_delay(const AlgorithmCost& a, const AlgorithmCost& b) {
+  const double slope_diff = a.cycles - b.cycles;
+  if (slope_diff == 0.0) return -1.0;  // parallel lines
+  const double delay = (b.maxcck - a.maxcck) / slope_diff;
+  return delay > 0.0 ? delay : -1.0;
+}
+
+std::vector<EfficiencyPoint> efficiency_series(const AlgorithmCost& a,
+                                               const AlgorithmCost& b,
+                                               double max_delay, int points) {
+  if (points < 2) throw std::invalid_argument("need at least two sample points");
+  if (max_delay <= 0.0) throw std::invalid_argument("max_delay must be positive");
+  std::vector<EfficiencyPoint> series;
+  series.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double delay = max_delay * i / (points - 1);
+    series.push_back({delay, total_time(a, delay), total_time(b, delay)});
+  }
+  return series;
+}
+
+}  // namespace discsp::analysis

@@ -1,0 +1,39 @@
+// Figure-2 efficiency model: with one nogood check as the computational
+// time-unit and a per-cycle communication delay of `delay` time-units, the
+// total cost of a run is
+//     total(delay) = maxcck + cycle * delay.
+// AWC+learning spends few cycles but many checks; DB the opposite — so their
+// lines cross at a delay where AWC becomes the better choice. The paper
+// reads crossovers of ~50 (d3s1 n=50), ~210 (d3s n=150) and ~370 (d3c n=150)
+// off this model.
+#pragma once
+
+#include <vector>
+
+namespace discsp::analysis {
+
+struct AlgorithmCost {
+  double cycles = 0.0;
+  double maxcck = 0.0;
+};
+
+/// total time-units at a given communication delay.
+double total_time(const AlgorithmCost& cost, double delay);
+
+/// Delay at which two algorithms cost the same. Returns a negative value
+/// when the lines never cross for positive delays (one algorithm dominates).
+double crossover_delay(const AlgorithmCost& a, const AlgorithmCost& b);
+
+struct EfficiencyPoint {
+  double delay = 0.0;
+  double total_a = 0.0;
+  double total_b = 0.0;
+};
+
+/// Sample both cost lines over [0, max_delay] with `points` samples
+/// (inclusive endpoints) — the data behind Figure 2.
+std::vector<EfficiencyPoint> efficiency_series(const AlgorithmCost& a,
+                                               const AlgorithmCost& b,
+                                               double max_delay, int points);
+
+}  // namespace discsp::analysis

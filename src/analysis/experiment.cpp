@@ -1,0 +1,176 @@
+#include "analysis/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+#include "abt/abt_solver.h"
+#include "awc/awc_solver.h"
+#include "db/db_solver.h"
+#include "gen/coloring_gen.h"
+#include "gen/onesat_gen.h"
+#include "gen/sat_gen.h"
+#include "learning/strategy.h"
+
+namespace discsp::analysis {
+
+std::string family_name(ProblemFamily family) {
+  switch (family) {
+    case ProblemFamily::kColoring3: return "d3c";
+    case ProblemFamily::kSat3: return "d3s";
+    case ProblemFamily::kOneSat3: return "d3s1";
+  }
+  return "?";
+}
+
+ExperimentSpec spec_for(ProblemFamily family, int n, const ReproConfig& config) {
+  ExperimentSpec spec;
+  spec.family = family;
+  spec.n = std::max(3, static_cast<int>(std::lround(n * config.n_scale)));
+  spec.max_cycles = config.max_cycles;
+  spec.seed = config.seed;
+
+  // The paper's structure per family: (instances x inits) = 100 trials;
+  // at full scale the division below reproduces it exactly (10x10, 25x4,
+  // 4x25), and smaller trial budgets shrink the instance count first.
+  int paper_instances = 10;
+  switch (family) {
+    case ProblemFamily::kColoring3: paper_instances = 10; break;
+    case ProblemFamily::kSat3:      paper_instances = 25; break;
+    case ProblemFamily::kOneSat3:   paper_instances = 4;  break;
+  }
+  // Shrink proportionally while keeping at least one of each.
+  const double scale = std::min(1.0, config.trials / 100.0);
+  spec.instances = std::max(1, static_cast<int>(std::lround(paper_instances * std::sqrt(scale))));
+  spec.inits_per_instance =
+      std::max(1, static_cast<int>(std::lround(static_cast<double>(config.trials) / spec.instances)));
+  return spec;
+}
+
+DistributedProblem make_instance(const ExperimentSpec& spec, int instance_index) {
+  const std::uint64_t instance_seed =
+      spec.seed ^ (0xa0761d6478bd642fULL * static_cast<std::uint64_t>(instance_index + 1)) ^
+      (0xe7037ed1a0b428dbULL * static_cast<std::uint64_t>(spec.n));
+  Rng rng(instance_seed);
+  switch (spec.family) {
+    case ProblemFamily::kColoring3:
+      return gen::distribute(gen::generate_coloring3(spec.n, rng));
+    case ProblemFamily::kSat3:
+      return gen::distribute(gen::generate_sat3(spec.n, rng));
+    case ProblemFamily::kOneSat3: {
+      gen::OneSatParams params;
+      params.n = spec.n;
+      return gen::distribute(gen::cached_onesat(params, instance_index, instance_seed));
+    }
+  }
+  throw std::logic_error("unknown problem family");
+}
+
+std::vector<AggregateRow> run_comparison(const ExperimentSpec& spec,
+                                         std::span<const NamedRunner> runners) {
+  std::vector<AggregateRow> rows(runners.size());
+  std::vector<std::vector<double>> cycles_samples(runners.size());
+  std::vector<std::vector<double>> maxcck_samples(runners.size());
+  for (std::size_t r = 0; r < runners.size(); ++r) rows[r].label = runners[r].label;
+
+  for (int inst = 0; inst < spec.instances; ++inst) {
+    const DistributedProblem dp = make_instance(spec, inst);
+    const Problem& p = dp.problem();
+
+    for (int init = 0; init < spec.inits_per_instance; ++init) {
+      const std::uint64_t trial_seed =
+          spec.seed ^ (0x8ebc6af09c88c6e3ULL * static_cast<std::uint64_t>(inst + 1)) ^
+          (0x589965cc75374cc3ULL * static_cast<std::uint64_t>(init + 1));
+      Rng trial_rng(trial_seed);
+
+      FullAssignment initial(static_cast<std::size_t>(p.num_variables()));
+      for (VarId v = 0; v < p.num_variables(); ++v) {
+        initial[static_cast<std::size_t>(v)] =
+            static_cast<Value>(trial_rng.index(static_cast<std::size_t>(p.domain_size(v))));
+      }
+
+      for (std::size_t r = 0; r < runners.size(); ++r) {
+        // Each runner gets its own derived stream so tie-breaking inside one
+        // algorithm cannot perturb another.
+        const sim::RunResult result =
+            runners[r].run(dp, initial, trial_rng.derive(r + 1));
+        AggregateRow& row = rows[r];
+        ++row.trials;
+        // Failed trials are charged the full cycle budget, whether they ran
+        // into the cap or quiesced in a deadlock (incomplete variants can do
+        // the latter); the paper's "we use the data at that time" applies to
+        // its cap, and counting an early deadlock's small cycle number would
+        // flatter the failing configuration.
+        const bool failed = !result.metrics.solved && !result.metrics.insoluble;
+        const double cycles =
+            failed ? static_cast<double>(spec.max_cycles)
+                   : static_cast<double>(result.metrics.cycles);
+        row.mean_cycles += cycles;
+        row.mean_maxcck += static_cast<double>(result.metrics.maxcck);
+        cycles_samples[r].push_back(cycles);
+        maxcck_samples[r].push_back(static_cast<double>(result.metrics.maxcck));
+        row.mean_nogoods_generated +=
+            static_cast<double>(result.metrics.nogoods_generated);
+        row.mean_redundant_generations +=
+            static_cast<double>(result.metrics.redundant_generations);
+        if (result.metrics.solved) row.solved_percent += 1.0;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    AggregateRow& row = rows[r];
+    if (row.trials == 0) continue;
+    const double t = row.trials;
+    row.mean_cycles /= t;
+    row.mean_maxcck /= t;
+    row.mean_nogoods_generated /= t;
+    row.mean_redundant_generations /= t;
+    row.solved_percent = 100.0 * row.solved_percent / t;
+    row.median_cycles = median_of(cycles_samples[r]);
+    row.p95_cycles = percentile_of(cycles_samples[r], 95.0);
+    row.max_cycles = percentile_of(cycles_samples[r], 100.0);
+    row.median_maxcck = median_of(maxcck_samples[r]);
+  }
+  return rows;
+}
+
+TrialRunner awc_runner(const std::string& strategy_label, bool record_received,
+                       int max_cycles) {
+  auto strategy = std::shared_ptr<learning::LearningStrategy>(
+      learning::make_strategy(strategy_label));
+  return [strategy, record_received, max_cycles](const DistributedProblem& dp,
+                                                 const FullAssignment& initial,
+                                                 const Rng& rng) {
+    awc::AwcOptions options;
+    options.max_cycles = max_cycles;
+    options.record_received = record_received;
+    awc::AwcSolver solver(dp, *strategy, options);
+    return solver.solve(initial, rng);
+  };
+}
+
+TrialRunner db_runner(int max_cycles) {
+  return [max_cycles](const DistributedProblem& dp, const FullAssignment& initial,
+                      const Rng& rng) {
+    db::DbOptions options;
+    options.max_cycles = max_cycles;
+    db::DbSolver solver(dp, options);
+    return solver.solve(initial, rng);
+  };
+}
+
+TrialRunner abt_runner(bool use_resolvent, int max_cycles) {
+  return [use_resolvent, max_cycles](const DistributedProblem& dp,
+                                     const FullAssignment& initial, const Rng& rng) {
+    abt::AbtOptions options;
+    options.max_cycles = max_cycles;
+    options.use_resolvent = use_resolvent;
+    abt::AbtSolver solver(dp, options);
+    return solver.solve(initial, rng);
+  };
+}
+
+}  // namespace discsp::analysis

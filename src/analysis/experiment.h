@@ -1,0 +1,85 @@
+// Experiment harness reproducing the paper's evaluation protocol (§4):
+// for each n, generate instances of a problem family, draw several random
+// initial assignments per instance, run every algorithm under comparison on
+// the *same* (instance, initial) pairs, cap trials at the cycle bound, and
+// aggregate cycle / maxcck / % over all trials.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/rng.h"
+#include "csp/distributed_problem.h"
+#include "sim/metrics.h"
+
+namespace discsp::analysis {
+
+enum class ProblemFamily {
+  kColoring3,  // d3c : solvable 3-coloring, m = 2.7n
+  kSat3,       // d3s : planted-satisfiable 3SAT, m = 4.3n
+  kOneSat3,    // d3s1: unique-solution 3SAT, m = 3.4n target
+};
+
+std::string family_name(ProblemFamily family);
+
+struct ExperimentSpec {
+  ProblemFamily family = ProblemFamily::kColoring3;
+  int n = 0;
+  int instances = 10;
+  int inits_per_instance = 10;
+  int max_cycles = 10000;
+  std::uint64_t seed = 0;
+};
+
+/// Distribute `config.trials` over the paper's instance/init structure
+/// (coloring 10x10, 3SAT 25x4, 3ONESAT 4x25) proportionally.
+ExperimentSpec spec_for(ProblemFamily family, int n, const ReproConfig& config);
+
+/// One algorithm under test: returns the run result for a given distributed
+/// problem, initial assignment and trial RNG.
+using TrialRunner = std::function<sim::RunResult(
+    const DistributedProblem&, const FullAssignment&, const Rng&)>;
+
+struct NamedRunner {
+  std::string label;
+  TrialRunner run;
+};
+
+/// Aggregates in the paper's table format, plus distribution statistics
+/// (the paper reports means; medians/tails expose the heavy-tailed runs
+/// behind them).
+struct AggregateRow {
+  std::string label;
+  int trials = 0;
+  double mean_cycles = 0.0;
+  double mean_maxcck = 0.0;
+  double solved_percent = 0.0;
+  double mean_nogoods_generated = 0.0;
+  double mean_redundant_generations = 0.0;
+  double median_cycles = 0.0;
+  double p95_cycles = 0.0;
+  double max_cycles = 0.0;
+  double median_maxcck = 0.0;
+};
+
+/// Run all `runners` over the spec's trials (same instances and initial
+/// values for every runner — the paper's comparison methodology) and return
+/// one aggregate row per runner, in order.
+std::vector<AggregateRow> run_comparison(const ExperimentSpec& spec,
+                                         std::span<const NamedRunner> runners);
+
+/// Generate the spec's instance with the given index (deterministic in
+/// spec.seed). Exposed for tests and custom harnesses.
+DistributedProblem make_instance(const ExperimentSpec& spec, int instance_index);
+
+/// Standard runner factories.
+TrialRunner awc_runner(const std::string& strategy_label, bool record_received = true,
+                       int max_cycles = 10000);
+TrialRunner db_runner(int max_cycles = 10000);
+TrialRunner abt_runner(bool use_resolvent = false, int max_cycles = 10000);
+
+}  // namespace discsp::analysis

@@ -1,0 +1,46 @@
+#include "analysis/trace.h"
+
+#include <algorithm>
+
+namespace discsp::analysis {
+
+void ConvergenceTrace::on_cycle(const sim::CycleSnapshot& snapshot) {
+  points_.push_back(TracePoint{snapshot.cycle, snapshot.violated_nogoods,
+                               snapshot.sent, snapshot.max_checks});
+}
+
+int ConvergenceTrace::last_violated_cycle() const {
+  for (auto it = points_.rbegin(); it != points_.rend(); ++it) {
+    if (it->violated_nogoods > 0) return it->cycle;
+  }
+  return 0;
+}
+
+std::size_t ConvergenceTrace::peak_violations() const {
+  std::size_t peak = 0;
+  for (const TracePoint& p : points_) peak = std::max(peak, p.violated_nogoods);
+  return peak;
+}
+
+std::vector<TracePoint> ConvergenceTrace::downsampled(std::size_t max_points) const {
+  if (max_points == 0 || points_.size() <= max_points) return points_;
+  std::vector<TracePoint> out;
+  out.reserve(max_points);
+  const std::size_t n = points_.size();
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t idx = i * (n - 1) / (max_points - 1);
+    out.push_back(points_[idx]);
+  }
+  return out;
+}
+
+TracedRun run_traced(const Problem& problem,
+                     std::vector<std::unique_ptr<sim::Agent>> agents, int max_cycles) {
+  TracedRun run;
+  sim::SyncEngine engine(problem, std::move(agents));
+  engine.set_observer(&run.trace);
+  run.result = engine.run(max_cycles);
+  return run;
+}
+
+}  // namespace discsp::analysis

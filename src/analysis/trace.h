@@ -1,0 +1,54 @@
+// Convergence tracing: record per-cycle violation counts, message volume
+// and check load of a run. Used by the convergence-profile bench to show
+// *how* AWC+learning and DB approach a solution, not just when they arrive
+// — the dynamics behind the paper's cycle counts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/distributed_problem.h"
+#include "sim/metrics.h"
+#include "sim/sync_engine.h"
+
+namespace discsp::analysis {
+
+/// One recorded cycle.
+struct TracePoint {
+  int cycle = 0;
+  std::size_t violated_nogoods = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t max_checks = 0;
+};
+
+/// CycleObserver that appends a TracePoint per cycle.
+class ConvergenceTrace final : public sim::CycleObserver {
+ public:
+  void on_cycle(const sim::CycleSnapshot& snapshot) override;
+
+  const std::vector<TracePoint>& points() const { return points_; }
+  void clear() { points_.clear(); }
+
+  /// Last cycle with at least one violation (0 when always satisfied).
+  int last_violated_cycle() const;
+  /// Max violation count seen over the run.
+  std::size_t peak_violations() const;
+  /// Sample the series down to at most `max_points` evenly spaced entries
+  /// (always keeping the first and last) for compact printing.
+  std::vector<TracePoint> downsampled(std::size_t max_points) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+/// Run any agent fleet synchronously with a trace attached.
+struct TracedRun {
+  sim::RunResult result;
+  ConvergenceTrace trace;
+};
+
+TracedRun run_traced(const Problem& problem,
+                     std::vector<std::unique_ptr<sim::Agent>> agents, int max_cycles);
+
+}  // namespace discsp::analysis

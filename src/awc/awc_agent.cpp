@@ -1,0 +1,294 @@
+#include "awc/awc_agent.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace discsp::awc {
+
+AwcAgent::AwcAgent(AgentId id, VarId var, int domain_size, Value initial_value,
+                   std::unique_ptr<learning::LearningStrategy> strategy,
+                   std::vector<AgentId> initial_links,
+                   const std::vector<Nogood>& initial_nogoods,
+                   std::shared_ptr<const std::vector<AgentId>> owner_of_var,
+                   std::shared_ptr<GenerationLog> generation_log, Rng rng,
+                   AwcAgentConfig config)
+    : id_(id), var_(var), domain_size_(domain_size), value_(initial_value),
+      store_(var, domain_size), strategy_(std::move(strategy)),
+      links_(std::move(initial_links)), owner_of_var_(std::move(owner_of_var)),
+      generation_log_(std::move(generation_log)), rng_(rng), config_(config) {
+  if (initial_value < 0 || initial_value >= domain_size) {
+    throw std::invalid_argument("initial value outside domain");
+  }
+  if (strategy_ == nullptr) throw std::invalid_argument("null learning strategy");
+  link_set_.insert(links_.begin(), links_.end());
+  for (const Nogood& ng : initial_nogoods) {
+    if (ng.empty()) {
+      insoluble_ = true;  // the problem carries an explicit contradiction
+      continue;
+    }
+    store_.add(ng);
+  }
+  store_.mark_initial();
+}
+
+Priority AwcAgent::priority_of(VarId v) const {
+  if (v == var_) return priority_;
+  auto it = view_.find(v);
+  return it != view_.end() ? it->second.priority : 0;
+}
+
+Value AwcAgent::view_value(VarId v) const {
+  auto it = view_.find(v);
+  return it != view_.end() ? it->second.value : kNoValue;
+}
+
+bool AwcAgent::nogood_is_higher(const Nogood& ng) const {
+  const VarId weakest = weakest_var(ng, var_);
+  // A nogood mentioning only the own variable binds unconditionally; treat
+  // it as higher than everything.
+  if (weakest == kNoVar) return true;
+  return outranks(weakest, var_);
+}
+
+bool AwcAgent::violated_with_own(const Nogood& ng, Value d) {
+  ++checks_;
+  return ng.violated_by([&](VarId v) { return v == var_ ? d : view_value(v); });
+}
+
+void AwcAgent::start(sim::MessageSink& out) {
+  broadcast_ok(out);
+  dirty_ = true;
+}
+
+void AwcAgent::receive(const sim::MessagePayload& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, sim::OkMessage>) {
+          on_ok(m);
+        } else if constexpr (std::is_same_v<T, sim::NogoodMessage>) {
+          on_nogood(m);
+        } else if constexpr (std::is_same_v<T, sim::AddLinkMessage>) {
+          on_add_link(m);
+        } else {
+          throw std::logic_error("AWC agent received an unsupported message type");
+        }
+      },
+      msg);
+}
+
+void AwcAgent::on_ok(const sim::OkMessage& m) {
+  ViewEntry& entry = view_[m.var];
+  if (entry.value != m.value || entry.priority != m.priority) {
+    entry.value = m.value;
+    entry.priority = m.priority;
+    dirty_ = true;
+  }
+}
+
+void AwcAgent::on_nogood(const sim::NogoodMessage& m) {
+  if (!config_.record_received) return;
+  const std::size_t bound = strategy_->record_bound();
+  if (bound != 0 && m.nogood.size() > bound) return;  // size-bounded learning
+  if (m.nogood.empty()) {
+    insoluble_ = true;
+    return;
+  }
+  if (!m.nogood.contains(var_)) {
+    // Defensive: a nogood not mentioning our variable is not ours to keep.
+    return;
+  }
+  if (store_.add(m.nogood)) {
+    dirty_ = true;
+    for (const Assignment& a : m.nogood) {
+      if (a.var != var_ && view_.find(a.var) == view_.end()) {
+        pending_value_requests_.push_back(a.var);
+      }
+    }
+  }
+}
+
+void AwcAgent::on_add_link(const sim::AddLinkMessage& m) {
+  if (link_set_.insert(m.sender).second) {
+    links_.push_back(m.sender);
+  }
+  pending_link_replies_.push_back(m.sender);
+}
+
+void AwcAgent::compute(sim::MessageSink& out) {
+  // 1. Request values for variables that appeared in received nogoods.
+  for (VarId v : pending_value_requests_) {
+    if (view_.find(v) != view_.end()) continue;  // answered meanwhile
+    const AgentId owner = (*owner_of_var_)[static_cast<std::size_t>(v)];
+    out.send(owner, sim::AddLinkMessage{.sender = id_, .var = v});
+  }
+  pending_value_requests_.clear();
+
+  // 2. Answer fresh links with our current state.
+  for (AgentId requester : pending_link_replies_) {
+    out.send(requester, sim::OkMessage{.sender = id_, .var = var_,
+                                       .value = value_, .priority = priority_});
+  }
+  pending_link_replies_.clear();
+
+  // 3. Re-evaluate only when something changed; re-running on an unchanged
+  //    view would repeat identical nogood checks and distort maxcck.
+  if (!dirty_ || insoluble_) return;
+  dirty_ = false;
+  evaluate(out);
+}
+
+void AwcAgent::evaluate(sim::MessageSink& out) {
+  // Check metering note: every pass examines the whole nogood list — one
+  // check per nogood — exactly like the flat-list implementation the paper
+  // meters. (The store's value buckets could skip two thirds of the tests,
+  // but that would silently change the maxcck accounting that Tables 1-10
+  // and Figure 2 are built on.)
+
+  // Pass 1: is the current value consistent with all higher nogoods?
+  std::vector<const Nogood*> current_violations;
+  for (std::size_t idx = 0; idx < store_.size(); ++idx) {
+    const Nogood& ng = store_.at(idx);
+    if (violated_with_own(ng, value_) && nogood_is_higher(ng)) {
+      current_violations.push_back(&ng);
+    }
+  }
+  if (current_violations.empty()) return;  // consistent: weak commitment holds
+
+  // Pass 2: higher nogoods (and the violated ones among them) per candidate
+  // value. `all_higher` feeds the mcs subset search's cost accounting.
+  std::vector<std::vector<const Nogood*>> violated_higher(
+      static_cast<std::size_t>(domain_size_));
+  std::vector<std::vector<const Nogood*>> all_higher(
+      static_cast<std::size_t>(domain_size_));
+  std::vector<Value> consistent;
+  for (Value d = 0; d < domain_size_; ++d) {
+    auto& violated = violated_higher[static_cast<std::size_t>(d)];
+    for (std::size_t idx = 0; idx < store_.size(); ++idx) {
+      const Nogood& ng = store_.at(idx);
+      if (!nogood_is_higher(ng)) continue;
+      all_higher[static_cast<std::size_t>(d)].push_back(&ng);
+      if (d == value_) continue;  // current value already tested in pass 1
+      if (violated_with_own(ng, d)) violated.push_back(&ng);
+    }
+    if (d == value_) violated = std::move(current_violations);
+    if (violated.empty()) consistent.push_back(d);
+  }
+
+  if (!consistent.empty()) {
+    // Repair: move to the consistent value minimizing violated lower nogoods.
+    value_ = min_conflict_value(consistent, nullptr);
+    broadcast_ok(out);
+    return;
+  }
+
+  handle_deadend(std::move(violated_higher), std::move(all_higher), out);
+}
+
+void AwcAgent::handle_deadend(std::vector<std::vector<const Nogood*>> violated_higher,
+                              std::vector<std::vector<const Nogood*>> all_higher,
+                              sim::MessageSink& out) {
+  learning::DeadendContext ctx;
+  ctx.own = var_;
+  ctx.domain_size = domain_size_;
+  ctx.violated = violated_higher;
+  ctx.higher = all_higher;
+  std::vector<Assignment> view_items;
+  view_items.reserve(view_.size());
+  for (const auto& [var, entry] : view_) view_items.push_back({var, entry.value});
+  ctx.agent_view = &view_items;
+  ctx.order = this;
+
+  std::optional<Nogood> learned = strategy_->learn(ctx, checks_);
+
+  if (learned.has_value()) {
+    if (learned->empty()) {
+      // The resolvent over an empty context: no combination of other
+      // variables permits any value — the problem is insoluble.
+      insoluble_ = true;
+      return;
+    }
+    // Every deadend derivation counts as a generation — including the ones
+    // the completeness guard below then suppresses. This is the paper's
+    // Table-4 instrument: "an agent repeatedly makes the same nogoods if
+    // the previously generated nogoods are not recorded".
+    ++nogoods_generated_;
+    if (generation_log_ != nullptr && generation_log_->record(*learned)) {
+      ++redundant_generations_;
+    }
+    if (last_generated_.has_value() && *last_generated_ == *learned) {
+      // Completeness guard (paper §2.2): re-deriving the same nogood means
+      // nothing new was learned; stay put until the view changes.
+      return;
+    }
+    last_generated_ = *learned;
+    // Send the nogood to every agent whose variable appears in it.
+    for (const Assignment& a : *learned) {
+      const AgentId owner = (*owner_of_var_)[static_cast<std::size_t>(a.var)];
+      out.send(owner, sim::NogoodMessage{.sender = id_, .nogood = *learned});
+    }
+  }
+
+  // Move to the value minimizing violations over *all* nogoods (the value
+  // choice must precede the priority raise: min_conflict_value combines the
+  // higher-nogood evidence gathered above with fresh lower-nogood checks,
+  // and both sides are classified under the current priority). Then raise
+  // the priority above everything in the view and announce. With learning
+  // this happens only for fresh nogoods (handled above); without learning it
+  // is the only way to break the deadend.
+  std::vector<Value> all_values(static_cast<std::size_t>(domain_size_));
+  for (Value d = 0; d < domain_size_; ++d) all_values[static_cast<std::size_t>(d)] = d;
+  value_ = min_conflict_value(all_values, &violated_higher);
+
+  Priority max_seen = 0;
+  for (const auto& [var, entry] : view_) max_seen = std::max(max_seen, entry.priority);
+  priority_ = max_seen + 1;
+  dirty_ = true;  // classification changed with the priority; re-examine next round
+  broadcast_ok(out);
+}
+
+Value AwcAgent::min_conflict_value(
+    const std::vector<Value>& candidates,
+    const std::vector<std::vector<const Nogood*>>* higher_violations) {
+  assert(!candidates.empty());
+  // Violations of *higher* nogoods were already established by the caller:
+  // zero for consistent repair candidates, `higher_violations` at a deadend.
+  // Only lower nogoods need fresh checks here.
+  std::vector<Value> best;
+  std::uint64_t best_count = std::numeric_limits<std::uint64_t>::max();
+  for (Value d : candidates) {
+    std::uint64_t count =
+        higher_violations == nullptr
+            ? 0
+            : (*higher_violations)[static_cast<std::size_t>(d)].size();
+    for (std::size_t idx = 0; idx < store_.size(); ++idx) {
+      const Nogood& ng = store_.at(idx);
+      // Flat scan (see evaluate() metering note); higher-nogood violations
+      // arrive pre-counted through `higher_violations`.
+      if (violated_with_own(ng, d) && !nogood_is_higher(ng)) ++count;
+    }
+    if (count < best_count) {
+      best_count = count;
+      best.clear();
+    }
+    if (count == best_count) best.push_back(d);
+  }
+  return best[rng_.index(best.size())];
+}
+
+void AwcAgent::broadcast_ok(sim::MessageSink& out) {
+  for (AgentId neighbor : links_) {
+    out.send(neighbor, sim::OkMessage{.sender = id_, .var = var_,
+                                      .value = value_, .priority = priority_});
+  }
+}
+
+std::uint64_t AwcAgent::take_checks() {
+  const std::uint64_t c = checks_;
+  checks_ = 0;
+  return c;
+}
+
+}  // namespace discsp::awc

@@ -1,0 +1,138 @@
+// Asynchronous weak-commitment search agent (Yokoo CP'95 / TKDE'98), with
+// the pluggable nogood-learning strategies of Hirayama & Yokoo ICDCS 2000.
+//
+// Protocol summary (paper §2.2):
+//  - the agent keeps an agent_view of linked variables' (value, priority);
+//  - a nogood is *higher* when its weakest member variable (lowest priority,
+//    ties by ascending id) outranks the own variable;
+//  - consistent w.r.t. higher nogoods → idle;
+//  - repairable → move to the consistent value minimizing violated lower
+//    nogoods, broadcast ok?;
+//  - deadend → learn a nogood (strategy-dependent); if it differs from the
+//    previously generated one: send it to every member agent, raise own
+//    priority to 1 + max(view priorities), move to the value minimizing
+//    violations over all nogoods, broadcast ok?. An empty learned nogood
+//    proves insolubility. With NoLearning the priority raise and move happen
+//    unconditionally (and completeness is lost).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/nogood_store.h"
+#include "learning/strategy.h"
+#include "sim/agent.h"
+
+namespace discsp::awc {
+
+/// Simulation-level instrumentation shared by all agents of one run: tracks
+/// which nogoods have been generated anywhere before, yielding the paper's
+/// Table-4 "redundant generation" count.
+class GenerationLog {
+ public:
+  /// Record a generation; returns true when `ng` was generated before.
+  bool record(const Nogood& ng) { return !seen_.insert(ng).second; }
+  std::size_t distinct() const { return seen_.size(); }
+
+ private:
+  std::unordered_set<Nogood> seen_;
+};
+
+struct AwcAgentConfig {
+  /// When false, received nogood messages are not recorded ("Rslv/norec",
+  /// Table 4). Generation, sending, and the duplicate guard are unaffected.
+  bool record_received = true;
+};
+
+class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
+ public:
+  AwcAgent(AgentId id, VarId var, int domain_size, Value initial_value,
+           std::unique_ptr<learning::LearningStrategy> strategy,
+           std::vector<AgentId> initial_links,
+           const std::vector<Nogood>& initial_nogoods,
+           std::shared_ptr<const std::vector<AgentId>> owner_of_var,
+           std::shared_ptr<GenerationLog> generation_log, Rng rng,
+           AwcAgentConfig config = {});
+
+  // sim::Agent
+  AgentId id() const override { return id_; }
+  VarId variable() const override { return var_; }
+  Value current_value() const override { return value_; }
+  void start(sim::MessageSink& out) override;
+  void receive(const sim::MessagePayload& msg) override;
+  void compute(sim::MessageSink& out) override;
+  std::uint64_t take_checks() override;
+  bool detected_insoluble() const override { return insoluble_; }
+  std::uint64_t nogoods_generated() const override { return nogoods_generated_; }
+  std::uint64_t redundant_generations() const override { return redundant_generations_; }
+
+  // Introspection (tests, metrics).
+  Priority priority() const { return priority_; }
+  const NogoodStore& store() const { return store_; }
+  std::size_t view_size() const { return view_.size(); }
+
+ private:
+  struct ViewEntry {
+    Value value = kNoValue;
+    Priority priority = 0;
+  };
+
+  // learning::PriorityOrder
+  Priority priority_of(VarId v) const override;
+
+  Value view_value(VarId v) const;
+  bool nogood_is_higher(const Nogood& ng) const;
+  /// One metered evaluation of a stored nogood under the view with own = d.
+  bool violated_with_own(const Nogood& ng, Value d);
+
+  void on_ok(const sim::OkMessage& m);
+  void on_nogood(const sim::NogoodMessage& m);
+  void on_add_link(const sim::AddLinkMessage& m);
+
+  void evaluate(sim::MessageSink& out);
+  void handle_deadend(std::vector<std::vector<const Nogood*>> violated_higher,
+                      std::vector<std::vector<const Nogood*>> all_higher,
+                      sim::MessageSink& out);
+  /// Value among `candidates` minimizing violation counts; ties broken
+  /// uniformly at random. Lower nogoods are checked afresh; higher-nogood
+  /// violations come from the caller (null = none, as for repair candidates).
+  Value min_conflict_value(
+      const std::vector<Value>& candidates,
+      const std::vector<std::vector<const Nogood*>>* higher_violations);
+  void broadcast_ok(sim::MessageSink& out);
+
+  AgentId id_;
+  VarId var_;
+  int domain_size_;
+  Value value_;
+  Priority priority_ = 0;
+
+  std::unordered_map<VarId, ViewEntry> view_;
+  NogoodStore store_;
+  std::unique_ptr<learning::LearningStrategy> strategy_;
+
+  std::vector<AgentId> links_;                  // ok? recipients
+  std::unordered_set<AgentId> link_set_;
+  std::shared_ptr<const std::vector<AgentId>> owner_of_var_;
+  std::shared_ptr<GenerationLog> generation_log_;
+
+  std::optional<Nogood> last_generated_;
+  std::vector<VarId> pending_value_requests_;   // unknown vars from nogoods
+  std::vector<AgentId> pending_link_replies_;   // new links awaiting our ok?
+
+  Rng rng_;
+  AwcAgentConfig config_;
+  bool dirty_ = true;
+  bool insoluble_ = false;
+
+  std::uint64_t checks_ = 0;
+  std::uint64_t nogoods_generated_ = 0;
+  std::uint64_t redundant_generations_ = 0;
+};
+
+}  // namespace discsp::awc

@@ -1,0 +1,25 @@
+// Small hashing helpers: combine and range hashing for canonical containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace discsp {
+
+/// Mix a value into an existing seed (boost::hash_combine style, 64-bit).
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash every element of a range in order.
+template <typename It>
+std::size_t hash_range(It first, It last) noexcept {
+  std::size_t seed = 0x2545f4914f6cdd1dULL;
+  for (; first != last; ++first) {
+    hash_combine(seed, std::hash<std::decay_t<decltype(*first)>>{}(*first));
+  }
+  return seed;
+}
+
+}  // namespace discsp

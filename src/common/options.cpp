@@ -1,0 +1,82 @@
+#include "common/options.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace discsp {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "1";  // bare flag == boolean true
+    }
+  }
+}
+
+std::optional<std::string> Options::get(const std::string& name,
+                                        const char* env) const {
+  if (auto it = flags_.find(name); it != flags_.end()) return it->second;
+  if (env != nullptr) {
+    if (const char* v = std::getenv(env); v != nullptr) return std::string(v);
+  }
+  return std::nullopt;
+}
+
+std::int64_t Options::get_int(const std::string& name, std::int64_t def,
+                              const char* env) const {
+  auto v = get(name, env);
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double Options::get_double(const std::string& name, double def,
+                           const char* env) const {
+  auto v = get(name, env);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& name, bool def, const char* env) const {
+  auto v = get(name, env);
+  if (!v) return def;
+  return *v != "0" && *v != "false" && *v != "off" && !v->empty();
+}
+
+std::string Options::get_string(const std::string& name, std::string def,
+                                const char* env) const {
+  auto v = get(name, env);
+  return v ? *v : std::move(def);
+}
+
+ReproConfig repro_config_from(const Options& opts) {
+  ReproConfig cfg;
+  if (opts.get_bool("full", false, "REPRO_FULL")) cfg.trials = 100;
+  cfg.trials = static_cast<int>(opts.get_int("trials", cfg.trials, "REPRO_TRIALS"));
+  cfg.max_cycles = static_cast<int>(opts.get_int("max-cycles", cfg.max_cycles, "REPRO_MAX_CYCLES"));
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", static_cast<std::int64_t>(cfg.seed), "REPRO_SEED"));
+  cfg.n_scale = opts.get_double("n-scale", cfg.n_scale, "REPRO_N_SCALE");
+  if (cfg.trials <= 0) throw std::invalid_argument("--trials must be positive");
+  if (cfg.max_cycles <= 0) throw std::invalid_argument("--max-cycles must be positive");
+  return cfg;
+}
+
+}  // namespace discsp

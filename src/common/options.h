@@ -1,0 +1,61 @@
+// Minimal command-line / environment option handling for benches & examples.
+//
+// We keep this deliberately tiny: flags of the form --name=value or
+// --name value, plus environment fallbacks so `for b in build/bench/*; do $b;
+// done` can be steered globally (REPRO_TRIALS, REPRO_FULL, REPRO_SEED).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace discsp {
+
+class Options {
+ public:
+  Options() = default;
+  /// Parse argv; unknown positional arguments are collected separately.
+  Options(int argc, const char* const* argv);
+
+  /// Look up --name; falls back to the environment variable `env` when the
+  /// flag was not given and `env` is non-null.
+  std::optional<std::string> get(const std::string& name,
+                                 const char* env = nullptr) const;
+
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const char* env = nullptr) const;
+  double get_double(const std::string& name, double def,
+                    const char* env = nullptr) const;
+  bool get_bool(const std::string& name, bool def,
+                const char* env = nullptr) const;
+  std::string get_string(const std::string& name, std::string def,
+                         const char* env = nullptr) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool has(const std::string& name) const { return flags_.count(name) != 0; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Standard knobs shared by all paper-reproduction benches.
+struct ReproConfig {
+  /// Trials per n (paper: 100). Defaults to a CI-friendly reduction.
+  int trials = 20;
+  /// Cycle cap per trial (paper: 10000).
+  int max_cycles = 10000;
+  /// Root seed; each (n, instance, trial) derives its own stream.
+  std::uint64_t seed = 20000704;  // ICDCS 2000 vintage
+  /// Scale factor on the paper's n values (1.0 = paper scale).
+  double n_scale = 1.0;
+};
+
+/// Build a ReproConfig from options: --trials/REPRO_TRIALS,
+/// --max-cycles, --seed/REPRO_SEED, and --full/REPRO_FULL=1 which restores
+/// the paper's 100 trials.
+ReproConfig repro_config_from(const Options& opts);
+
+}  // namespace discsp

@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in the library (initial values, tie-breaking,
+// generator choices) draws from a Rng that is seeded explicitly, so a trial
+// is reproducible from (instance seed, trial seed). Agents get independent
+// streams derived with derive(), which avoids correlated tie-breaking across
+// agents while keeping a single root seed per trial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace discsp {
+
+/// xoshiro256** with splitmix64 seeding. Small, fast, and good enough for
+/// combinatorial experiments; NOT cryptographic.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the full state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next();
+
+  /// UniformRandomBitGenerator interface so <random> distributions work too.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  /// bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Pick a uniformly random index into a container of the given size (> 0).
+  std::size_t index(std::size_t size) { return static_cast<std::size_t>(below(size)); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream; `salt` distinguishes siblings.
+  Rng derive(std::uint64_t salt) const;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t origin_;  // seed this stream was created from, for derive()
+};
+
+/// splitmix64 step, exposed for seed-derivation utilities and tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace discsp

@@ -1,0 +1,59 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace discsp {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+}
+
+double median_of(std::vector<double> xs) { return percentile_of(std::move(xs), 50.0); }
+
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace discsp

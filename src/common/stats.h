@@ -1,0 +1,40 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace discsp {
+
+/// Welford-style streaming accumulator: mean/variance/min/max without
+/// storing samples.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch helpers over a sample vector.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+double median_of(std::vector<double> xs);  // by value: sorts a copy
+/// Linear-interpolated percentile, p in [0,100].
+double percentile_of(std::vector<double> xs, double p);
+
+}  // namespace discsp

@@ -1,0 +1,70 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace discsp {
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  cells_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string text) {
+  if (cells_.empty()) row();
+  cells_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::cell(long long v) { return cell(std::to_string(v)); }
+
+TextTable& TextTable::cell(double v, int decimals) {
+  return cell(format_fixed(v, decimals));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : cells_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& text = c < r.size() ? r[c] : std::string{};
+      out << "  ";
+      // Right-align everything but the first column; the paper's tables lead
+      // with the row label (n) and right-align the measurements.
+      if (c == 0) {
+        out << text << std::string(width[c] - text.size(), ' ');
+      } else {
+        out << std::string(width[c] - text.size(), ' ') << text;
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : cells_) emit_row(r);
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+}  // namespace discsp

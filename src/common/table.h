@@ -1,0 +1,39 @@
+// Plain-text table rendering for the bench harnesses: the paper reports its
+// results as tables, so every bench prints one in the same row layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace discsp {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision the way the paper's tables do (one decimal).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begin a new row. Subsequent cell() calls fill it left to right.
+  TextTable& row();
+  TextTable& cell(std::string text);
+  TextTable& cell(long long v);
+  TextTable& cell(int v) { return cell(static_cast<long long>(v)); }
+  /// Fixed-point with `decimals` digits (default 1, matching the paper).
+  TextTable& cell(double v, int decimals = 1);
+
+  /// Render with a separator line under the header.
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return cells_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with fixed decimals (helper shared with CSV output).
+std::string format_fixed(double v, int decimals);
+
+}  // namespace discsp

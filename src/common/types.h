@@ -1,0 +1,36 @@
+// Fundamental vocabulary types shared by every discsp subsystem.
+//
+// The paper's model: variables are held one-per-agent, variables have small
+// discrete domains, and constraints are expressed *extensionally* as nogoods
+// (forbidden partial assignments). We keep ids as plain 32-bit integers with
+// distinct aliases; the algorithms in this library never mix them silently
+// because every API names its parameters.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace discsp {
+
+/// Identifier of a variable. Variables are numbered 0..n-1 within a Problem.
+using VarId = std::int32_t;
+
+/// A value from a variable's domain. Domains are 0..k-1 (color indices,
+/// Boolean 0/1, ...). Human-readable labels live in Problem metadata.
+using Value = std::int32_t;
+
+/// Identifier of an agent. In the core one-variable-per-agent setting,
+/// AgentId == VarId of the owned variable, but APIs keep them distinct.
+using AgentId = std::int32_t;
+
+/// A dynamic priority as used by AWC. Starts at 0 and only grows.
+using Priority = std::int32_t;
+
+/// Sentinel for "no variable" / "no agent".
+inline constexpr VarId kNoVar = -1;
+inline constexpr AgentId kNoAgent = -1;
+
+/// Sentinel for "value not yet assigned / unknown".
+inline constexpr Value kNoValue = std::numeric_limits<Value>::min();
+
+}  // namespace discsp

@@ -1,0 +1,31 @@
+// A single (variable, value) pair — the atom every nogood is built from.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace discsp {
+
+/// One variable bound to one value. Nogoods are sets of these; a nogood is
+/// violated when the current view agrees with every one of its assignments.
+struct Assignment {
+  VarId var = kNoVar;
+  Value value = kNoValue;
+
+  friend auto operator<=>(const Assignment&, const Assignment&) = default;
+};
+
+}  // namespace discsp
+
+template <>
+struct std::hash<discsp::Assignment> {
+  std::size_t operator()(const discsp::Assignment& a) const noexcept {
+    std::size_t seed = std::hash<discsp::VarId>{}(a.var);
+    discsp::hash_combine(seed, std::hash<discsp::Value>{}(a.value));
+    return seed;
+  }
+};

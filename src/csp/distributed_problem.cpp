@@ -1,0 +1,70 @@
+#include "csp/distributed_problem.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace discsp {
+
+DistributedProblem DistributedProblem::one_var_per_agent(Problem p) {
+  std::vector<AgentId> owner(static_cast<std::size_t>(p.num_variables()));
+  std::iota(owner.begin(), owner.end(), 0);
+  return DistributedProblem(std::move(p), std::move(owner));
+}
+
+DistributedProblem::DistributedProblem(Problem p, std::vector<AgentId> owner_of_var)
+    : problem_(std::move(p)), owner_(std::move(owner_of_var)) {
+  if (static_cast<int>(owner_.size()) != problem_.num_variables()) {
+    throw std::invalid_argument("owner map size must equal variable count");
+  }
+  for (AgentId a : owner_) {
+    if (a < 0) throw std::invalid_argument("negative agent id in owner map");
+    num_agents_ = std::max(num_agents_, a + 1);
+  }
+
+  agent_vars_.resize(static_cast<std::size_t>(num_agents_));
+  for (VarId v = 0; v < problem_.num_variables(); ++v) {
+    agent_vars_[static_cast<std::size_t>(owner_[static_cast<std::size_t>(v)])].push_back(v);
+  }
+
+  agent_nogoods_.resize(static_cast<std::size_t>(num_agents_));
+  agent_neighbors_.resize(static_cast<std::size_t>(num_agents_));
+  for (AgentId a = 0; a < num_agents_; ++a) {
+    auto& ngs = agent_nogoods_[static_cast<std::size_t>(a)];
+    for (VarId v : agent_vars_[static_cast<std::size_t>(a)]) {
+      const auto& per_var = problem_.nogoods_of(v);
+      ngs.insert(ngs.end(), per_var.begin(), per_var.end());
+    }
+    std::sort(ngs.begin(), ngs.end());
+    ngs.erase(std::unique(ngs.begin(), ngs.end()), ngs.end());
+
+    auto& nbrs = agent_neighbors_[static_cast<std::size_t>(a)];
+    for (std::size_t idx : ngs) {
+      for (const Assignment& asg : problem_.nogoods()[idx]) {
+        const AgentId other = owner_[static_cast<std::size_t>(asg.var)];
+        if (other != a) nbrs.push_back(other);
+      }
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+}
+
+VarId DistributedProblem::variable_of(AgentId a) const {
+  const auto& vars = variables_of(a);
+  if (vars.size() != 1) {
+    throw std::logic_error("agent " + std::to_string(a) + " owns " +
+                           std::to_string(vars.size()) +
+                           " variables; this algorithm requires exactly one");
+  }
+  return vars.front();
+}
+
+bool DistributedProblem::is_one_var_per_agent() const {
+  for (const auto& vars : agent_vars_) {
+    if (vars.size() != 1) return false;
+  }
+  return num_agents_ == problem_.num_variables();
+}
+
+}  // namespace discsp

@@ -1,0 +1,60 @@
+// DistributedProblem: a Problem plus the agent ownership structure.
+//
+// The paper (and the core algorithms here) use the canonical setting where
+// every agent owns exactly one variable together with all nogoods relevant
+// to it — including the inter-agent nogoods shared with neighbors. The class
+// supports general var->agent maps so multi-variable extensions can reuse
+// it, but the single-variable accessors are what AWC/ABT/DB consume.
+#pragma once
+
+#include <vector>
+
+#include "csp/problem.h"
+
+namespace discsp {
+
+class DistributedProblem {
+ public:
+  /// The canonical construction: agent i owns variable i.
+  static DistributedProblem one_var_per_agent(Problem p);
+
+  /// General construction from an explicit var -> agent map.
+  DistributedProblem(Problem p, std::vector<AgentId> owner_of_var);
+
+  const Problem& problem() const { return problem_; }
+  int num_agents() const { return num_agents_; }
+
+  AgentId owner_of(VarId v) const { return owner_[static_cast<std::size_t>(v)]; }
+  const std::vector<VarId>& variables_of(AgentId a) const {
+    return agent_vars_[static_cast<std::size_t>(a)];
+  }
+
+  /// Single-variable accessor for the core algorithms; throws when the agent
+  /// owns a different number of variables.
+  VarId variable_of(AgentId a) const;
+
+  /// Indices (into problem().nogoods()) of constraints relevant to agent a,
+  /// i.e. mentioning at least one of its variables.
+  const std::vector<std::size_t>& nogoods_of_agent(AgentId a) const {
+    return agent_nogoods_[static_cast<std::size_t>(a)];
+  }
+
+  /// Agents owning a variable that shares a nogood with agent a's variables
+  /// (sorted, excludes a).
+  const std::vector<AgentId>& neighbors_of_agent(AgentId a) const {
+    return agent_neighbors_[static_cast<std::size_t>(a)];
+  }
+
+  /// True iff every agent owns exactly one variable.
+  bool is_one_var_per_agent() const;
+
+ private:
+  Problem problem_;
+  std::vector<AgentId> owner_;
+  int num_agents_ = 0;
+  std::vector<std::vector<VarId>> agent_vars_;
+  std::vector<std::vector<std::size_t>> agent_nogoods_;
+  std::vector<std::vector<AgentId>> agent_neighbors_;
+};
+
+}  // namespace discsp

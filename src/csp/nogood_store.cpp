@@ -1,0 +1,41 @@
+#include "csp/nogood_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace discsp {
+
+NogoodStore::NogoodStore(VarId own, int domain_size) : own_(own) {
+  if (domain_size <= 0) throw std::invalid_argument("domain_size must be positive");
+  buckets_.resize(static_cast<std::size_t>(domain_size));
+}
+
+bool NogoodStore::add(Nogood ng) {
+  const Value v = ng.value_of(own_);
+  assert(v != kNoValue && "stored nogoods must mention the owning variable");
+  if (v < 0 || v >= domain_size()) {
+    throw std::out_of_range("nogood binds own variable to out-of-domain value");
+  }
+  auto& dup = dedup_[ng.hash()];
+  for (std::uint32_t idx : dup) {
+    if (nogoods_[idx] == ng) return false;
+  }
+  const auto idx = static_cast<std::uint32_t>(nogoods_.size());
+  dup.push_back(idx);
+  buckets_[static_cast<std::size_t>(v)].push_back(idx);
+  max_size_ = std::max(max_size_, ng.size());
+  nogoods_.push_back(std::move(ng));
+  return true;
+}
+
+bool NogoodStore::contains(const Nogood& ng) const {
+  auto it = dedup_.find(ng.hash());
+  if (it == dedup_.end()) return false;
+  for (std::uint32_t idx : it->second) {
+    if (nogoods_[idx] == ng) return true;
+  }
+  return false;
+}
+
+}  // namespace discsp

@@ -1,0 +1,59 @@
+// NogoodStore: the per-agent nogood database used by AWC and ABT.
+//
+// Every stored nogood contains the owning agent's variable, so the store
+// buckets nogoods by the value they bind that variable to. A deadend test
+// ("is value d ruled out?") then only scans bucket(d), which is exactly the
+// set of nogoods that *can* be violated while x_own = d. Duplicates are
+// rejected via the precomputed nogood hashes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "csp/nogood.h"
+
+namespace discsp {
+
+class NogoodStore {
+ public:
+  /// `own` is the variable every stored nogood must mention;
+  /// `domain_size` fixes the bucket count.
+  NogoodStore(VarId own, int domain_size);
+
+  /// Insert a nogood. Returns false (and stores nothing) when an equal
+  /// nogood is already present. Precondition: ng.contains(own()).
+  bool add(Nogood ng);
+
+  /// True iff an equal nogood is already stored.
+  bool contains(const Nogood& ng) const;
+
+  VarId own() const { return own_; }
+  int domain_size() const { return static_cast<int>(buckets_.size()); }
+  std::size_t size() const { return nogoods_.size(); }
+  const Nogood& at(std::size_t idx) const { return nogoods_[idx]; }
+
+  /// Indices of the nogoods binding own() to `v`.
+  const std::vector<std::uint32_t>& bucket(Value v) const {
+    return buckets_[static_cast<std::size_t>(v)];
+  }
+
+  /// Mark everything currently stored as "initial" (problem constraints, as
+  /// opposed to learned nogoods). Purely informational, used for metrics.
+  void mark_initial() { initial_count_ = nogoods_.size(); }
+  std::size_t initial_count() const { return initial_count_; }
+  std::size_t learned_count() const { return nogoods_.size() - initial_count_; }
+
+  /// Largest stored nogood (0 when empty) — used by nogood-explosion metrics.
+  std::size_t max_nogood_size() const { return max_size_; }
+
+ private:
+  VarId own_;
+  std::vector<Nogood> nogoods_;
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> dedup_;
+  std::size_t initial_count_ = 0;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace discsp

@@ -1,0 +1,86 @@
+#include "csp/problem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace discsp {
+
+VarId Problem::add_variable(int domain_size, std::string name) {
+  if (domain_size <= 0) throw std::invalid_argument("domain_size must be positive");
+  const VarId id = static_cast<VarId>(domain_sizes_.size());
+  domain_sizes_.push_back(domain_size);
+  if (name.empty()) name = "x" + std::to_string(id);
+  names_.push_back(std::move(name));
+  per_var_nogoods_.emplace_back();
+  return id;
+}
+
+void Problem::add_variables(int count, int domain_size) {
+  for (int i = 0; i < count; ++i) add_variable(domain_size);
+}
+
+bool Problem::add_nogood(Nogood ng) {
+  for (const Assignment& a : ng) {
+    if (a.var < 0 || a.var >= num_variables()) {
+      throw std::out_of_range("nogood references unknown variable x" + std::to_string(a.var));
+    }
+    if (a.value < 0 || a.value >= domain_size(a.var)) {
+      throw std::out_of_range("nogood binds x" + std::to_string(a.var) +
+                              " to out-of-domain value " + std::to_string(a.value));
+    }
+  }
+  auto& bucket = dedup_[ng.hash()];
+  for (std::size_t idx : bucket) {
+    if (nogoods_[idx] == ng) return false;
+  }
+  if (ng.empty()) has_empty_nogood_ = true;
+  const std::size_t idx = nogoods_.size();
+  bucket.push_back(idx);
+  for (const Assignment& a : ng) {
+    per_var_nogoods_[static_cast<std::size_t>(a.var)].push_back(idx);
+  }
+  nogoods_.push_back(std::move(ng));
+  return true;
+}
+
+std::vector<VarId> Problem::neighbors_of(VarId v) const {
+  std::vector<VarId> out;
+  for (std::size_t idx : nogoods_of(v)) {
+    for (const Assignment& a : nogoods_[idx]) {
+      if (a.var != v) out.push_back(a.var);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Problem::is_solution(const FullAssignment& a) const {
+  if (static_cast<int>(a.size()) != num_variables()) return false;
+  for (VarId v = 0; v < num_variables(); ++v) {
+    if (a[static_cast<std::size_t>(v)] < 0 ||
+        a[static_cast<std::size_t>(v)] >= domain_size(v)) {
+      return false;
+    }
+  }
+  auto lookup = [&](VarId v) { return a[static_cast<std::size_t>(v)]; };
+  for (const Nogood& ng : nogoods_) {
+    if (ng.violated_by(lookup)) return false;
+  }
+  return true;
+}
+
+std::size_t Problem::violated_count(const FullAssignment& a) const {
+  auto lookup = [&](VarId v) {
+    return v >= 0 && static_cast<std::size_t>(v) < a.size()
+               ? a[static_cast<std::size_t>(v)]
+               : kNoValue;
+  };
+  std::size_t count = 0;
+  for (const Nogood& ng : nogoods_) {
+    if (ng.violated_by(lookup)) ++count;
+  }
+  return count;
+}
+
+}  // namespace discsp

@@ -1,0 +1,67 @@
+// Problem: a (centralized) CSP over finite contiguous domains with
+// extensional nogood constraints. DistributedProblem layers agent ownership
+// on top of this.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "csp/nogood.h"
+
+namespace discsp {
+
+/// A complete assignment of the problem's variables, indexed by VarId.
+using FullAssignment = std::vector<Value>;
+
+class Problem {
+ public:
+  Problem() = default;
+
+  /// Add a variable with domain {0, ..., domain_size-1}; returns its id.
+  VarId add_variable(int domain_size, std::string name = {});
+  /// Convenience: add `count` variables with a shared domain size.
+  void add_variables(int count, int domain_size);
+
+  /// Add a constraint nogood. All referenced variables must exist and the
+  /// bound values must lie in their domains. Duplicate nogoods are kept out
+  /// (adding an existing nogood is a no-op returning false).
+  bool add_nogood(Nogood ng);
+
+  int num_variables() const { return static_cast<int>(domain_sizes_.size()); }
+  int domain_size(VarId v) const { return domain_sizes_.at(static_cast<std::size_t>(v)); }
+  const std::string& name(VarId v) const { return names_.at(static_cast<std::size_t>(v)); }
+
+  const std::vector<Nogood>& nogoods() const { return nogoods_; }
+  std::size_t num_nogoods() const { return nogoods_.size(); }
+
+  /// True when the problem contains the empty nogood — an explicit
+  /// contradiction making it trivially insoluble.
+  bool has_empty_nogood() const { return has_empty_nogood_; }
+
+  /// Indices (into nogoods()) of the constraints mentioning `v`.
+  const std::vector<std::size_t>& nogoods_of(VarId v) const {
+    return per_var_nogoods_.at(static_cast<std::size_t>(v));
+  }
+
+  /// Variables sharing at least one nogood with `v` (sorted, no duplicates,
+  /// excludes v itself).
+  std::vector<VarId> neighbors_of(VarId v) const;
+
+  /// True iff `a` assigns every variable a domain value and violates nothing.
+  bool is_solution(const FullAssignment& a) const;
+  /// Number of violated nogoods under a complete assignment.
+  std::size_t violated_count(const FullAssignment& a) const;
+
+ private:
+  std::vector<int> domain_sizes_;
+  std::vector<std::string> names_;
+  std::vector<Nogood> nogoods_;
+  std::vector<std::vector<std::size_t>> per_var_nogoods_;
+  // Dedup index: nogood hash -> indices of nogoods with that hash.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> dedup_;
+  bool has_empty_nogood_ = false;
+};
+
+}  // namespace discsp

@@ -1,0 +1,169 @@
+#include "csp/serialize.h"
+
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace discsp {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("dcsp parse error at line " + std::to_string(line) + ": " + what);
+}
+
+struct Parsed {
+  Problem problem;
+  std::vector<AgentId> owner;
+  bool has_owner = false;
+};
+
+Parsed parse(std::istream& in) {
+  Parsed out;
+  std::string line;
+  int lineno = 0;
+  bool header_seen = false;
+  int declared_vars = -1;
+  std::vector<int> domain_sizes;
+
+  auto ensure_vars_built = [&]() {
+    if (out.problem.num_variables() == 0 && declared_vars > 0) {
+      for (int v = 0; v < declared_vars; ++v) {
+        if (domain_sizes[static_cast<std::size_t>(v)] <= 0) {
+          throw std::runtime_error("dcsp parse error: x" + std::to_string(v) +
+                                   " has no domain declaration");
+        }
+        out.problem.add_variable(domain_sizes[static_cast<std::size_t>(v)]);
+      }
+    }
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream body(line);
+    std::string keyword;
+    if (!(body >> keyword)) continue;  // blank / comment-only line
+
+    if (keyword == "dcsp") {
+      int version = 0;
+      if (!(body >> version) || version != 1) fail(lineno, "unsupported dcsp version");
+      header_seen = true;
+    } else if (!header_seen) {
+      fail(lineno, "missing 'dcsp 1' header");
+    } else if (keyword == "vars") {
+      if (declared_vars >= 0) fail(lineno, "duplicate vars line");
+      if (!(body >> declared_vars) || declared_vars < 0) fail(lineno, "bad vars count");
+      domain_sizes.assign(static_cast<std::size_t>(declared_vars), 0);
+      out.owner.resize(static_cast<std::size_t>(declared_vars));
+      std::iota(out.owner.begin(), out.owner.end(), 0);
+    } else if (keyword == "domain") {
+      long var = 0, size = 0;
+      if (!(body >> var >> size) || var < 0 || var >= declared_vars || size <= 0) {
+        fail(lineno, "bad domain line");
+      }
+      if (out.problem.num_variables() != 0) fail(lineno, "domain after nogoods");
+      domain_sizes[static_cast<std::size_t>(var)] = static_cast<int>(size);
+    } else if (keyword == "owner") {
+      long var = 0, agent = 0;
+      if (!(body >> var >> agent) || var < 0 || var >= declared_vars || agent < 0) {
+        fail(lineno, "bad owner line");
+      }
+      out.owner[static_cast<std::size_t>(var)] = static_cast<AgentId>(agent);
+      out.has_owner = true;
+    } else if (keyword == "nogood") {
+      ensure_vars_built();
+      std::vector<Assignment> items;
+      long var = 0, value = 0;
+      while (body >> var >> value) {
+        items.push_back({static_cast<VarId>(var), static_cast<Value>(value)});
+      }
+      if (!body.eof()) fail(lineno, "non-numeric token in nogood");
+      try {
+        out.problem.add_nogood(Nogood(std::move(items)));
+      } catch (const std::exception& e) {
+        fail(lineno, e.what());
+      }
+    } else {
+      fail(lineno, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!header_seen) throw std::runtime_error("dcsp parse error: empty input");
+  if (declared_vars < 0) throw std::runtime_error("dcsp parse error: missing vars line");
+  ensure_vars_built();
+  return out;
+}
+
+void write_header(std::ostream& out, const Problem& problem, const std::string& comment) {
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string l;
+    while (std::getline(lines, l)) out << "# " << l << '\n';
+  }
+  out << "dcsp 1\n";
+  out << "vars " << problem.num_variables() << '\n';
+  for (VarId v = 0; v < problem.num_variables(); ++v) {
+    out << "domain " << v << ' ' << problem.domain_size(v) << '\n';
+  }
+}
+
+void write_nogoods(std::ostream& out, const Problem& problem) {
+  for (const Nogood& ng : problem.nogoods()) {
+    out << "nogood";
+    for (const Assignment& a : ng) out << ' ' << a.var << ' ' << a.value;
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+void write_problem(std::ostream& out, const Problem& problem, const std::string& comment) {
+  write_header(out, problem, comment);
+  write_nogoods(out, problem);
+}
+
+Problem read_problem(std::istream& in) { return parse(in).problem; }
+
+void write_distributed(std::ostream& out, const DistributedProblem& problem,
+                       const std::string& comment) {
+  write_header(out, problem.problem(), comment);
+  for (VarId v = 0; v < problem.problem().num_variables(); ++v) {
+    out << "owner " << v << ' ' << problem.owner_of(v) << '\n';
+  }
+  write_nogoods(out, problem.problem());
+}
+
+DistributedProblem read_distributed(std::istream& in) {
+  Parsed parsed = parse(in);
+  return DistributedProblem(std::move(parsed.problem), std::move(parsed.owner));
+}
+
+void write_problem_file(const std::string& path, const Problem& problem,
+                        const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_problem(out, problem, comment);
+}
+
+Problem read_problem_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open dcsp file: " + path);
+  return read_problem(in);
+}
+
+void write_distributed_file(const std::string& path, const DistributedProblem& problem,
+                            const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_distributed(out, problem, comment);
+}
+
+DistributedProblem read_distributed_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open dcsp file: " + path);
+  return read_distributed(in);
+}
+
+}  // namespace discsp

@@ -1,0 +1,38 @@
+// Plain-text persistence for Problems and DistributedProblems (".dcsp").
+//
+// DIMACS covers only the SAT workloads; this format round-trips arbitrary
+// nogood CSPs (coloring instances, scheduling models, regression cases)
+// together with the agent partition, so instances can be archived, shared,
+// and replayed across machines.
+//
+// Format (line oriented, '#' comments):
+//   dcsp 1                         header with version
+//   vars <n>
+//   domain <var> <size>            one per variable
+//   owner <var> <agent>            optional; identity when omitted
+//   nogood <var> <value> [<var> <value> ...]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "csp/distributed_problem.h"
+
+namespace discsp {
+
+void write_problem(std::ostream& out, const Problem& problem,
+                   const std::string& comment = {});
+Problem read_problem(std::istream& in);
+
+void write_distributed(std::ostream& out, const DistributedProblem& problem,
+                       const std::string& comment = {});
+DistributedProblem read_distributed(std::istream& in);
+
+void write_problem_file(const std::string& path, const Problem& problem,
+                        const std::string& comment = {});
+Problem read_problem_file(const std::string& path);
+void write_distributed_file(const std::string& path, const DistributedProblem& problem,
+                            const std::string& comment = {});
+DistributedProblem read_distributed_file(const std::string& path);
+
+}  // namespace discsp

@@ -1,0 +1,30 @@
+// Validation helpers: every solver's output is pushed through these in tests
+// and in the experiment harness, so "solved" always means "independently
+// checked against the original constraints".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "csp/problem.h"
+
+namespace discsp {
+
+/// Result of validating a complete assignment against a Problem.
+struct ValidationReport {
+  bool ok = false;
+  /// Indices of violated nogoods (empty when ok, or when the assignment is
+  /// structurally invalid — see `error`).
+  std::vector<std::size_t> violated;
+  /// Non-empty when the assignment is malformed (wrong arity / out of domain).
+  std::string error;
+};
+
+ValidationReport validate_solution(const Problem& problem, const FullAssignment& a);
+
+/// Check that `ng` is *entailed* by the problem: brute-force verify that no
+/// solution of `problem` is compatible with the partial assignment `ng`.
+/// Exponential — test-only helper for small instances.
+bool nogood_is_entailed(const Problem& problem, const Nogood& ng);
+
+}  // namespace discsp

@@ -1,0 +1,164 @@
+#include "db/db_agent.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace discsp::db {
+
+DbAgent::DbAgent(AgentId id, VarId var, int domain_size, Value initial_value,
+                 std::vector<AgentId> neighbors, std::vector<Nogood> nogoods, Rng rng)
+    : id_(id), var_(var), domain_size_(domain_size), value_(initial_value),
+      neighbors_(std::move(neighbors)), nogoods_(std::move(nogoods)),
+      weights_(nogoods_.size(), 1), values_pending_(static_cast<int>(neighbors_.size())),
+      improves_pending_(static_cast<int>(neighbors_.size())), rng_(rng) {
+  if (initial_value < 0 || initial_value >= domain_size) {
+    throw std::invalid_argument("initial value outside domain");
+  }
+}
+
+std::int64_t DbAgent::eval(Value d) {
+  std::int64_t cost = 0;
+  for (std::size_t i = 0; i < nogoods_.size(); ++i) {
+    ++checks_;
+    const bool violated = nogoods_[i].violated_by([&](VarId v) {
+      if (v == var_) return d;
+      auto it = view_.find(v);
+      return it != view_.end() ? it->second : kNoValue;
+    });
+    if (violated) cost += weights_[i];
+  }
+  return cost;
+}
+
+void DbAgent::start(sim::MessageSink& out) {
+  if (neighbors_.empty()) {
+    // No peers to coordinate with: settle on a locally optimal value once
+    // (only unary nogoods can matter).
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    Value best_value = value_;
+    for (Value d = 0; d < domain_size_; ++d) {
+      const std::int64_t c = eval(d);
+      if (c < best) {
+        best = c;
+        best_value = d;
+      }
+    }
+    value_ = best_value;
+    return;
+  }
+  broadcast_ok(out);
+}
+
+void DbAgent::receive(const sim::MessagePayload& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, sim::OkMessage>) {
+          view_[m.var] = m.value;
+          --values_pending_;
+        } else if constexpr (std::is_same_v<T, sim::ImproveMessage>) {
+          --improves_pending_;
+          if (m.improve > 0) any_positive_neighbor_ = true;
+          // Track the strongest neighbor claim: larger improve wins, ties go
+          // to the smaller agent id.
+          if (best_neighbor_ == kNoAgent || m.improve > best_neighbor_improve_ ||
+              (m.improve == best_neighbor_improve_ && m.sender < best_neighbor_)) {
+            best_neighbor_improve_ = m.improve;
+            best_neighbor_ = m.sender;
+          }
+        } else {
+          throw std::logic_error("DB agent received an unsupported message type");
+        }
+      },
+      msg);
+}
+
+void DbAgent::compute(sim::MessageSink& out) {
+  if (neighbors_.empty()) return;
+  // Under asynchronous delivery a single activation can complete both waves
+  // (the last expected ok? may arrive after every improve already did), so
+  // loop until no wave transition fires — otherwise the protocol deadlocks
+  // waiting for a message that will never come.
+  for (;;) {
+    if (!awaiting_improves_ && values_pending_ <= 0) {
+      send_improve(out);
+      continue;
+    }
+    if (awaiting_improves_ && improves_pending_ <= 0) {
+      conclude_wave(out);
+      continue;
+    }
+    break;
+  }
+}
+
+void DbAgent::send_improve(sim::MessageSink& out) {
+  values_pending_ += static_cast<int>(neighbors_.size());
+
+  my_eval_ = eval(value_);
+  std::int64_t best = my_eval_;
+  std::vector<Value> best_values{value_};
+  for (Value d = 0; d < domain_size_; ++d) {
+    if (d == value_) continue;
+    const std::int64_t c = eval(d);
+    if (c < best) {
+      best = c;
+      best_values.assign(1, d);
+    } else if (c == best && best < my_eval_) {
+      best_values.push_back(d);
+    }
+  }
+  my_improve_ = my_eval_ - best;
+  my_best_value_ = best_values[rng_.index(best_values.size())];
+
+  for (AgentId n : neighbors_) {
+    out.send(n, sim::ImproveMessage{.sender = id_, .var = var_,
+                                    .improve = my_improve_, .eval = my_eval_});
+  }
+  awaiting_improves_ = true;
+}
+
+void DbAgent::conclude_wave(sim::MessageSink& out) {
+  improves_pending_ += static_cast<int>(neighbors_.size());
+
+  const bool i_win =
+      my_improve_ > 0 &&
+      (best_neighbor_ == kNoAgent || my_improve_ > best_neighbor_improve_ ||
+       (my_improve_ == best_neighbor_improve_ && id_ < best_neighbor_));
+  if (i_win) {
+    value_ = my_best_value_;
+  } else if (my_eval_ > 0 && my_improve_ <= 0 && !any_positive_neighbor_) {
+    // Quasi-local-minimum: cost remains, nobody in the neighborhood can
+    // improve. Breakout: make the current violations more expensive.
+    for (std::size_t i = 0; i < nogoods_.size(); ++i) {
+      ++checks_;
+      const bool violated = nogoods_[i].violated_by([&](VarId v) {
+        if (v == var_) return value_;
+        auto it = view_.find(v);
+        return it != view_.end() ? it->second : kNoValue;
+      });
+      if (violated) ++weights_[i];
+    }
+  }
+
+  best_neighbor_ = kNoAgent;
+  best_neighbor_improve_ = 0;
+  any_positive_neighbor_ = false;
+  awaiting_improves_ = false;
+  broadcast_ok(out);
+}
+
+void DbAgent::broadcast_ok(sim::MessageSink& out) {
+  for (AgentId n : neighbors_) {
+    out.send(n, sim::OkMessage{.sender = id_, .var = var_, .value = value_, .priority = 0});
+  }
+}
+
+std::uint64_t DbAgent::take_checks() {
+  const std::uint64_t c = checks_;
+  checks_ = 0;
+  return c;
+}
+
+}  // namespace discsp::db

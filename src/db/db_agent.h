@@ -1,0 +1,73 @@
+// Distributed breakout agent (Yokoo & Hirayama ICMAS'96), in the paper's
+// per-nogood-weight variant (§4.3 footnote 7).
+//
+// Two-wave protocol: after collecting all neighbors' values (wave A) the
+// agent computes its weighted violation cost and possible improvement and
+// broadcasts them; after collecting all neighbors' improvements (wave B) the
+// unique local winner moves, agents stuck in a quasi-local-minimum raise the
+// weights of their violated nogoods (breakout), and everyone broadcasts
+// values again. Each wave costs one simulator cycle — the "extra cycles" the
+// paper attributes to DB.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/nogood.h"
+#include "sim/agent.h"
+
+namespace discsp::db {
+
+class DbAgent final : public sim::Agent {
+ public:
+  DbAgent(AgentId id, VarId var, int domain_size, Value initial_value,
+          std::vector<AgentId> neighbors, std::vector<Nogood> nogoods, Rng rng);
+
+  AgentId id() const override { return id_; }
+  VarId variable() const override { return var_; }
+  Value current_value() const override { return value_; }
+  void start(sim::MessageSink& out) override;
+  void receive(const sim::MessagePayload& msg) override;
+  void compute(sim::MessageSink& out) override;
+  std::uint64_t take_checks() override;
+
+  // Introspection for tests.
+  std::int64_t weight_of(std::size_t nogood_idx) const { return weights_[nogood_idx]; }
+  std::size_t num_nogoods() const { return nogoods_.size(); }
+
+ private:
+  /// Weighted cost of taking value d under the current view (one check per
+  /// nogood evaluation).
+  std::int64_t eval(Value d);
+  void send_improve(sim::MessageSink& out);
+  void conclude_wave(sim::MessageSink& out);
+  void broadcast_ok(sim::MessageSink& out);
+
+  AgentId id_;
+  VarId var_;
+  int domain_size_;
+  Value value_;
+
+  std::vector<AgentId> neighbors_;
+  std::vector<Nogood> nogoods_;
+  std::vector<std::int64_t> weights_;
+  std::unordered_map<VarId, Value> view_;
+
+  // Wave bookkeeping.
+  int values_pending_;    // ok? messages still expected this wave
+  int improves_pending_;  // improve messages still expected this wave
+  bool awaiting_improves_ = false;
+  std::int64_t my_eval_ = 0;
+  std::int64_t my_improve_ = 0;
+  Value my_best_value_ = 0;
+  std::int64_t best_neighbor_improve_ = 0;
+  AgentId best_neighbor_ = kNoAgent;
+  bool any_positive_neighbor_ = false;
+
+  Rng rng_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace discsp::db

@@ -1,0 +1,34 @@
+// DbSolver: wires distributed-breakout agents and runs them synchronously.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/distributed_problem.h"
+#include "sim/metrics.h"
+#include "sim/sync_engine.h"
+
+namespace discsp::db {
+
+struct DbOptions {
+  int max_cycles = 10000;
+};
+
+class DbSolver {
+ public:
+  explicit DbSolver(const DistributedProblem& problem, DbOptions options = {});
+
+  sim::RunResult solve(const FullAssignment& initial, const Rng& rng);
+  FullAssignment random_initial(Rng& rng) const;
+  std::vector<std::unique_ptr<sim::Agent>> make_agents(const FullAssignment& initial,
+                                                       const Rng& rng) const;
+
+  const DistributedProblem& problem() const { return problem_; }
+
+ private:
+  const DistributedProblem& problem_;
+  DbOptions options_;
+};
+
+}  // namespace discsp::db

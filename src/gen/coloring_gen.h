@@ -1,0 +1,40 @@
+// Solvable graph k-coloring generator (Minton et al., AIJ'92 method):
+// plant a balanced color partition, then draw the requested number of
+// distinct edges between different-color classes. The planted partition is a
+// witness that every instance is solvable; m = 2.7n with k = 3 is the hard
+// region the paper samples (Cheeseman et al.).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/distributed_problem.h"
+#include "csp/problem.h"
+
+namespace discsp::gen {
+
+struct ColoringInstance {
+  Problem problem;                              // one nogood per (edge, color)
+  std::vector<std::pair<VarId, VarId>> edges;   // u < v
+  FullAssignment planted;                       // witness coloring
+  int num_colors = 0;
+};
+
+struct ColoringParams {
+  int n = 0;                 // nodes (= variables = agents)
+  double edge_ratio = 2.7;   // m = round(edge_ratio * n)
+  int num_colors = 3;
+};
+
+/// Generate a solvable coloring instance. Throws std::invalid_argument when
+/// the requested edge count exceeds the number of distinct cross-class pairs.
+ColoringInstance generate_coloring(const ColoringParams& params, Rng& rng);
+
+/// Paper defaults: 3 colors, m = 2.7n.
+ColoringInstance generate_coloring3(int n, Rng& rng);
+
+/// The paper's distribution: one node (and its relevant nogoods) per agent.
+DistributedProblem distribute(const ColoringInstance& instance);
+
+}  // namespace discsp::gen

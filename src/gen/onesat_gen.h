@@ -1,0 +1,67 @@
+// Unique-solution 3SAT generator — the stand-in for AIM 3ONESAT-GEN / the
+// DIMACS benchmark CNFs the paper used (not redistributable offline).
+//
+// Construction: plant a model A; seed with random clauses satisfied by A;
+// then repeatedly find a surviving alternative model B (DPLL on the formula
+// plus a clause blocking A) and add a clause satisfied by A but falsified by
+// B, preferring candidates that also kill other known-alive models. When no
+// alternative model survives, the instance provably has exactly one model.
+// Finally pad with random A-satisfying clauses toward the paper's target
+// ratio m = 3.4n (padding cannot create models, so uniqueness is preserved).
+//
+// The defining property the paper relies on — "all but one complete
+// assignments are rejected by a small number of explicit clauses", i.e. many
+// implicit small nogoods — holds by construction. The achieved ratio can
+// exceed the target on some seeds; it is reported per instance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/distributed_problem.h"
+#include "sat/cnf.h"
+
+namespace discsp::gen {
+
+struct OneSatInstance {
+  sat::Cnf cnf;
+  std::vector<Value> model;        // the unique model
+  std::size_t elimination_clauses = 0;
+  double achieved_ratio = 0.0;     // final m / n
+};
+
+struct OneSatParams {
+  int n = 0;
+  double clause_ratio = 3.4;   // target m = round(clause_ratio * n)
+  double base_ratio = 2.0;     // random planted clauses seeded before elimination
+  int candidate_pool = 24;     // elimination candidates scored per round
+  /// DPLL decision budget per alternative-model query. When a query aborts
+  /// (mid-phase formulas can be exponentially hard for a learning-free
+  /// DPLL), the generator adds another random planted clause — which only
+  /// shrinks the model space — and asks again. Keeps generation time
+  /// bounded at every n.
+  std::uint64_t decision_budget = 300'000;
+};
+
+OneSatInstance generate_onesat(const OneSatParams& params, Rng& rng);
+
+/// Paper defaults: target m = 3.4n.
+OneSatInstance generate_onesat3(int n, Rng& rng);
+
+DistributedProblem distribute(const OneSatInstance& instance);
+
+/// Persist / restore instances as DIMACS (model kept in a comment line), so
+/// expensive unique-solution instances can be generated once and reused.
+void save_onesat(const OneSatInstance& instance, const std::string& path);
+OneSatInstance load_onesat(const std::string& path);
+
+/// Disk-cached generation: looks for
+///   <cache_dir>/onesat_n<N>_i<INDEX>_s<SEED>.cnf
+/// and generates + saves on miss. cache_dir defaults to $REPRO_CACHE_DIR or
+/// ".repro_cache"; pass an empty string to use that default.
+OneSatInstance cached_onesat(const OneSatParams& params, int instance_index,
+                             std::uint64_t seed, std::string cache_dir = {});
+
+}  // namespace discsp::gen

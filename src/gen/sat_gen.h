@@ -1,0 +1,38 @@
+// Planted-satisfiable random 3SAT generator — the stand-in for the AIM
+// 3SAT-GEN instances (Cha & Iwama) used by the paper, which are not
+// redistributable here. A hidden assignment is drawn first and every sampled
+// clause must be satisfied by it, guaranteeing satisfiability at the paper's
+// clause/variable ratio m = 4.3n. See DESIGN.md §3 for the substitution
+// rationale.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/distributed_problem.h"
+#include "sat/cnf.h"
+
+namespace discsp::gen {
+
+struct SatInstance {
+  sat::Cnf cnf;
+  std::vector<Value> planted;  // witness model
+};
+
+struct SatParams {
+  int n = 0;                  // Boolean variables (= agents)
+  double clause_ratio = 4.3;  // m = round(clause_ratio * n)
+  int clause_size = 3;
+};
+
+/// Generate a planted-satisfiable k-SAT instance with distinct clauses over
+/// distinct variables per clause.
+SatInstance generate_sat(const SatParams& params, Rng& rng);
+
+/// Paper defaults: 3SAT with m = 4.3n.
+SatInstance generate_sat3(int n, Rng& rng);
+
+/// One Boolean variable and its relevant clauses per agent.
+DistributedProblem distribute(const SatInstance& instance);
+
+}  // namespace discsp::gen

@@ -1,0 +1,37 @@
+// Structured graph topologies and uniform random formulas — beyond the
+// paper's planted ensembles. Used by the topology-sensitivity ablation and
+// by tests that need instances with known properties (bipartite grids,
+// odd rings, cliques, possibly-unsatisfiable random SAT).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "csp/problem.h"
+#include "sat/cnf.h"
+
+namespace discsp::gen {
+
+using EdgeList = std::vector<std::pair<VarId, VarId>>;
+
+/// Cycle 0-1-...-n-1-0. Chromatic number 2 (even n) or 3 (odd n).
+EdgeList ring_edges(int n);
+
+/// rows x cols grid, 4-neighborhood. Bipartite: 2-colorable.
+EdgeList grid_edges(int rows, int cols);
+
+/// Complete graph K_n: needs n colors.
+EdgeList complete_edges(int n);
+
+/// m distinct uniform random edges (no planted structure — instances may be
+/// uncolorable for a given k).
+EdgeList random_edges(int n, std::size_t m, Rng& rng);
+
+/// Uniform random k-SAT with m distinct clauses over distinct variables —
+/// the classic ensemble, satisfiable or not. Near ratio 4.26 (k = 3) this
+/// is the hard phase-transition region; unsatisfiable draws exercise the
+/// solvers' refutation paths.
+sat::Cnf random_ksat(int n, std::size_t m, int k, Rng& rng);
+
+}  // namespace discsp::gen

@@ -1,0 +1,143 @@
+#include "learning/mcs.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "learning/resolvent.h"
+
+namespace discsp::learning {
+
+namespace {
+
+/// One candidate higher nogood, pre-indexed against the resolvent variables:
+/// `mask` marks which resolvent variables it uses; `inside` is false when it
+/// also touches a variable outside the resolvent (such a nogood can never
+/// support a subset of the resolvent); `violated` records whether it is
+/// violated under the full agent_view — a nogood is violated under the
+/// restricted view S ∪ {own=d} iff it is violated under the full view AND
+/// its variables fit inside S ∪ {own}.
+struct IndexedNogood {
+  const Nogood* nogood = nullptr;
+  std::uint64_t mask = 0;
+  bool inside = true;
+  bool violated = false;
+};
+
+/// Subset test: S (as a bitmask over resolvent variables) is a conflict set
+/// iff for every value some higher nogood is violated inside S ∪ {own}.
+/// Every nogood examined costs one check — including the ones that turn out
+/// not to be violated; the tester cannot know that without evaluating them,
+/// which is exactly why mcs learning is expensive (paper §4.1).
+bool is_conflict_set(std::uint64_t s_mask,
+                     const std::vector<std::vector<IndexedNogood>>& per_value,
+                     std::uint64_t& checks) {
+  for (const auto& candidates : per_value) {
+    bool supported = false;
+    for (const IndexedNogood& ing : candidates) {
+      ++checks;
+      if (ing.violated && ing.inside && (ing.mask & ~s_mask) == 0) {
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) return false;
+  }
+  return true;
+}
+
+/// Next bitmask with the same popcount (Gosper's hack).
+std::uint64_t next_combination(std::uint64_t v) {
+  const std::uint64_t t = v | (v - 1);
+  return (t + 1) | (((~t & (t + 1)) - 1) >> (std::countr_zero(v) + 1));
+}
+
+}  // namespace
+
+std::optional<Nogood> McsLearning::learn(const DeadendContext& ctx, std::uint64_t& checks) {
+  // Seed with the resolvent: it is a conflict set by construction.
+  const Nogood resolvent = build_resolvent(ctx);
+  const std::size_t r = resolvent.size();
+  if (r <= 1) return resolvent;  // already minimum
+
+  // Index resolvent variables. Resolvents beyond 64 variables fall back to
+  // the resolvent itself (never happens on the paper's problem classes).
+  if (r > 64) return resolvent;
+  std::unordered_map<VarId, int> var_bit;
+  std::vector<Assignment> items(resolvent.begin(), resolvent.end());
+  for (std::size_t i = 0; i < items.size(); ++i) var_bit[items[i].var] = static_cast<int>(i);
+
+  // Candidate pool per value: all higher nogoods when the caller provides
+  // them (the faithful, expensive accounting), else the violated ones.
+  const auto& pool = ctx.higher.empty() ? ctx.violated : ctx.higher;
+  std::vector<std::vector<IndexedNogood>> per_value(pool.size());
+  for (std::size_t d = 0; d < pool.size(); ++d) {
+    // Violation status under the full view is known to the caller; recover
+    // it by membership so the subset test need not consult the agent.
+    std::unordered_map<const Nogood*, bool> is_violated;
+    for (const Nogood* ng : ctx.violated[d]) is_violated[ng] = true;
+
+    per_value[d].reserve(pool[d].size());
+    for (const Nogood* ng : pool[d]) {
+      IndexedNogood ing;
+      ing.nogood = ng;
+      ing.violated = is_violated.count(ng) != 0;
+      for (const Assignment& a : *ng) {
+        if (a.var == ctx.own) continue;
+        auto it = var_bit.find(a.var);
+        if (it == var_bit.end()) {
+          ing.inside = false;
+          break;
+        }
+        ing.mask |= 1ULL << it->second;
+      }
+      per_value[d].push_back(ing);
+    }
+  }
+
+  const std::uint64_t full = r == 64 ? ~0ULL : (1ULL << r) - 1;
+  std::uint64_t best = full;
+  std::size_t tests = 0;
+  const auto budget_left = [&] { return budget_ == 0 || tests < budget_; };
+
+  // Descending size sweep. Monotonicity (S ⊆ S' and S a conflict set imply
+  // S' is one) means: if no subset of size s works, none smaller does.
+  bool exhausted = false;
+  for (std::size_t s = r - 1; s >= 1; --s) {
+    bool found = false;
+    std::uint64_t combo = (1ULL << s) - 1;                  // first size-s subset
+    const std::uint64_t last = combo << (r - s);            // s bits packed at the top
+    for (;;) {
+      if (!budget_left()) {
+        exhausted = true;
+        break;
+      }
+      ++tests;
+      if (is_conflict_set(combo, per_value, checks)) {
+        best = combo;
+        found = true;
+        break;
+      }
+      if (combo == last) break;
+      combo = next_combination(combo);
+    }
+    if (exhausted || !found) break;
+  }
+
+  if (exhausted) {
+    // Greedy fallback: drop elements of the best conflict set one at a time.
+    for (std::size_t i = 0; i < r; ++i) {
+      const std::uint64_t bit = 1ULL << i;
+      if ((best & bit) == 0) continue;
+      if (is_conflict_set(best & ~bit, per_value, checks)) best &= ~bit;
+    }
+  }
+
+  std::vector<Assignment> kept;
+  for (std::size_t i = 0; i < r; ++i) {
+    if (best & (1ULL << i)) kept.push_back(items[i]);
+  }
+  return Nogood(std::move(kept));
+}
+
+}  // namespace discsp::learning

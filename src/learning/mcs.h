@@ -1,0 +1,32 @@
+// Mcs-based learning (paper §4.1, after Mammen & Lesser): shrink the
+// resolvent to a minimum conflict set by testing subsets from larger to
+// smaller. Effective nogoods, but the subset search is expensive — every
+// nogood examined during a subset test is metered as a check, which is what
+// makes Mcs lose the maxcck comparison in the paper.
+#pragma once
+
+#include "learning/strategy.h"
+
+namespace discsp::learning {
+
+class McsLearning final : public LearningStrategy {
+ public:
+  /// `budget` caps the number of subset tests per deadend; on exhaustion the
+  /// search falls back to greedy single-element elimination from the best
+  /// conflict set found, which still returns a *minimal* (if not minimum)
+  /// conflict set. 0 means unbounded (exact, exponential worst case).
+  explicit McsLearning(std::size_t budget = 20'000) : budget_(budget) {}
+
+  std::string name() const override { return "Mcs"; }
+  std::optional<Nogood> learn(const DeadendContext& ctx, std::uint64_t& checks) override;
+  std::unique_ptr<LearningStrategy> clone() const override {
+    return std::make_unique<McsLearning>(budget_);
+  }
+
+  std::size_t budget() const { return budget_; }
+
+ private:
+  std::size_t budget_;
+};
+
+}  // namespace discsp::learning

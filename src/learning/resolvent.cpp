@@ -1,0 +1,78 @@
+#include "learning/resolvent.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace discsp::learning {
+
+VarId PriorityOrder::weakest_var(const Nogood& ng, VarId exclude) const {
+  VarId weakest = kNoVar;
+  for (const Assignment& a : ng) {
+    if (a.var == exclude) continue;
+    if (weakest == kNoVar || outranks(weakest, a.var)) weakest = a.var;
+  }
+  return weakest;
+}
+
+const Nogood* select_source_nogood(const std::vector<const Nogood*>& violated,
+                                   VarId own, const PriorityOrder& order,
+                                   SourceTieBreak tie_break) {
+  const Nogood* best = nullptr;
+  VarId best_weakest = kNoVar;
+  for (const Nogood* ng : violated) {
+    if (best == nullptr || ng->size() < best->size()) {
+      best = ng;
+      best_weakest = order.weakest_var(*ng, own);
+      continue;
+    }
+    if (ng->size() == best->size() && tie_break != SourceTieBreak::kFirstFound) {
+      // Tie: the paper prefers the higher-priority nogood — the one whose
+      // weakest member variable outranks the other's. Highly-prioritized
+      // variables commit strongly to their values; telling their agents
+      // early that the combination is wrong pays off (§3.1). The inverted
+      // mode exists to measure that claim.
+      // A nogood whose only variable is `own` has no weakest member; treat
+      // it as maximally prioritized (it rules the value out unconditionally).
+      const VarId weakest = order.weakest_var(*ng, own);
+      bool ng_wins =
+          weakest == kNoVar ? best_weakest != kNoVar
+                            : best_weakest != kNoVar && order.outranks(weakest, best_weakest);
+      if (tie_break == SourceTieBreak::kLowestPriority) ng_wins = !ng_wins && weakest != best_weakest;
+      if (ng_wins) {
+        best = ng;
+        best_weakest = weakest;
+      }
+    }
+  }
+  return best;
+}
+
+Nogood build_resolvent(const DeadendContext& ctx, SourceTieBreak tie_break) {
+  if (ctx.order == nullptr) throw std::invalid_argument("DeadendContext.order is null");
+  std::vector<const Nogood*> selected;
+  selected.reserve(static_cast<std::size_t>(ctx.domain_size));
+  for (int d = 0; d < ctx.domain_size; ++d) {
+    const auto& violated = ctx.violated[static_cast<std::size_t>(d)];
+    assert(!violated.empty() && "learn() called on a non-deadend value");
+    const Nogood* src = select_source_nogood(violated, ctx.own, *ctx.order, tie_break);
+    selected.push_back(src);
+  }
+  return merge_without(selected, ctx.own);
+}
+
+std::string ResolventLearning::name() const {
+  if (record_bound_ == 0) return "Rslv";
+  const char* suffix = record_bound_ == 1 ? "st"
+                       : record_bound_ == 2 ? "nd"
+                       : record_bound_ == 3 ? "rd"
+                                            : "th";
+  return std::to_string(record_bound_) + suffix + "Rslv";
+}
+
+std::optional<Nogood> ResolventLearning::learn(const DeadendContext& ctx,
+                                               std::uint64_t& checks) {
+  (void)checks;  // selection reuses the deadend evidence: zero extra checks
+  return build_resolvent(ctx, tie_break_);
+}
+
+}  // namespace discsp::learning

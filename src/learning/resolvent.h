@@ -1,0 +1,56 @@
+// Resolvent-based learning (paper §3.1) with the optional size bound of
+// §4.2 ("kthRslv").
+#pragma once
+
+#include "learning/strategy.h"
+
+namespace discsp::learning {
+
+/// How size ties among candidate source nogoods are broken. The paper
+/// argues for kHighestPriority: "a highly-prioritized variable generally
+/// makes a strong commitment to the current value, so we should notify the
+/// agent with such a variable as early as possible" (§3.1). The other modes
+/// exist for the ablation bench probing that rationale.
+enum class SourceTieBreak {
+  kHighestPriority,  // the paper's rule
+  kLowestPriority,   // deliberately inverted
+  kFirstFound,       // no tie-breaking beyond size
+};
+
+/// For each domain value select one violated higher nogood — the smallest,
+/// ties broken per SourceTieBreak — then union the selected nogoods and
+/// drop the own variable. Cost beyond the deadend evidence is zero nogood
+/// checks, which is the method's selling point.
+class ResolventLearning : public LearningStrategy {
+ public:
+  /// record_bound == 0 is the unrestricted "Rslv"; k > 0 yields "kthRslv"
+  /// where agents only record nogoods of size <= k.
+  explicit ResolventLearning(std::size_t record_bound = 0,
+                             SourceTieBreak tie_break = SourceTieBreak::kHighestPriority)
+      : record_bound_(record_bound), tie_break_(tie_break) {}
+
+  std::string name() const override;
+  std::optional<Nogood> learn(const DeadendContext& ctx, std::uint64_t& checks) override;
+  std::size_t record_bound() const override { return record_bound_; }
+  std::unique_ptr<LearningStrategy> clone() const override {
+    return std::make_unique<ResolventLearning>(record_bound_, tie_break_);
+  }
+
+  SourceTieBreak tie_break() const { return tie_break_; }
+
+ private:
+  std::size_t record_bound_;
+  SourceTieBreak tie_break_;
+};
+
+/// The selection rule shared with the mcs search: smallest violated higher
+/// nogood for value d, ties broken per `tie_break`.
+const Nogood* select_source_nogood(
+    const std::vector<const Nogood*>& violated, VarId own, const PriorityOrder& order,
+    SourceTieBreak tie_break = SourceTieBreak::kHighestPriority);
+
+/// Pure resolvent construction (exposed for tests): one source per value.
+Nogood build_resolvent(const DeadendContext& ctx,
+                       SourceTieBreak tie_break = SourceTieBreak::kHighestPriority);
+
+}  // namespace discsp::learning

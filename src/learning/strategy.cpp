@@ -1,0 +1,38 @@
+#include "learning/strategy.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "learning/mcs.h"
+#include "learning/resolvent.h"
+#include "learning/view_learning.h"
+
+namespace discsp::learning {
+
+std::unique_ptr<LearningStrategy> make_strategy(const std::string& label) {
+  if (label == "No" || label == "no" || label == "none") {
+    return std::make_unique<NoLearning>();
+  }
+  if (label == "View" || label == "view") {
+    return std::make_unique<ViewLearning>();
+  }
+  if (label == "Rslv" || label == "rslv") {
+    return std::make_unique<ResolventLearning>();
+  }
+  if (label == "Mcs" || label == "mcs") {
+    return std::make_unique<McsLearning>();
+  }
+  // "kthRslv" forms: leading digits, then an ordinal suffix, then "Rslv".
+  if (!label.empty() && std::isdigit(static_cast<unsigned char>(label[0])) != 0) {
+    std::size_t pos = 0;
+    const int k = std::stoi(label, &pos);
+    std::string rest = label.substr(pos);
+    if (k > 0 && (rest == "Rslv" || rest == "stRslv" || rest == "ndRslv" ||
+                  rest == "rdRslv" || rest == "thRslv")) {
+      return std::make_unique<ResolventLearning>(static_cast<std::size_t>(k));
+    }
+  }
+  throw std::invalid_argument("unknown learning strategy label: '" + label + "'");
+}
+
+}  // namespace discsp::learning

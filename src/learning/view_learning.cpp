@@ -1,0 +1,16 @@
+#include "learning/view_learning.h"
+
+#include <stdexcept>
+
+namespace discsp::learning {
+
+std::optional<Nogood> ViewLearning::learn(const DeadendContext& ctx,
+                                          std::uint64_t& checks) {
+  (void)checks;  // recording the view costs no nogood checks — its appeal
+  if (ctx.agent_view == nullptr) {
+    throw std::invalid_argument("ViewLearning requires DeadendContext.agent_view");
+  }
+  return Nogood(*ctx.agent_view);
+}
+
+}  // namespace discsp::learning

@@ -1,0 +1,27 @@
+// Agent-view learning — the ABT-style method the paper's §1 contrasts with
+// resolvent learning: "an agent uses an agent_view itself as a nogood. The
+// cost of this method is virtually zero ... However, the obtained nogood is
+// not so effective." Plugged into AWC it completes the paper's taxonomy
+// (No / view / Rslv / Mcs) so the learning-quality spectrum can be measured
+// within one algorithm.
+#pragma once
+
+#include "learning/strategy.h"
+
+namespace discsp::learning {
+
+class ViewLearning final : public LearningStrategy {
+ public:
+  std::string name() const override { return "View"; }
+
+  /// The union of *all* violated higher nogoods minus the own variable — the
+  /// portion of the agent_view implicated in the deadend, without any source
+  /// selection. Zero extra checks, maximal nogood size.
+  std::optional<Nogood> learn(const DeadendContext& ctx, std::uint64_t& checks) override;
+
+  std::unique_ptr<LearningStrategy> clone() const override {
+    return std::make_unique<ViewLearning>();
+  }
+};
+
+}  // namespace discsp::learning

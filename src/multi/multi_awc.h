@@ -1,0 +1,51 @@
+// Multi-variable-per-agent AWC — the paper's §5 future-work direction
+// (Yokoo & Hirayama's "complex local problems" setting, ref [26]).
+//
+// We implement the canonical reduction the paper invokes ("all distributed
+// CSPs can be converted into this class in principle"): each real agent
+// runs one *virtual* AWC agent per owned variable, with unchanged protocol
+// semantics. What changes is the accounting, which is what makes the
+// reduction interesting to measure:
+//   - messages between co-located virtual agents are intra-agent and do not
+//     count as communication;
+//   - a real agent's nogood checks per cycle are the sum over its virtual
+//     agents, and maxcck maximizes over *real* agents.
+// The optimized agent-prioritization algorithms of [26] are out of scope
+// (documented in DESIGN.md); this module quantifies how far the plain
+// reduction carries, which is exactly the paper's open question.
+#pragma once
+
+#include "common/rng.h"
+#include "csp/distributed_problem.h"
+#include "learning/strategy.h"
+#include "sim/metrics.h"
+
+namespace discsp::multi {
+
+struct MultiAwcOptions {
+  int max_cycles = 10000;
+};
+
+class MultiAwcSolver {
+ public:
+  /// `problem` may assign any number of variables per agent.
+  MultiAwcSolver(const DistributedProblem& problem,
+                 const learning::LearningStrategy& strategy_prototype,
+                 MultiAwcOptions options = {});
+
+  sim::RunResult solve(const FullAssignment& initial, const Rng& rng);
+  FullAssignment random_initial(Rng& rng) const;
+
+ private:
+  const DistributedProblem& problem_;
+  std::unique_ptr<learning::LearningStrategy> strategy_;
+  MultiAwcOptions options_;
+};
+
+/// Partition helpers for building multi-variable DistributedProblems.
+/// Round-robin: variable v goes to agent v % num_agents.
+DistributedProblem partition_round_robin(Problem problem, int num_agents);
+/// Contiguous blocks: the first ceil(n/num_agents) variables to agent 0, ...
+DistributedProblem partition_blocks(Problem problem, int num_agents);
+
+}  // namespace discsp::multi

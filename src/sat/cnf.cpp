@@ -1,0 +1,81 @@
+#include "sat/cnf.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace discsp::sat {
+
+std::ostream& operator<<(std::ostream& os, Lit l) {
+  if (!l.positive()) os << '-';
+  return os << (l.var() + 1);  // DIMACS-style 1-based rendering
+}
+
+Clause::Clause(std::vector<Lit> lits) : lits_(std::move(lits)) {
+  std::sort(lits_.begin(), lits_.end());
+  lits_.erase(std::unique(lits_.begin(), lits_.end()), lits_.end());
+}
+
+bool Clause::is_tautology() const {
+  for (std::size_t i = 1; i < lits_.size(); ++i) {
+    if (lits_[i - 1].var() == lits_[i].var()) return true;  // adjacent after sort
+  }
+  return false;
+}
+
+bool Clause::contains(Lit l) const {
+  return std::binary_search(lits_.begin(), lits_.end(), l);
+}
+
+bool Clause::satisfied_by(const std::vector<Value>& assignment) const {
+  for (Lit l : lits_) {
+    if (l.satisfied_by(assignment[static_cast<std::size_t>(l.var())])) return true;
+  }
+  return false;
+}
+
+std::ostream& operator<<(std::ostream& os, const Clause& c) {
+  os << '(';
+  for (std::size_t i = 0; i < c.lits_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << c.lits_[i];
+  }
+  return os << ')';
+}
+
+void Cnf::set_num_vars(int n) {
+  if (n < num_vars_) throw std::invalid_argument("cannot shrink variable count");
+  num_vars_ = n;
+}
+
+bool Cnf::add_clause(Clause c) {
+  for (Lit l : c) {
+    if (l.var() < 0 || l.var() >= num_vars_) {
+      throw std::out_of_range("clause references unknown variable");
+    }
+  }
+  if (contains(c)) return false;
+  clauses_.push_back(std::move(c));
+  return true;
+}
+
+bool Cnf::contains(const Clause& c) const {
+  return std::find(clauses_.begin(), clauses_.end(), c) != clauses_.end();
+}
+
+bool Cnf::satisfied_by(const std::vector<Value>& assignment) const {
+  for (const Clause& c : clauses_) {
+    if (!c.satisfied_by(assignment)) return false;
+  }
+  return true;
+}
+
+std::size_t Cnf::unsatisfied_count(const std::vector<Value>& assignment) const {
+  std::size_t count = 0;
+  for (const Clause& c : clauses_) {
+    if (!c.satisfied_by(assignment)) ++count;
+  }
+  return count;
+}
+
+}  // namespace discsp::sat

@@ -1,0 +1,102 @@
+// CNF model: Boolean formulas in conjunctive normal form.
+//
+// The paper's distributed 3SAT problems are CNF instances where each Boolean
+// variable (plus its relevant clauses) becomes one agent. A clause maps to
+// exactly one nogood — the assignment falsifying all its literals — so the
+// distributed algorithms never special-case SAT.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace discsp::sat {
+
+/// A literal: variable index with polarity. Encoded as 2*var (positive) or
+/// 2*var+1 (negated), the usual solver encoding.
+class Lit {
+ public:
+  Lit() = default;
+  Lit(VarId var, bool positive) : code_(static_cast<std::uint32_t>(var) * 2 + (positive ? 0 : 1)) {}
+
+  VarId var() const { return static_cast<VarId>(code_ / 2); }
+  bool positive() const { return (code_ & 1) == 0; }
+  Lit negated() const {
+    Lit l;
+    l.code_ = code_ ^ 1;
+    return l;
+  }
+  std::uint32_t code() const { return code_; }
+
+  /// True iff this literal is satisfied when its variable takes `v` (0/1).
+  bool satisfied_by(Value v) const { return (v == 1) == positive(); }
+  /// The variable value that falsifies this literal (1 for a negative
+  /// literal, 0 for a positive one) — the value a clause-nogood records.
+  Value falsifying_value() const { return positive() ? 0 : 1; }
+
+  friend auto operator<=>(const Lit&, const Lit&) = default;
+  friend std::ostream& operator<<(std::ostream& os, Lit l);
+
+ private:
+  std::uint32_t code_ = 0;
+};
+
+/// A clause: a disjunction of literals, canonicalized (sorted, deduplicated).
+/// Tautological clauses (x ∨ ¬x ∨ ...) are representable but callers
+/// normally filter them; is_tautology() reports them.
+class Clause {
+ public:
+  Clause() = default;
+  explicit Clause(std::vector<Lit> lits);
+  Clause(std::initializer_list<Lit> lits) : Clause(std::vector<Lit>(lits)) {}
+
+  std::span<const Lit> lits() const { return lits_; }
+  std::size_t size() const { return lits_.size(); }
+  bool empty() const { return lits_.empty(); }
+  auto begin() const { return lits_.begin(); }
+  auto end() const { return lits_.end(); }
+
+  bool is_tautology() const;
+  bool contains(Lit l) const;
+
+  /// Satisfied under a complete assignment (values 0/1 per variable)?
+  bool satisfied_by(const std::vector<Value>& assignment) const;
+
+  friend auto operator<=>(const Clause&, const Clause&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Clause& c);
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+/// A CNF formula over variables 0..num_vars-1.
+class Cnf {
+ public:
+  Cnf() = default;
+  explicit Cnf(int num_vars) : num_vars_(num_vars) {}
+
+  int num_vars() const { return num_vars_; }
+  void set_num_vars(int n);
+
+  /// Append a clause; returns false for duplicates (kept out).
+  bool add_clause(Clause c);
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  bool contains(const Clause& c) const;
+
+  /// Evaluate a complete 0/1 assignment.
+  bool satisfied_by(const std::vector<Value>& assignment) const;
+  /// Number of clauses falsified by a complete assignment.
+  std::size_t unsatisfied_count(const std::vector<Value>& assignment) const;
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace discsp::sat

@@ -1,0 +1,46 @@
+#include "sat/cnf_to_csp.h"
+
+#include <stdexcept>
+
+namespace discsp::sat {
+
+Problem to_problem(const Cnf& cnf) {
+  Problem p;
+  p.add_variables(cnf.num_vars(), 2);
+  for (const Clause& c : cnf.clauses()) {
+    if (c.is_tautology()) continue;
+    std::vector<Assignment> items;
+    items.reserve(c.size());
+    for (Lit l : c) {
+      items.push_back({l.var(), l.falsifying_value()});
+    }
+    p.add_nogood(Nogood(std::move(items)));
+  }
+  return p;
+}
+
+DistributedProblem to_distributed(const Cnf& cnf) {
+  return DistributedProblem::one_var_per_agent(to_problem(cnf));
+}
+
+Cnf to_cnf(const Problem& problem) {
+  Cnf cnf(problem.num_variables());
+  for (VarId v = 0; v < problem.num_variables(); ++v) {
+    if (problem.domain_size(v) != 2) {
+      throw std::invalid_argument("to_cnf requires Boolean domains; x" + std::to_string(v) +
+                                  " has domain size " + std::to_string(problem.domain_size(v)));
+    }
+  }
+  for (const Nogood& ng : problem.nogoods()) {
+    std::vector<Lit> lits;
+    lits.reserve(ng.size());
+    for (const Assignment& a : ng) {
+      // Forbidding x=v is the clause literal "x != v": positive when v == 0.
+      lits.emplace_back(a.var, a.value == 0);
+    }
+    cnf.add_clause(Clause(std::move(lits)));
+  }
+  return cnf;
+}
+
+}  // namespace discsp::sat

@@ -1,0 +1,25 @@
+// CNF -> nogood-CSP conversion: clause (l1 ∨ l2 ∨ l3) becomes the nogood
+// binding each literal's variable to its falsifying value. This is the exact
+// encoding the paper uses for distributed 3SAT (one Boolean variable and its
+// relevant clauses per agent).
+#pragma once
+
+#include "csp/distributed_problem.h"
+#include "sat/cnf.h"
+
+namespace discsp::sat {
+
+/// Convert a CNF to a Problem with Boolean (size-2) domains; each clause
+/// becomes one nogood. Tautological clauses are skipped (they forbid
+/// nothing). Empty clauses become the empty nogood, marking insolubility.
+Problem to_problem(const Cnf& cnf);
+
+/// One-variable-per-agent distributed version (the paper's setting).
+DistributedProblem to_distributed(const Cnf& cnf);
+
+/// Inverse direction for Boolean problems whose nogoods all bind distinct
+/// variables: nogood ((x,v)...) becomes the clause of negations. Throws if a
+/// variable has domain size != 2.
+Cnf to_cnf(const Problem& problem);
+
+}  // namespace discsp::sat

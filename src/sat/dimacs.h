@@ -1,0 +1,25 @@
+// DIMACS CNF reader/writer. The paper's 3ONESAT instances came from the
+// DIMACS benchmark archive; this module lets users run the same experiments
+// on real benchmark files when they have them (and lets us persist generated
+// instances for inspection).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sat/cnf.h"
+
+namespace discsp::sat {
+
+/// Parse DIMACS CNF. Throws std::runtime_error with a line-numbered message
+/// on malformed input. Comment lines ('c ...') and '%'-terminated archives
+/// are accepted; clauses may span lines and end with 0.
+Cnf read_dimacs(std::istream& in);
+Cnf read_dimacs_file(const std::string& path);
+
+/// Write DIMACS CNF, with an optional leading comment block.
+void write_dimacs(std::ostream& out, const Cnf& cnf, const std::string& comment = {});
+void write_dimacs_file(const std::string& path, const Cnf& cnf,
+                       const std::string& comment = {});
+
+}  // namespace discsp::sat

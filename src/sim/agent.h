@@ -1,0 +1,46 @@
+// The agent interface every distributed algorithm implements.
+//
+// Engines drive agents through three hooks:
+//   start()    — choose an initial value, send initial ok? messages;
+//   receive()  — absorb one incoming message (state update only);
+//   compute()  — act once on the absorbed state, emitting messages.
+//
+// The synchronous engine delivers a whole cycle's messages through receive()
+// and then calls compute() once — exactly the paper's "read all incoming
+// messages, do local computation, send messages" cycle. The asynchronous
+// engines call receive()+compute() per delivery. Algorithms must therefore
+// keep receive() free of decisions; all reasoning lives in compute().
+#pragma once
+
+#include <cstdint>
+
+#include "sim/message.h"
+
+namespace discsp::sim {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  virtual AgentId id() const = 0;
+  /// The (single) variable this agent owns.
+  virtual VarId variable() const = 0;
+  /// Current value of the owned variable (always a valid domain value).
+  virtual Value current_value() const = 0;
+
+  virtual void start(MessageSink& out) = 0;
+  virtual void receive(const MessagePayload& msg) = 0;
+  virtual void compute(MessageSink& out) = 0;
+
+  /// Nogood checks performed since the last call (engines pull this once per
+  /// cycle/activation to build the maxcck metric).
+  virtual std::uint64_t take_checks() = 0;
+
+  /// True once the agent has derived the empty nogood.
+  virtual bool detected_insoluble() const { return false; }
+  /// Lifetime learning counters for Table-4 style reporting.
+  virtual std::uint64_t nogoods_generated() const { return 0; }
+  virtual std::uint64_t redundant_generations() const { return 0; }
+};
+
+}  // namespace discsp::sim

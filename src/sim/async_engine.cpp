@@ -1,0 +1,144 @@
+#include "sim/async_engine.h"
+
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+namespace discsp::sim {
+
+namespace {
+
+struct Event {
+  std::int64_t time = 0;
+  std::uint64_t seq = 0;  // tie-break: stable delivery order
+  AgentId to = kNoAgent;
+  MessagePayload payload;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tie(a.time, a.seq) > std::tie(b.time, b.seq);
+  }
+};
+
+}  // namespace
+
+AsyncEngine::AsyncEngine(const Problem& problem, std::vector<std::unique_ptr<Agent>> agents,
+                         AsyncConfig config, Rng rng)
+    : problem_(problem), agents_(std::move(agents)), config_(config), rng_(rng) {
+  if (config_.min_delay < 1 || config_.max_delay < config_.min_delay) {
+    throw std::invalid_argument("async delays must satisfy 1 <= min <= max");
+  }
+}
+
+RunResult AsyncEngine::run() {
+  RunResult result;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  std::uint64_t seq = 0;
+  // Per-channel FIFO: never schedule a delivery earlier than the channel's
+  // last scheduled one.
+  std::map<std::pair<AgentId, AgentId>, std::int64_t> channel_floor;
+
+  AgentId current_sender = kNoAgent;
+  class QueueSink final : public MessageSink {
+   public:
+    QueueSink(AsyncEngine& engine, decltype(queue)& q, std::uint64_t& seq,
+              decltype(channel_floor)& floor, const AgentId& sender,
+              std::uint64_t& messages)
+        : engine_(engine), queue_(q), seq_(seq), floor_(floor), sender_(sender),
+          messages_(messages) {}
+
+    void send(AgentId to, MessagePayload payload) override {
+      if (to < 0 || static_cast<std::size_t>(to) >= engine_.agents_.size()) {
+        throw std::out_of_range("message addressed to unknown agent");
+      }
+      const auto delay = static_cast<std::int64_t>(
+          engine_.rng_.between(engine_.config_.min_delay, engine_.config_.max_delay));
+      auto& floor = floor_[{sender_, to}];
+      const std::int64_t at = std::max(engine_.now_ + delay, floor + 1);
+      floor = at;
+      queue_.push(Event{at, seq_++, to, std::move(payload)});
+      ++messages_;
+    }
+
+   private:
+    AsyncEngine& engine_;
+    decltype(queue)& queue_;
+    std::uint64_t& seq_;
+    decltype(channel_floor)& floor_;
+    const AgentId& sender_;
+    std::uint64_t& messages_;
+  };
+
+  QueueSink sink(*this, queue, seq, channel_floor, current_sender, result.metrics.messages);
+
+  auto snapshot = [&]() {
+    FullAssignment a(static_cast<std::size_t>(problem_.num_variables()), kNoValue);
+    for (const auto& agent : agents_) {
+      a[static_cast<std::size_t>(agent->variable())] = agent->current_value();
+    }
+    return a;
+  };
+
+  now_ = 0;
+  for (auto& agent : agents_) {
+    current_sender = agent->id();
+    agent->start(sink);
+    agent->take_checks();
+  }
+
+  if (problem_.is_solution(snapshot())) {
+    result.metrics.solved = true;
+    result.assignment = snapshot();
+    return result;
+  }
+
+  std::uint64_t activations = 0;
+  while (!queue.empty() && activations < config_.max_activations) {
+    Event ev = queue.top();
+    queue.pop();
+    now_ = ev.time;
+
+    Agent& agent = *agents_[static_cast<std::size_t>(ev.to)];
+    current_sender = agent.id();
+    agent.receive(ev.payload);
+    agent.compute(sink);
+    const std::uint64_t checks = agent.take_checks();
+    result.metrics.total_checks += checks;
+    ++activations;
+
+    if (agent.detected_insoluble()) {
+      result.metrics.insoluble = true;
+      break;
+    }
+    // Test the snapshot after every activation, exactly like the synchronous
+    // engine tests it after every cycle. Some protocols (DB) never quiesce,
+    // so waiting for a drained queue would spin until the activation cap.
+    if (problem_.is_solution(snapshot())) {
+      result.metrics.solved = true;
+      break;
+    }
+  }
+
+  // A drained queue without a solution is quiescence-without-success; for a
+  // complete algorithm this indicates insolubility handling elsewhere.
+  if (!result.metrics.solved && !result.metrics.insoluble) {
+    if (queue.empty()) {
+      result.metrics.solved = problem_.is_solution(snapshot());
+    } else {
+      result.metrics.hit_cycle_cap = true;  // activation cap reached
+    }
+  }
+
+  result.metrics.cycles = static_cast<int>(activations);
+  result.metrics.maxcck = result.metrics.total_checks;
+  result.assignment = snapshot();
+  for (const auto& agent : agents_) {
+    result.metrics.nogoods_generated += agent->nogoods_generated();
+    result.metrics.redundant_generations += agent->redundant_generations();
+  }
+  return result;
+}
+
+}  // namespace discsp::sim

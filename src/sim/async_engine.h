@@ -1,0 +1,48 @@
+// Asynchronous (random message delay) simulator.
+//
+// The paper's algorithms are designed for fully asynchronous systems and are
+// only *measured* on a synchronous simulator for simplicity (§4). This
+// engine models the asynchronous case deterministically: each message gets a
+// random latency in [min_delay, max_delay] while per-channel FIFO order is
+// preserved, and agents are activated one delivery at a time. Used by tests
+// to show the algorithms still solve (the paper's §5 future-work analysis).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/agent.h"
+#include "sim/metrics.h"
+
+namespace discsp::sim {
+
+struct AsyncConfig {
+  int min_delay = 1;
+  int max_delay = 10;
+  /// Activation cap (an activation = one message delivery + compute).
+  std::uint64_t max_activations = 2'000'000;
+};
+
+class AsyncEngine {
+ public:
+  AsyncEngine(const Problem& problem, std::vector<std::unique_ptr<Agent>> agents,
+              AsyncConfig config, Rng rng);
+
+  /// Run to solution / insolubility / quiescence / activation cap. In the
+  /// returned metrics, `cycles` is the number of activations and `maxcck`
+  /// equals `total_checks` (there is no global cycle to maximize over).
+  RunResult run();
+
+  /// Virtual time of the last delivered message.
+  std::int64_t virtual_time() const { return now_; }
+
+ private:
+  const Problem& problem_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  AsyncConfig config_;
+  Rng rng_;
+  std::int64_t now_ = 0;
+};
+
+}  // namespace discsp::sim

@@ -1,0 +1,28 @@
+#include "sim/message.h"
+
+#include <sstream>
+
+namespace discsp::sim {
+
+std::string to_string(const MessagePayload& payload) {
+  std::ostringstream out;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, OkMessage>) {
+          out << "ok?(a" << m.sender << ": x" << m.var << '=' << m.value
+              << " prio " << m.priority << ')';
+        } else if constexpr (std::is_same_v<T, NogoodMessage>) {
+          out << "nogood(a" << m.sender << ": " << m.nogood << ')';
+        } else if constexpr (std::is_same_v<T, AddLinkMessage>) {
+          out << "add_link(a" << m.sender << " wants x" << m.var << ')';
+        } else if constexpr (std::is_same_v<T, ImproveMessage>) {
+          out << "improve(a" << m.sender << ": improve " << m.improve
+              << " eval " << m.eval << ')';
+        }
+      },
+      payload);
+  return out.str();
+}
+
+}  // namespace discsp::sim

@@ -1,0 +1,62 @@
+// Message vocabulary of the distributed algorithms.
+//
+// AWC/ABT use ok?, nogood and add_link messages; DB uses ok? and improve.
+// The payload is a closed variant: engines move envelopes around without
+// knowing which algorithm is running.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "csp/nogood.h"
+
+namespace discsp::sim {
+
+/// "My variable currently has this value (and this priority)."
+struct OkMessage {
+  AgentId sender = kNoAgent;
+  VarId var = kNoVar;
+  Value value = kNoValue;
+  Priority priority = 0;
+};
+
+/// "This combination of values is impossible" — carries a learned nogood.
+struct NogoodMessage {
+  AgentId sender = kNoAgent;
+  Nogood nogood;
+};
+
+/// "Start sending me ok? messages for your variable" — sent when a received
+/// nogood mentions a variable the receiver has no link to yet.
+struct AddLinkMessage {
+  AgentId sender = kNoAgent;
+  VarId var = kNoVar;  // the variable whose updates are requested
+};
+
+/// DB wave-B payload: possible improvement and current cost.
+struct ImproveMessage {
+  AgentId sender = kNoAgent;
+  VarId var = kNoVar;
+  std::int64_t improve = 0;
+  std::int64_t eval = 0;
+};
+
+using MessagePayload = std::variant<OkMessage, NogoodMessage, AddLinkMessage, ImproveMessage>;
+
+struct Envelope {
+  AgentId to = kNoAgent;
+  MessagePayload payload;
+};
+
+/// Debug rendering ("ok?(a3: x3=1 prio 2)" etc.).
+std::string to_string(const MessagePayload& payload);
+
+/// Sink through which agents emit messages; engines provide the transport.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void send(AgentId to, MessagePayload payload) = 0;
+};
+
+}  // namespace discsp::sim

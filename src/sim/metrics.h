@@ -1,0 +1,37 @@
+// Run metrics matching the paper's measurement definitions (§4):
+//   cycle  — simulator cycles until a solution is found,
+//   maxcck — sum over cycles of the maximal per-agent nogood-check count.
+#pragma once
+
+#include <cstdint>
+
+#include "csp/problem.h"
+
+namespace discsp::sim {
+
+struct RunMetrics {
+  int cycles = 0;
+  /// Σ over cycles of max over agents of nogood checks in that cycle.
+  std::uint64_t maxcck = 0;
+  /// Σ over cycles and agents of nogood checks (not reported by the paper,
+  /// but useful when reasoning about total computational load).
+  std::uint64_t total_checks = 0;
+  std::uint64_t messages = 0;
+  /// Nogoods generated at deadends (learning solvers fill these in).
+  std::uint64_t nogoods_generated = 0;
+  /// Generations of a nogood identical to one generated earlier in the run
+  /// (the paper's Table 4 quantity).
+  std::uint64_t redundant_generations = 0;
+
+  bool solved = false;
+  bool insoluble = false;     // the empty nogood was derived
+  bool hit_cycle_cap = false; // trial cut off at the cycle bound
+};
+
+struct RunResult {
+  RunMetrics metrics;
+  /// Global assignment at termination (a validated solution when solved).
+  FullAssignment assignment;
+};
+
+}  // namespace discsp::sim

@@ -1,0 +1,70 @@
+#include "sim/termination.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace discsp::sim {
+
+void CreditPool::add_all(std::span<const int> exponents) {
+  exponents_.insert(exponents_.end(), exponents.begin(), exponents.end());
+}
+
+int CreditPool::split() {
+  if (exponents_.empty()) {
+    throw std::logic_error("credit split from an empty pool: an inactive agent sent a message");
+  }
+  // Halve the largest piece (smallest exponent) to keep exponents shallow.
+  auto it = std::min_element(exponents_.begin(), exponents_.end());
+  const int half = *it + 1;
+  *it = half;      // keep one half
+  return half;     // attach the other
+}
+
+std::vector<int> CreditPool::drain() {
+  std::vector<int> out;
+  out.swap(exponents_);
+  return out;
+}
+
+CreditLedger::CreditLedger(int initial_shares)
+    : target_(static_cast<std::uint64_t>(initial_shares)) {
+  if (initial_shares <= 0) throw std::invalid_argument("need at least one credit share");
+}
+
+void CreditLedger::deposit_one_locked(int exponent) {
+  assert(exponent >= 0);
+  // Insert the piece, then carry: two 2^-k pieces combine into one 2^-(k-1).
+  ++counts_[exponent];
+  int k = exponent;
+  while (k > 0 && counts_[k] >= 2) {
+    counts_[k] -= 2;
+    if (counts_[k] == 0) counts_.erase(k);
+    --k;
+    ++counts_[k];
+  }
+}
+
+void CreditLedger::deposit(std::span<const int> exponents) {
+  std::lock_guard lock(mutex_);
+  for (int e : exponents) deposit_one_locked(e);
+}
+
+bool CreditLedger::terminated() const {
+  std::lock_guard lock(mutex_);
+  auto it = counts_.find(0);
+  if (it == counts_.end() || it->second != target_) return false;
+  return counts_.size() == 1;
+}
+
+double CreditLedger::recovered() const {
+  std::lock_guard lock(mutex_);
+  double total = 0.0;
+  for (const auto& [exponent, count] : counts_) {
+    total += static_cast<double>(count) * std::ldexp(1.0, -exponent);
+  }
+  return total;
+}
+
+}  // namespace discsp::sim

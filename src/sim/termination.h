@@ -1,0 +1,85 @@
+// Credit-recovery termination detection (Mattern's weight-throwing scheme).
+//
+// The paper's algorithms run on fully asynchronous systems, where "the
+// computation has terminated" is itself a distributed problem: no agent can
+// see that all mailboxes are empty and everyone is idle. The classic fix:
+// every initially-active agent holds one unit of *credit*; each message
+// carries a share of its sender's credit (obtained by halving a piece); an
+// agent finishing an activation returns all credit it still holds to a
+// controller. All credit recovered <=> no agent active and no message in
+// flight — termination, detected without inspecting anyone's state.
+//
+// Credit pieces are exact binary fractions 2^-k stored as integer exponents,
+// so conservation is exact: no floating-point leakage, arbitrary splitting
+// depth. The controller's ledger carries pairs (two 2^-k pieces combine
+// into one 2^-(k-1)) until, at termination, it holds exactly N units.
+//
+// ThreadRuntime uses this ledger when ThreadRuntimeConfig::use_credit_
+// termination is set (the default); tests cross-check it against the
+// omniscient quiescence scan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace discsp::sim {
+
+/// The credit held by one active agent (or attached to one message):
+/// a small multiset of exponents, each piece worth 2^-exponent.
+class CreditPool {
+ public:
+  CreditPool() = default;
+
+  /// Absorb a piece worth 2^-exponent.
+  void add(int exponent) { exponents_.push_back(exponent); }
+  /// Absorb several pieces (a message's attached credit).
+  void add_all(std::span<const int> exponents);
+
+  /// Detach credit for an outgoing message: the largest held piece 2^-k is
+  /// halved; one 2^-(k+1) half stays in the pool, the other is returned for
+  /// attachment. Precondition: the pool is non-empty (an agent only sends
+  /// while active, and active agents hold credit).
+  int split();
+
+  /// Hand over every piece (the "return to controller" step).
+  std::vector<int> drain();
+
+  bool empty() const { return exponents_.empty(); }
+  std::size_t size() const { return exponents_.size(); }
+
+ private:
+  std::vector<int> exponents_;
+};
+
+/// The controller's ledger. Thread-safe; terminated() becomes true exactly
+/// when all `initial_shares` units of credit have come home.
+class CreditLedger {
+ public:
+  /// `initial_shares` = number of initially-active agents, each seeded with
+  /// one unit (2^0).
+  explicit CreditLedger(int initial_shares);
+
+  /// Return pieces to the controller.
+  void deposit(std::span<const int> exponents);
+
+  /// All credit recovered?
+  bool terminated() const;
+
+  /// Total recovered credit as a double (diagnostics/tests only — detection
+  /// itself is exact).
+  double recovered() const;
+
+ private:
+  void deposit_one_locked(int exponent);
+
+  mutable std::mutex mutex_;
+  // counts_[k] = number of 2^-k pieces currently held, kept fully carried:
+  // counts_[k] <= 1 for every k > 0.
+  std::map<int, std::uint64_t> counts_;
+  std::uint64_t target_;
+};
+
+}  // namespace discsp::sim

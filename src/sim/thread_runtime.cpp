@@ -1,0 +1,230 @@
+#include "sim/thread_runtime.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/termination.h"
+
+namespace discsp::sim {
+
+namespace {
+
+/// A message plus the credit it carries (credit-recovery termination).
+struct Letter {
+  MessagePayload payload;
+  std::vector<int> credit;
+};
+
+/// Unbounded MPSC mailbox with blocking pop.
+class Mailbox {
+ public:
+  void push(Letter letter) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(letter));
+    }
+    cv_.notify_one();
+  }
+
+  /// Pop one letter; returns false when woken by shutdown with an empty
+  /// queue.
+  bool pop(Letter& out, const std::atomic<bool>& stop) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || stop.load(); });
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return queue_.empty();
+  }
+
+  void wake() { cv_.notify_all(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Letter> queue_;
+};
+
+}  // namespace
+
+struct ThreadRuntime::Impl {
+  const Problem& problem;
+  std::vector<std::unique_ptr<Agent>> agents;
+  ThreadRuntimeConfig config;
+
+  std::vector<Mailbox> mailboxes;
+  std::vector<std::atomic<Value>> values;      // published after each compute
+  std::vector<std::atomic<bool>> idle;
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> processed{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> insoluble{false};
+  CreditLedger ledger;
+
+  Impl(const Problem& p, std::vector<std::unique_ptr<Agent>> a, ThreadRuntimeConfig c)
+      : problem(p), agents(std::move(a)), config(c),
+        mailboxes(agents.size()), values(agents.size()), idle(agents.size()),
+        ledger(static_cast<int>(agents.size())) {}
+
+  /// Sink bound to one activation's credit pool: every send halves a piece.
+  class RuntimeSink final : public MessageSink {
+   public:
+    RuntimeSink(Impl& impl, CreditPool& pool) : impl_(impl), pool_(pool) {}
+    void send(AgentId to, MessagePayload payload) override {
+      if (to < 0 || static_cast<std::size_t>(to) >= impl_.mailboxes.size()) {
+        throw std::out_of_range("message addressed to unknown agent");
+      }
+      // Count the send *before* making it visible so that quiescence
+      // (sent == processed && all idle) can never be observed spuriously.
+      impl_.sent.fetch_add(1, std::memory_order_acq_rel);
+      if (impl_.config.delivery_jitter.count() > 0) {
+        std::this_thread::sleep_for(impl_.config.delivery_jitter);
+      }
+      Letter letter{std::move(payload), {pool_.split()}};
+      impl_.mailboxes[static_cast<std::size_t>(to)].push(std::move(letter));
+    }
+
+   private:
+    Impl& impl_;
+    CreditPool& pool_;
+  };
+
+  void agent_loop(std::size_t i) {
+    Agent& agent = *agents[i];
+    CreditPool pool;
+    RuntimeSink sink(*this, pool);
+    Letter letter;
+    while (!stop.load(std::memory_order_acquire)) {
+      idle[i].store(true, std::memory_order_release);
+      if (!mailboxes[i].pop(letter, stop)) break;
+      idle[i].store(false, std::memory_order_release);
+      pool.add_all(letter.credit);
+      agent.receive(letter.payload);
+      agent.compute(sink);
+      values[i].store(agent.current_value(), std::memory_order_release);
+      if (agent.detected_insoluble()) insoluble.store(true, std::memory_order_release);
+      // Activation over: return the remaining credit, then count the
+      // message as processed.
+      ledger.deposit(pool.drain());
+      processed.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  bool snapshot_is_solution() const {
+    FullAssignment a(static_cast<std::size_t>(problem.num_variables()), kNoValue);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+      a[static_cast<std::size_t>(agents[i]->variable())] =
+          values[i].load(std::memory_order_acquire);
+    }
+    return problem.is_solution(a);
+  }
+
+  /// Omniscient quiescence scan — the fallback when credit-recovery
+  /// detection is disabled, and the cross-check used by tests.
+  bool quiescent() const {
+    if (sent.load(std::memory_order_acquire) != processed.load(std::memory_order_acquire)) {
+      return false;
+    }
+    for (const auto& flag : idle) {
+      if (!flag.load(std::memory_order_acquire)) return false;
+    }
+    for (const auto& box : mailboxes) {
+      if (!box.empty()) return false;
+    }
+    // Re-check the counters: a send between the two scans would show here.
+    return sent.load(std::memory_order_acquire) == processed.load(std::memory_order_acquire);
+  }
+
+  bool detected_terminated() const {
+    return config.use_credit_termination ? ledger.terminated() : quiescent();
+  }
+};
+
+ThreadRuntime::ThreadRuntime(const Problem& problem,
+                             std::vector<std::unique_ptr<Agent>> agents,
+                             ThreadRuntimeConfig config)
+    : impl_(std::make_unique<Impl>(problem, std::move(agents), config)) {}
+
+ThreadRuntime::~ThreadRuntime() = default;
+
+RunResult ThreadRuntime::run() {
+  auto& impl = *impl_;
+  RunResult result;
+
+  // Initialization happens on the caller thread, before the agent threads
+  // exist, so no locking is needed for start(). Every agent is seeded with
+  // one unit of credit (it is "initially active"); whatever its initial
+  // sends don't carry away is returned immediately.
+  for (std::size_t i = 0; i < impl.agents.size(); ++i) {
+    CreditPool pool;
+    pool.add(0);
+    Impl::RuntimeSink sink(impl, pool);
+    impl.agents[i]->start(sink);
+    impl.agents[i]->take_checks();
+    impl.values[i].store(impl.agents[i]->current_value(), std::memory_order_release);
+    impl.idle[i].store(true, std::memory_order_release);
+    impl.ledger.deposit(pool.drain());
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(impl.agents.size());
+  for (std::size_t i = 0; i < impl.agents.size(); ++i) {
+    threads.emplace_back([&impl, i] { impl.agent_loop(i); });
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + impl.config.timeout;
+  bool timed_out = false;
+  for (;;) {
+    if (impl.insoluble.load(std::memory_order_acquire)) {
+      result.metrics.insoluble = true;
+      break;
+    }
+    if (impl.detected_terminated()) {
+      if (impl.snapshot_is_solution()) {
+        result.metrics.solved = true;
+        break;
+      }
+      // Terminated but unsolved: for complete algorithms this cannot
+      // persist; re-check shortly in case we raced a final message.
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      timed_out = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  impl.stop.store(true, std::memory_order_release);
+  for (auto& box : impl.mailboxes) box.wake();
+  for (auto& t : threads) t.join();
+
+  result.metrics.hit_cycle_cap = timed_out;
+  result.metrics.cycles =
+      static_cast<int>(impl.processed.load(std::memory_order_acquire));
+  FullAssignment a(static_cast<std::size_t>(impl.problem.num_variables()), kNoValue);
+  for (std::size_t i = 0; i < impl.agents.size(); ++i) {
+    a[static_cast<std::size_t>(impl.agents[i]->variable())] = impl.agents[i]->current_value();
+    result.metrics.total_checks += impl.agents[i]->take_checks();
+    result.metrics.nogoods_generated += impl.agents[i]->nogoods_generated();
+    result.metrics.redundant_generations += impl.agents[i]->redundant_generations();
+  }
+  result.metrics.maxcck = result.metrics.total_checks;
+  result.metrics.messages = impl.sent.load(std::memory_order_acquire);
+  result.assignment = std::move(a);
+  return result;
+}
+
+bool ThreadRuntime::credit_fully_recovered() const {
+  return impl_->ledger.terminated();
+}
+
+}  // namespace discsp::sim

@@ -1,0 +1,50 @@
+// Centralized chronological backtracking over nogood constraints.
+//
+// This is a *substrate*, not the paper's contribution: the generators use it
+// to certify instance properties, and the tests use it as ground truth for
+// solvability / solution counts on small instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "csp/problem.h"
+
+namespace discsp {
+
+struct BacktrackingStats {
+  std::uint64_t nodes = 0;        // assignments tried
+  std::uint64_t nogood_checks = 0;
+};
+
+class BacktrackingSolver {
+ public:
+  explicit BacktrackingSolver(const Problem& problem);
+
+  /// First solution in lexicographic (most-constrained-variable) order, or
+  /// nullopt when the problem is unsatisfiable.
+  std::optional<FullAssignment> solve();
+
+  /// Count solutions, stopping early once `limit` have been found
+  /// (limit == 0 means count exhaustively).
+  std::uint64_t count_solutions(std::uint64_t limit = 0);
+
+  const BacktrackingStats& stats() const { return stats_; }
+
+ private:
+  bool consistent_with_assigned(VarId var) ;
+  bool search(std::size_t depth, std::uint64_t limit, std::uint64_t& found,
+              FullAssignment* first_solution);
+
+  const Problem& problem_;
+  FullAssignment assignment_;
+  std::vector<VarId> order_;      // static most-constrained-first ordering
+  std::vector<std::size_t> rank_; // var -> position in order_
+  BacktrackingStats stats_;
+};
+
+/// Convenience wrappers.
+std::optional<FullAssignment> solve_backtracking(const Problem& problem);
+std::uint64_t count_solutions(const Problem& problem, std::uint64_t limit = 0);
+
+}  // namespace discsp

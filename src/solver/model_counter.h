@@ -1,0 +1,86 @@
+// DPLL-based SAT solver and model counter.
+//
+// Substrate for the unique-solution 3SAT generator (the 3ONESAT-GEN
+// stand-in): counting with cutoff 2 certifies "exactly one model", and
+// find_models() surfaces the alternative model the generator must eliminate.
+// Also used in tests as ground truth for generated SAT instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace discsp::sat {
+
+struct CounterStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+};
+
+class ModelCounter {
+ public:
+  explicit ModelCounter(const Cnf& cnf);
+
+  /// Count models, saturating at `limit` (0 = exhaustive; beware 2^n).
+  std::uint64_t count(std::uint64_t limit = 0);
+
+  /// Collect up to `max_models` distinct complete models.
+  std::vector<std::vector<Value>> find_models(std::size_t max_models);
+
+  /// Abort the search after this many decisions (0 = unlimited). When a run
+  /// aborts, count()/find_models() report what was found so far and
+  /// aborted() returns true — callers that need certainty (e.g. a uniqueness
+  /// proof) must check it. This keeps worst-case DPLL blowups bounded.
+  void set_decision_limit(std::uint64_t limit) { decision_limit_ = limit; }
+  bool aborted() const { return aborted_; }
+
+  const CounterStats& stats() const { return stats_; }
+
+ private:
+  struct ClauseState {
+    int n_sat = 0;        // assigned literals currently satisfying the clause
+    int n_unassigned = 0; // literals whose variable is unassigned
+  };
+
+  void reset();                         // reinitialize per-run search state
+  bool assign(VarId var, Value v);      // returns false on conflict
+  void unassign_to(std::size_t mark);   // pop trail back to size `mark`
+  bool propagate();                     // exhaust unit clauses; false on conflict
+  /// MOMS branch choice; kNoVar when no open clause remains. Also sets
+  /// preferred_polarity_ to the value worth trying first.
+  VarId pick_branch_var() const;
+
+  // Core recursion. Returns true when the search should stop (limit hit).
+  bool search(std::uint64_t limit, std::uint64_t& found,
+              std::size_t max_models, std::vector<std::vector<Value>>* models);
+  void emit_models(std::uint64_t limit, std::uint64_t& found,
+                   std::size_t max_models, std::vector<std::vector<Value>>* models);
+
+  const Cnf& cnf_;
+  std::vector<Value> values_;                     // kNoValue / 0 / 1 per var
+  std::vector<ClauseState> clause_state_;
+  std::vector<std::vector<std::uint32_t>> occurrences_;  // lit code -> clause idxs
+  std::vector<VarId> trail_;
+  std::vector<std::uint32_t> unit_queue_;         // clause indices to propagate
+  std::size_t num_open_clauses_ = 0;              // clauses with n_sat == 0
+  std::vector<VarId> static_order_;
+  mutable std::vector<std::uint32_t> score_pos_;  // MOMS scratch buffers
+  mutable std::vector<std::uint32_t> score_neg_;
+  mutable Value preferred_polarity_ = 1;
+  bool contradictory_ = false;                    // contains the empty clause
+  std::uint64_t decision_limit_ = 0;
+  std::uint64_t decisions_this_run_ = 0;
+  bool aborted_ = false;
+  CounterStats stats_;
+};
+
+/// Convenience wrappers.
+bool is_satisfiable(const Cnf& cnf);
+std::optional<std::vector<Value>> solve_cnf(const Cnf& cnf);
+/// Exact model count with cutoff (0 = exhaustive).
+std::uint64_t count_models(const Cnf& cnf, std::uint64_t limit = 0);
+
+}  // namespace discsp::sat

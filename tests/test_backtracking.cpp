@@ -1,0 +1,81 @@
+// Centralized backtracking solver: correctness and counting ground truth.
+#include <gtest/gtest.h>
+
+#include "solver/backtracking.h"
+
+namespace discsp {
+namespace {
+
+Problem coloring_cycle(int n, int colors) {
+  Problem p;
+  p.add_variables(n, colors);
+  for (VarId u = 0; u < n; ++u) {
+    const VarId v = static_cast<VarId>((u + 1) % n);
+    for (Value c = 0; c < colors; ++c) p.add_nogood(Nogood{{u, c}, {v, c}});
+  }
+  return p;
+}
+
+TEST(Backtracking, SolvesAndValidates) {
+  const Problem p = coloring_cycle(6, 3);
+  const auto solution = solve_backtracking(p);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(p.is_solution(*solution));
+}
+
+TEST(Backtracking, DetectsUnsat) {
+  const Problem p = coloring_cycle(3, 2);  // odd cycle, 2 colors
+  EXPECT_FALSE(solve_backtracking(p).has_value());
+  EXPECT_EQ(count_solutions(p), 0u);
+}
+
+TEST(Backtracking, CountsExactly) {
+  // Proper 2-colorings of an even cycle: exactly 2.
+  EXPECT_EQ(count_solutions(coloring_cycle(4, 2)), 2u);
+  EXPECT_EQ(count_solutions(coloring_cycle(6, 2)), 2u);
+  // Chromatic polynomial of a cycle: (k-1)^n + (-1)^n (k-1); C5, k=3: 30.
+  EXPECT_EQ(count_solutions(coloring_cycle(5, 3)), 30u);
+}
+
+TEST(Backtracking, CountWithLimitSaturates) {
+  const Problem p = coloring_cycle(5, 3);
+  EXPECT_EQ(count_solutions(p, 1), 1u);
+  EXPECT_EQ(count_solutions(p, 7), 7u);
+  EXPECT_EQ(count_solutions(p, 1000), 30u);
+}
+
+TEST(Backtracking, UnconstrainedCountsDomainProduct) {
+  Problem p;
+  p.add_variables(3, 3);
+  EXPECT_EQ(count_solutions(p), 27u);
+}
+
+TEST(Backtracking, EmptyNogoodMeansNoSolutions) {
+  Problem p;
+  p.add_variables(2, 2);
+  p.add_nogood(Nogood{});
+  EXPECT_EQ(count_solutions(p), 0u);
+  EXPECT_FALSE(solve_backtracking(p).has_value());
+}
+
+TEST(Backtracking, UnaryNogoodsPruneValues) {
+  Problem p;
+  p.add_variables(1, 3);
+  p.add_nogood(Nogood{{0, 0}});
+  p.add_nogood(Nogood{{0, 2}});
+  const auto solution = solve_backtracking(p);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_EQ((*solution)[0], 1);
+  EXPECT_EQ(count_solutions(p), 1u);
+}
+
+TEST(Backtracking, StatsAccumulate) {
+  const Problem p = coloring_cycle(6, 3);
+  BacktrackingSolver solver(p);
+  solver.solve();
+  EXPECT_GT(solver.stats().nodes, 0u);
+  EXPECT_GT(solver.stats().nogood_checks, 0u);
+}
+
+}  // namespace
+}  // namespace discsp

@@ -1,0 +1,88 @@
+// CNF model: literals, clause canonicalization, evaluation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/cnf.h"
+
+namespace discsp::sat {
+namespace {
+
+TEST(Lit, EncodingRoundTrips) {
+  const Lit p(3, true);
+  const Lit n(3, false);
+  EXPECT_EQ(p.var(), 3);
+  EXPECT_TRUE(p.positive());
+  EXPECT_EQ(n.var(), 3);
+  EXPECT_FALSE(n.positive());
+  EXPECT_EQ(p.negated(), n);
+  EXPECT_EQ(n.negated(), p);
+  EXPECT_NE(p.code(), n.code());
+}
+
+TEST(Lit, SatisfactionAndFalsifyingValue) {
+  const Lit p(0, true);
+  EXPECT_TRUE(p.satisfied_by(1));
+  EXPECT_FALSE(p.satisfied_by(0));
+  EXPECT_EQ(p.falsifying_value(), 0);
+  const Lit n(0, false);
+  EXPECT_TRUE(n.satisfied_by(0));
+  EXPECT_FALSE(n.satisfied_by(1));
+  EXPECT_EQ(n.falsifying_value(), 1);
+}
+
+TEST(Clause, CanonicalizesAndDeduplicates) {
+  const Clause c{Lit(2, true), Lit(0, false), Lit(2, true)};
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.contains(Lit(0, false)));
+  EXPECT_TRUE(c.contains(Lit(2, true)));
+  EXPECT_FALSE(c.contains(Lit(2, false)));
+}
+
+TEST(Clause, TautologyDetection) {
+  EXPECT_TRUE((Clause{Lit(1, true), Lit(1, false)}).is_tautology());
+  EXPECT_FALSE((Clause{Lit(1, true), Lit(2, false)}).is_tautology());
+  EXPECT_FALSE(Clause{}.is_tautology());
+}
+
+TEST(Clause, SatisfiedBy) {
+  const Clause c{Lit(0, true), Lit(1, false)};
+  EXPECT_TRUE(c.satisfied_by({1, 1}));
+  EXPECT_TRUE(c.satisfied_by({0, 0}));
+  EXPECT_FALSE(c.satisfied_by({0, 1}));
+  EXPECT_FALSE(Clause{}.satisfied_by({0, 0}));  // empty clause unsatisfiable
+}
+
+TEST(Cnf, AddClauseValidatesAndDeduplicates) {
+  Cnf cnf(2);
+  EXPECT_TRUE(cnf.add_clause({Lit(0, true), Lit(1, false)}));
+  EXPECT_FALSE(cnf.add_clause({Lit(1, false), Lit(0, true)}));
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_THROW(cnf.add_clause({Lit(5, true)}), std::out_of_range);
+}
+
+TEST(Cnf, EvaluationAndUnsatCount) {
+  Cnf cnf(2);
+  cnf.add_clause({Lit(0, true)});
+  cnf.add_clause({Lit(1, false)});
+  EXPECT_TRUE(cnf.satisfied_by({1, 0}));
+  EXPECT_FALSE(cnf.satisfied_by({0, 0}));
+  EXPECT_EQ(cnf.unsatisfied_count({0, 1}), 2u);
+  EXPECT_EQ(cnf.unsatisfied_count({1, 1}), 1u);
+}
+
+TEST(Cnf, ShrinkingVariableCountThrows) {
+  Cnf cnf(4);
+  EXPECT_THROW(cnf.set_num_vars(2), std::invalid_argument);
+  cnf.set_num_vars(6);
+  EXPECT_EQ(cnf.num_vars(), 6);
+}
+
+TEST(Cnf, StreamRendering) {
+  std::ostringstream out;
+  out << Clause{Lit(0, true), Lit(2, false)};
+  EXPECT_EQ(out.str(), "(1 -3)");  // 1-based DIMACS style
+}
+
+}  // namespace
+}  // namespace discsp::sat

@@ -1,0 +1,95 @@
+// Solvable 3-coloring generator: structural and statistical properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/coloring_gen.h"
+#include "solver/backtracking.h"
+
+namespace discsp::gen {
+namespace {
+
+TEST(ColoringGen, ProducesRequestedShape) {
+  Rng rng(1);
+  const auto inst = generate_coloring3(30, rng);
+  EXPECT_EQ(inst.problem.num_variables(), 30);
+  EXPECT_EQ(inst.edges.size(), 81u);  // round(2.7 * 30)
+  EXPECT_EQ(inst.problem.num_nogoods(), 3 * inst.edges.size());
+  EXPECT_EQ(inst.num_colors, 3);
+}
+
+TEST(ColoringGen, PlantedPartitionIsAWitness) {
+  Rng rng(2);
+  for (int n : {12, 30, 60}) {
+    const auto inst = generate_coloring3(n, rng);
+    EXPECT_TRUE(inst.problem.is_solution(inst.planted)) << "n=" << n;
+  }
+}
+
+TEST(ColoringGen, EdgesAreDistinctAndCrossClass) {
+  Rng rng(3);
+  const auto inst = generate_coloring3(40, rng);
+  std::set<std::pair<VarId, VarId>> seen;
+  for (const auto& [u, v] : inst.edges) {
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(seen.insert({u, v}).second) << "duplicate edge";
+    EXPECT_NE(inst.planted[static_cast<std::size_t>(u)],
+              inst.planted[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(ColoringGen, BalancedClasses) {
+  Rng rng(4);
+  const auto inst = generate_coloring3(31, rng);  // 31 = 3*10 + 1
+  std::array<int, 3> counts{};
+  for (Value c : inst.planted) ++counts[static_cast<std::size_t>(c)];
+  EXPECT_GE(*std::min_element(counts.begin(), counts.end()), 10);
+  EXPECT_LE(*std::max_element(counts.begin(), counts.end()), 11);
+}
+
+TEST(ColoringGen, SolvableByIndependentSolver) {
+  Rng rng(5);
+  const auto inst = generate_coloring3(15, rng);
+  EXPECT_TRUE(solve_backtracking(inst.problem).has_value());
+}
+
+TEST(ColoringGen, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  const auto i1 = generate_coloring3(25, a);
+  const auto i2 = generate_coloring3(25, b);
+  EXPECT_EQ(i1.edges, i2.edges);
+  EXPECT_EQ(i1.planted, i2.planted);
+}
+
+TEST(ColoringGen, CustomParameters) {
+  Rng rng(6);
+  ColoringParams params;
+  params.n = 20;
+  params.edge_ratio = 1.5;
+  params.num_colors = 4;
+  const auto inst = generate_coloring(params, rng);
+  EXPECT_EQ(inst.edges.size(), 30u);
+  EXPECT_EQ(inst.problem.domain_size(0), 4);
+  EXPECT_EQ(inst.problem.num_nogoods(), 4 * 30u);
+}
+
+TEST(ColoringGen, RejectsImpossibleRequests) {
+  Rng rng(7);
+  ColoringParams params;
+  params.n = 4;
+  params.edge_ratio = 10.0;  // 40 edges from at most 5 cross pairs
+  EXPECT_THROW(generate_coloring(params, rng), std::invalid_argument);
+  params.n = 1;
+  EXPECT_THROW(generate_coloring(params, rng), std::invalid_argument);
+}
+
+TEST(ColoringGen, DistributeGivesOneAgentPerNode) {
+  Rng rng(8);
+  const auto inst = generate_coloring3(12, rng);
+  const auto dp = distribute(inst);
+  EXPECT_TRUE(dp.is_one_var_per_agent());
+  EXPECT_EQ(dp.num_agents(), 12);
+}
+
+}  // namespace
+}  // namespace discsp::gen

@@ -1,0 +1,181 @@
+// DB protocol mechanics at the message level: wave transitions, improve
+// arithmetic, winner tie-breaking, and quasi-local-minimum weight growth.
+#include <gtest/gtest.h>
+
+#include "db/db_agent.h"
+
+namespace discsp::db {
+namespace {
+
+class RecordingSink final : public sim::MessageSink {
+ public:
+  void send(AgentId to, sim::MessagePayload payload) override {
+    sent.emplace_back(to, std::move(payload));
+  }
+  std::vector<std::pair<AgentId, sim::MessagePayload>> sent;
+
+  template <typename T>
+  std::vector<T> of_type() const {
+    std::vector<T> out;
+    for (const auto& [to, payload] : sent) {
+      if (const T* m = std::get_if<T>(&payload)) out.push_back(*m);
+    }
+    return out;
+  }
+  void clear() { sent.clear(); }
+};
+
+/// Agent 1 owns x1 over {0,1}, facing neighbors a0 (x0) and a2 (x2), with
+/// not-equal nogoods toward both.
+DbAgent make_agent(Value initial) {
+  std::vector<Nogood> nogoods;
+  for (Value v = 0; v < 2; ++v) {
+    nogoods.push_back(Nogood{{0, v}, {1, v}});
+    nogoods.push_back(Nogood{{1, v}, {2, v}});
+  }
+  return DbAgent(1, 1, 2, initial, {0, 2}, std::move(nogoods), Rng(3));
+}
+
+sim::OkMessage ok(AgentId sender, VarId var, Value value) {
+  return sim::OkMessage{.sender = sender, .var = var, .value = value, .priority = 0};
+}
+
+sim::ImproveMessage improve(AgentId sender, std::int64_t imp, std::int64_t eval) {
+  return sim::ImproveMessage{.sender = sender, .var = sender, .improve = imp, .eval = eval};
+}
+
+TEST(DbProtocol, StartBroadcastsValue) {
+  DbAgent agent = make_agent(0);
+  RecordingSink sink;
+  agent.start(sink);
+  EXPECT_EQ(sink.of_type<sim::OkMessage>().size(), 2u);
+}
+
+TEST(DbProtocol, ImproveWaveAfterAllValues) {
+  DbAgent agent = make_agent(0);
+  RecordingSink sink;
+  agent.start(sink);
+  sink.clear();
+
+  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
+  agent.compute(sink);
+  EXPECT_TRUE(sink.sent.empty()) << "one neighbor still missing";
+
+  agent.receive(sim::MessagePayload{ok(2, 2, 1)});
+  agent.compute(sink);
+  const auto improves = sink.of_type<sim::ImproveMessage>();
+  ASSERT_EQ(improves.size(), 2u);
+  // Current value 0 clashes with x0=0 (weight 1) but not x2=1: eval 1.
+  // Moving to 1 clashes with x2 instead: eval 1 either way, improve 0.
+  EXPECT_EQ(improves[0].eval, 1);
+  EXPECT_EQ(improves[0].improve, 0);
+}
+
+TEST(DbProtocol, WinnerMovesAfterImproveWave) {
+  DbAgent agent = make_agent(0);
+  RecordingSink sink;
+  agent.start(sink);
+  // Both neighbors at 0: our eval(0) = 2, eval(1) = 0 -> improve 2.
+  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
+  agent.receive(sim::MessagePayload{ok(2, 2, 0)});
+  agent.compute(sink);
+  sink.clear();
+
+  agent.receive(sim::MessagePayload{improve(0, 1, 1)});
+  agent.receive(sim::MessagePayload{improve(2, 1, 1)});
+  agent.compute(sink);
+  EXPECT_EQ(agent.current_value(), 1) << "improve 2 beats both neighbors' 1";
+  const auto oks = sink.of_type<sim::OkMessage>();
+  ASSERT_EQ(oks.size(), 2u);
+  EXPECT_EQ(oks[0].value, 1);
+}
+
+TEST(DbProtocol, LoserDefersToStrongerNeighbor) {
+  DbAgent agent = make_agent(0);
+  RecordingSink sink;
+  agent.start(sink);
+  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
+  agent.receive(sim::MessagePayload{ok(2, 2, 0)});
+  agent.compute(sink);
+  sink.clear();
+
+  agent.receive(sim::MessagePayload{improve(0, 5, 3)});  // stronger claim
+  agent.receive(sim::MessagePayload{improve(2, 0, 0)});
+  agent.compute(sink);
+  EXPECT_EQ(agent.current_value(), 0) << "neighbor with improve 5 wins the round";
+}
+
+TEST(DbProtocol, EqualImproveTieGoesToSmallerId) {
+  DbAgent agent = make_agent(0);  // id 1
+  RecordingSink sink;
+  agent.start(sink);
+  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
+  agent.receive(sim::MessagePayload{ok(2, 2, 0)});
+  agent.compute(sink);  // our improve is 2
+  sink.clear();
+
+  // Neighbor a0 also claims improve 2: a0 has the smaller id and wins.
+  agent.receive(sim::MessagePayload{improve(0, 2, 2)});
+  agent.receive(sim::MessagePayload{improve(2, 0, 0)});
+  agent.compute(sink);
+  EXPECT_EQ(agent.current_value(), 0);
+
+  // Symmetric case: neighbor a2 claims improve 2; we (id 1) win the tie.
+  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
+  agent.receive(sim::MessagePayload{ok(2, 2, 0)});
+  agent.compute(sink);
+  agent.receive(sim::MessagePayload{improve(0, 0, 0)});
+  agent.receive(sim::MessagePayload{improve(2, 2, 2)});
+  agent.compute(sink);
+  EXPECT_EQ(agent.current_value(), 1);
+}
+
+TEST(DbProtocol, QuasiLocalMinimumRaisesViolatedWeights) {
+  DbAgent agent = make_agent(0);
+  RecordingSink sink;
+  agent.start(sink);
+  // x0 = 0 and x2 = 1: both of our values clash once -> eval 1, improve 0.
+  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
+  agent.receive(sim::MessagePayload{ok(2, 2, 1)});
+  agent.compute(sink);
+  sink.clear();
+
+  for (std::size_t i = 0; i < agent.num_nogoods(); ++i) {
+    EXPECT_EQ(agent.weight_of(i), 1);
+  }
+  // Nobody can improve: quasi-local-minimum -> violated nogood weight +1.
+  agent.receive(sim::MessagePayload{improve(0, 0, 1)});
+  agent.receive(sim::MessagePayload{improve(2, 0, 1)});
+  agent.compute(sink);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < agent.num_nogoods(); ++i) total += agent.weight_of(i);
+  EXPECT_EQ(total, 5) << "exactly the one violated nogood ((x0,0)(x1,0)) gets +1";
+  EXPECT_EQ(agent.current_value(), 0) << "breakout does not move the agent";
+}
+
+TEST(DbProtocol, NoBreakoutWhenANeighborCanImprove) {
+  DbAgent agent = make_agent(0);
+  RecordingSink sink;
+  agent.start(sink);
+  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
+  agent.receive(sim::MessagePayload{ok(2, 2, 1)});
+  agent.compute(sink);
+  agent.receive(sim::MessagePayload{improve(0, 3, 4)});  // neighbor will act
+  agent.receive(sim::MessagePayload{improve(2, 0, 1)});
+  agent.compute(sink);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < agent.num_nogoods(); ++i) total += agent.weight_of(i);
+  EXPECT_EQ(total, 4) << "weights untouched while someone can still move";
+}
+
+TEST(DbProtocol, IsolatedAgentSettlesOnUnaryOptimum) {
+  std::vector<Nogood> nogoods{Nogood{{7, 0}}};  // unary: x7 != 0
+  DbAgent agent(7, 7, 3, 0, {}, std::move(nogoods), Rng(1));
+  RecordingSink sink;
+  agent.start(sink);
+  EXPECT_TRUE(sink.sent.empty());
+  EXPECT_NE(agent.current_value(), 0);
+}
+
+}  // namespace
+}  // namespace discsp::db

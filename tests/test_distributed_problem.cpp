@@ -1,0 +1,76 @@
+// DistributedProblem: ownership wiring, agent nogood/neighbor derivation.
+#include <gtest/gtest.h>
+
+#include "csp/distributed_problem.h"
+
+namespace discsp {
+namespace {
+
+Problem path_problem() {
+  // x0 - x1 - x2 chain of difference constraints over {0,1}.
+  Problem p;
+  p.add_variables(3, 2);
+  for (Value v = 0; v < 2; ++v) {
+    p.add_nogood(Nogood{{0, v}, {1, v}});
+    p.add_nogood(Nogood{{1, v}, {2, v}});
+  }
+  return p;
+}
+
+TEST(DistributedProblem, OneVarPerAgentIdentityMapping) {
+  const auto dp = DistributedProblem::one_var_per_agent(path_problem());
+  EXPECT_EQ(dp.num_agents(), 3);
+  EXPECT_TRUE(dp.is_one_var_per_agent());
+  for (AgentId a = 0; a < 3; ++a) {
+    EXPECT_EQ(dp.variable_of(a), a);
+    EXPECT_EQ(dp.owner_of(a), a);
+  }
+}
+
+TEST(DistributedProblem, AgentNogoodsAreTheRelevantOnes) {
+  const auto dp = DistributedProblem::one_var_per_agent(path_problem());
+  EXPECT_EQ(dp.nogoods_of_agent(0).size(), 2u);  // only the x0-x1 pair
+  EXPECT_EQ(dp.nogoods_of_agent(1).size(), 4u);  // both constraints
+  EXPECT_EQ(dp.nogoods_of_agent(2).size(), 2u);
+  for (std::size_t idx : dp.nogoods_of_agent(0)) {
+    EXPECT_TRUE(dp.problem().nogoods()[idx].contains(0));
+  }
+}
+
+TEST(DistributedProblem, NeighborsExcludeSelfAndDeduplicate) {
+  const auto dp = DistributedProblem::one_var_per_agent(path_problem());
+  EXPECT_EQ(dp.neighbors_of_agent(0), (std::vector<AgentId>{1}));
+  EXPECT_EQ(dp.neighbors_of_agent(1), (std::vector<AgentId>{0, 2}));
+  EXPECT_EQ(dp.neighbors_of_agent(2), (std::vector<AgentId>{1}));
+}
+
+TEST(DistributedProblem, CustomOwnershipMap) {
+  // Two agents: agent 0 owns x0 and x2, agent 1 owns x1.
+  DistributedProblem dp(path_problem(), {0, 1, 0});
+  EXPECT_EQ(dp.num_agents(), 2);
+  EXPECT_FALSE(dp.is_one_var_per_agent());
+  EXPECT_EQ(dp.variables_of(0), (std::vector<VarId>{0, 2}));
+  EXPECT_EQ(dp.variables_of(1), (std::vector<VarId>{1}));
+  EXPECT_THROW(dp.variable_of(0), std::logic_error);
+  EXPECT_EQ(dp.variable_of(1), 1);
+  // All four constraints touch agent 0's variables.
+  EXPECT_EQ(dp.nogoods_of_agent(0).size(), 4u);
+  EXPECT_EQ(dp.neighbors_of_agent(0), (std::vector<AgentId>{1}));
+  EXPECT_EQ(dp.neighbors_of_agent(1), (std::vector<AgentId>{0}));
+}
+
+TEST(DistributedProblem, RejectsBadOwnerMaps) {
+  EXPECT_THROW(DistributedProblem(path_problem(), {0, 1}), std::invalid_argument);
+  EXPECT_THROW(DistributedProblem(path_problem(), {0, -1, 1}), std::invalid_argument);
+}
+
+TEST(DistributedProblem, IsolatedVariableHasNoNeighbors) {
+  Problem p;
+  p.add_variables(2, 2);  // no constraints
+  const auto dp = DistributedProblem::one_var_per_agent(std::move(p));
+  EXPECT_TRUE(dp.nogoods_of_agent(0).empty());
+  EXPECT_TRUE(dp.neighbors_of_agent(0).empty());
+}
+
+}  // namespace
+}  // namespace discsp

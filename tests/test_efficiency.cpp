@@ -1,0 +1,73 @@
+// Figure-2 efficiency model, including the paper's quoted crossovers
+// recomputed from its published table values.
+#include <gtest/gtest.h>
+
+#include "analysis/efficiency.h"
+
+namespace discsp::analysis {
+namespace {
+
+TEST(Efficiency, TotalTimeIsAffine) {
+  const AlgorithmCost cost{100.0, 5000.0};
+  EXPECT_DOUBLE_EQ(total_time(cost, 0.0), 5000.0);
+  EXPECT_DOUBLE_EQ(total_time(cost, 10.0), 6000.0);
+}
+
+TEST(Efficiency, CrossoverMatchesPaperTable10N50) {
+  // Table 10, n = 50: AWC+4thRslv (130.8, 38892.5) vs DB (690.1, 11691.1).
+  // The paper reads "around 50 time-units" off Figure 2.
+  const AlgorithmCost awc{130.8, 38892.5};
+  const AlgorithmCost db{690.1, 11691.1};
+  const double delay = crossover_delay(awc, db);
+  EXPECT_NEAR(delay, 48.6, 0.5);
+  // Before the crossover DB is cheaper; after it AWC wins.
+  EXPECT_GT(total_time(awc, 10.0), total_time(db, 10.0));
+  EXPECT_LT(total_time(awc, 100.0), total_time(db, 100.0));
+}
+
+TEST(Efficiency, CrossoverMatchesPaperTable9N150) {
+  // Table 9, n = 150: paper quotes "around 210 time-units".
+  const AlgorithmCost awc{255.5, 246534.5};
+  const AlgorithmCost db{1257.2, 31717.2};
+  EXPECT_NEAR(crossover_delay(awc, db), 214.5, 1.0);
+}
+
+TEST(Efficiency, CrossoverMatchesPaperTable8N150) {
+  // Table 8, n = 150: paper quotes "around 370 time-units".
+  const AlgorithmCost awc{186.1, 153139.2};
+  const AlgorithmCost db{523.7, 29207.0};
+  EXPECT_NEAR(crossover_delay(awc, db), 367.1, 1.0);
+}
+
+TEST(Efficiency, NoCrossoverWhenOneDominates) {
+  const AlgorithmCost cheap{10.0, 100.0};
+  const AlgorithmCost dear{20.0, 200.0};
+  EXPECT_LT(crossover_delay(cheap, dear), 0.0);
+  EXPECT_LT(crossover_delay(dear, cheap), 0.0);
+}
+
+TEST(Efficiency, ParallelLinesHaveNoCrossover) {
+  const AlgorithmCost a{10.0, 100.0};
+  const AlgorithmCost b{10.0, 200.0};
+  EXPECT_LT(crossover_delay(a, b), 0.0);
+}
+
+TEST(Efficiency, SeriesCoversRangeInclusively) {
+  const AlgorithmCost a{2.0, 10.0};
+  const AlgorithmCost b{1.0, 20.0};
+  const auto series = efficiency_series(a, b, 100.0, 5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front().delay, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().delay, 100.0);
+  EXPECT_DOUBLE_EQ(series[2].total_a, 10.0 + 2.0 * 50.0);
+  EXPECT_DOUBLE_EQ(series[2].total_b, 20.0 + 1.0 * 50.0);
+}
+
+TEST(Efficiency, SeriesValidatesArguments) {
+  const AlgorithmCost a{1.0, 1.0};
+  EXPECT_THROW(efficiency_series(a, a, 10.0, 1), std::invalid_argument);
+  EXPECT_THROW(efficiency_series(a, a, -1.0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace discsp::analysis

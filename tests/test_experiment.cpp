@@ -1,0 +1,145 @@
+// Experiment harness: spec derivation, instance determinism, and comparison
+// methodology (same instances + initials for every runner).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.h"
+
+namespace discsp::analysis {
+namespace {
+
+TEST(Spec, FullScaleMatchesPaperStructure) {
+  ReproConfig config;
+  config.trials = 100;
+  const auto coloring = spec_for(ProblemFamily::kColoring3, 60, config);
+  EXPECT_EQ(coloring.instances, 10);
+  EXPECT_EQ(coloring.inits_per_instance, 10);
+  const auto sat = spec_for(ProblemFamily::kSat3, 50, config);
+  EXPECT_EQ(sat.instances, 25);
+  EXPECT_EQ(sat.inits_per_instance, 4);
+  const auto onesat = spec_for(ProblemFamily::kOneSat3, 50, config);
+  EXPECT_EQ(onesat.instances, 4);
+  EXPECT_EQ(onesat.inits_per_instance, 25);
+}
+
+TEST(Spec, ReducedBudgetsStayPositive) {
+  ReproConfig config;
+  config.trials = 1;
+  for (auto family : {ProblemFamily::kColoring3, ProblemFamily::kSat3,
+                      ProblemFamily::kOneSat3}) {
+    const auto spec = spec_for(family, 50, config);
+    EXPECT_GE(spec.instances, 1);
+    EXPECT_GE(spec.inits_per_instance, 1);
+  }
+}
+
+TEST(Spec, NScaleShrinksN) {
+  ReproConfig config;
+  config.n_scale = 0.5;
+  EXPECT_EQ(spec_for(ProblemFamily::kColoring3, 60, config).n, 30);
+}
+
+TEST(FamilyName, Labels) {
+  EXPECT_EQ(family_name(ProblemFamily::kColoring3), "d3c");
+  EXPECT_EQ(family_name(ProblemFamily::kSat3), "d3s");
+  EXPECT_EQ(family_name(ProblemFamily::kOneSat3), "d3s1");
+}
+
+TEST(MakeInstance, DeterministicPerIndex) {
+  ExperimentSpec spec;
+  spec.family = ProblemFamily::kColoring3;
+  spec.n = 20;
+  spec.seed = 42;
+  const auto a = make_instance(spec, 0);
+  const auto b = make_instance(spec, 0);
+  const auto c = make_instance(spec, 1);
+  EXPECT_EQ(a.problem().num_nogoods(), b.problem().num_nogoods());
+  EXPECT_EQ(a.problem().nogoods()[0], b.problem().nogoods()[0]);
+  EXPECT_EQ(a.num_agents(), 20);
+  EXPECT_EQ(c.num_agents(), 20);
+}
+
+TEST(RunComparison, RunnersSeeTheSameTrials) {
+  ExperimentSpec spec;
+  spec.family = ProblemFamily::kColoring3;
+  spec.n = 12;
+  spec.instances = 2;
+  spec.inits_per_instance = 2;
+  spec.seed = 7;
+  spec.max_cycles = 500;
+
+  // Two copies of a runner that records what it was given.
+  std::vector<FullAssignment> seen_a, seen_b;
+  auto recorder = [](std::vector<FullAssignment>& sink) {
+    return [&sink](const DistributedProblem& dp, const FullAssignment& initial,
+                   const Rng&) {
+      sink.push_back(initial);
+      sim::RunResult result;
+      result.metrics.solved = dp.problem().is_solution(initial);
+      result.assignment = initial;
+      return result;
+    };
+  };
+  const std::vector<NamedRunner> runners = {
+      {"a", recorder(seen_a)},
+      {"b", recorder(seen_b)},
+  };
+  const auto rows = run_comparison(spec, runners);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].trials, 4);
+  EXPECT_EQ(rows[1].trials, 4);
+  EXPECT_EQ(seen_a, seen_b) << "every runner must get identical (instance, initial) pairs";
+}
+
+TEST(RunComparison, AggregatesSolvedPercentAndMeans) {
+  ExperimentSpec spec;
+  spec.family = ProblemFamily::kColoring3;
+  spec.n = 10;
+  spec.instances = 1;
+  spec.inits_per_instance = 4;
+  spec.seed = 3;
+
+  int counter = 0;
+  const std::vector<NamedRunner> runners = {{"toggle", [&counter](const DistributedProblem&,
+                                                                  const FullAssignment& initial,
+                                                                  const Rng&) {
+                                               sim::RunResult r;
+                                               r.metrics.cycles = 10 * (counter + 1);
+                                               r.metrics.maxcck = 100;
+                                               r.metrics.solved = (counter++ % 2) == 0;
+                                               r.assignment = initial;
+                                               return r;
+                                             }}};
+  const auto rows = run_comparison(spec, runners);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].trials, 4);
+  // Trials 1 and 3 (cycles 20, 40) report solved=false, so they are charged
+  // the full cycle budget (spec.max_cycles = 10000) in the aggregates.
+  EXPECT_DOUBLE_EQ(rows[0].mean_cycles, (10.0 + 10000.0 + 30.0 + 10000.0) / 4);
+  EXPECT_DOUBLE_EQ(rows[0].mean_maxcck, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].solved_percent, 50.0);
+  EXPECT_DOUBLE_EQ(rows[0].median_cycles, (30.0 + 10000.0) / 2);
+  EXPECT_DOUBLE_EQ(rows[0].max_cycles, 10000.0);
+  EXPECT_DOUBLE_EQ(rows[0].median_maxcck, 100.0);
+  EXPECT_GT(rows[0].p95_cycles, 9000.0);  // the failed tail dominates
+}
+
+TEST(Runners, AwcRunnerSolvesATrivialInstance) {
+  ExperimentSpec spec;
+  spec.family = ProblemFamily::kColoring3;
+  spec.n = 10;
+  spec.instances = 1;
+  spec.inits_per_instance = 2;
+  spec.seed = 11;
+  const std::vector<NamedRunner> runners = {
+      {"Rslv", awc_runner("Rslv")},
+      {"DB", db_runner()},
+      {"ABT", abt_runner(true)},
+  };
+  const auto rows = run_comparison(spec, runners);
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.solved_percent, 100.0) << row.label;
+  }
+}
+
+}  // namespace
+}  // namespace discsp::analysis

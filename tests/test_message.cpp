@@ -1,0 +1,40 @@
+// Message payloads and debug rendering.
+#include <gtest/gtest.h>
+
+#include "sim/message.h"
+
+namespace discsp::sim {
+namespace {
+
+TEST(Message, OkRendering) {
+  const MessagePayload msg = OkMessage{.sender = 3, .var = 3, .value = 1, .priority = 2};
+  EXPECT_EQ(to_string(msg), "ok?(a3: x3=1 prio 2)");
+}
+
+TEST(Message, NogoodRendering) {
+  const MessagePayload msg = NogoodMessage{.sender = 1, .nogood = Nogood{{0, 2}, {4, 0}}};
+  EXPECT_EQ(to_string(msg), "nogood(a1: ((x0,2)(x4,0)))");
+}
+
+TEST(Message, AddLinkRendering) {
+  const MessagePayload msg = AddLinkMessage{.sender = 5, .var = 9};
+  EXPECT_EQ(to_string(msg), "add_link(a5 wants x9)");
+}
+
+TEST(Message, ImproveRendering) {
+  const MessagePayload msg =
+      ImproveMessage{.sender = 2, .var = 2, .improve = 3, .eval = 7};
+  EXPECT_EQ(to_string(msg), "improve(a2: improve 3 eval 7)");
+}
+
+TEST(Message, VariantHoldsAlternatives) {
+  MessagePayload msg = OkMessage{};
+  EXPECT_TRUE(std::holds_alternative<OkMessage>(msg));
+  msg = NogoodMessage{};
+  EXPECT_TRUE(std::holds_alternative<NogoodMessage>(msg));
+  msg = ImproveMessage{};
+  EXPECT_FALSE(std::holds_alternative<OkMessage>(msg));
+}
+
+}  // namespace
+}  // namespace discsp::sim

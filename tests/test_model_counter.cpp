@@ -1,0 +1,151 @@
+// DPLL model counter: exact counts on formulas with known model counts,
+// cross-checked against the generic backtracking solver.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sat/cnf_to_csp.h"
+#include "solver/backtracking.h"
+#include "solver/model_counter.h"
+
+namespace discsp::sat {
+namespace {
+
+Lit pos(VarId v) { return Lit(v, true); }
+Lit neg(VarId v) { return Lit(v, false); }
+
+TEST(ModelCounter, EmptyFormulaCountsAllAssignments) {
+  Cnf cnf(3);
+  EXPECT_EQ(count_models(cnf), 8u);
+}
+
+TEST(ModelCounter, SingleUnitClause) {
+  Cnf cnf(2);
+  cnf.add_clause({pos(0)});
+  EXPECT_EQ(count_models(cnf), 2u);  // x0=1, x1 free
+}
+
+TEST(ModelCounter, ContradictionIsZero) {
+  Cnf cnf(2);
+  cnf.add_clause({pos(0)});
+  cnf.add_clause({neg(0)});
+  EXPECT_EQ(count_models(cnf), 0u);
+  EXPECT_FALSE(is_satisfiable(cnf));
+}
+
+TEST(ModelCounter, EmptyClauseIsZero) {
+  Cnf cnf(2);
+  cnf.add_clause(Clause{});
+  EXPECT_EQ(count_models(cnf), 0u);
+}
+
+TEST(ModelCounter, XorLikeFormula) {
+  // (x0 v x1) & (~x0 v ~x1): exactly the two one-hot assignments.
+  Cnf cnf(2);
+  cnf.add_clause({pos(0), pos(1)});
+  cnf.add_clause({neg(0), neg(1)});
+  EXPECT_EQ(count_models(cnf), 2u);
+}
+
+TEST(ModelCounter, LimitSaturates) {
+  Cnf cnf(4);  // 16 models
+  EXPECT_EQ(count_models(cnf, 5), 5u);
+  EXPECT_EQ(count_models(cnf, 16), 16u);
+  EXPECT_EQ(count_models(cnf, 100), 16u);
+}
+
+TEST(ModelCounter, FindModelsReturnsDistinctValidModels) {
+  Cnf cnf(3);
+  cnf.add_clause({pos(0), pos(1)});
+  cnf.add_clause({neg(1), pos(2)});
+  ModelCounter counter(cnf);
+  const auto models = counter.find_models(10);
+  EXPECT_EQ(models.size(), count_models(cnf));
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_TRUE(cnf.satisfied_by(models[i])) << "model " << i;
+    for (std::size_t j = i + 1; j < models.size(); ++j) {
+      EXPECT_NE(models[i], models[j]) << "duplicate models " << i << "," << j;
+    }
+  }
+}
+
+TEST(ModelCounter, SolveCnfFindsAModel) {
+  Cnf cnf(3);
+  cnf.add_clause({pos(0)});
+  cnf.add_clause({neg(0), pos(2)});
+  const auto model = solve_cnf(cnf);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(cnf.satisfied_by(*model));
+}
+
+TEST(ModelCounter, AgreesWithBacktrackingOnRandomFormulas) {
+  // Cross-check the two independent engines on every 3-var formula shape we
+  // can cheaply enumerate: random small CNFs.
+  std::uint64_t seed = 123;
+  for (int round = 0; round < 40; ++round) {
+    Cnf cnf(5);
+    const int clauses = 1 + static_cast<int>(discsp::splitmix64(seed) % 8);
+    for (int c = 0; c < clauses; ++c) {
+      std::vector<Lit> lits;
+      const int size = 1 + static_cast<int>(discsp::splitmix64(seed) % 3);
+      for (int l = 0; l < size; ++l) {
+        const auto var = static_cast<VarId>(discsp::splitmix64(seed) % 5);
+        lits.emplace_back(var, (discsp::splitmix64(seed) & 1) != 0);
+      }
+      Clause clause(std::move(lits));
+      if (!clause.is_tautology()) cnf.add_clause(std::move(clause));
+    }
+    const auto expected = count_solutions(to_problem(cnf));
+    EXPECT_EQ(count_models(cnf), expected) << "round " << round;
+  }
+}
+
+TEST(ModelCounter, ReusableAcrossCalls) {
+  Cnf cnf(3);
+  cnf.add_clause({pos(0), pos(1), pos(2)});
+  ModelCounter counter(cnf);
+  EXPECT_EQ(counter.count(), 7u);
+  EXPECT_EQ(counter.count(), 7u) << "count() must reset internal state";
+  EXPECT_EQ(counter.find_models(100).size(), 7u);
+  EXPECT_EQ(counter.count(3), 3u);
+}
+
+TEST(ModelCounter, DecisionLimitAborts) {
+  // A formula with many models and a one-decision budget cannot finish.
+  Cnf cnf(16);
+  for (VarId v = 0; v + 2 < 16; v += 3) {
+    cnf.add_clause({pos(v), pos(v + 1), pos(v + 2)});
+  }
+  ModelCounter counter(cnf);
+  counter.set_decision_limit(1);
+  const auto partial = counter.count(0);
+  EXPECT_TRUE(counter.aborted());
+  EXPECT_LT(partial, count_models(cnf));
+
+  // Removing the limit restores the exact count and clears the flag.
+  counter.set_decision_limit(0);
+  const auto full = counter.count(0);
+  EXPECT_FALSE(counter.aborted());
+  EXPECT_EQ(full, count_models(cnf));
+}
+
+TEST(ModelCounter, GenerousLimitDoesNotAbort) {
+  Cnf cnf(6);
+  cnf.add_clause({pos(0), neg(1)});
+  ModelCounter counter(cnf);
+  counter.set_decision_limit(1'000'000);
+  const auto count = counter.count(0);
+  EXPECT_FALSE(counter.aborted());
+  EXPECT_EQ(count, count_models(cnf));
+}
+
+TEST(ModelCounter, StatsPopulated) {
+  Cnf cnf(6);
+  cnf.add_clause({pos(0), pos(1)});
+  cnf.add_clause({neg(0), pos(2)});
+  ModelCounter counter(cnf);
+  counter.count();
+  EXPECT_GT(counter.stats().propagations, 0u);
+}
+
+}  // namespace
+}  // namespace discsp::sat

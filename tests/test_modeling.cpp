@@ -1,0 +1,99 @@
+// Modeling helpers: each builder must produce exactly the intended
+// solution set (checked against the centralized solver).
+#include <gtest/gtest.h>
+
+#include "csp/modeling.h"
+#include "solver/backtracking.h"
+
+namespace discsp::model {
+namespace {
+
+TEST(Modeling, NotEqual) {
+  Problem p;
+  p.add_variables(2, 3);
+  add_not_equal(p, 0, 1);
+  EXPECT_EQ(p.num_nogoods(), 3u);
+  EXPECT_EQ(count_solutions(p), 6u);  // 3*3 - 3 equal pairs
+  EXPECT_THROW(add_not_equal(p, 0, 0), std::invalid_argument);
+}
+
+TEST(Modeling, NotEqualMixedDomains) {
+  Problem p;
+  p.add_variable(2);
+  p.add_variable(4);
+  add_not_equal(p, 0, 1);
+  EXPECT_EQ(count_solutions(p), 6u);  // 8 total - 2 equal pairs (0,0),(1,1)
+}
+
+TEST(Modeling, Equal) {
+  Problem p;
+  p.add_variables(2, 3);
+  add_equal(p, 0, 1);
+  EXPECT_EQ(count_solutions(p), 3u);
+}
+
+TEST(Modeling, AllDifferentPermutations) {
+  Problem p;
+  p.add_variables(3, 3);
+  const VarId vars[] = {0, 1, 2};
+  add_all_different(p, vars);
+  EXPECT_EQ(count_solutions(p), 6u);  // 3! permutations
+}
+
+TEST(Modeling, AllDifferentOverConstrained) {
+  Problem p;
+  p.add_variables(4, 3);  // pigeonhole: 4 vars, 3 values
+  const VarId vars[] = {0, 1, 2, 3};
+  add_all_different(p, vars);
+  EXPECT_EQ(count_solutions(p), 0u);
+}
+
+TEST(Modeling, MinDistance) {
+  Problem p;
+  p.add_variables(2, 4);
+  add_min_distance(p, 0, 1, 2);
+  // |a-b| >= 2 over {0..3}: (0,2)(0,3)(1,3)(2,0)(3,0)(3,1) = 6.
+  EXPECT_EQ(count_solutions(p), 6u);
+  EXPECT_THROW(add_min_distance(p, 0, 1, 0), std::invalid_argument);
+}
+
+TEST(Modeling, ForbiddenCombination) {
+  Problem p;
+  p.add_variables(2, 2);
+  add_forbidden(p, {{0, 1}, {1, 1}});
+  EXPECT_EQ(count_solutions(p), 3u);
+}
+
+TEST(Modeling, AllowedValues) {
+  Problem p;
+  p.add_variables(1, 5);
+  const Value allowed[] = {1, 3};
+  add_allowed_values(p, 0, allowed);
+  EXPECT_EQ(count_solutions(p), 2u);
+  EXPECT_THROW(add_allowed_values(p, 0, std::span<const Value>{}), std::invalid_argument);
+}
+
+TEST(Modeling, ForbiddenValue) {
+  Problem p;
+  p.add_variables(1, 3);
+  add_forbidden_value(p, 0, 1);
+  EXPECT_EQ(count_solutions(p), 2u);
+}
+
+TEST(Modeling, BinaryRelationPredicate) {
+  Problem p;
+  p.add_variables(2, 3);
+  add_binary_relation(p, 0, 1, [](Value a, Value b) { return a < b; });
+  EXPECT_EQ(count_solutions(p), 3u);  // (0,1)(0,2)(1,2)
+}
+
+TEST(Modeling, ColoringProblemBuilder) {
+  const std::pair<VarId, VarId> edges[] = {{0, 1}, {1, 2}};
+  const Problem p = coloring_problem(3, 2, edges);
+  EXPECT_EQ(p.num_variables(), 3);
+  EXPECT_EQ(p.num_nogoods(), 4u);
+  EXPECT_EQ(count_solutions(p), 2u);  // path graph, 2 colors
+}
+
+}  // namespace
+}  // namespace discsp::model

@@ -1,0 +1,142 @@
+// Multi-variable-per-agent AWC (virtual-agent reduction).
+#include <gtest/gtest.h>
+
+#include "csp/validate.h"
+#include "gen/coloring_gen.h"
+#include "learning/resolvent.h"
+#include "multi/multi_awc.h"
+
+namespace discsp::multi {
+namespace {
+
+gen::ColoringInstance coloring(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  return gen::generate_coloring3(n, rng);
+}
+
+TEST(MultiAwc, SolvesWithSeveralVariablesPerAgent) {
+  const auto inst = coloring(24, 1);
+  for (int agents : {24, 8, 4, 2, 1}) {
+    const auto dp = partition_round_robin(inst.problem, agents);
+    MultiAwcSolver solver(dp, learning::ResolventLearning{});
+    Rng rng(7);
+    const auto result = solver.solve(solver.random_initial(rng), rng.derive(1));
+    ASSERT_TRUE(result.metrics.solved) << agents << " agents";
+    EXPECT_TRUE(validate_solution(inst.problem, result.assignment).ok)
+        << agents << " agents";
+  }
+}
+
+TEST(MultiAwc, BlockPartitionAlsoWorks) {
+  const auto inst = coloring(18, 2);
+  const auto dp = partition_blocks(inst.problem, 3);
+  EXPECT_EQ(dp.num_agents(), 3);
+  EXPECT_EQ(dp.variables_of(0).size(), 6u);
+  MultiAwcSolver solver(dp, learning::ResolventLearning{});
+  Rng rng(9);
+  const auto result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  ASSERT_TRUE(result.metrics.solved);
+  EXPECT_TRUE(validate_solution(inst.problem, result.assignment).ok);
+}
+
+TEST(MultiAwc, ExternalMessagesShrinkWithFewerAgents) {
+  // Same problem, same virtual protocol: co-locating variables can only
+  // remove external messages.
+  const auto inst = coloring(24, 3);
+  auto run = [&](int agents) {
+    const auto dp = partition_round_robin(inst.problem, agents);
+    MultiAwcSolver solver(dp, learning::ResolventLearning{});
+    Rng rng(11);
+    return solver.solve(solver.random_initial(rng), rng.derive(1));
+  };
+  const auto fine = run(24);
+  const auto coarse = run(1);
+  ASSERT_TRUE(fine.metrics.solved);
+  ASSERT_TRUE(coarse.metrics.solved);
+  EXPECT_EQ(coarse.metrics.messages, 0u)
+      << "a single real agent has nobody external to talk to";
+  EXPECT_GT(fine.metrics.messages, 0u);
+}
+
+TEST(MultiAwc, OneVarPerAgentMatchesMetricsShape) {
+  const auto inst = coloring(15, 4);
+  const auto dp = partition_round_robin(inst.problem, 15);
+  MultiAwcSolver solver(dp, learning::ResolventLearning{});
+  Rng rng(13);
+  const auto result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  ASSERT_TRUE(result.metrics.solved);
+  EXPECT_LE(result.metrics.maxcck, result.metrics.total_checks);
+}
+
+TEST(MultiAwc, DetectsInsolubility) {
+  // K4 with 3 colors split over 2 agents.
+  Problem p;
+  p.add_variables(4, 3);
+  for (VarId u = 0; u < 4; ++u) {
+    for (VarId v = static_cast<VarId>(u + 1); v < 4; ++v) {
+      for (Value c = 0; c < 3; ++c) p.add_nogood(Nogood{{u, c}, {v, c}});
+    }
+  }
+  const auto dp = partition_round_robin(std::move(p), 2);
+  MultiAwcSolver solver(dp, learning::ResolventLearning{});
+  Rng rng(15);
+  const auto result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  EXPECT_FALSE(result.metrics.solved);
+  EXPECT_TRUE(result.metrics.insoluble);
+}
+
+TEST(MultiAwc, PartitionValidation) {
+  Problem p;
+  p.add_variables(4, 2);
+  EXPECT_THROW(partition_round_robin(std::move(p), 0), std::invalid_argument);
+  Problem q;
+  q.add_variables(4, 2);
+  EXPECT_THROW(partition_blocks(std::move(q), -1), std::invalid_argument);
+}
+
+TEST(MultiAwc, SingleAgentMaxcckEqualsTotalChecks) {
+  // With one real agent, the per-cycle max over real agents is the sum over
+  // all virtual agents, so maxcck must equal total_checks exactly.
+  const auto inst = coloring(15, 6);
+  const auto dp = partition_round_robin(inst.problem, 1);
+  MultiAwcSolver solver(dp, learning::ResolventLearning{});
+  Rng rng(19);
+  const auto result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  ASSERT_TRUE(result.metrics.solved);
+  EXPECT_EQ(result.metrics.maxcck, result.metrics.total_checks);
+}
+
+TEST(MultiAwc, CyclesInvariantUnderPartitioning) {
+  // The virtual protocol is identical regardless of the partition, so with
+  // the same seeds the cycle count must be partition-independent (only the
+  // accounting changes).
+  const auto inst = coloring(21, 7);
+  std::vector<int> cycles;
+  for (int agents : {21, 7, 3}) {
+    const auto dp = partition_round_robin(inst.problem, agents);
+    MultiAwcSolver solver(dp, learning::ResolventLearning{});
+    Rng rng(23);
+    const auto result = solver.solve(solver.random_initial(rng), rng.derive(1));
+    ASSERT_TRUE(result.metrics.solved);
+    cycles.push_back(result.metrics.cycles);
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(cycles[1], cycles[2]);
+}
+
+TEST(MultiAwc, DeterministicUnderFixedSeed) {
+  const auto inst = coloring(20, 5);
+  const auto dp = partition_round_robin(inst.problem, 5);
+  MultiAwcSolver solver(dp, learning::ResolventLearning{});
+  auto run = [&]() {
+    Rng rng(21);
+    return solver.solve(solver.random_initial(rng), rng.derive(1));
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.metrics.cycles, b.metrics.cycles);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace discsp::multi

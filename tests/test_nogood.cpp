@@ -1,0 +1,109 @@
+// Nogood canonicalization, queries, violation semantics, and merging.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "csp/nogood.h"
+
+namespace discsp {
+namespace {
+
+TEST(Nogood, CanonicalizesOrderAndDuplicates) {
+  Nogood a{{3, 1}, {1, 0}, {3, 1}};
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.items()[0].var, 1);
+  EXPECT_EQ(a.items()[1].var, 3);
+}
+
+TEST(Nogood, EqualityIgnoresConstructionOrder) {
+  Nogood a{{1, 0}, {2, 1}};
+  Nogood b{{2, 1}, {1, 0}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Nogood, DistinctNogoodsCompareUnequal) {
+  Nogood a{{1, 0}, {2, 1}};
+  EXPECT_NE(a, (Nogood{{1, 0}, {2, 0}}));
+  EXPECT_NE(a, (Nogood{{1, 0}}));
+  EXPECT_NE(a, Nogood{});
+}
+
+TEST(Nogood, ContainsAndValueOf) {
+  Nogood ng{{5, 2}, {9, 0}};
+  EXPECT_TRUE(ng.contains(5));
+  EXPECT_TRUE(ng.contains(9));
+  EXPECT_FALSE(ng.contains(7));
+  EXPECT_EQ(ng.value_of(5), 2);
+  EXPECT_EQ(ng.value_of(9), 0);
+  EXPECT_EQ(ng.value_of(7), kNoValue);
+}
+
+TEST(Nogood, EmptyNogoodIsViolatedByEverything) {
+  Nogood empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.violated_by([](VarId) { return kNoValue; }));
+  EXPECT_TRUE(empty.violated_by([](VarId) { return Value{1}; }));
+}
+
+TEST(Nogood, ViolatedOnlyOnExactMatch) {
+  Nogood ng{{0, 1}, {1, 2}};
+  auto view = [](Value v0, Value v1) {
+    return [=](VarId v) { return v == 0 ? v0 : v == 1 ? v1 : kNoValue; };
+  };
+  EXPECT_TRUE(ng.violated_by(view(1, 2)));
+  EXPECT_FALSE(ng.violated_by(view(1, 1)));
+  EXPECT_FALSE(ng.violated_by(view(0, 2)));
+  EXPECT_FALSE(ng.violated_by(view(kNoValue, 2)));  // unknown => not violated
+}
+
+TEST(Nogood, WithoutRemovesVariable) {
+  Nogood ng{{0, 1}, {1, 2}, {2, 0}};
+  Nogood reduced = ng.without(1);
+  EXPECT_EQ(reduced, (Nogood{{0, 1}, {2, 0}}));
+  EXPECT_EQ(ng.without(7), ng);  // absent var: unchanged copy
+}
+
+TEST(Nogood, SubsetOf) {
+  Nogood small{{1, 0}};
+  Nogood big{{0, 2}, {1, 0}, {3, 1}};
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(Nogood{}.subset_of(small));
+  EXPECT_TRUE(big.subset_of(big));
+  EXPECT_FALSE((Nogood{{1, 1}}).subset_of(big));  // same var, other value
+}
+
+TEST(Nogood, MergeUnionsAssignments) {
+  Nogood a{{0, 1}, {2, 0}};
+  Nogood b{{2, 0}, {4, 1}};
+  EXPECT_EQ(merge(a, b), (Nogood{{0, 1}, {2, 0}, {4, 1}}));
+}
+
+TEST(Nogood, MergeWithoutDropsVariableAcrossSources) {
+  // The paper's Figure 1: sources selected for r, y, g around x5.
+  Nogood src_r{{1, 0}, {5, 0}};
+  Nogood src_y{{2, 1}, {5, 1}};
+  Nogood src_g{{3, 2}, {5, 2}};
+  const Nogood* sources[] = {&src_r, &src_y, &src_g};
+  Nogood resolvent = merge_without(sources, 5);
+  EXPECT_EQ(resolvent, (Nogood{{1, 0}, {2, 1}, {3, 2}}));
+}
+
+TEST(Nogood, HashUsableInUnorderedSet) {
+  std::unordered_set<Nogood> set;
+  set.insert(Nogood{{1, 0}});
+  set.insert(Nogood{{1, 0}});
+  set.insert(Nogood{{1, 1}});
+  set.insert(Nogood{});
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(Nogood, StreamRendering) {
+  Nogood ng{{2, 1}, {0, 0}};
+  EXPECT_EQ(ng.str(), "((x0,0)(x2,1))");
+  EXPECT_EQ(Nogood{}.str(), "()");
+}
+
+}  // namespace
+}  // namespace discsp

@@ -1,0 +1,92 @@
+// NogoodStore: bucketing, deduplication, and bookkeeping invariants.
+#include <gtest/gtest.h>
+
+#include "csp/nogood_store.h"
+
+namespace discsp {
+namespace {
+
+TEST(NogoodStore, AddAndBucketLookup) {
+  NogoodStore store(0, 3);
+  EXPECT_TRUE(store.add(Nogood{{0, 1}, {2, 0}}));
+  EXPECT_TRUE(store.add(Nogood{{0, 1}, {3, 2}}));
+  EXPECT_TRUE(store.add(Nogood{{0, 2}, {2, 0}}));
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.bucket(0).size(), 0u);
+  EXPECT_EQ(store.bucket(1).size(), 2u);
+  EXPECT_EQ(store.bucket(2).size(), 1u);
+  // Bucket indices resolve to nogoods binding own var to the bucket value.
+  for (Value v = 0; v < 3; ++v) {
+    for (auto idx : store.bucket(v)) {
+      EXPECT_EQ(store.at(idx).value_of(0), v);
+    }
+  }
+}
+
+TEST(NogoodStore, RejectsDuplicates) {
+  NogoodStore store(1, 2);
+  EXPECT_TRUE(store.add(Nogood{{1, 0}, {5, 1}}));
+  EXPECT_FALSE(store.add(Nogood{{5, 1}, {1, 0}}));  // same canonical nogood
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(NogoodStore, ContainsMatchesAdd) {
+  NogoodStore store(0, 2);
+  const Nogood a{{0, 0}, {1, 1}};
+  EXPECT_FALSE(store.contains(a));
+  store.add(a);
+  EXPECT_TRUE(store.contains(a));
+  EXPECT_FALSE(store.contains(Nogood{{0, 0}, {1, 0}}));
+}
+
+TEST(NogoodStore, InitialVsLearnedCounters) {
+  NogoodStore store(2, 3);
+  store.add(Nogood{{2, 0}, {3, 1}});
+  store.add(Nogood{{2, 1}, {3, 1}});
+  store.mark_initial();
+  EXPECT_EQ(store.initial_count(), 2u);
+  EXPECT_EQ(store.learned_count(), 0u);
+  store.add(Nogood{{1, 0}, {2, 2}});
+  EXPECT_EQ(store.learned_count(), 1u);
+}
+
+TEST(NogoodStore, TracksMaxSize) {
+  NogoodStore store(0, 2);
+  EXPECT_EQ(store.max_nogood_size(), 0u);
+  store.add(Nogood{{0, 0}});
+  EXPECT_EQ(store.max_nogood_size(), 1u);
+  store.add(Nogood{{0, 1}, {1, 0}, {2, 1}});
+  EXPECT_EQ(store.max_nogood_size(), 3u);
+  store.add(Nogood{{0, 0}, {4, 1}});
+  EXPECT_EQ(store.max_nogood_size(), 3u);
+}
+
+TEST(NogoodStore, UnaryOwnNogoodAccepted) {
+  NogoodStore store(3, 2);
+  EXPECT_TRUE(store.add(Nogood{{3, 1}}));
+  EXPECT_EQ(store.bucket(1).size(), 1u);
+}
+
+TEST(NogoodStore, OutOfDomainValueThrows) {
+  NogoodStore store(0, 2);
+  EXPECT_THROW(store.add(Nogood{{0, 5}}), std::out_of_range);
+}
+
+TEST(NogoodStore, ManyNogoodsKeepBucketsConsistent) {
+  NogoodStore store(0, 3);
+  std::size_t added = 0;
+  for (int other = 1; other <= 40; ++other) {
+    for (Value own_v = 0; own_v < 3; ++own_v) {
+      for (Value other_v = 0; other_v < 2; ++other_v) {
+        if (store.add(Nogood{{0, own_v}, {other, other_v}})) ++added;
+      }
+    }
+  }
+  EXPECT_EQ(store.size(), added);
+  std::size_t bucket_total = 0;
+  for (Value v = 0; v < 3; ++v) bucket_total += store.bucket(v).size();
+  EXPECT_EQ(bucket_total, store.size());
+}
+
+}  // namespace
+}  // namespace discsp

@@ -1,0 +1,100 @@
+// Unique-solution 3SAT generator (the 3ONESAT-GEN stand-in): the defining
+// property — exactly one model — is certified by the independent DPLL
+// counter; persistence and caching round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gen/onesat_gen.h"
+#include "solver/model_counter.h"
+
+namespace discsp::gen {
+namespace {
+
+TEST(OneSatGen, ExactlyOneModel) {
+  Rng rng(1);
+  for (int n : {8, 15, 25}) {
+    const auto inst = generate_onesat3(n, rng);
+    EXPECT_EQ(sat::count_models(inst.cnf, 3), 1u) << "n=" << n;
+    EXPECT_TRUE(inst.cnf.satisfied_by(inst.model)) << "n=" << n;
+  }
+}
+
+TEST(OneSatGen, TheUniqueModelIsThePlantedOne) {
+  Rng rng(2);
+  const auto inst = generate_onesat3(12, rng);
+  const auto models = sat::ModelCounter(inst.cnf).find_models(2);
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0], inst.model);
+}
+
+TEST(OneSatGen, ReachesTargetRatioOrRecordsOvershoot) {
+  Rng rng(3);
+  const auto inst = generate_onesat3(20, rng);
+  EXPECT_GE(inst.cnf.num_clauses(), 68u);  // >= round(3.4 * 20)
+  EXPECT_NEAR(inst.achieved_ratio,
+              static_cast<double>(inst.cnf.num_clauses()) / 20.0, 1e-12);
+  EXPECT_GT(inst.elimination_clauses, 0u);
+}
+
+TEST(OneSatGen, DeterministicGivenSeed) {
+  Rng a(4), b(4);
+  const auto i1 = generate_onesat3(10, a);
+  const auto i2 = generate_onesat3(10, b);
+  EXPECT_EQ(i1.model, i2.model);
+  EXPECT_EQ(i1.cnf.num_clauses(), i2.cnf.num_clauses());
+}
+
+TEST(OneSatGen, SaveLoadRoundTrip) {
+  Rng rng(5);
+  const auto inst = generate_onesat3(10, rng);
+  const auto path = std::filesystem::temp_directory_path() / "discsp_onesat_test.cnf";
+  save_onesat(inst, path.string());
+  const auto loaded = load_onesat(path.string());
+  EXPECT_EQ(loaded.model, inst.model);
+  EXPECT_EQ(loaded.cnf.num_clauses(), inst.cnf.num_clauses());
+  EXPECT_EQ(loaded.elimination_clauses, inst.elimination_clauses);
+  EXPECT_TRUE(loaded.cnf.satisfied_by(loaded.model));
+  std::filesystem::remove(path);
+}
+
+TEST(OneSatGen, CachedGenerationHitsTheDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "discsp_onesat_cache_test";
+  std::filesystem::remove_all(dir);
+
+  OneSatParams params;
+  params.n = 10;
+  const auto first = cached_onesat(params, 0, 99, dir.string());
+  ASSERT_TRUE(std::filesystem::exists(dir));
+  const auto reloaded = cached_onesat(params, 0, 99, dir.string());
+  EXPECT_EQ(first.model, reloaded.model);
+  EXPECT_EQ(first.cnf.num_clauses(), reloaded.cnf.num_clauses());
+
+  // Distinct instance indices produce distinct instances.
+  const auto other = cached_onesat(params, 1, 99, dir.string());
+  EXPECT_NE(other.model, first.model);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(OneSatGen, LoadRejectsFilesWithoutModel) {
+  const auto path = std::filesystem::temp_directory_path() / "discsp_bad_onesat.cnf";
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("p cnf 2 1\n1 2 0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_onesat(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(OneSatGen, RejectsTinyN) {
+  Rng rng(6);
+  OneSatParams params;
+  params.n = 2;
+  EXPECT_THROW(generate_onesat(params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace discsp::gen

@@ -1,0 +1,105 @@
+// The worked example of paper §3.2 (Figure 1), verified end to end: agent 5
+// at a deadend over {r, y, g} with the shown nogoods and priorities must
+// learn exactly ((x1,r)(x2,y)(x3,g)).
+#include <gtest/gtest.h>
+
+#include "learning/mcs.h"
+#include "learning/resolvent.h"
+
+namespace discsp {
+namespace {
+
+// Colors as in the figure.
+constexpr Value kR = 0;
+constexpr Value kY = 1;
+constexpr Value kG = 2;
+
+/// Priorities from Figure 1: x1:5, x2:4, x3:3, x4:2, x5:0.
+class FigureOrder final : public learning::PriorityOrder {
+ public:
+  Priority priority_of(VarId v) const override {
+    switch (v) {
+      case 1: return 5;
+      case 2: return 4;
+      case 3: return 3;
+      case 4: return 2;
+      default: return 0;  // x5 and the (lower-priority) rest
+    }
+  }
+};
+
+class PaperExample : public ::testing::Test {
+ protected:
+  PaperExample() {
+    // Arc nogoods of Figure 1 with the current colors: x1 = r, x2 = y,
+    // x3 = g, x4 = r. Only the *violated* higher nogoods appear in the
+    // context, mirroring what the AWC agent hands the strategy.
+    arc_x1_r_ = Nogood{{1, kR}, {5, kR}};
+    arc_x4_r_ = Nogood{{4, kR}, {5, kR}};
+    arc_x2_y_ = Nogood{{2, kY}, {5, kY}};
+    recv_    = Nogood{{3, kG}, {4, kR}, {5, kY}};  // nogood received earlier
+    arc_x3_g_ = Nogood{{3, kG}, {5, kG}};
+
+    violated_.resize(3);
+    violated_[kR] = {&arc_x1_r_, &arc_x4_r_};
+    violated_[kY] = {&arc_x2_y_, &recv_};
+    violated_[kG] = {&arc_x3_g_};
+
+    ctx_.own = 5;
+    ctx_.domain_size = 3;
+    ctx_.violated = violated_;
+    ctx_.order = &order_;
+  }
+
+  Nogood arc_x1_r_, arc_x4_r_, arc_x2_y_, recv_, arc_x3_g_;
+  std::vector<std::vector<const Nogood*>> violated_;
+  FigureOrder order_;
+  learning::DeadendContext ctx_;
+};
+
+TEST_F(PaperExample, SourceSelectionForR) {
+  // Both candidates have size 2; priorities are 5 (x1) vs 2 (x4): pick x1's.
+  const Nogood* src = learning::select_source_nogood(violated_[kR], 5, order_);
+  EXPECT_EQ(*src, arc_x1_r_);
+}
+
+TEST_F(PaperExample, SourceSelectionForY) {
+  // Size 2 beats size 3: the x2 arc wins over the received nogood.
+  const Nogood* src = learning::select_source_nogood(violated_[kY], 5, order_);
+  EXPECT_EQ(*src, arc_x2_y_);
+}
+
+TEST_F(PaperExample, SourceSelectionForG) {
+  const Nogood* src = learning::select_source_nogood(violated_[kG], 5, order_);
+  EXPECT_EQ(*src, arc_x3_g_);
+}
+
+TEST_F(PaperExample, ResolventMatchesPaper) {
+  learning::ResolventLearning rslv;
+  std::uint64_t checks = 0;
+  auto learned = rslv.learn(ctx_, checks);
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_EQ(*learned, (Nogood{{1, kR}, {2, kY}, {3, kG}}));
+  EXPECT_EQ(checks, 0u) << "resolvent construction must not re-check nogoods";
+  EXPECT_FALSE(learned->contains(5));
+}
+
+TEST_F(PaperExample, WeakestVarFollowsPriorities) {
+  EXPECT_EQ(order_.weakest_var(recv_, 5), 4);      // x4 (prio 2) < x3 (prio 3)
+  EXPECT_EQ(order_.weakest_var(arc_x1_r_, 5), 1);
+  EXPECT_EQ(order_.weakest_var(Nogood{{5, kR}}, 5), kNoVar);
+}
+
+TEST_F(PaperExample, McsShrinksNoFurtherHere) {
+  // ((x1,r)(x2,y)(x3,g)) is already a minimum conflict set for this
+  // evidence: dropping any element leaves some color unsupported.
+  learning::McsLearning mcs;
+  std::uint64_t checks = 0;
+  auto learned = mcs.learn(ctx_, checks);
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_EQ(*learned, (Nogood{{1, kR}, {2, kY}, {3, kG}}));
+  EXPECT_GT(checks, 0u) << "the subset search must pay nogood checks";
+}
+
+}  // namespace
+}  // namespace discsp

@@ -1,0 +1,115 @@
+// Miniature end-to-end reproduction checks: the paper's *qualitative*
+// findings must already be visible on small instances with a handful of
+// trials. These tests are the repository's canary — if a refactor breaks
+// the learning machinery or the metrics, the orderings flip and they fail.
+#include <gtest/gtest.h>
+
+#include "analysis/efficiency.h"
+#include "analysis/experiment.h"
+
+namespace discsp::analysis {
+namespace {
+
+ExperimentSpec small_spec(ProblemFamily family, int n, int instances = 4,
+                          int inits = 3) {
+  ExperimentSpec spec;
+  spec.family = family;
+  spec.n = n;
+  spec.instances = instances;
+  spec.inits_per_instance = inits;
+  spec.seed = 1234;
+  spec.max_cycles = 10000;
+  return spec;
+}
+
+TEST(PaperShape, LearningSlashesCyclesOnColoring) {
+  const auto spec = small_spec(ProblemFamily::kColoring3, 40);
+  const std::vector<NamedRunner> runners = {
+      {"Rslv", awc_runner("Rslv")},
+      {"No", awc_runner("No")},
+  };
+  const auto rows = run_comparison(spec, runners);
+  EXPECT_DOUBLE_EQ(rows[0].solved_percent, 100.0);
+  // Table 1's headline: nogood learning dramatically reduces cycles.
+  EXPECT_LT(rows[0].mean_cycles * 1.5, rows[1].mean_cycles)
+      << "Rslv=" << rows[0].mean_cycles << " No=" << rows[1].mean_cycles;
+}
+
+TEST(PaperShape, ResolventBeatsMcsOnChecksOnColoring) {
+  // The check-cost gap needs instances big enough for real deadend chains;
+  // at tiny n the two methods are indistinguishable.
+  const auto spec = small_spec(ProblemFamily::kColoring3, 60, 3, 2);
+  const std::vector<NamedRunner> runners = {
+      {"Rslv", awc_runner("Rslv")},
+      {"Mcs", awc_runner("Mcs")},
+  };
+  const auto rows = run_comparison(spec, runners);
+  EXPECT_DOUBLE_EQ(rows[0].solved_percent, 100.0);
+  EXPECT_DOUBLE_EQ(rows[1].solved_percent, 100.0);
+  // Table 1's second finding: competitive cycles, cheaper checks for Rslv.
+  EXPECT_LT(rows[0].mean_maxcck, rows[1].mean_maxcck);
+  EXPECT_LT(rows[0].mean_cycles, rows[1].mean_cycles * 3.0);
+  EXPECT_LT(rows[1].mean_cycles, rows[0].mean_cycles * 3.0);
+}
+
+TEST(PaperShape, RecordingCollapsesRedundantGenerations) {
+  const auto spec = small_spec(ProblemFamily::kColoring3, 60, 3, 2);
+  const std::vector<NamedRunner> runners = {
+      {"rec", awc_runner("Rslv", /*record_received=*/true)},
+      {"norec", awc_runner("Rslv", /*record_received=*/false)},
+  };
+  const auto rows = run_comparison(spec, runners);
+  // Table 4: without recording, the same nogoods are rediscovered over and
+  // over.
+  EXPECT_LT(rows[0].mean_redundant_generations * 2.0,
+            rows[1].mean_redundant_generations)
+      << "rec=" << rows[0].mean_redundant_generations
+      << " norec=" << rows[1].mean_redundant_generations;
+}
+
+TEST(PaperShape, AwcBeatsDbOnCyclesAndLosesOnChecks) {
+  const auto spec = small_spec(ProblemFamily::kColoring3, 45);
+  const std::vector<NamedRunner> runners = {
+      {"AWC+3rdRslv", awc_runner("3rdRslv")},
+      {"DB", db_runner()},
+  };
+  const auto rows = run_comparison(spec, runners);
+  ASSERT_DOUBLE_EQ(rows[0].solved_percent, 100.0);
+  ASSERT_DOUBLE_EQ(rows[1].solved_percent, 100.0);
+  // Tables 8-10: AWC wins communication, DB wins computation.
+  EXPECT_LT(rows[0].mean_cycles, rows[1].mean_cycles);
+  EXPECT_GT(rows[0].mean_maxcck, rows[1].mean_maxcck);
+  // Which implies a positive Figure-2 crossover delay.
+  const double crossover = crossover_delay({rows[0].mean_cycles, rows[0].mean_maxcck},
+                                           {rows[1].mean_cycles, rows[1].mean_maxcck});
+  EXPECT_GT(crossover, 0.0);
+}
+
+TEST(PaperShape, SizeBoundCutsChecksOnColoring) {
+  const auto spec = small_spec(ProblemFamily::kColoring3, 45);
+  const std::vector<NamedRunner> runners = {
+      {"Rslv", awc_runner("Rslv")},
+      {"3rdRslv", awc_runner("3rdRslv")},
+  };
+  const auto rows = run_comparison(spec, runners);
+  ASSERT_DOUBLE_EQ(rows[1].solved_percent, 100.0);
+  // Table 5: the bound reduces maxcck without wrecking cycles.
+  EXPECT_LT(rows[1].mean_maxcck, rows[0].mean_maxcck);
+  EXPECT_LT(rows[1].mean_cycles, rows[0].mean_cycles * 2.5);
+}
+
+TEST(PaperShape, UniqueSolutionInstancesCrushNoLearning) {
+  const auto spec = small_spec(ProblemFamily::kOneSat3, 50, 2, 3);
+  const std::vector<NamedRunner> runners = {
+      {"Rslv", awc_runner("Rslv")},
+      {"No", awc_runner("No")},
+  };
+  const auto rows = run_comparison(spec, runners);
+  // Table 3: learning keeps solving; no-learning degrades hard on
+  // single-solution instances (the paper reaches 0% at n=200).
+  EXPECT_DOUBLE_EQ(rows[0].solved_percent, 100.0);
+  EXPECT_GT(rows[1].mean_cycles, rows[0].mean_cycles * 2.0);
+}
+
+}  // namespace
+}  // namespace discsp::analysis

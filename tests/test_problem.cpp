@@ -1,0 +1,88 @@
+// Problem: construction rules, neighbor derivation, solution predicates.
+#include <gtest/gtest.h>
+
+#include "csp/problem.h"
+
+namespace discsp {
+namespace {
+
+TEST(Problem, AddVariableAssignsIdsAndNames) {
+  Problem p;
+  EXPECT_EQ(p.add_variable(3), 0);
+  EXPECT_EQ(p.add_variable(2, "flag"), 1);
+  EXPECT_EQ(p.num_variables(), 2);
+  EXPECT_EQ(p.domain_size(0), 3);
+  EXPECT_EQ(p.domain_size(1), 2);
+  EXPECT_EQ(p.name(0), "x0");
+  EXPECT_EQ(p.name(1), "flag");
+}
+
+TEST(Problem, RejectsNonPositiveDomain) {
+  Problem p;
+  EXPECT_THROW(p.add_variable(0), std::invalid_argument);
+  EXPECT_THROW(p.add_variable(-2), std::invalid_argument);
+}
+
+TEST(Problem, AddNogoodValidatesReferences) {
+  Problem p;
+  p.add_variables(2, 2);
+  EXPECT_THROW(p.add_nogood(Nogood{{5, 0}}), std::out_of_range);
+  EXPECT_THROW(p.add_nogood(Nogood{{0, 9}}), std::out_of_range);
+  EXPECT_TRUE(p.add_nogood(Nogood{{0, 0}, {1, 1}}));
+}
+
+TEST(Problem, DeduplicatesNogoods) {
+  Problem p;
+  p.add_variables(2, 2);
+  EXPECT_TRUE(p.add_nogood(Nogood{{0, 0}, {1, 1}}));
+  EXPECT_FALSE(p.add_nogood(Nogood{{1, 1}, {0, 0}}));
+  EXPECT_EQ(p.num_nogoods(), 1u);
+}
+
+TEST(Problem, PerVariableIndexAndNeighbors) {
+  Problem p;
+  p.add_variables(4, 2);
+  p.add_nogood(Nogood{{0, 0}, {1, 0}});
+  p.add_nogood(Nogood{{0, 1}, {2, 1}});
+  p.add_nogood(Nogood{{1, 0}, {2, 0}, {3, 0}});
+  EXPECT_EQ(p.nogoods_of(0).size(), 2u);
+  EXPECT_EQ(p.nogoods_of(3).size(), 1u);
+  EXPECT_EQ(p.neighbors_of(0), (std::vector<VarId>{1, 2}));
+  EXPECT_EQ(p.neighbors_of(3), (std::vector<VarId>{1, 2}));
+  EXPECT_EQ(p.neighbors_of(1), (std::vector<VarId>{0, 2, 3}));
+}
+
+TEST(Problem, IsSolutionSemantics) {
+  Problem p;
+  p.add_variables(2, 2);
+  p.add_nogood(Nogood{{0, 0}, {1, 0}});
+  EXPECT_TRUE(p.is_solution({0, 1}));
+  EXPECT_TRUE(p.is_solution({1, 1}));
+  EXPECT_FALSE(p.is_solution({0, 0}));
+  EXPECT_FALSE(p.is_solution({0}));        // wrong arity
+  EXPECT_FALSE(p.is_solution({0, 5}));     // out of domain
+  EXPECT_FALSE(p.is_solution({0, -1}));
+}
+
+TEST(Problem, ViolatedCount) {
+  Problem p;
+  p.add_variables(3, 2);
+  p.add_nogood(Nogood{{0, 0}, {1, 0}});
+  p.add_nogood(Nogood{{1, 0}, {2, 0}});
+  p.add_nogood(Nogood{{0, 0}, {2, 0}});
+  EXPECT_EQ(p.violated_count({0, 0, 0}), 3u);
+  EXPECT_EQ(p.violated_count({0, 0, 1}), 1u);
+  EXPECT_EQ(p.violated_count({1, 0, 1}), 0u);
+}
+
+TEST(Problem, EmptyNogoodFlag) {
+  Problem p;
+  p.add_variables(1, 2);
+  EXPECT_FALSE(p.has_empty_nogood());
+  p.add_nogood(Nogood{});
+  EXPECT_TRUE(p.has_empty_nogood());
+  EXPECT_FALSE(p.is_solution({0}));
+}
+
+}  // namespace
+}  // namespace discsp

@@ -1,0 +1,114 @@
+// Resolvent learning unit tests beyond the paper's worked example:
+// selection rule details, size bounds, and entailment of learned nogoods.
+#include <gtest/gtest.h>
+
+#include "learning/resolvent.h"
+
+namespace discsp::learning {
+namespace {
+
+/// Priorities fixed by a lookup table; unlisted vars get 0.
+class TableOrder final : public PriorityOrder {
+ public:
+  explicit TableOrder(std::vector<std::pair<VarId, Priority>> entries) {
+    for (auto [v, p] : entries) table_[v] = p;
+  }
+  Priority priority_of(VarId v) const override {
+    auto it = table_.find(v);
+    return it != table_.end() ? it->second : 0;
+  }
+
+ private:
+  std::unordered_map<VarId, Priority> table_;
+};
+
+TEST(SelectSource, PrefersSmallerNogood) {
+  TableOrder order({});
+  Nogood small{{1, 0}, {9, 1}};
+  Nogood big{{2, 0}, {3, 1}, {9, 1}};
+  std::vector<const Nogood*> violated{&big, &small};
+  EXPECT_EQ(*select_source_nogood(violated, 9, order), small);
+}
+
+TEST(SelectSource, TieBrokenByHighestPriority) {
+  TableOrder order({{1, 5}, {2, 1}});
+  Nogood high{{1, 0}, {9, 1}};  // weakest var x1, priority 5
+  Nogood low{{2, 0}, {9, 1}};   // weakest var x2, priority 1
+  std::vector<const Nogood*> violated{&low, &high};
+  EXPECT_EQ(*select_source_nogood(violated, 9, order), high);
+}
+
+TEST(SelectSource, EqualPriorityTieFallsBackToVariableId) {
+  TableOrder order({});  // everything priority 0: smaller id outranks
+  Nogood a{{1, 0}, {9, 1}};
+  Nogood b{{2, 0}, {9, 1}};
+  std::vector<const Nogood*> violated{&b, &a};
+  EXPECT_EQ(*select_source_nogood(violated, 9, order), a);
+}
+
+TEST(SelectSource, UnaryOwnNogoodBeatsEverything) {
+  TableOrder order({{1, 100}});
+  Nogood unary{{9, 1}};
+  Nogood binary{{1, 0}, {9, 1}};
+  std::vector<const Nogood*> violated{&binary, &unary};
+  EXPECT_EQ(*select_source_nogood(violated, 9, order), unary);
+}
+
+TEST(Resolvent, SharedVariablesMergeOnce) {
+  TableOrder order({});
+  Nogood src0{{1, 0}, {5, 0}};
+  Nogood src1{{1, 0}, {5, 1}};  // same (x1,0) support for the other value
+  std::vector<std::vector<const Nogood*>> violated{{&src0}, {&src1}};
+  DeadendContext ctx;
+  ctx.own = 5;
+  ctx.domain_size = 2;
+  ctx.violated = violated;
+  ctx.order = &order;
+  EXPECT_EQ(build_resolvent(ctx), (Nogood{{1, 0}}));
+}
+
+TEST(Resolvent, AllUnarySourcesYieldEmptyNogood) {
+  TableOrder order({});
+  Nogood u0{{5, 0}};
+  Nogood u1{{5, 1}};
+  std::vector<std::vector<const Nogood*>> violated{{&u0}, {&u1}};
+  DeadendContext ctx;
+  ctx.own = 5;
+  ctx.domain_size = 2;
+  ctx.violated = violated;
+  ctx.order = &order;
+  EXPECT_TRUE(build_resolvent(ctx).empty()) << "contradiction detected";
+}
+
+TEST(ResolventLearning, NamesMatchPaperLabels) {
+  EXPECT_EQ(ResolventLearning{}.name(), "Rslv");
+  EXPECT_EQ(ResolventLearning{1}.name(), "1stRslv");
+  EXPECT_EQ(ResolventLearning{2}.name(), "2ndRslv");
+  EXPECT_EQ(ResolventLearning{3}.name(), "3rdRslv");
+  EXPECT_EQ(ResolventLearning{4}.name(), "4thRslv");
+  EXPECT_EQ(ResolventLearning{5}.name(), "5thRslv");
+}
+
+TEST(ResolventLearning, RecordBoundExposed) {
+  EXPECT_EQ(ResolventLearning{}.record_bound(), 0u);
+  EXPECT_EQ(ResolventLearning{3}.record_bound(), 3u);
+}
+
+TEST(ResolventLearning, CloneIsIndependentAndEquivalent) {
+  ResolventLearning original(4);
+  auto clone = original.clone();
+  EXPECT_EQ(clone->name(), "4thRslv");
+  EXPECT_EQ(clone->record_bound(), 4u);
+}
+
+TEST(NoLearning, DeclinesToLearn) {
+  NoLearning no;
+  DeadendContext ctx;
+  std::uint64_t checks = 0;
+  EXPECT_FALSE(no.learn(ctx, checks).has_value());
+  EXPECT_EQ(checks, 0u);
+  EXPECT_EQ(no.name(), "No");
+}
+
+}  // namespace
+}  // namespace discsp::learning

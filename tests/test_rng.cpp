@@ -1,0 +1,130 @@
+// Determinism, range, and stream-independence properties of the Rng.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace discsp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all five values should appear in 500 draws";
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig) << "a 50-element shuffle staying identical is ~impossible";
+}
+
+TEST(Rng, DerivedStreamsAreIndependentAndReproducible) {
+  Rng root(31);
+  Rng a1 = root.derive(1);
+  Rng a2 = root.derive(2);
+  EXPECT_NE(a1.next(), a2.next()) << "sibling streams should differ";
+
+  // Deriving again from an equally-seeded root reproduces the same child.
+  Rng root2(31);
+  Rng b1 = root2.derive(1);
+  Rng a1b(31);
+  a1b = Rng(31).derive(1);
+  EXPECT_EQ(b1.next(), a1b.next());
+}
+
+TEST(Rng, DeriveUnaffectedByParentDraws) {
+  Rng root(37);
+  root.next();
+  root.next();
+  Rng child_after = root.derive(5);
+  Rng child_fresh = Rng(37).derive(5);
+  EXPECT_EQ(child_after.next(), child_fresh.next())
+      << "derive() keys off the origin seed, not the evolving state";
+}
+
+TEST(Rng, Splitmix64KnownValues) {
+  // Reference values from the splitmix64 reference implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace discsp

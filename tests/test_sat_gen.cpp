@@ -1,0 +1,87 @@
+// Planted-satisfiable 3SAT generator (the 3SAT-GEN stand-in).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/sat_gen.h"
+#include "solver/model_counter.h"
+
+namespace discsp::gen {
+namespace {
+
+TEST(SatGen, ProducesRequestedShape) {
+  Rng rng(1);
+  const auto inst = generate_sat3(50, rng);
+  EXPECT_EQ(inst.cnf.num_vars(), 50);
+  EXPECT_EQ(inst.cnf.num_clauses(), 215u);  // round(4.3 * 50)
+  for (const auto& clause : inst.cnf.clauses()) {
+    EXPECT_EQ(clause.size(), 3u);
+    EXPECT_FALSE(clause.is_tautology());
+  }
+}
+
+TEST(SatGen, PlantedAssignmentIsAModel) {
+  Rng rng(2);
+  for (int n : {10, 30, 60}) {
+    const auto inst = generate_sat3(n, rng);
+    EXPECT_TRUE(inst.cnf.satisfied_by(inst.planted)) << "n=" << n;
+  }
+}
+
+TEST(SatGen, SatisfiableByIndependentSolver) {
+  Rng rng(3);
+  const auto inst = generate_sat3(25, rng);
+  EXPECT_TRUE(sat::is_satisfiable(inst.cnf));
+}
+
+TEST(SatGen, ClausesAreDistinct) {
+  Rng rng(4);
+  const auto inst = generate_sat3(40, rng);
+  std::set<std::vector<std::uint32_t>> seen;
+  for (const auto& clause : inst.cnf.clauses()) {
+    std::vector<std::uint32_t> key;
+    for (sat::Lit l : clause) key.push_back(l.code());
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST(SatGen, DeterministicGivenSeed) {
+  Rng a(5), b(5);
+  const auto i1 = generate_sat3(20, a);
+  const auto i2 = generate_sat3(20, b);
+  EXPECT_EQ(i1.planted, i2.planted);
+  ASSERT_EQ(i1.cnf.num_clauses(), i2.cnf.num_clauses());
+  for (std::size_t i = 0; i < i1.cnf.num_clauses(); ++i) {
+    EXPECT_EQ(i1.cnf.clauses()[i], i2.cnf.clauses()[i]);
+  }
+}
+
+TEST(SatGen, CustomClauseSizeAndRatio) {
+  Rng rng(6);
+  SatParams params;
+  params.n = 20;
+  params.clause_ratio = 2.0;
+  params.clause_size = 2;
+  const auto inst = generate_sat(params, rng);
+  EXPECT_EQ(inst.cnf.num_clauses(), 40u);
+  for (const auto& clause : inst.cnf.clauses()) EXPECT_EQ(clause.size(), 2u);
+  EXPECT_TRUE(inst.cnf.satisfied_by(inst.planted));
+}
+
+TEST(SatGen, RejectsDegenerateRequests) {
+  Rng rng(7);
+  SatParams params;
+  params.n = 2;  // fewer vars than the clause size
+  EXPECT_THROW(generate_sat(params, rng), std::invalid_argument);
+}
+
+TEST(SatGen, DistributeIsOneVarPerAgent) {
+  Rng rng(8);
+  const auto inst = generate_sat3(15, rng);
+  const auto dp = distribute(inst);
+  EXPECT_TRUE(dp.is_one_var_per_agent());
+  EXPECT_EQ(dp.num_agents(), 15);
+}
+
+}  // namespace
+}  // namespace discsp::gen

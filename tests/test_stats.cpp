@@ -1,0 +1,76 @@
+// Statistics helpers used by the experiment harness.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace discsp {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, NegativeValues) {
+  StreamingStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), 1.2909944487, 1e-9);
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(stddev_of({5.0}), 0.0);
+}
+
+TEST(BatchStats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_EQ(median_of({}), 0.0);
+}
+
+TEST(BatchStats, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 100.0);
+  EXPECT_NEAR(percentile_of(xs, 50.0), 50.5, 1e-9);
+  EXPECT_NEAR(percentile_of(xs, 90.0), 90.1, 1e-9);
+}
+
+TEST(BatchStats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile_of({7.0}, 25.0), 7.0);
+}
+
+}  // namespace
+}  // namespace discsp

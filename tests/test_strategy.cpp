@@ -1,0 +1,45 @@
+// Strategy factory: the paper's row labels map to the right strategies.
+#include <gtest/gtest.h>
+
+#include "learning/mcs.h"
+#include "learning/resolvent.h"
+#include "learning/strategy.h"
+
+namespace discsp::learning {
+namespace {
+
+TEST(StrategyFactory, CanonicalLabels) {
+  EXPECT_EQ(make_strategy("Rslv")->name(), "Rslv");
+  EXPECT_EQ(make_strategy("Mcs")->name(), "Mcs");
+  EXPECT_EQ(make_strategy("No")->name(), "No");
+}
+
+TEST(StrategyFactory, SizeBoundedLabels) {
+  EXPECT_EQ(make_strategy("3rdRslv")->name(), "3rdRslv");
+  EXPECT_EQ(make_strategy("4thRslv")->name(), "4thRslv");
+  EXPECT_EQ(make_strategy("5thRslv")->name(), "5thRslv");
+  EXPECT_EQ(make_strategy("1stRslv")->record_bound(), 1u);
+  EXPECT_EQ(make_strategy("12thRslv")->record_bound(), 12u);
+}
+
+TEST(StrategyFactory, LowercaseAliases) {
+  EXPECT_EQ(make_strategy("rslv")->name(), "Rslv");
+  EXPECT_EQ(make_strategy("mcs")->name(), "Mcs");
+  EXPECT_EQ(make_strategy("none")->name(), "No");
+}
+
+TEST(StrategyFactory, RejectsUnknownLabels) {
+  EXPECT_THROW(make_strategy(""), std::invalid_argument);
+  EXPECT_THROW(make_strategy("bogus"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("0thRslv"), std::invalid_argument);
+  EXPECT_THROW(make_strategy("3rd"), std::invalid_argument);
+}
+
+TEST(StrategyFactory, ProducedTypesAreCorrect) {
+  EXPECT_NE(dynamic_cast<ResolventLearning*>(make_strategy("Rslv").get()), nullptr);
+  EXPECT_NE(dynamic_cast<McsLearning*>(make_strategy("Mcs").get()), nullptr);
+  EXPECT_NE(dynamic_cast<NoLearning*>(make_strategy("No").get()), nullptr);
+}
+
+}  // namespace
+}  // namespace discsp::learning

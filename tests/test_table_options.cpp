@@ -1,0 +1,113 @@
+// TextTable rendering and Options/ReproConfig parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/options.h"
+#include "common/table.h"
+
+namespace discsp {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"n", "value"});
+  t.row().cell("9").cell(1.25, 1);
+  t.row().cell("100").cell(12345LL);
+  const std::string out = t.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("1.2"), std::string::npos);   // one decimal
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, FixedFormatting) {
+  EXPECT_EQ(format_fixed(1.25, 1), "1.2");  // round-to-even banker's? printf: 1.2
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-2.5, 1), "-2.5");
+}
+
+TEST(Options, ParsesEqualsAndSpaceForms) {
+  // Note: the space form is greedy — "--flag value" binds value to the flag,
+  // so bare boolean flags must use "--flag=1" or sit last / before another
+  // "--" token. Positionals therefore come before flags or after "=" forms.
+  const char* argv[] = {"prog", "pos1", "--alpha=3", "--beta", "4", "--flag"};
+  Options opts(6, argv);
+  EXPECT_EQ(opts.get_int("alpha", 0), 3);
+  EXPECT_EQ(opts.get_int("beta", 0), 4);
+  EXPECT_TRUE(opts.get_bool("flag", false));
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "pos1");
+}
+
+TEST(Options, SpaceFormIsGreedy) {
+  const char* argv[] = {"prog", "--flag", "pos1"};
+  Options opts(3, argv);
+  EXPECT_EQ(opts.get_string("flag", ""), "pos1");
+  EXPECT_TRUE(opts.positional().empty());
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options opts(1, argv);
+  EXPECT_EQ(opts.get_int("missing", 17), 17);
+  EXPECT_EQ(opts.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(opts.get_string("missing", "x"), "x");
+  EXPECT_FALSE(opts.get_bool("missing", false));
+}
+
+TEST(Options, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--alpha=notanumber"};
+  Options opts(2, argv);
+  EXPECT_THROW(opts.get_int("alpha", 0), std::invalid_argument);
+}
+
+TEST(Options, EnvironmentFallback) {
+  ::setenv("DISCSP_TEST_OPT", "123", 1);
+  const char* argv[] = {"prog"};
+  Options opts(1, argv);
+  EXPECT_EQ(opts.get_int("whatever", 0, "DISCSP_TEST_OPT"), 123);
+  // Explicit flag beats environment.
+  const char* argv2[] = {"prog", "--whatever=5"};
+  Options opts2(2, argv2);
+  EXPECT_EQ(opts2.get_int("whatever", 0, "DISCSP_TEST_OPT"), 5);
+  ::unsetenv("DISCSP_TEST_OPT");
+}
+
+TEST(Options, BoolishValues) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=off", "--d=yes"};
+  Options opts(5, argv);
+  EXPECT_FALSE(opts.get_bool("a", true));
+  EXPECT_FALSE(opts.get_bool("b", true));
+  EXPECT_FALSE(opts.get_bool("c", true));
+  EXPECT_TRUE(opts.get_bool("d", false));
+}
+
+TEST(ReproConfig, Defaults) {
+  const char* argv[] = {"prog"};
+  const auto cfg = repro_config_from(Options(1, argv));
+  EXPECT_EQ(cfg.trials, 20);
+  EXPECT_EQ(cfg.max_cycles, 10000);
+}
+
+TEST(ReproConfig, FullRestoresPaperScale) {
+  const char* argv[] = {"prog", "--full"};
+  const auto cfg = repro_config_from(Options(2, argv));
+  EXPECT_EQ(cfg.trials, 100);
+}
+
+TEST(ReproConfig, ExplicitTrialsBeatFull) {
+  const char* argv[] = {"prog", "--full", "--trials=7"};
+  const auto cfg = repro_config_from(Options(3, argv));
+  EXPECT_EQ(cfg.trials, 7);
+}
+
+TEST(ReproConfig, RejectsNonPositive) {
+  const char* argv[] = {"prog", "--trials=0"};
+  EXPECT_THROW(repro_config_from(Options(2, argv)), std::invalid_argument);
+  const char* argv2[] = {"prog", "--max-cycles=-5"};
+  EXPECT_THROW(repro_config_from(Options(2, argv2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace discsp

@@ -1,0 +1,117 @@
+// Credit-recovery termination detection: exact conservation, carrying, and
+// agreement with the omniscient quiescence scan on real AWC runs.
+#include <gtest/gtest.h>
+
+#include "awc/awc_solver.h"
+#include "csp/validate.h"
+#include "gen/coloring_gen.h"
+#include "learning/resolvent.h"
+#include "sim/termination.h"
+#include "sim/thread_runtime.h"
+
+namespace discsp::sim {
+namespace {
+
+TEST(CreditLedger, TerminatesExactlyWhenAllSharesReturn) {
+  CreditLedger ledger(3);
+  EXPECT_FALSE(ledger.terminated());
+  const int unit[] = {0};
+  ledger.deposit(unit);
+  ledger.deposit(unit);
+  EXPECT_FALSE(ledger.terminated());
+  ledger.deposit(unit);
+  EXPECT_TRUE(ledger.terminated());
+  EXPECT_DOUBLE_EQ(ledger.recovered(), 3.0);
+}
+
+TEST(CreditLedger, CarriesHalvesIntoUnits) {
+  CreditLedger ledger(1);
+  const int halves[] = {1, 1};  // 1/2 + 1/2
+  ledger.deposit(halves);
+  EXPECT_TRUE(ledger.terminated());
+}
+
+TEST(CreditLedger, DeepChainsCarryCorrectly) {
+  CreditLedger ledger(1);
+  // 1 = 1/2 + 1/4 + ... + 2^-20 + 2^-20.
+  std::vector<int> pieces;
+  for (int k = 1; k <= 20; ++k) pieces.push_back(k);
+  pieces.push_back(20);
+  ledger.deposit(pieces);
+  EXPECT_TRUE(ledger.terminated());
+}
+
+TEST(CreditLedger, PartialCreditIsNotTermination) {
+  CreditLedger ledger(1);
+  const int piece[] = {1};  // only half came home
+  ledger.deposit(piece);
+  EXPECT_FALSE(ledger.terminated());
+  EXPECT_DOUBLE_EQ(ledger.recovered(), 0.5);
+}
+
+TEST(CreditLedger, RejectsNonPositiveShares) {
+  EXPECT_THROW(CreditLedger(0), std::invalid_argument);
+}
+
+TEST(CreditPool, SplitConservesValueExactly) {
+  CreditPool pool;
+  pool.add(0);  // one unit
+  CreditLedger ledger(1);
+  std::vector<int> attached;
+  for (int i = 0; i < 40; ++i) attached.push_back(pool.split());
+  // Returning both the attached pieces and the remainder recovers the unit.
+  ledger.deposit(attached);
+  ledger.deposit(pool.drain());
+  EXPECT_TRUE(ledger.terminated());
+}
+
+TEST(CreditPool, SplitFromEmptyThrows) {
+  CreditPool pool;
+  EXPECT_THROW(pool.split(), std::logic_error);
+}
+
+TEST(CreditPool, SplitsLargestPieceFirst) {
+  CreditPool pool;
+  pool.add(5);
+  pool.add(1);  // largest piece (2^-1)
+  EXPECT_EQ(pool.split(), 2) << "the 2^-1 piece should be halved, giving 2^-2";
+}
+
+TEST(CreditTermination, ThreadRuntimeDetectsAndSolves) {
+  Rng rng(61);
+  const auto inst = gen::generate_coloring3(14, rng);
+  const auto dp = gen::distribute(inst);
+  awc::AwcSolver solver(dp, learning::ResolventLearning{});
+  const auto initial = solver.random_initial(rng);
+
+  ThreadRuntimeConfig config;
+  config.use_credit_termination = true;
+  ThreadRuntime runtime(dp.problem(), solver.make_agents(initial, rng.derive(1)), config);
+  const auto result = runtime.run();
+  ASSERT_TRUE(result.metrics.solved);
+  EXPECT_TRUE(validate_solution(inst.problem, result.assignment).ok);
+  EXPECT_TRUE(runtime.credit_fully_recovered())
+      << "after a detected termination every credit share must be home";
+}
+
+TEST(CreditTermination, MatchesOmniscientDetection) {
+  // The same run must solve under both detection mechanisms.
+  Rng rng(67);
+  const auto inst = gen::generate_coloring3(12, rng);
+  const auto dp = gen::distribute(inst);
+  awc::AwcSolver solver(dp, learning::ResolventLearning{});
+  const auto initial = solver.random_initial(rng);
+
+  for (const bool use_credit : {true, false}) {
+    ThreadRuntimeConfig config;
+    config.use_credit_termination = use_credit;
+    ThreadRuntime runtime(dp.problem(), solver.make_agents(initial, rng.derive(2)),
+                          config);
+    const auto result = runtime.run();
+    ASSERT_TRUE(result.metrics.solved) << "credit=" << use_credit;
+    EXPECT_TRUE(validate_solution(inst.problem, result.assignment).ok);
+  }
+}
+
+}  // namespace
+}  // namespace discsp::sim

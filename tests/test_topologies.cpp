@@ -1,0 +1,77 @@
+// Structured topologies and the uniform random SAT ensemble.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "csp/modeling.h"
+#include "gen/topologies.h"
+#include "solver/backtracking.h"
+#include "solver/model_counter.h"
+
+namespace discsp::gen {
+namespace {
+
+TEST(Topologies, RingShape) {
+  const auto edges = ring_edges(5);
+  EXPECT_EQ(edges.size(), 5u);
+  // Odd ring: 2-coloring impossible, 3-coloring fine.
+  EXPECT_EQ(count_solutions(model::coloring_problem(5, 2, edges)), 0u);
+  EXPECT_GT(count_solutions(model::coloring_problem(5, 3, edges)), 0u);
+  EXPECT_THROW(ring_edges(2), std::invalid_argument);
+}
+
+TEST(Topologies, EvenRingIsBipartite) {
+  const auto edges = ring_edges(6);
+  EXPECT_EQ(count_solutions(model::coloring_problem(6, 2, edges)), 2u);
+}
+
+TEST(Topologies, GridShapeAndBipartiteness) {
+  const auto edges = grid_edges(3, 4);
+  EXPECT_EQ(edges.size(), 3u * 3 + 2u * 4);  // horizontal + vertical
+  EXPECT_EQ(count_solutions(model::coloring_problem(12, 2, edges)), 2u);
+  EXPECT_THROW(grid_edges(0, 3), std::invalid_argument);
+}
+
+TEST(Topologies, CompleteGraphNeedsNColors) {
+  const auto edges = complete_edges(4);
+  EXPECT_EQ(edges.size(), 6u);
+  EXPECT_EQ(count_solutions(model::coloring_problem(4, 3, edges)), 0u);
+  EXPECT_EQ(count_solutions(model::coloring_problem(4, 4, edges)), 24u);  // 4!
+}
+
+TEST(Topologies, RandomEdgesDistinctAndBounded) {
+  Rng rng(5);
+  const auto edges = random_edges(10, 20, rng);
+  EXPECT_EQ(edges.size(), 20u);
+  std::set<std::pair<VarId, VarId>> seen(edges.begin(), edges.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (const auto& [u, v] : edges) {
+    EXPECT_LT(u, v);
+    EXPECT_LT(v, 10);
+  }
+  EXPECT_THROW(random_edges(4, 100, rng), std::invalid_argument);
+}
+
+TEST(Topologies, RandomKsatShape) {
+  Rng rng(7);
+  const auto cnf = random_ksat(20, 60, 3, rng);
+  EXPECT_EQ(cnf.num_vars(), 20);
+  EXPECT_EQ(cnf.num_clauses(), 60u);
+  for (const auto& clause : cnf.clauses()) {
+    EXPECT_EQ(clause.size(), 3u);
+    EXPECT_FALSE(clause.is_tautology());
+  }
+}
+
+TEST(Topologies, RandomKsatSpansSatAndUnsat) {
+  // At a very high ratio random 3SAT is unsatisfiable w.h.p.; at a very low
+  // one it is satisfiable w.h.p. This exercises both solver paths.
+  Rng rng(9);
+  const auto easy = random_ksat(20, 20, 3, rng);
+  EXPECT_TRUE(sat::is_satisfiable(easy));
+  const auto hard = random_ksat(12, 160, 3, rng);
+  EXPECT_FALSE(sat::is_satisfiable(hard));
+}
+
+}  // namespace
+}  // namespace discsp::gen

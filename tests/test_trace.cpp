@@ -1,0 +1,74 @@
+// Convergence tracing: observer wiring and series utilities.
+#include <gtest/gtest.h>
+
+#include "analysis/trace.h"
+#include "awc/awc_solver.h"
+#include "gen/coloring_gen.h"
+#include "learning/resolvent.h"
+
+namespace discsp::analysis {
+namespace {
+
+TracedRun traced_awc_run(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto inst = gen::generate_coloring3(n, rng);
+  const auto dp = gen::distribute(inst);
+  awc::AwcSolver solver(dp, learning::ResolventLearning{});
+  const auto initial = solver.random_initial(rng);
+  // NOTE: run_traced takes the problem by reference; keep it alive via the
+  // instance owned by this scope for the duration of the call only.
+  return run_traced(inst.problem, solver.make_agents(initial, rng.derive(1)), 10000);
+}
+
+TEST(Trace, RecordsOnePointPerCycle) {
+  const auto run = traced_awc_run(20, 3);
+  ASSERT_TRUE(run.result.metrics.solved);
+  EXPECT_EQ(static_cast<int>(run.trace.points().size()), run.result.metrics.cycles);
+  for (std::size_t i = 0; i < run.trace.points().size(); ++i) {
+    EXPECT_EQ(run.trace.points()[i].cycle, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(Trace, FinalCycleHasZeroViolations) {
+  const auto run = traced_awc_run(20, 4);
+  ASSERT_TRUE(run.result.metrics.solved);
+  ASSERT_FALSE(run.trace.points().empty());
+  EXPECT_EQ(run.trace.points().back().violated_nogoods, 0u);
+  EXPECT_EQ(run.trace.last_violated_cycle(),
+            static_cast<int>(run.trace.points().size()) - 1)
+      << "the penultimate recorded cycle still had violations";
+}
+
+TEST(Trace, PeakViolationsIsAnUpperBound) {
+  const auto run = traced_awc_run(25, 5);
+  const auto peak = run.trace.peak_violations();
+  for (const auto& p : run.trace.points()) {
+    EXPECT_LE(p.violated_nogoods, peak);
+  }
+  EXPECT_GT(peak, 0u) << "a random initial assignment violates something";
+}
+
+TEST(Trace, DownsampledKeepsEndpointsAndBound) {
+  const auto run = traced_awc_run(30, 6);
+  const auto& full = run.trace.points();
+  ASSERT_GT(full.size(), 8u);
+  const auto sampled = run.trace.downsampled(8);
+  EXPECT_EQ(sampled.size(), 8u);
+  EXPECT_EQ(sampled.front().cycle, full.front().cycle);
+  EXPECT_EQ(sampled.back().cycle, full.back().cycle);
+  // Downsampling a short series is the identity.
+  EXPECT_EQ(run.trace.downsampled(full.size() + 10).size(), full.size());
+  EXPECT_EQ(run.trace.downsampled(0).size(), full.size());
+}
+
+TEST(Trace, ClearResets) {
+  auto run = traced_awc_run(15, 7);
+  EXPECT_FALSE(run.trace.points().empty());
+  run.trace.clear();
+  EXPECT_TRUE(run.trace.points().empty());
+  EXPECT_EQ(run.trace.peak_violations(), 0u);
+  EXPECT_EQ(run.trace.last_violated_cycle(), 0);
+}
+
+}  // namespace
+}  // namespace discsp::analysis

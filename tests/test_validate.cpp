@@ -1,0 +1,72 @@
+// Solution validation and nogood entailment checking.
+#include <gtest/gtest.h>
+
+#include "csp/validate.h"
+
+namespace discsp {
+namespace {
+
+Problem two_var_diff() {
+  Problem p;
+  p.add_variables(2, 2);
+  p.add_nogood(Nogood{{0, 0}, {1, 0}});
+  p.add_nogood(Nogood{{0, 1}, {1, 1}});
+  return p;
+}
+
+TEST(Validate, AcceptsSolutions) {
+  const Problem p = two_var_diff();
+  const auto report = validate_solution(p, {0, 1});
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.violated.empty());
+  EXPECT_TRUE(report.error.empty());
+}
+
+TEST(Validate, ReportsViolatedIndices) {
+  const Problem p = two_var_diff();
+  const auto report = validate_solution(p, {0, 0});
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.violated, (std::vector<std::size_t>{0}));
+}
+
+TEST(Validate, ReportsArityError) {
+  const Problem p = two_var_diff();
+  const auto report = validate_solution(p, {0});
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.error.empty());
+}
+
+TEST(Validate, ReportsDomainError) {
+  const Problem p = two_var_diff();
+  const auto report = validate_solution(p, {0, 7});
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("domain"), std::string::npos);
+}
+
+TEST(Entailment, ExplicitNogoodIsEntailed) {
+  const Problem p = two_var_diff();
+  EXPECT_TRUE(nogood_is_entailed(p, Nogood{{0, 0}, {1, 0}}));
+}
+
+TEST(Entailment, DerivedNogoodOnK3) {
+  // Triangle over {0,1}: no proper 2-coloring exists, so anything —
+  // including the empty nogood — is entailed.
+  Problem p;
+  p.add_variables(3, 2);
+  for (VarId u = 0; u < 3; ++u) {
+    for (VarId v = static_cast<VarId>(u + 1); v < 3; ++v) {
+      for (Value c = 0; c < 2; ++c) p.add_nogood(Nogood{{u, c}, {v, c}});
+    }
+  }
+  EXPECT_TRUE(nogood_is_entailed(p, Nogood{}));
+  EXPECT_TRUE(nogood_is_entailed(p, Nogood{{0, 0}}));
+}
+
+TEST(Entailment, NonNogoodIsNotEntailed) {
+  const Problem p = two_var_diff();
+  EXPECT_FALSE(nogood_is_entailed(p, Nogood{{0, 0}}));  // x0=0,x1=1 solves it
+  EXPECT_FALSE(nogood_is_entailed(p, Nogood{}));
+}
+
+}  // namespace
+}  // namespace discsp

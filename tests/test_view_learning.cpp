@@ -1,0 +1,82 @@
+// ABT-style agent_view learning plugged into AWC.
+#include <gtest/gtest.h>
+
+#include "awc/awc_agent.h"
+#include "awc/awc_solver.h"
+#include "csp/validate.h"
+#include "gen/coloring_gen.h"
+#include "learning/strategy.h"
+#include "learning/view_learning.h"
+
+namespace discsp {
+namespace {
+
+TEST(ViewLearning, ReturnsTheViewVerbatim) {
+  learning::ViewLearning view;
+  const std::vector<Assignment> agent_view{{0, 1}, {3, 2}};
+  learning::DeadendContext ctx;
+  ctx.agent_view = &agent_view;
+  std::uint64_t checks = 0;
+  const auto learned = view.learn(ctx, checks);
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_EQ(*learned, (Nogood{{0, 1}, {3, 2}}));
+  EXPECT_EQ(checks, 0u) << "view learning is the zero-cost method";
+}
+
+TEST(ViewLearning, EmptyViewMeansContradiction) {
+  learning::ViewLearning view;
+  const std::vector<Assignment> agent_view;
+  learning::DeadendContext ctx;
+  ctx.agent_view = &agent_view;
+  std::uint64_t checks = 0;
+  const auto learned = view.learn(ctx, checks);
+  ASSERT_TRUE(learned.has_value());
+  EXPECT_TRUE(learned->empty());
+}
+
+TEST(ViewLearning, MissingViewThrows) {
+  learning::ViewLearning view;
+  learning::DeadendContext ctx;
+  std::uint64_t checks = 0;
+  EXPECT_THROW(view.learn(ctx, checks), std::invalid_argument);
+}
+
+TEST(ViewLearning, FactoryKnowsIt) {
+  EXPECT_EQ(learning::make_strategy("View")->name(), "View");
+  EXPECT_EQ(learning::make_strategy("view")->name(), "View");
+}
+
+TEST(ViewLearning, AwcSolvesWithIt) {
+  Rng rng(3);
+  const auto inst = gen::generate_coloring3(20, rng);
+  const auto dp = gen::distribute(inst);
+  awc::AwcSolver solver(dp, learning::ViewLearning{});
+  const auto result = solver.solve(solver.random_initial(rng), rng.derive(1));
+  ASSERT_TRUE(result.metrics.solved);
+  EXPECT_TRUE(validate_solution(inst.problem, result.assignment).ok);
+}
+
+TEST(ViewLearning, LearnedNogoodsAreEntailedOnSmallInstances) {
+  Rng rng(5);
+  const auto inst = gen::generate_coloring3(9, rng);
+  const auto dp = gen::distribute(inst);
+  awc::AwcSolver solver(dp, learning::ViewLearning{});
+  Rng trial(7);
+  const auto initial = solver.random_initial(trial);
+  auto agents = solver.make_agents(initial, trial.derive(1));
+  std::vector<awc::AwcAgent*> handles;
+  for (auto& a : agents) handles.push_back(dynamic_cast<awc::AwcAgent*>(a.get()));
+  sim::SyncEngine engine(dp.problem(), std::move(agents));
+  const auto result = engine.run(10000);
+  ASSERT_TRUE(result.metrics.solved);
+  for (const awc::AwcAgent* agent : handles) {
+    const NogoodStore& store = agent->store();
+    for (std::size_t i = store.initial_count(); i < store.size(); ++i) {
+      EXPECT_TRUE(nogood_is_entailed(dp.problem(), store.at(i)))
+          << store.at(i).str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace discsp
