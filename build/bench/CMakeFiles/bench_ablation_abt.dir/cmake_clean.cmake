@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abt.dir/bench_ablation_abt.cpp.o"
+  "CMakeFiles/bench_ablation_abt.dir/bench_ablation_abt.cpp.o.d"
+  "bench_ablation_abt"
+  "bench_ablation_abt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

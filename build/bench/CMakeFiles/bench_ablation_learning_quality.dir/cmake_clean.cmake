@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_learning_quality.dir/bench_ablation_learning_quality.cpp.o"
+  "CMakeFiles/bench_ablation_learning_quality.dir/bench_ablation_learning_quality.cpp.o.d"
+  "bench_ablation_learning_quality"
+  "bench_ablation_learning_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_learning_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multivar.dir/bench_ablation_multivar.cpp.o"
+  "CMakeFiles/bench_ablation_multivar.dir/bench_ablation_multivar.cpp.o.d"
+  "bench_ablation_multivar"
+  "bench_ablation_multivar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multivar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convergence_profile.dir/bench_convergence_profile.cpp.o"
+  "CMakeFiles/bench_convergence_profile.dir/bench_convergence_profile.cpp.o.d"
+  "bench_convergence_profile"
+  "bench_convergence_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

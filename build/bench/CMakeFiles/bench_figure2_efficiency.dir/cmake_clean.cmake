@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure2_efficiency.dir/bench_figure2_efficiency.cpp.o"
+  "CMakeFiles/bench_figure2_efficiency.dir/bench_figure2_efficiency.cpp.o.d"
+  "bench_figure2_efficiency"
+  "bench_figure2_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

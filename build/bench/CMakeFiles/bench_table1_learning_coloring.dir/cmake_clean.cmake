@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_learning_coloring.dir/bench_table1_learning_coloring.cpp.o"
+  "CMakeFiles/bench_table1_learning_coloring.dir/bench_table1_learning_coloring.cpp.o.d"
+  "bench_table1_learning_coloring"
+  "bench_table1_learning_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_learning_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

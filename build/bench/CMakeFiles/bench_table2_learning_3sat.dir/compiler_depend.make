@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table2_learning_3sat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_learning_3onesat.dir/bench_table3_learning_3onesat.cpp.o"
+  "CMakeFiles/bench_table3_learning_3onesat.dir/bench_table3_learning_3onesat.cpp.o.d"
+  "bench_table3_learning_3onesat"
+  "bench_table3_learning_3onesat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_learning_3onesat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_redundant_nogoods.dir/bench_table4_redundant_nogoods.cpp.o"
+  "CMakeFiles/bench_table4_redundant_nogoods.dir/bench_table4_redundant_nogoods.cpp.o.d"
+  "bench_table4_redundant_nogoods"
+  "bench_table4_redundant_nogoods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_redundant_nogoods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_sizebounded_coloring.dir/bench_table5_sizebounded_coloring.cpp.o"
+  "CMakeFiles/bench_table5_sizebounded_coloring.dir/bench_table5_sizebounded_coloring.cpp.o.d"
+  "bench_table5_sizebounded_coloring"
+  "bench_table5_sizebounded_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_sizebounded_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_sizebounded_3sat.dir/bench_table6_sizebounded_3sat.cpp.o"
+  "CMakeFiles/bench_table6_sizebounded_3sat.dir/bench_table6_sizebounded_3sat.cpp.o.d"
+  "bench_table6_sizebounded_3sat"
+  "bench_table6_sizebounded_3sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_sizebounded_3sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table8_db_coloring.cpp" "bench/CMakeFiles/bench_table8_db_coloring.dir/bench_table8_db_coloring.cpp.o" "gcc" "bench/CMakeFiles/bench_table8_db_coloring.dir/bench_table8_db_coloring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/discsp_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_multi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_awc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_abt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_db_3sat.dir/bench_table9_db_3sat.cpp.o"
+  "CMakeFiles/bench_table9_db_3sat.dir/bench_table9_db_3sat.cpp.o.d"
+  "bench_table9_db_3sat"
+  "bench_table9_db_3sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_db_3sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/discsp_bench_harness.dir/harness.cpp.o.d"
+  "libdiscsp_bench_harness.a"
+  "libdiscsp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

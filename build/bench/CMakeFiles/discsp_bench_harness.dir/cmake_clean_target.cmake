@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiscsp_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_demo.dir/async_demo.cpp.o"
+  "CMakeFiles/async_demo.dir/async_demo.cpp.o.d"
+  "async_demo"
+  "async_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

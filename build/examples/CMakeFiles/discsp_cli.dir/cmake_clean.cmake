@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_cli.dir/discsp_cli.cpp.o"
+  "CMakeFiles/discsp_cli.dir/discsp_cli.cpp.o.d"
+  "discsp_cli"
+  "discsp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

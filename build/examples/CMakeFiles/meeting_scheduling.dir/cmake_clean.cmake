@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_scheduling.dir/meeting_scheduling.cpp.o"
+  "CMakeFiles/meeting_scheduling.dir/meeting_scheduling.cpp.o.d"
+  "meeting_scheduling"
+  "meeting_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

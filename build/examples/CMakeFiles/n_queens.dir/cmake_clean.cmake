@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/n_queens.dir/n_queens.cpp.o"
+  "CMakeFiles/n_queens.dir/n_queens.cpp.o.d"
+  "n_queens"
+  "n_queens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/n_queens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_solving.dir/sat_solving.cpp.o"
+  "CMakeFiles/sat_solving.dir/sat_solving.cpp.o.d"
+  "sat_solving"
+  "sat_solving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_solving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_meeting_scheduling "/root/repo/build/examples/meeting_scheduling")
+set_tests_properties(example_meeting_scheduling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_async_demo "/root/repo/build/examples/async_demo" "--n" "16")
+set_tests_properties(example_async_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph_coloring "/root/repo/build/examples/graph_coloring" "--n" "40")
+set_tests_properties(example_graph_coloring PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sat_solving "/root/repo/build/examples/sat_solving" "--generate" "planted" "--n" "40")
+set_tests_properties(example_sat_solving PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_n_queens "/root/repo/build/examples/n_queens" "--n" "12")
+set_tests_properties(example_n_queens PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_gen "/root/repo/build/examples/discsp_cli" "gen" "coloring" "--n" "24" "--seed" "3" "--out" "/root/repo/build/examples/cli_test.dcsp")
+set_tests_properties(cli_gen PROPERTIES  FIXTURES_SETUP "cli_instance" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_solve_awc "/root/repo/build/examples/discsp_cli" "solve" "/root/repo/build/examples/cli_test.dcsp" "--algo" "awc" "--seed" "5")
+set_tests_properties(cli_solve_awc PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_solve_db "/root/repo/build/examples/discsp_cli" "solve" "/root/repo/build/examples/cli_test.dcsp" "--algo" "db" "--seed" "5")
+set_tests_properties(cli_solve_db PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_solve_abt "/root/repo/build/examples/discsp_cli" "solve" "/root/repo/build/examples/cli_test.dcsp" "--algo" "abt" "--seed" "5")
+set_tests_properties(cli_solve_abt PROPERTIES  FIXTURES_REQUIRED "cli_instance" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_gen_sat "/root/repo/build/examples/discsp_cli" "gen" "sat3" "--n" "30" "--seed" "7" "--out" "/root/repo/build/examples/cli_test.cnf")
+set_tests_properties(cli_gen_sat PROPERTIES  FIXTURES_SETUP "cli_sat" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_convert "/root/repo/build/examples/discsp_cli" "convert" "/root/repo/build/examples/cli_test.cnf" "/root/repo/build/examples/cli_test_conv.dcsp")
+set_tests_properties(cli_convert PROPERTIES  FIXTURES_REQUIRED "cli_sat" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,129 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "discsp::discsp_common" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_common )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_common "${_IMPORT_PREFIX}/lib/libdiscsp_common.a" )
+
+# Import target "discsp::discsp_csp" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_csp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_csp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_csp.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_csp )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_csp "${_IMPORT_PREFIX}/lib/libdiscsp_csp.a" )
+
+# Import target "discsp::discsp_sat" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_sat APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_sat PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_sat.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_sat )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_sat "${_IMPORT_PREFIX}/lib/libdiscsp_sat.a" )
+
+# Import target "discsp::discsp_solver" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_solver APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_solver PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_solver.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_solver )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_solver "${_IMPORT_PREFIX}/lib/libdiscsp_solver.a" )
+
+# Import target "discsp::discsp_gen" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_gen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_gen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_gen.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_gen )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_gen "${_IMPORT_PREFIX}/lib/libdiscsp_gen.a" )
+
+# Import target "discsp::discsp_sim" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_sim )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_sim "${_IMPORT_PREFIX}/lib/libdiscsp_sim.a" )
+
+# Import target "discsp::discsp_learning" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_learning APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_learning PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_learning.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_learning )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_learning "${_IMPORT_PREFIX}/lib/libdiscsp_learning.a" )
+
+# Import target "discsp::discsp_awc" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_awc APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_awc PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_awc.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_awc )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_awc "${_IMPORT_PREFIX}/lib/libdiscsp_awc.a" )
+
+# Import target "discsp::discsp_db" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_db APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_db PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_db.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_db )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_db "${_IMPORT_PREFIX}/lib/libdiscsp_db.a" )
+
+# Import target "discsp::discsp_abt" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_abt APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_abt PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_abt.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_abt )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_abt "${_IMPORT_PREFIX}/lib/libdiscsp_abt.a" )
+
+# Import target "discsp::discsp_multi" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_multi APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_multi PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_multi.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_multi )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_multi "${_IMPORT_PREFIX}/lib/libdiscsp_multi.a" )
+
+# Import target "discsp::discsp_analysis" for configuration "RelWithDebInfo"
+set_property(TARGET discsp::discsp_analysis APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(discsp::discsp_analysis PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libdiscsp_analysis.a"
+  )
+
+list(APPEND _cmake_import_check_targets discsp::discsp_analysis )
+list(APPEND _cmake_import_check_files_for_discsp::discsp_analysis "${_IMPORT_PREFIX}/lib/libdiscsp_analysis.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

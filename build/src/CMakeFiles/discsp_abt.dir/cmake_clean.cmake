@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_abt.dir/abt/abt_agent.cpp.o"
+  "CMakeFiles/discsp_abt.dir/abt/abt_agent.cpp.o.d"
+  "CMakeFiles/discsp_abt.dir/abt/abt_solver.cpp.o"
+  "CMakeFiles/discsp_abt.dir/abt/abt_solver.cpp.o.d"
+  "libdiscsp_abt.a"
+  "libdiscsp_abt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_abt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_analysis.dir/analysis/efficiency.cpp.o"
+  "CMakeFiles/discsp_analysis.dir/analysis/efficiency.cpp.o.d"
+  "CMakeFiles/discsp_analysis.dir/analysis/experiment.cpp.o"
+  "CMakeFiles/discsp_analysis.dir/analysis/experiment.cpp.o.d"
+  "CMakeFiles/discsp_analysis.dir/analysis/trace.cpp.o"
+  "CMakeFiles/discsp_analysis.dir/analysis/trace.cpp.o.d"
+  "libdiscsp_analysis.a"
+  "libdiscsp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_awc.dir/awc/awc_agent.cpp.o"
+  "CMakeFiles/discsp_awc.dir/awc/awc_agent.cpp.o.d"
+  "CMakeFiles/discsp_awc.dir/awc/awc_solver.cpp.o"
+  "CMakeFiles/discsp_awc.dir/awc/awc_solver.cpp.o.d"
+  "libdiscsp_awc.a"
+  "libdiscsp_awc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_awc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

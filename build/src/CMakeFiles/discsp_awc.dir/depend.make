@@ -1,0 +1,2 @@
+# Empty dependencies file for discsp_awc.
+# This may be replaced when dependencies are built.

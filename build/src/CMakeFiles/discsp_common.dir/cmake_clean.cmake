@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_common.dir/common/options.cpp.o"
+  "CMakeFiles/discsp_common.dir/common/options.cpp.o.d"
+  "CMakeFiles/discsp_common.dir/common/rng.cpp.o"
+  "CMakeFiles/discsp_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/discsp_common.dir/common/stats.cpp.o"
+  "CMakeFiles/discsp_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/discsp_common.dir/common/table.cpp.o"
+  "CMakeFiles/discsp_common.dir/common/table.cpp.o.d"
+  "libdiscsp_common.a"
+  "libdiscsp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

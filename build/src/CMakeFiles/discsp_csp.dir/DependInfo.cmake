@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csp/distributed_problem.cpp" "src/CMakeFiles/discsp_csp.dir/csp/distributed_problem.cpp.o" "gcc" "src/CMakeFiles/discsp_csp.dir/csp/distributed_problem.cpp.o.d"
+  "/root/repo/src/csp/modeling.cpp" "src/CMakeFiles/discsp_csp.dir/csp/modeling.cpp.o" "gcc" "src/CMakeFiles/discsp_csp.dir/csp/modeling.cpp.o.d"
+  "/root/repo/src/csp/nogood.cpp" "src/CMakeFiles/discsp_csp.dir/csp/nogood.cpp.o" "gcc" "src/CMakeFiles/discsp_csp.dir/csp/nogood.cpp.o.d"
+  "/root/repo/src/csp/nogood_store.cpp" "src/CMakeFiles/discsp_csp.dir/csp/nogood_store.cpp.o" "gcc" "src/CMakeFiles/discsp_csp.dir/csp/nogood_store.cpp.o.d"
+  "/root/repo/src/csp/problem.cpp" "src/CMakeFiles/discsp_csp.dir/csp/problem.cpp.o" "gcc" "src/CMakeFiles/discsp_csp.dir/csp/problem.cpp.o.d"
+  "/root/repo/src/csp/serialize.cpp" "src/CMakeFiles/discsp_csp.dir/csp/serialize.cpp.o" "gcc" "src/CMakeFiles/discsp_csp.dir/csp/serialize.cpp.o.d"
+  "/root/repo/src/csp/validate.cpp" "src/CMakeFiles/discsp_csp.dir/csp/validate.cpp.o" "gcc" "src/CMakeFiles/discsp_csp.dir/csp/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/discsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

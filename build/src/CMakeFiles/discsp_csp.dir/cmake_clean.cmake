@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_csp.dir/csp/distributed_problem.cpp.o"
+  "CMakeFiles/discsp_csp.dir/csp/distributed_problem.cpp.o.d"
+  "CMakeFiles/discsp_csp.dir/csp/modeling.cpp.o"
+  "CMakeFiles/discsp_csp.dir/csp/modeling.cpp.o.d"
+  "CMakeFiles/discsp_csp.dir/csp/nogood.cpp.o"
+  "CMakeFiles/discsp_csp.dir/csp/nogood.cpp.o.d"
+  "CMakeFiles/discsp_csp.dir/csp/nogood_store.cpp.o"
+  "CMakeFiles/discsp_csp.dir/csp/nogood_store.cpp.o.d"
+  "CMakeFiles/discsp_csp.dir/csp/problem.cpp.o"
+  "CMakeFiles/discsp_csp.dir/csp/problem.cpp.o.d"
+  "CMakeFiles/discsp_csp.dir/csp/serialize.cpp.o"
+  "CMakeFiles/discsp_csp.dir/csp/serialize.cpp.o.d"
+  "CMakeFiles/discsp_csp.dir/csp/validate.cpp.o"
+  "CMakeFiles/discsp_csp.dir/csp/validate.cpp.o.d"
+  "libdiscsp_csp.a"
+  "libdiscsp_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

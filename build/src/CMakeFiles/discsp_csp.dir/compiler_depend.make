@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for discsp_csp.
+# This may be replaced when dependencies are built.

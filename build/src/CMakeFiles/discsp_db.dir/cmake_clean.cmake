@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_db.dir/db/db_agent.cpp.o"
+  "CMakeFiles/discsp_db.dir/db/db_agent.cpp.o.d"
+  "CMakeFiles/discsp_db.dir/db/db_solver.cpp.o"
+  "CMakeFiles/discsp_db.dir/db/db_solver.cpp.o.d"
+  "libdiscsp_db.a"
+  "libdiscsp_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

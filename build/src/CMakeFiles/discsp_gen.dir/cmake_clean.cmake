@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_gen.dir/gen/coloring_gen.cpp.o"
+  "CMakeFiles/discsp_gen.dir/gen/coloring_gen.cpp.o.d"
+  "CMakeFiles/discsp_gen.dir/gen/onesat_gen.cpp.o"
+  "CMakeFiles/discsp_gen.dir/gen/onesat_gen.cpp.o.d"
+  "CMakeFiles/discsp_gen.dir/gen/sat_gen.cpp.o"
+  "CMakeFiles/discsp_gen.dir/gen/sat_gen.cpp.o.d"
+  "CMakeFiles/discsp_gen.dir/gen/topologies.cpp.o"
+  "CMakeFiles/discsp_gen.dir/gen/topologies.cpp.o.d"
+  "libdiscsp_gen.a"
+  "libdiscsp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

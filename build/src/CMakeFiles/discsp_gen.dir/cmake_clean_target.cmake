@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiscsp_gen.a"
+)

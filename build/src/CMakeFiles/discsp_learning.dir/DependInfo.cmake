@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learning/mcs.cpp" "src/CMakeFiles/discsp_learning.dir/learning/mcs.cpp.o" "gcc" "src/CMakeFiles/discsp_learning.dir/learning/mcs.cpp.o.d"
+  "/root/repo/src/learning/resolvent.cpp" "src/CMakeFiles/discsp_learning.dir/learning/resolvent.cpp.o" "gcc" "src/CMakeFiles/discsp_learning.dir/learning/resolvent.cpp.o.d"
+  "/root/repo/src/learning/strategy.cpp" "src/CMakeFiles/discsp_learning.dir/learning/strategy.cpp.o" "gcc" "src/CMakeFiles/discsp_learning.dir/learning/strategy.cpp.o.d"
+  "/root/repo/src/learning/view_learning.cpp" "src/CMakeFiles/discsp_learning.dir/learning/view_learning.cpp.o" "gcc" "src/CMakeFiles/discsp_learning.dir/learning/view_learning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/discsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_learning.dir/learning/mcs.cpp.o"
+  "CMakeFiles/discsp_learning.dir/learning/mcs.cpp.o.d"
+  "CMakeFiles/discsp_learning.dir/learning/resolvent.cpp.o"
+  "CMakeFiles/discsp_learning.dir/learning/resolvent.cpp.o.d"
+  "CMakeFiles/discsp_learning.dir/learning/strategy.cpp.o"
+  "CMakeFiles/discsp_learning.dir/learning/strategy.cpp.o.d"
+  "CMakeFiles/discsp_learning.dir/learning/view_learning.cpp.o"
+  "CMakeFiles/discsp_learning.dir/learning/view_learning.cpp.o.d"
+  "libdiscsp_learning.a"
+  "libdiscsp_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

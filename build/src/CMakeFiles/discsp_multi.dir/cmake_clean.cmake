@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_multi.dir/multi/multi_awc.cpp.o"
+  "CMakeFiles/discsp_multi.dir/multi/multi_awc.cpp.o.d"
+  "libdiscsp_multi.a"
+  "libdiscsp_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_sat.dir/sat/cnf.cpp.o"
+  "CMakeFiles/discsp_sat.dir/sat/cnf.cpp.o.d"
+  "CMakeFiles/discsp_sat.dir/sat/cnf_to_csp.cpp.o"
+  "CMakeFiles/discsp_sat.dir/sat/cnf_to_csp.cpp.o.d"
+  "CMakeFiles/discsp_sat.dir/sat/dimacs.cpp.o"
+  "CMakeFiles/discsp_sat.dir/sat/dimacs.cpp.o.d"
+  "libdiscsp_sat.a"
+  "libdiscsp_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_engine.cpp" "src/CMakeFiles/discsp_sim.dir/sim/async_engine.cpp.o" "gcc" "src/CMakeFiles/discsp_sim.dir/sim/async_engine.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/discsp_sim.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/discsp_sim.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/sync_engine.cpp" "src/CMakeFiles/discsp_sim.dir/sim/sync_engine.cpp.o" "gcc" "src/CMakeFiles/discsp_sim.dir/sim/sync_engine.cpp.o.d"
+  "/root/repo/src/sim/termination.cpp" "src/CMakeFiles/discsp_sim.dir/sim/termination.cpp.o" "gcc" "src/CMakeFiles/discsp_sim.dir/sim/termination.cpp.o.d"
+  "/root/repo/src/sim/thread_runtime.cpp" "src/CMakeFiles/discsp_sim.dir/sim/thread_runtime.cpp.o" "gcc" "src/CMakeFiles/discsp_sim.dir/sim/thread_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/discsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_sim.dir/sim/async_engine.cpp.o"
+  "CMakeFiles/discsp_sim.dir/sim/async_engine.cpp.o.d"
+  "CMakeFiles/discsp_sim.dir/sim/message.cpp.o"
+  "CMakeFiles/discsp_sim.dir/sim/message.cpp.o.d"
+  "CMakeFiles/discsp_sim.dir/sim/sync_engine.cpp.o"
+  "CMakeFiles/discsp_sim.dir/sim/sync_engine.cpp.o.d"
+  "CMakeFiles/discsp_sim.dir/sim/termination.cpp.o"
+  "CMakeFiles/discsp_sim.dir/sim/termination.cpp.o.d"
+  "CMakeFiles/discsp_sim.dir/sim/thread_runtime.cpp.o"
+  "CMakeFiles/discsp_sim.dir/sim/thread_runtime.cpp.o.d"
+  "libdiscsp_sim.a"
+  "libdiscsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

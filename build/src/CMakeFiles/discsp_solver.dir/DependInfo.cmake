@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/backtracking.cpp" "src/CMakeFiles/discsp_solver.dir/solver/backtracking.cpp.o" "gcc" "src/CMakeFiles/discsp_solver.dir/solver/backtracking.cpp.o.d"
+  "/root/repo/src/solver/model_counter.cpp" "src/CMakeFiles/discsp_solver.dir/solver/model_counter.cpp.o" "gcc" "src/CMakeFiles/discsp_solver.dir/solver/model_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/discsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

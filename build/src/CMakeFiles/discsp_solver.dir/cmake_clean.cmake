@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsp_solver.dir/solver/backtracking.cpp.o"
+  "CMakeFiles/discsp_solver.dir/solver/backtracking.cpp.o.d"
+  "CMakeFiles/discsp_solver.dir/solver/model_counter.cpp.o"
+  "CMakeFiles/discsp_solver.dir/solver/model_counter.cpp.o.d"
+  "libdiscsp_solver.a"
+  "libdiscsp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abt.cpp" "tests/CMakeFiles/discsp_tests.dir/test_abt.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_abt.cpp.o.d"
+  "/root/repo/tests/test_async_engines.cpp" "tests/CMakeFiles/discsp_tests.dir/test_async_engines.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_async_engines.cpp.o.d"
+  "/root/repo/tests/test_async_fifo.cpp" "tests/CMakeFiles/discsp_tests.dir/test_async_fifo.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_async_fifo.cpp.o.d"
+  "/root/repo/tests/test_awc.cpp" "tests/CMakeFiles/discsp_tests.dir/test_awc.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_awc.cpp.o.d"
+  "/root/repo/tests/test_awc_properties.cpp" "tests/CMakeFiles/discsp_tests.dir/test_awc_properties.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_awc_properties.cpp.o.d"
+  "/root/repo/tests/test_awc_protocol.cpp" "tests/CMakeFiles/discsp_tests.dir/test_awc_protocol.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_awc_protocol.cpp.o.d"
+  "/root/repo/tests/test_backtracking.cpp" "tests/CMakeFiles/discsp_tests.dir/test_backtracking.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_backtracking.cpp.o.d"
+  "/root/repo/tests/test_cnf.cpp" "tests/CMakeFiles/discsp_tests.dir/test_cnf.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_cnf.cpp.o.d"
+  "/root/repo/tests/test_cnf_to_csp.cpp" "tests/CMakeFiles/discsp_tests.dir/test_cnf_to_csp.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_cnf_to_csp.cpp.o.d"
+  "/root/repo/tests/test_coloring_gen.cpp" "tests/CMakeFiles/discsp_tests.dir/test_coloring_gen.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_coloring_gen.cpp.o.d"
+  "/root/repo/tests/test_db.cpp" "tests/CMakeFiles/discsp_tests.dir/test_db.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_db.cpp.o.d"
+  "/root/repo/tests/test_db_protocol.cpp" "tests/CMakeFiles/discsp_tests.dir/test_db_protocol.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_db_protocol.cpp.o.d"
+  "/root/repo/tests/test_dimacs.cpp" "tests/CMakeFiles/discsp_tests.dir/test_dimacs.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_dimacs.cpp.o.d"
+  "/root/repo/tests/test_distributed_problem.cpp" "tests/CMakeFiles/discsp_tests.dir/test_distributed_problem.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_distributed_problem.cpp.o.d"
+  "/root/repo/tests/test_efficiency.cpp" "tests/CMakeFiles/discsp_tests.dir/test_efficiency.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_efficiency.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/discsp_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_mcs.cpp" "tests/CMakeFiles/discsp_tests.dir/test_mcs.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_mcs.cpp.o.d"
+  "/root/repo/tests/test_message.cpp" "tests/CMakeFiles/discsp_tests.dir/test_message.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_message.cpp.o.d"
+  "/root/repo/tests/test_model_counter.cpp" "tests/CMakeFiles/discsp_tests.dir/test_model_counter.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_model_counter.cpp.o.d"
+  "/root/repo/tests/test_modeling.cpp" "tests/CMakeFiles/discsp_tests.dir/test_modeling.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_modeling.cpp.o.d"
+  "/root/repo/tests/test_multi_awc.cpp" "tests/CMakeFiles/discsp_tests.dir/test_multi_awc.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_multi_awc.cpp.o.d"
+  "/root/repo/tests/test_nogood.cpp" "tests/CMakeFiles/discsp_tests.dir/test_nogood.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_nogood.cpp.o.d"
+  "/root/repo/tests/test_nogood_properties.cpp" "tests/CMakeFiles/discsp_tests.dir/test_nogood_properties.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_nogood_properties.cpp.o.d"
+  "/root/repo/tests/test_nogood_store.cpp" "tests/CMakeFiles/discsp_tests.dir/test_nogood_store.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_nogood_store.cpp.o.d"
+  "/root/repo/tests/test_onesat_gen.cpp" "tests/CMakeFiles/discsp_tests.dir/test_onesat_gen.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_onesat_gen.cpp.o.d"
+  "/root/repo/tests/test_paper_example.cpp" "tests/CMakeFiles/discsp_tests.dir/test_paper_example.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_paper_example.cpp.o.d"
+  "/root/repo/tests/test_paper_shape.cpp" "tests/CMakeFiles/discsp_tests.dir/test_paper_shape.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_paper_shape.cpp.o.d"
+  "/root/repo/tests/test_problem.cpp" "tests/CMakeFiles/discsp_tests.dir/test_problem.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_problem.cpp.o.d"
+  "/root/repo/tests/test_resolvent.cpp" "tests/CMakeFiles/discsp_tests.dir/test_resolvent.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_resolvent.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/discsp_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sat_gen.cpp" "tests/CMakeFiles/discsp_tests.dir/test_sat_gen.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_sat_gen.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/discsp_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_solver_sweeps.cpp" "tests/CMakeFiles/discsp_tests.dir/test_solver_sweeps.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_solver_sweeps.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/discsp_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strategy.cpp" "tests/CMakeFiles/discsp_tests.dir/test_strategy.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_strategy.cpp.o.d"
+  "/root/repo/tests/test_sync_engine.cpp" "tests/CMakeFiles/discsp_tests.dir/test_sync_engine.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_sync_engine.cpp.o.d"
+  "/root/repo/tests/test_table_options.cpp" "tests/CMakeFiles/discsp_tests.dir/test_table_options.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_table_options.cpp.o.d"
+  "/root/repo/tests/test_termination.cpp" "tests/CMakeFiles/discsp_tests.dir/test_termination.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_termination.cpp.o.d"
+  "/root/repo/tests/test_topologies.cpp" "tests/CMakeFiles/discsp_tests.dir/test_topologies.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_topologies.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/discsp_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/discsp_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_view_learning.cpp" "tests/CMakeFiles/discsp_tests.dir/test_view_learning.cpp.o" "gcc" "tests/CMakeFiles/discsp_tests.dir/test_view_learning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/discsp_multi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_awc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_abt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/discsp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
