@@ -21,6 +21,7 @@
 #include "learning/strategy.h"
 #include "sat/cnf_to_csp.h"
 #include "sat/dimacs.h"
+#include "sim/async_engine.h"
 
 namespace {
 
@@ -96,7 +97,9 @@ int cmd_convert(const Options& opts) {
 int cmd_solve(const Options& opts) {
   if (opts.positional().size() < 2) {
     std::cerr << "usage: discsp_cli solve FILE [--algo awc|db|abt] [--strategy Rslv] "
-                 "[--seed S] [--max-cycles N]\n";
+                 "[--seed S] [--max-cycles N] [--fault-drop P] [--fault-duplicate P] "
+                 "[--fault-reorder P] [--fault-crash P] [--fault-refresh N] "
+                 "[--fault-seed S]\n";
     return 2;
   }
   const auto dp = load(opts.positional()[1]);
@@ -105,17 +108,39 @@ int cmd_solve(const Options& opts) {
   const int max_cycles = static_cast<int>(opts.get_int("max-cycles", 10000));
   Rng rng(seed);
 
+  // --fault-* knobs (see docs/FAULT_MODEL.md) run the hardened algorithms on
+  // the asynchronous engine with fault injection instead of the synchronous
+  // simulator. Only AWC and DB are hardened against unreliable delivery.
+  const sim::FaultConfig faults = sim::fault_config_from(repro_config_from(opts));
+  faults.validate();
+  const auto run_with_faults = [&](auto& solver) {
+    sim::AsyncConfig config;
+    config.faults = faults;
+    sim::AsyncEngine engine(dp.problem(),
+                            solver.make_agents(solver.random_initial(rng),
+                                               rng.derive(1)),
+                            config, rng.derive(2));
+    return engine.run();
+  };
+
   sim::RunResult result;
   if (algo == "awc") {
     auto strategy = learning::make_strategy(opts.get_string("strategy", "Rslv"));
     awc::AwcOptions options;
     options.max_cycles = max_cycles;
     awc::AwcSolver solver(dp, *strategy, options);
-    result = solver.solve(solver.random_initial(rng), rng.derive(1));
+    result = faults.enabled() ? run_with_faults(solver)
+                              : solver.solve(solver.random_initial(rng), rng.derive(1));
   } else if (algo == "db") {
     db::DbSolver solver(dp, {.max_cycles = max_cycles});
-    result = solver.solve(solver.random_initial(rng), rng.derive(1));
+    result = faults.enabled() ? run_with_faults(solver)
+                              : solver.solve(solver.random_initial(rng), rng.derive(1));
   } else if (algo == "abt") {
+    if (faults.enabled()) {
+      std::cerr << "solve: --fault-* requires --algo awc or db (abt is not "
+                   "hardened against unreliable delivery)\n";
+      return 2;
+    }
     abt::AbtOptions options;
     options.max_cycles = max_cycles;
     options.use_resolvent = opts.get_bool("abt-resolvent", true);
@@ -126,6 +151,13 @@ int cmd_solve(const Options& opts) {
     return 2;
   }
 
+  if (faults.enabled()) {
+    const sim::FaultSummary& f = result.metrics.faults;
+    std::cout << "faults: dropped " << f.dropped << ", duplicated " << f.duplicated
+              << ", reordered " << f.reordered << ", crashes " << f.crashes
+              << " (heartbeats " << result.metrics.heartbeats << ", refresh messages "
+              << result.metrics.refresh_messages << ")\n";
+  }
   if (result.metrics.solved) {
     const auto validation = validate_solution(dp.problem(), result.assignment);
     std::cout << "SOLVED in " << result.metrics.cycles << " cycles (maxcck "
@@ -143,7 +175,10 @@ int cmd_solve(const Options& opts) {
               << " cycles)\n";
     return 0;
   }
-  std::cout << "UNDECIDED after " << result.metrics.cycles << " cycles\n";
+  std::cout << "UNDECIDED after " << result.metrics.cycles << " cycles"
+            << (result.metrics.timed_out ? " (wall-clock timeout)"
+                : result.metrics.hit_cycle_cap ? " (cycle cap)" : "")
+            << '\n';
   return 1;
 }
 

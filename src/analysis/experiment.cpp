@@ -8,6 +8,7 @@
 
 #include "abt/abt_solver.h"
 #include "awc/awc_solver.h"
+#include "sim/async_engine.h"
 #include "db/db_solver.h"
 #include "gen/coloring_gen.h"
 #include "gen/onesat_gen.h"
@@ -159,6 +160,24 @@ TrialRunner db_runner(int max_cycles) {
     options.max_cycles = max_cycles;
     db::DbSolver solver(dp, options);
     return solver.solve(initial, rng);
+  };
+}
+
+TrialRunner awc_chaos_runner(const std::string& strategy_label,
+                             const sim::FaultConfig& faults,
+                             std::uint64_t max_activations) {
+  auto strategy = std::shared_ptr<learning::LearningStrategy>(
+      learning::make_strategy(strategy_label));
+  return [strategy, faults, max_activations](const DistributedProblem& dp,
+                                             const FullAssignment& initial,
+                                             const Rng& rng) {
+    awc::AwcSolver solver(dp, *strategy);
+    sim::AsyncConfig config;
+    config.max_activations = max_activations;
+    config.faults = faults;
+    sim::AsyncEngine engine(dp.problem(), solver.make_agents(initial, rng),
+                            config, rng.derive(0x404));
+    return engine.run();
   };
 }
 

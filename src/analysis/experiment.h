@@ -82,4 +82,12 @@ TrialRunner awc_runner(const std::string& strategy_label, bool record_received =
 TrialRunner db_runner(int max_cycles = 10000);
 TrialRunner abt_runner(bool use_resolvent = false, int max_cycles = 10000);
 
+/// AWC on the asynchronous engine with fault injection (sim/fault.h): the
+/// chaos-sweep counterpart of awc_runner. A disabled fault config reduces to
+/// plain asynchronous execution. `max_activations` caps engine activations
+/// (deliveries + heartbeat rounds), the async analogue of the cycle cap.
+TrialRunner awc_chaos_runner(const std::string& strategy_label,
+                             const sim::FaultConfig& faults,
+                             std::uint64_t max_activations = 2'000'000);
+
 }  // namespace discsp::analysis

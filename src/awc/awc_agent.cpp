@@ -81,6 +81,13 @@ void AwcAgent::receive(const sim::MessagePayload& msg) {
 
 void AwcAgent::on_ok(const sim::OkMessage& m) {
   ViewEntry& entry = view_[m.var];
+  // Duplicate/stale suppression: under unreliable delivery an older
+  // announcement can arrive after a newer one; applying it would regress
+  // the view to a value/priority its owner has already abandoned. Sequence
+  // numbers are monotone per sender, so "older" is simply a smaller seq.
+  // (seq 0 = unsequenced legacy sender: always applied, as before.)
+  if (m.seq != 0 && m.seq < entry.seq) return;
+  entry.seq = m.seq;
   if (entry.value != m.value || entry.priority != m.priority) {
     entry.value = m.value;
     entry.priority = m.priority;
@@ -126,10 +133,12 @@ void AwcAgent::compute(sim::MessageSink& out) {
   }
   pending_value_requests_.clear();
 
-  // 2. Answer fresh links with our current state.
+  // 2. Answer fresh links with our current state (at its current version:
+  //    a later broadcast must not be undercut by this reply).
   for (AgentId requester : pending_link_replies_) {
     out.send(requester, sim::OkMessage{.sender = id_, .var = var_,
-                                       .value = value_, .priority = priority_});
+                                       .value = value_, .priority = priority_,
+                                       .seq = ok_seq_});
   }
   pending_link_replies_.clear();
 
@@ -279,9 +288,64 @@ Value AwcAgent::min_conflict_value(
 }
 
 void AwcAgent::broadcast_ok(sim::MessageSink& out) {
+  ++ok_seq_;
   for (AgentId neighbor : links_) {
     out.send(neighbor, sim::OkMessage{.sender = id_, .var = var_,
-                                      .value = value_, .priority = priority_});
+                                      .value = value_, .priority = priority_,
+                                      .seq = ok_seq_});
+  }
+}
+
+void AwcAgent::crash_restart(sim::MessageSink& out) {
+  // Volatile state dies with the process: current value, priority, the
+  // agent view, and in-flight bookkeeping. Stable storage survives: the
+  // nogood store, the link directory, and the ok? sequence counter (so
+  // post-restart announcements are not mistaken for stale ones).
+  value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
+  priority_ = 0;
+  view_.clear();
+  pending_value_requests_.clear();
+  pending_link_replies_.clear();
+  last_generated_.reset();
+  dirty_ = true;
+  // Recovery: re-announce ourselves and re-request every link's current
+  // state (kNoVar = "whatever you own"; the receiver replies with its ok?).
+  broadcast_ok(out);
+  for (AgentId neighbor : links_) {
+    out.send(neighbor, sim::AddLinkMessage{.sender = id_, .var = kNoVar});
+  }
+}
+
+void AwcAgent::on_heartbeat(sim::MessageSink& out) {
+  if (insoluble_) return;
+  // Anti-entropy: every message the protocol depends on is re-sent in an
+  // idempotent form, so any single loss is eventually repaired.
+  //  - the current ok? state, for neighbors whose copy was dropped;
+  broadcast_ok(out);
+  //  - add_link requests for variables stored nogoods mention but the view
+  //    still lacks (a lost add_link or its ok? reply would otherwise leave
+  //    those nogoods unevaluable forever);
+  std::unordered_set<VarId> missing;
+  for (std::size_t idx = 0; idx < store_.size(); ++idx) {
+    for (const Assignment& a : store_.at(idx)) {
+      if (a.var != var_ && view_.find(a.var) == view_.end()) missing.insert(a.var);
+    }
+  }
+  for (VarId v : pending_value_requests_) {
+    if (view_.find(v) == view_.end()) missing.insert(v);
+  }
+  for (VarId v : missing) {
+    const AgentId owner = (*owner_of_var_)[static_cast<std::size_t>(v)];
+    out.send(owner, sim::AddLinkMessage{.sender = id_, .var = v});
+  }
+  //  - the last learned nogood: if its message was dropped, the completeness
+  //    guard keeps this agent silent at the deadend while the addressee
+  //    never learns why — the classic lost-update deadlock.
+  if (last_generated_.has_value()) {
+    for (const Assignment& a : *last_generated_) {
+      const AgentId owner = (*owner_of_var_)[static_cast<std::size_t>(a.var)];
+      out.send(owner, sim::NogoodMessage{.sender = id_, .nogood = *last_generated_});
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,14 +33,22 @@ namespace discsp::awc {
 
 /// Simulation-level instrumentation shared by all agents of one run: tracks
 /// which nogoods have been generated anywhere before, yielding the paper's
-/// Table-4 "redundant generation" count.
+/// Table-4 "redundant generation" count. Thread-safe: in ThreadRuntime the
+/// agents generating nogoods run concurrently.
 class GenerationLog {
  public:
   /// Record a generation; returns true when `ng` was generated before.
-  bool record(const Nogood& ng) { return !seen_.insert(ng).second; }
-  std::size_t distinct() const { return seen_.size(); }
+  bool record(const Nogood& ng) {
+    std::lock_guard lock(mutex_);
+    return !seen_.insert(ng).second;
+  }
+  std::size_t distinct() const {
+    std::lock_guard lock(mutex_);
+    return seen_.size();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_set<Nogood> seen_;
 };
 
@@ -68,6 +77,8 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   void compute(sim::MessageSink& out) override;
   std::uint64_t take_checks() override;
   bool detected_insoluble() const override { return insoluble_; }
+  void crash_restart(sim::MessageSink& out) override;
+  void on_heartbeat(sim::MessageSink& out) override;
   std::uint64_t nogoods_generated() const override { return nogoods_generated_; }
   std::uint64_t redundant_generations() const override { return redundant_generations_; }
 
@@ -80,6 +91,10 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   struct ViewEntry {
     Value value = kNoValue;
     Priority priority = 0;
+    /// Newest ok? sequence seen from this variable's owner; older (stale or
+    /// duplicated) announcements are discarded so reordered delivery cannot
+    /// regress the view (see docs/FAULT_MODEL.md).
+    std::uint64_t seq = 0;
   };
 
   // learning::PriorityOrder
@@ -111,6 +126,9 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   int domain_size_;
   Value value_;
   Priority priority_ = 0;
+  /// Own state version stamped on outgoing ok? messages; monotone across
+  /// crash-restarts (modeled as stable storage, like the nogood store).
+  std::uint64_t ok_seq_ = 0;
 
   std::unordered_map<VarId, ViewEntry> view_;
   NogoodStore store_;

@@ -74,6 +74,15 @@ ReproConfig repro_config_from(const Options& opts) {
   cfg.max_cycles = static_cast<int>(opts.get_int("max-cycles", cfg.max_cycles, "REPRO_MAX_CYCLES"));
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", static_cast<std::int64_t>(cfg.seed), "REPRO_SEED"));
   cfg.n_scale = opts.get_double("n-scale", cfg.n_scale, "REPRO_N_SCALE");
+  cfg.fault_drop = opts.get_double("fault-drop", cfg.fault_drop, "REPRO_FAULT_DROP");
+  cfg.fault_duplicate =
+      opts.get_double("fault-duplicate", cfg.fault_duplicate, "REPRO_FAULT_DUPLICATE");
+  cfg.fault_reorder =
+      opts.get_double("fault-reorder", cfg.fault_reorder, "REPRO_FAULT_REORDER");
+  cfg.fault_crash = opts.get_double("fault-crash", cfg.fault_crash, "REPRO_FAULT_CRASH");
+  cfg.fault_refresh = opts.get_int("fault-refresh", cfg.fault_refresh, "REPRO_FAULT_REFRESH");
+  cfg.fault_seed = static_cast<std::uint64_t>(
+      opts.get_int("fault-seed", static_cast<std::int64_t>(cfg.fault_seed), "REPRO_FAULT_SEED"));
   if (cfg.trials <= 0) throw std::invalid_argument("--trials must be positive");
   if (cfg.max_cycles <= 0) throw std::invalid_argument("--max-cycles must be positive");
   return cfg;

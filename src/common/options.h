@@ -51,11 +51,22 @@ struct ReproConfig {
   std::uint64_t seed = 20000704;  // ICDCS 2000 vintage
   /// Scale factor on the paper's n values (1.0 = paper scale).
   double n_scale = 1.0;
+
+  // Fault-injection knobs for the asynchronous engines (all off by default;
+  // consumed via sim::fault_config_from, see docs/FAULT_MODEL.md).
+  double fault_drop = 0.0;       ///< message drop probability
+  double fault_duplicate = 0.0;  ///< message duplication probability
+  double fault_reorder = 0.0;    ///< per-message FIFO-relaxation probability
+  double fault_crash = 0.0;      ///< per-delivery receiver crash probability
+  std::int64_t fault_refresh = 50;  ///< anti-entropy heartbeat period
+  std::uint64_t fault_seed = 0;  ///< 0 = reuse `seed` for the fault streams
 };
 
 /// Build a ReproConfig from options: --trials/REPRO_TRIALS,
-/// --max-cycles, --seed/REPRO_SEED, and --full/REPRO_FULL=1 which restores
-/// the paper's 100 trials.
+/// --max-cycles, --seed/REPRO_SEED, --full/REPRO_FULL=1 which restores
+/// the paper's 100 trials, and the fault knobs --fault-drop,
+/// --fault-duplicate, --fault-reorder, --fault-crash, --fault-refresh,
+/// --fault-seed (REPRO_FAULT_* in the environment).
 ReproConfig repro_config_from(const Options& opts);
 
 }  // namespace discsp

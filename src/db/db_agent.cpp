@@ -10,10 +10,14 @@ DbAgent::DbAgent(AgentId id, VarId var, int domain_size, Value initial_value,
                  std::vector<AgentId> neighbors, std::vector<Nogood> nogoods, Rng rng)
     : id_(id), var_(var), domain_size_(domain_size), value_(initial_value),
       neighbors_(std::move(neighbors)), nogoods_(std::move(nogoods)),
-      weights_(nogoods_.size(), 1), values_pending_(static_cast<int>(neighbors_.size())),
-      improves_pending_(static_cast<int>(neighbors_.size())), rng_(rng) {
+      weights_(nogoods_.size(), 1), rng_(rng) {
   if (initial_value < 0 || initial_value >= domain_size) {
     throw std::invalid_argument("initial value outside domain");
+  }
+  for (AgentId n : neighbors_) {
+    ok_seen_[n] = 0;
+    improve_seen_[n] = 0;
+    improve_of_[n] = NeighborImprove{};
   }
 }
 
@@ -55,23 +59,43 @@ void DbAgent::receive(const sim::MessagePayload& msg) {
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, sim::OkMessage>) {
-          view_[m.var] = m.value;
-          --values_pending_;
+          // Apply only announcements at least as new as the newest seen from
+          // this neighbor: a duplicate re-applies the same value (harmless),
+          // a stale reordered one is discarded instead of regressing the
+          // view. Under reliable FIFO the seq is strictly increasing and
+          // every message is applied, exactly like the unguarded original.
+          auto seen = ok_seen_.find(m.sender);
+          if (seen == ok_seen_.end()) return;  // not a neighbor of ours
+          if (m.seq >= seen->second) {
+            seen->second = m.seq;
+            view_[m.var] = m.value;
+          }
         } else if constexpr (std::is_same_v<T, sim::ImproveMessage>) {
-          --improves_pending_;
-          if (m.improve > 0) any_positive_neighbor_ = true;
-          // Track the strongest neighbor claim: larger improve wins, ties go
-          // to the smaller agent id.
-          if (best_neighbor_ == kNoAgent || m.improve > best_neighbor_improve_ ||
-              (m.improve == best_neighbor_improve_ && m.sender < best_neighbor_)) {
-            best_neighbor_improve_ = m.improve;
-            best_neighbor_ = m.sender;
+          auto seen = improve_seen_.find(m.sender);
+          if (seen == improve_seen_.end()) return;
+          if (m.seq >= seen->second) {
+            seen->second = m.seq;
+            improve_of_[m.sender] = NeighborImprove{m.improve, m.eval};
           }
         } else {
           throw std::logic_error("DB agent received an unsupported message type");
         }
       },
       msg);
+}
+
+bool DbAgent::wave_a_complete() const {
+  for (AgentId n : neighbors_) {
+    if (ok_seen_.at(n) < round_) return false;
+  }
+  return true;
+}
+
+bool DbAgent::wave_b_complete() const {
+  for (AgentId n : neighbors_) {
+    if (improve_seen_.at(n) < round_) return false;
+  }
+  return true;
 }
 
 void DbAgent::compute(sim::MessageSink& out) {
@@ -81,11 +105,11 @@ void DbAgent::compute(sim::MessageSink& out) {
   // loop until no wave transition fires — otherwise the protocol deadlocks
   // waiting for a message that will never come.
   for (;;) {
-    if (!awaiting_improves_ && values_pending_ <= 0) {
+    if (!awaiting_improves_ && wave_a_complete()) {
       send_improve(out);
       continue;
     }
-    if (awaiting_improves_ && improves_pending_ <= 0) {
+    if (awaiting_improves_ && wave_b_complete()) {
       conclude_wave(out);
       continue;
     }
@@ -94,8 +118,6 @@ void DbAgent::compute(sim::MessageSink& out) {
 }
 
 void DbAgent::send_improve(sim::MessageSink& out) {
-  values_pending_ += static_cast<int>(neighbors_.size());
-
   my_eval_ = eval(value_);
   std::int64_t best = my_eval_;
   std::vector<Value> best_values{value_};
@@ -114,21 +136,36 @@ void DbAgent::send_improve(sim::MessageSink& out) {
 
   for (AgentId n : neighbors_) {
     out.send(n, sim::ImproveMessage{.sender = id_, .var = var_,
-                                    .improve = my_improve_, .eval = my_eval_});
+                                    .improve = my_improve_, .eval = my_eval_,
+                                    .seq = round_});
   }
   awaiting_improves_ = true;
 }
 
 void DbAgent::conclude_wave(sim::MessageSink& out) {
-  improves_pending_ += static_cast<int>(neighbors_.size());
+  // Strongest neighbor claim this round: larger improve wins, ties go to
+  // the smaller agent id (a max over a total order — identical to the
+  // arrival-order accumulation it replaces, but duplicate-proof).
+  bool any_positive_neighbor = false;
+  AgentId best_neighbor = kNoAgent;
+  std::int64_t best_neighbor_improve = 0;
+  for (AgentId n : neighbors_) {
+    const NeighborImprove& im = improve_of_.at(n);
+    if (im.improve > 0) any_positive_neighbor = true;
+    if (best_neighbor == kNoAgent || im.improve > best_neighbor_improve ||
+        (im.improve == best_neighbor_improve && n < best_neighbor)) {
+      best_neighbor = n;
+      best_neighbor_improve = im.improve;
+    }
+  }
 
   const bool i_win =
       my_improve_ > 0 &&
-      (best_neighbor_ == kNoAgent || my_improve_ > best_neighbor_improve_ ||
-       (my_improve_ == best_neighbor_improve_ && id_ < best_neighbor_));
+      (best_neighbor == kNoAgent || my_improve_ > best_neighbor_improve ||
+       (my_improve_ == best_neighbor_improve && id_ < best_neighbor));
   if (i_win) {
     value_ = my_best_value_;
-  } else if (my_eval_ > 0 && my_improve_ <= 0 && !any_positive_neighbor_) {
+  } else if (my_eval_ > 0 && my_improve_ <= 0 && !any_positive_neighbor) {
     // Quasi-local-minimum: cost remains, nobody in the neighborhood can
     // improve. Breakout: make the current violations more expensive.
     for (std::size_t i = 0; i < nogoods_.size(); ++i) {
@@ -142,16 +179,43 @@ void DbAgent::conclude_wave(sim::MessageSink& out) {
     }
   }
 
-  best_neighbor_ = kNoAgent;
-  best_neighbor_improve_ = 0;
-  any_positive_neighbor_ = false;
+  ++round_;
   awaiting_improves_ = false;
   broadcast_ok(out);
 }
 
 void DbAgent::broadcast_ok(sim::MessageSink& out) {
   for (AgentId n : neighbors_) {
-    out.send(n, sim::OkMessage{.sender = id_, .var = var_, .value = value_, .priority = 0});
+    out.send(n, sim::OkMessage{.sender = id_, .var = var_, .value = value_,
+                               .priority = 0, .seq = round_});
+  }
+}
+
+void DbAgent::crash_restart(sim::MessageSink& out) {
+  if (neighbors_.empty()) return;
+  // Volatile state dies: current value, view, mid-wave scratch. Stable
+  // storage survives: learned weights and the round/seq bookkeeping (so the
+  // restart rejoins the wave protocol instead of replaying it from round 1,
+  // which neighbors would discard as stale anyway).
+  value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
+  view_.clear();
+  awaiting_improves_ = false;  // redo wave A of the current round
+  broadcast_ok(out);
+  // The view is repaired by the neighbors' heartbeat re-announcements.
+}
+
+void DbAgent::on_heartbeat(sim::MessageSink& out) {
+  if (neighbors_.empty()) return;
+  // Re-send the current round's announcements. Receivers already past them
+  // ignore the duplicates (seq guard); receivers whose copy was dropped are
+  // repaired — this is what keeps the two-wave protocol live under loss.
+  broadcast_ok(out);
+  if (awaiting_improves_) {
+    for (AgentId n : neighbors_) {
+      out.send(n, sim::ImproveMessage{.sender = id_, .var = var_,
+                                      .improve = my_improve_, .eval = my_eval_,
+                                      .seq = round_});
+    }
   }
 }
 

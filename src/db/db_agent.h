@@ -8,6 +8,13 @@
 // weights of their violated nogoods (breakout), and everyone broadcasts
 // values again. Each wave costs one simulator cycle — the "extra cycles" the
 // paper attributes to DB.
+//
+// Hardening (docs/FAULT_MODEL.md): wave completion is tracked per neighbor
+// by message *round* (the seq field), not by raw arrival counts, so a
+// duplicated or reordered message can never desynchronize the waves; under
+// reliable FIFO delivery the accounting is equivalent to counting. Dropped
+// messages are repaired by the engine's heartbeat (the agent re-sends its
+// current wave's announcements idempotently).
 #pragma once
 
 #include <cstdint>
@@ -32,15 +39,26 @@ class DbAgent final : public sim::Agent {
   void receive(const sim::MessagePayload& msg) override;
   void compute(sim::MessageSink& out) override;
   std::uint64_t take_checks() override;
+  void crash_restart(sim::MessageSink& out) override;
+  void on_heartbeat(sim::MessageSink& out) override;
 
   // Introspection for tests.
   std::int64_t weight_of(std::size_t nogood_idx) const { return weights_[nogood_idx]; }
   std::size_t num_nogoods() const { return nogoods_.size(); }
+  std::uint64_t round() const { return round_; }
 
  private:
+  /// Latest wave-B data received from one neighbor.
+  struct NeighborImprove {
+    std::int64_t improve = 0;
+    std::int64_t eval = 0;
+  };
+
   /// Weighted cost of taking value d under the current view (one check per
   /// nogood evaluation).
   std::int64_t eval(Value d);
+  bool wave_a_complete() const;
+  bool wave_b_complete() const;
   void send_improve(sim::MessageSink& out);
   void conclude_wave(sim::MessageSink& out);
   void broadcast_ok(sim::MessageSink& out);
@@ -55,16 +73,18 @@ class DbAgent final : public sim::Agent {
   std::vector<std::int64_t> weights_;
   std::unordered_map<VarId, Value> view_;
 
-  // Wave bookkeeping.
-  int values_pending_;    // ok? messages still expected this wave
-  int improves_pending_;  // improve messages still expected this wave
+  // Wave bookkeeping, by round. round_ r means: ok? announcements for round
+  // r have been broadcast; wave A of round r completes when every neighbor's
+  // ok? of round >= r arrived, wave B when every neighbor's improve of round
+  // >= r arrived. Survives crash-restarts (stable storage, like weights_).
+  std::uint64_t round_ = 1;
+  std::unordered_map<AgentId, std::uint64_t> ok_seen_;       // newest ok? round
+  std::unordered_map<AgentId, std::uint64_t> improve_seen_;  // newest improve round
+  std::unordered_map<AgentId, NeighborImprove> improve_of_;  // newest improve data
   bool awaiting_improves_ = false;
   std::int64_t my_eval_ = 0;
   std::int64_t my_improve_ = 0;
   Value my_best_value_ = 0;
-  std::int64_t best_neighbor_improve_ = 0;
-  AgentId best_neighbor_ = kNoAgent;
-  bool any_positive_neighbor_ = false;
 
   Rng rng_;
   std::uint64_t checks_ = 0;

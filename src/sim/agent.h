@@ -38,6 +38,19 @@ class Agent {
 
   /// True once the agent has derived the empty nogood.
   virtual bool detected_insoluble() const { return false; }
+
+  // Fault-tolerance hooks (see sim/fault.h and docs/FAULT_MODEL.md). Both
+  // default to no-ops so unhardened algorithms keep working on fault-free
+  // runs; engines only invoke them when a fault plan is active.
+
+  /// Simulate a crash + recovery: discard volatile state (current value,
+  /// priority, agent view) — stable storage (nogood store, links, sequence
+  /// counters) survives — then re-announce state and re-request neighbor
+  /// values through `out`.
+  virtual void crash_restart(MessageSink& out) { (void)out; }
+  /// Anti-entropy heartbeat: re-send whatever repairs dropped messages
+  /// (current ok?, pending wave state, the last learned nogood).
+  virtual void on_heartbeat(MessageSink& out) { (void)out; }
   /// Lifetime learning counters for Table-4 style reporting.
   virtual std::uint64_t nogoods_generated() const { return 0; }
   virtual std::uint64_t redundant_generations() const { return 0; }

@@ -30,14 +30,22 @@ AsyncEngine::AsyncEngine(const Problem& problem, std::vector<std::unique_ptr<Age
   if (config_.min_delay < 1 || config_.max_delay < config_.min_delay) {
     throw std::invalid_argument("async delays must satisfy 1 <= min <= max");
   }
+  config_.faults.validate();
+  if (config_.faults.enabled()) {
+    plan_ = std::make_unique<FaultPlan>(config_.faults,
+                                        static_cast<int>(agents_.size()));
+  }
 }
+
+AsyncEngine::~AsyncEngine() = default;
 
 RunResult AsyncEngine::run() {
   RunResult result;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue;
   std::uint64_t seq = 0;
   // Per-channel FIFO: never schedule a delivery earlier than the channel's
-  // last scheduled one.
+  // last scheduled one. Reordered (faulted) messages bypass this floor and
+  // leave it untouched.
   std::map<std::pair<AgentId, AgentId>, std::int64_t> channel_floor;
 
   AgentId current_sender = kNoAgent;
@@ -53,16 +61,37 @@ RunResult AsyncEngine::run() {
       if (to < 0 || static_cast<std::size_t>(to) >= engine_.agents_.size()) {
         throw std::out_of_range("message addressed to unknown agent");
       }
-      const auto delay = static_cast<std::int64_t>(
-          engine_.rng_.between(engine_.config_.min_delay, engine_.config_.max_delay));
-      auto& floor = floor_[{sender_, to}];
-      const std::int64_t at = std::max(engine_.now_ + delay, floor + 1);
-      floor = at;
-      queue_.push(Event{at, seq_++, to, std::move(payload)});
       ++messages_;
+      if (engine_.plan_ == nullptr) {
+        schedule(to, std::move(payload), /*reorder=*/false, /*extra_delay=*/0);
+        return;
+      }
+      const ChannelVerdict verdict = engine_.plan_->on_send(sender_, to);
+      for (int copy = 0; copy < verdict.copies; ++copy) {
+        schedule(to, payload, verdict.reorder, verdict.extra_delay);
+      }
     }
 
    private:
+    void schedule(AgentId to, MessagePayload payload, bool reorder,
+                  std::int64_t extra_delay) {
+      const auto delay =
+          static_cast<std::int64_t>(engine_.rng_.between(
+              engine_.config_.min_delay, engine_.config_.max_delay)) +
+          extra_delay;
+      std::int64_t at;
+      auto& floor = floor_[{sender_, to}];
+      if (reorder) {
+        // May undercut the floor (overtake earlier traffic) and does not
+        // raise it for later messages.
+        at = engine_.now_ + delay;
+      } else {
+        at = std::max(engine_.now_ + delay, floor + 1);
+        floor = at;
+      }
+      queue_.push(Event{at, seq_++, to, std::move(payload)});
+    }
+
     AsyncEngine& engine_;
     decltype(queue)& queue_;
     std::uint64_t& seq_;
@@ -94,18 +123,50 @@ RunResult AsyncEngine::run() {
     return result;
   }
 
+  // Anti-entropy heartbeat period in virtual time (0 = no refresh). Only a
+  // fault plan can make messages disappear, so only then is refresh needed
+  // — and only then can the queue drain while the system is still unsolved.
+  const std::int64_t refresh =
+      plan_ != nullptr ? config_.faults.refresh_interval : 0;
+  std::int64_t next_refresh = refresh;
+
   std::uint64_t activations = 0;
-  while (!queue.empty() && activations < config_.max_activations) {
+  while (activations < config_.max_activations) {
+    if (refresh > 0 && (queue.empty() || queue.top().time >= next_refresh)) {
+      // Fire one heartbeat round at its scheduled virtual time: every agent
+      // re-announces whatever repairs dropped messages. Counted as one
+      // activation so a fully-partitioned run still terminates at the cap.
+      now_ = next_refresh;
+      const std::uint64_t before = result.metrics.messages;
+      for (auto& agent : agents_) {
+        current_sender = agent->id();
+        agent->on_heartbeat(sink);
+        result.metrics.total_checks += agent->take_checks();
+      }
+      result.metrics.refresh_messages += result.metrics.messages - before;
+      ++result.metrics.heartbeats;
+      next_refresh += refresh;
+      ++activations;
+      continue;
+    }
+    if (queue.empty()) break;
+
     Event ev = queue.top();
     queue.pop();
     now_ = ev.time;
 
     Agent& agent = *agents_[static_cast<std::size_t>(ev.to)];
     current_sender = agent.id();
-    agent.receive(ev.payload);
-    agent.compute(sink);
-    const std::uint64_t checks = agent.take_checks();
-    result.metrics.total_checks += checks;
+    if (plan_ != nullptr && plan_->on_deliver(ev.to)) {
+      // The receiver crash-restarts; the in-flight message dies with it.
+      // The restart re-announces state through the sink, and the snapshot
+      // checks below still apply (the assignment just changed).
+      agent.crash_restart(sink);
+    } else {
+      agent.receive(ev.payload);
+      agent.compute(sink);
+    }
+    result.metrics.total_checks += agent.take_checks();
     ++activations;
 
     if (agent.detected_insoluble()) {
@@ -122,9 +183,13 @@ RunResult AsyncEngine::run() {
   }
 
   // A drained queue without a solution is quiescence-without-success; for a
-  // complete algorithm this indicates insolubility handling elsewhere.
+  // complete algorithm this indicates insolubility handling elsewhere. With
+  // heartbeats active the queue can only be empty because the cap cut the
+  // loop off mid-refresh (e.g. a total blackout), which is a capped run,
+  // not quiescence.
   if (!result.metrics.solved && !result.metrics.insoluble) {
-    if (queue.empty()) {
+    const bool capped = activations >= config_.max_activations;
+    if (queue.empty() && !(capped && refresh > 0)) {
       result.metrics.solved = problem_.is_solution(snapshot());
     } else {
       result.metrics.hit_cycle_cap = true;  // activation cap reached
@@ -138,6 +203,7 @@ RunResult AsyncEngine::run() {
     result.metrics.nogoods_generated += agent->nogoods_generated();
     result.metrics.redundant_generations += agent->redundant_generations();
   }
+  if (plan_ != nullptr) result.metrics.faults = plan_->summary();
   return result;
 }
 

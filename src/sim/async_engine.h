@@ -6,6 +6,12 @@
 // random latency in [min_delay, max_delay] while per-channel FIFO order is
 // preserved, and agents are activated one delivery at a time. Used by tests
 // to show the algorithms still solve (the paper's §5 future-work analysis).
+//
+// With a fault plan (config.faults, see sim/fault.h) the engine additionally
+// drops, duplicates and reorders messages, injects delay spikes, crash-
+// restarts receivers, and fires periodic anti-entropy heartbeats so hardened
+// protocols can repair the losses. A disabled fault config leaves every code
+// path and random draw identical to the fault-free engine.
 #pragma once
 
 #include <memory>
@@ -13,6 +19,7 @@
 
 #include "common/rng.h"
 #include "sim/agent.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 
 namespace discsp::sim {
@@ -20,14 +27,18 @@ namespace discsp::sim {
 struct AsyncConfig {
   int min_delay = 1;
   int max_delay = 10;
-  /// Activation cap (an activation = one message delivery + compute).
+  /// Activation cap (an activation = one message delivery + compute; with
+  /// faults enabled, heartbeat rounds and crash-restarts also count).
   std::uint64_t max_activations = 2'000'000;
+  /// Fault injection; FaultConfig{}.enabled() == false means "reliable".
+  FaultConfig faults;
 };
 
 class AsyncEngine {
  public:
   AsyncEngine(const Problem& problem, std::vector<std::unique_ptr<Agent>> agents,
               AsyncConfig config, Rng rng);
+  ~AsyncEngine();
 
   /// Run to solution / insolubility / quiescence / activation cap. In the
   /// returned metrics, `cycles` is the number of activations and `maxcck`
@@ -43,6 +54,8 @@ class AsyncEngine {
   AsyncConfig config_;
   Rng rng_;
   std::int64_t now_ = 0;
+  /// Present only when config_.faults.enabled().
+  std::unique_ptr<FaultPlan> plan_;
 };
 
 }  // namespace discsp::sim

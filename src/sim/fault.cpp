@@ -1,0 +1,126 @@
+#include "sim/fault.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace discsp::sim {
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument(std::string(name) + " must lie in [0, 1]");
+  }
+}
+
+/// Independent stream per (seed, a, b): splitmix64 over a mixed key.
+Rng derive_stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (a + 1)) ^
+                        (0xbf58476d1ce4e5b9ULL * (b + 1));
+  return Rng(splitmix64(state));
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_rate(drop_rate, "drop_rate");
+  check_rate(duplicate_rate, "duplicate_rate");
+  check_rate(reorder_rate, "reorder_rate");
+  check_rate(delay_spike_rate, "delay_spike_rate");
+  check_rate(crash_rate, "crash_rate");
+  if (delay_spike < 0) throw std::invalid_argument("delay_spike must be >= 0");
+  if (max_crashes_per_agent < 0) {
+    throw std::invalid_argument("max_crashes_per_agent must be >= 0");
+  }
+  if (refresh_interval < 0) {
+    throw std::invalid_argument("refresh_interval must be >= 0");
+  }
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, int num_agents)
+    : config_(config), num_agents_(num_agents) {
+  config_.validate();
+  if (num_agents <= 0) throw std::invalid_argument("fault plan needs agents");
+  const auto n = static_cast<std::size_t>(num_agents);
+  channels_.reserve(n * n);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      channels_.push_back(ChannelState{derive_stream(config_.seed, from, to)});
+    }
+  }
+  agents_.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    agents_.push_back(AgentState{derive_stream(~config_.seed, a, a), 0});
+  }
+}
+
+ChannelVerdict FaultPlan::on_send(AgentId from, AgentId to) {
+  if (from < 0 || from >= num_agents_ || to < 0 || to >= num_agents_) {
+    throw std::out_of_range("fault plan consulted for an unknown channel");
+  }
+  ChannelVerdict verdict;
+  {
+    std::lock_guard lock(mutex_);
+    Rng& rng = channels_[static_cast<std::size_t>(from) *
+                             static_cast<std::size_t>(num_agents_) +
+                         static_cast<std::size_t>(to)]
+                   .rng;
+    // One draw per knob per send keeps the stream alignment independent of
+    // which faults are enabled at which rates.
+    const bool drop = rng.chance(config_.drop_rate);
+    const bool dup = rng.chance(config_.duplicate_rate);
+    const bool reorder = rng.chance(config_.reorder_rate);
+    const bool spike = rng.chance(config_.delay_spike_rate);
+    if (drop) {
+      verdict.copies = 0;
+    } else if (dup) {
+      verdict.copies = 2;
+    }
+    verdict.reorder = verdict.copies > 0 && reorder;
+    verdict.extra_delay = (verdict.copies > 0 && spike) ? config_.delay_spike : 0;
+  }
+  if (verdict.copies == 0) dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (verdict.copies > 1) duplicated_.fetch_add(1, std::memory_order_relaxed);
+  if (verdict.reorder) reordered_.fetch_add(1, std::memory_order_relaxed);
+  if (verdict.extra_delay > 0) delay_spikes_.fetch_add(1, std::memory_order_relaxed);
+  return verdict;
+}
+
+bool FaultPlan::on_deliver(AgentId to) {
+  if (to < 0 || to >= num_agents_) {
+    throw std::out_of_range("fault plan consulted for an unknown agent");
+  }
+  bool crash = false;
+  {
+    std::lock_guard lock(mutex_);
+    AgentState& agent = agents_[static_cast<std::size_t>(to)];
+    crash = agent.rng.chance(config_.crash_rate) &&
+            agent.crashes < config_.max_crashes_per_agent;
+    if (crash) ++agent.crashes;
+  }
+  if (crash) crashes_.fetch_add(1, std::memory_order_relaxed);
+  return crash;
+}
+
+FaultSummary FaultPlan::summary() const {
+  FaultSummary s;
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.duplicated = duplicated_.load(std::memory_order_relaxed);
+  s.reordered = reordered_.load(std::memory_order_relaxed);
+  s.delay_spikes = delay_spikes_.load(std::memory_order_relaxed);
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+FaultConfig fault_config_from(const ReproConfig& config) {
+  FaultConfig faults;
+  faults.drop_rate = config.fault_drop;
+  faults.duplicate_rate = config.fault_duplicate;
+  faults.reorder_rate = config.fault_reorder;
+  faults.crash_rate = config.fault_crash;
+  faults.refresh_interval = config.fault_refresh;
+  faults.seed = config.fault_seed != 0 ? config.fault_seed : config.seed;
+  return faults;
+}
+
+}  // namespace discsp::sim

@@ -1,0 +1,131 @@
+// Deterministic fault-injection for the asynchronous engines.
+//
+// The paper's algorithms target fully asynchronous distributed systems, but
+// every engine in this repo historically assumed lossless, duplicate-free,
+// crash-free delivery. A FaultPlan relaxes that: it decides — per message,
+// from seeded per-channel random streams — whether a send is dropped,
+// duplicated, allowed to overtake earlier traffic on its channel (relaxing
+// per-channel FIFO), or hit by a delay spike, and whether a delivery first
+// crash-restarts its receiver (losing volatile state). Both AsyncEngine and
+// ThreadRuntime consult the same plan through the same two hooks, so the
+// fault taxonomy and its counters are engine-independent.
+//
+// Determinism: every channel (from, to) owns an independent random stream
+// seeded from (config.seed, from, to), and every agent owns a crash stream
+// seeded from (config.seed, agent). The k-th send on a channel therefore
+// meets the same fate for a given seed, regardless of how sends on other
+// channels interleave — in particular regardless of thread scheduling in
+// ThreadRuntime. See docs/FAULT_MODEL.md for the full model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/options.h"
+#include "common/rng.h"
+#include "csp/nogood.h"
+
+namespace discsp::sim {
+
+struct FaultConfig {
+  /// Probability a sent message silently vanishes.
+  double drop_rate = 0.0;
+  /// Probability a sent message is delivered twice.
+  double duplicate_rate = 0.0;
+  /// Probability a sent message may overtake earlier messages on its channel
+  /// (per-channel FIFO is relaxed for that message only).
+  double reorder_rate = 0.0;
+  /// Probability a sent message suffers an extra `delay_spike` of latency.
+  double delay_spike_rate = 0.0;
+  /// Extra latency on a spike: virtual-time units in AsyncEngine,
+  /// microseconds in ThreadRuntime.
+  std::int64_t delay_spike = 50;
+  /// Probability a delivery crash-restarts its receiver first: the agent
+  /// loses volatile state (value, priority, agent view) but keeps stable
+  /// storage (nogood store, sequence counters), and the in-flight message
+  /// is lost with it.
+  double crash_rate = 0.0;
+  /// Crash budget per agent; keeps crash storms from starving progress.
+  int max_crashes_per_agent = 3;
+  /// Anti-entropy heartbeat period (0 disables refresh): virtual-time units
+  /// in AsyncEngine, milliseconds in ThreadRuntime. On each beat every agent
+  /// re-announces state that repairs dropped messages (Agent::on_heartbeat).
+  std::int64_t refresh_interval = 50;
+  /// Root seed of all fault streams.
+  std::uint64_t seed = 0xfa017;
+
+  /// True when any fault can actually fire; engines bypass the plan (and
+  /// the heartbeat) entirely otherwise, keeping fault-free runs bit-identical
+  /// to the pre-fault-layer behavior.
+  bool enabled() const {
+    return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
+           delay_spike_rate > 0 || crash_rate > 0;
+  }
+
+  /// Throws std::invalid_argument on rates outside [0, 1] or negative knobs.
+  void validate() const;
+};
+
+/// Fate of one send, as decided by FaultPlan::on_send.
+struct ChannelVerdict {
+  int copies = 1;                 ///< 0 = dropped, 2 = duplicated
+  bool reorder = false;           ///< may bypass the channel's FIFO order
+  std::int64_t extra_delay = 0;   ///< delay spike to add to the latency
+};
+
+/// Totals of injected faults over one run (copied into RunMetrics).
+struct FaultSummary {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delay_spikes = 0;
+  std::uint64_t crashes = 0;
+};
+
+class FaultPlan {
+ public:
+  /// `num_agents` fixes the channel matrix; ids outside [0, num_agents)
+  /// are rejected by the hooks.
+  FaultPlan(const FaultConfig& config, int num_agents);
+
+  const FaultConfig& config() const { return config_; }
+
+  /// Decide the fate of one send on channel (from, to). Thread-safe; the
+  /// decision depends only on (seed, from, to, per-channel send index).
+  ChannelVerdict on_send(AgentId from, AgentId to);
+
+  /// Decide whether the receiver crash-restarts before this delivery.
+  /// Thread-safe; depends only on (seed, to, per-agent delivery index).
+  bool on_deliver(AgentId to);
+
+  FaultSummary summary() const;
+
+ private:
+  struct ChannelState {
+    Rng rng;
+  };
+  struct AgentState {
+    Rng rng;
+    int crashes = 0;
+  };
+
+  FaultConfig config_;
+  int num_agents_;
+  std::vector<ChannelState> channels_;  // num_agents^2, row-major by sender
+  std::vector<AgentState> agents_;
+  mutable std::mutex mutex_;
+
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> reordered_{0};
+  std::atomic<std::uint64_t> delay_spikes_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+};
+
+/// Build a FaultConfig from the shared repro knobs (--fault-drop etc.; see
+/// repro_config_from).
+FaultConfig fault_config_from(const ReproConfig& config);
+
+}  // namespace discsp::sim

@@ -11,14 +11,18 @@ std::string to_string(const MessagePayload& payload) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, OkMessage>) {
           out << "ok?(a" << m.sender << ": x" << m.var << '=' << m.value
-              << " prio " << m.priority << ')';
+              << " prio " << m.priority;
+          if (m.seq != 0) out << " seq " << m.seq;
+          out << ')';
         } else if constexpr (std::is_same_v<T, NogoodMessage>) {
           out << "nogood(a" << m.sender << ": " << m.nogood << ')';
         } else if constexpr (std::is_same_v<T, AddLinkMessage>) {
           out << "add_link(a" << m.sender << " wants x" << m.var << ')';
         } else if constexpr (std::is_same_v<T, ImproveMessage>) {
           out << "improve(a" << m.sender << ": improve " << m.improve
-              << " eval " << m.eval << ')';
+              << " eval " << m.eval;
+          if (m.seq != 0) out << " seq " << m.seq;
+          out << ')';
         }
       },
       payload);

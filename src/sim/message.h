@@ -19,6 +19,11 @@ struct OkMessage {
   VarId var = kNoVar;
   Value value = kNoValue;
   Priority priority = 0;
+  /// Sender-side state version (monotone per sender). 0 = unsequenced.
+  /// Hardened receivers drop ok? messages older than the newest seen from
+  /// the same sender, so duplicated or reordered delivery cannot regress
+  /// their view (see docs/FAULT_MODEL.md).
+  std::uint64_t seq = 0;
 };
 
 /// "This combination of values is impossible" — carries a learned nogood.
@@ -28,10 +33,13 @@ struct NogoodMessage {
 };
 
 /// "Start sending me ok? messages for your variable" — sent when a received
-/// nogood mentions a variable the receiver has no link to yet.
+/// nogood mentions a variable the receiver has no link to yet, and by
+/// crash-recovering agents re-requesting every link's current value.
 struct AddLinkMessage {
   AgentId sender = kNoAgent;
-  VarId var = kNoVar;  // the variable whose updates are requested
+  /// The variable whose updates are requested; kNoVar = "whatever you own"
+  /// (crash recovery knows the neighbor agent but not its variable).
+  VarId var = kNoVar;
 };
 
 /// DB wave-B payload: possible improvement and current cost.
@@ -40,6 +48,10 @@ struct ImproveMessage {
   VarId var = kNoVar;
   std::int64_t improve = 0;
   std::int64_t eval = 0;
+  /// Sender's round number (monotone). 0 = unsequenced. Hardened DB agents
+  /// track per-neighbor rounds instead of raw arrival counts, so duplicated
+  /// or reordered waves cannot desynchronize the two-wave protocol.
+  std::uint64_t seq = 0;
 };
 
 using MessagePayload = std::variant<OkMessage, NogoodMessage, AddLinkMessage, ImproveMessage>;

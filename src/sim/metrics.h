@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "csp/problem.h"
+#include "sim/fault.h"
 
 namespace discsp::sim {
 
@@ -25,7 +26,17 @@ struct RunMetrics {
 
   bool solved = false;
   bool insoluble = false;     // the empty nogood was derived
-  bool hit_cycle_cap = false; // trial cut off at the cycle bound
+  bool hit_cycle_cap = false; // trial cut off at the cycle/activation bound
+  /// Trial cut off at a wall-clock deadline (ThreadRuntime) — distinct from
+  /// hit_cycle_cap so consumers can tell budget exhaustion from slowness.
+  bool timed_out = false;
+
+  /// Injected-fault totals (all zero on fault-free runs; see sim/fault.h).
+  FaultSummary faults;
+  /// Messages sent by anti-entropy heartbeats (subset of `messages`).
+  std::uint64_t refresh_messages = 0;
+  /// Heartbeat rounds fired by the engine.
+  std::uint64_t heartbeats = 0;
 };
 
 struct RunResult {

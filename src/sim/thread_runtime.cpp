@@ -14,9 +14,12 @@ namespace discsp::sim {
 namespace {
 
 /// A message plus the credit it carries (credit-recovery termination).
+/// Heartbeat letters carry no payload semantics and no credit: they only
+/// prompt the receiving agent to run its anti-entropy refresh.
 struct Letter {
   MessagePayload payload;
   std::vector<int> credit;
+  bool heartbeat = false;
 };
 
 /// Unbounded MPSC mailbox with blocking pop.
@@ -26,6 +29,16 @@ class Mailbox {
     {
       std::lock_guard lock(mutex_);
       queue_.push_back(std::move(letter));
+    }
+    cv_.notify_one();
+  }
+
+  /// Deliver ahead of everything already queued — the fault layer's
+  /// reordering primitive (a letter overtaking the channel's FIFO order).
+  void push_front(Letter letter) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_front(std::move(letter));
     }
     cv_.notify_one();
   }
@@ -64,52 +77,115 @@ struct ThreadRuntime::Impl {
   std::vector<Mailbox> mailboxes;
   std::vector<std::atomic<Value>> values;      // published after each compute
   std::vector<std::atomic<bool>> idle;
-  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> send_attempts{0};  // all sends, dropped or not
+  std::atomic<std::uint64_t> sent{0};           // letters actually enqueued
   std::atomic<std::uint64_t> processed{0};
+  std::atomic<std::uint64_t> refresh_messages{0};
+  std::atomic<std::uint64_t> heartbeat_rounds{0};
   std::atomic<bool> stop{false};
   std::atomic<bool> insoluble{false};
   CreditLedger ledger;
+  std::unique_ptr<FaultPlan> plan;  // present only when faults are enabled
 
   Impl(const Problem& p, std::vector<std::unique_ptr<Agent>> a, ThreadRuntimeConfig c)
       : problem(p), agents(std::move(a)), config(c),
         mailboxes(agents.size()), values(agents.size()), idle(agents.size()),
-        ledger(static_cast<int>(agents.size())) {}
+        ledger(static_cast<int>(agents.size())) {
+    config.faults.validate();
+    if (config.faults.enabled()) {
+      plan = std::make_unique<FaultPlan>(config.faults,
+                                         static_cast<int>(agents.size()));
+    }
+  }
 
   /// Sink bound to one activation's credit pool: every send halves a piece.
   class RuntimeSink final : public MessageSink {
    public:
-    RuntimeSink(Impl& impl, CreditPool& pool) : impl_(impl), pool_(pool) {}
+    RuntimeSink(Impl& impl, AgentId self, CreditPool& pool)
+        : impl_(impl), self_(self), pool_(pool) {}
+
+    /// Set while the owning thread runs Agent::on_heartbeat so refresh
+    /// traffic is counted separately.
+    bool counting_refresh = false;
+
     void send(AgentId to, MessagePayload payload) override {
       if (to < 0 || static_cast<std::size_t>(to) >= impl_.mailboxes.size()) {
         throw std::out_of_range("message addressed to unknown agent");
       }
+      impl_.send_attempts.fetch_add(1, std::memory_order_acq_rel);
+      if (counting_refresh) {
+        impl_.refresh_messages.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (impl_.plan == nullptr) {
+        deliver(to, std::move(payload), /*reorder=*/false, /*extra_delay=*/0);
+        return;
+      }
+      const ChannelVerdict verdict = impl_.plan->on_send(self_, to);
+      // copies == 0: the message vanishes. Its credit was never detached,
+      // so conservation holds — the pool returns it at activation end.
+      for (int copy = 0; copy < verdict.copies; ++copy) {
+        deliver(to, payload, verdict.reorder, verdict.extra_delay);
+      }
+    }
+
+   private:
+    void deliver(AgentId to, MessagePayload payload, bool reorder,
+                 std::int64_t extra_delay) {
       // Count the send *before* making it visible so that quiescence
       // (sent == processed && all idle) can never be observed spuriously.
       impl_.sent.fetch_add(1, std::memory_order_acq_rel);
       if (impl_.config.delivery_jitter.count() > 0) {
         std::this_thread::sleep_for(impl_.config.delivery_jitter);
       }
-      Letter letter{std::move(payload), {pool_.split()}};
-      impl_.mailboxes[static_cast<std::size_t>(to)].push(std::move(letter));
+      if (extra_delay > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(extra_delay));
+      }
+      // Heartbeat-context sends run from an empty pool (a heartbeat letter
+      // carries no credit); they travel uncredited, which is safe because
+      // fault-mode success detection validates the snapshot directly.
+      Letter letter{std::move(payload),
+                    pool_.empty() ? std::vector<int>{}
+                                  : std::vector<int>{pool_.split()},
+                    /*heartbeat=*/false};
+      auto& box = impl_.mailboxes[static_cast<std::size_t>(to)];
+      if (reorder) {
+        box.push_front(std::move(letter));
+      } else {
+        box.push(std::move(letter));
+      }
     }
 
-   private:
     Impl& impl_;
+    AgentId self_;
     CreditPool& pool_;
   };
 
   void agent_loop(std::size_t i) {
     Agent& agent = *agents[i];
     CreditPool pool;
-    RuntimeSink sink(*this, pool);
+    RuntimeSink sink(*this, agent.id(), pool);
     Letter letter;
     while (!stop.load(std::memory_order_acquire)) {
       idle[i].store(true, std::memory_order_release);
       if (!mailboxes[i].pop(letter, stop)) break;
       idle[i].store(false, std::memory_order_release);
+      if (letter.heartbeat) {
+        // Anti-entropy refresh: uncredited, not counted as processed (it
+        // was never counted as sent).
+        sink.counting_refresh = true;
+        agent.on_heartbeat(sink);
+        sink.counting_refresh = false;
+        continue;
+      }
       pool.add_all(letter.credit);
-      agent.receive(letter.payload);
-      agent.compute(sink);
+      if (plan != nullptr && plan->on_deliver(static_cast<AgentId>(i))) {
+        // Crash-restart: volatile state is lost and the in-flight letter
+        // dies with the process; recovery re-announces through the sink.
+        agent.crash_restart(sink);
+      } else {
+        agent.receive(letter.payload);
+        agent.compute(sink);
+      }
       values[i].store(agent.current_value(), std::memory_order_release);
       if (agent.detected_insoluble()) insoluble.store(true, std::memory_order_release);
       // Activation over: return the remaining credit, then count the
@@ -119,14 +195,16 @@ struct ThreadRuntime::Impl {
     }
   }
 
-  bool snapshot_is_solution() const {
+  FullAssignment snapshot() const {
     FullAssignment a(static_cast<std::size_t>(problem.num_variables()), kNoValue);
     for (std::size_t i = 0; i < agents.size(); ++i) {
       a[static_cast<std::size_t>(agents[i]->variable())] =
           values[i].load(std::memory_order_acquire);
     }
-    return problem.is_solution(a);
+    return a;
   }
+
+  bool snapshot_is_solution() const { return problem.is_solution(snapshot()); }
 
   /// Omniscient quiescence scan — the fallback when credit-recovery
   /// detection is disabled, and the cross-check used by tests.
@@ -167,7 +245,7 @@ RunResult ThreadRuntime::run() {
   for (std::size_t i = 0; i < impl.agents.size(); ++i) {
     CreditPool pool;
     pool.add(0);
-    Impl::RuntimeSink sink(impl, pool);
+    Impl::RuntimeSink sink(impl, impl.agents[i]->id(), pool);
     impl.agents[i]->start(sink);
     impl.agents[i]->take_checks();
     impl.values[i].store(impl.agents[i]->current_value(), std::memory_order_release);
@@ -181,12 +259,33 @@ RunResult ThreadRuntime::run() {
     threads.emplace_back([&impl, i] { impl.agent_loop(i); });
   }
 
+  // With losses and heartbeats the system never quiesces, so termination
+  // detection cannot signal success; validate the published snapshot
+  // directly instead (a satisfying snapshot is a correct witness whatever
+  // the protocol state).
+  const bool refresh_active =
+      impl.plan != nullptr && impl.config.faults.refresh_interval > 0;
+  const auto refresh_period =
+      std::chrono::milliseconds(impl.config.faults.refresh_interval);
+  auto next_beat = std::chrono::steady_clock::now() + refresh_period;
+
   const auto deadline = std::chrono::steady_clock::now() + impl.config.timeout;
   bool timed_out = false;
+  // Under faults the agents keep moving until the threads are joined, so a
+  // satisfying snapshot must be captured the moment it is observed.
+  FullAssignment witness;
   for (;;) {
     if (impl.insoluble.load(std::memory_order_acquire)) {
       result.metrics.insoluble = true;
       break;
+    }
+    if (refresh_active) {
+      FullAssignment snap = impl.snapshot();
+      if (impl.problem.is_solution(snap)) {
+        result.metrics.solved = true;
+        witness = std::move(snap);
+        break;
+      }
     }
     if (impl.detected_terminated()) {
       if (impl.snapshot_is_solution()) {
@@ -196,9 +295,17 @@ RunResult ThreadRuntime::run() {
       // Terminated but unsolved: for complete algorithms this cannot
       // persist; re-check shortly in case we raced a final message.
     }
-    if (std::chrono::steady_clock::now() > deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now > deadline) {
       timed_out = true;
       break;
+    }
+    if (refresh_active && now >= next_beat) {
+      for (auto& box : impl.mailboxes) {
+        box.push(Letter{MessagePayload{}, {}, /*heartbeat=*/true});
+      }
+      impl.heartbeat_rounds.fetch_add(1, std::memory_order_relaxed);
+      next_beat += refresh_period;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
@@ -207,7 +314,7 @@ RunResult ThreadRuntime::run() {
   for (auto& box : impl.mailboxes) box.wake();
   for (auto& t : threads) t.join();
 
-  result.metrics.hit_cycle_cap = timed_out;
+  result.metrics.timed_out = timed_out;
   result.metrics.cycles =
       static_cast<int>(impl.processed.load(std::memory_order_acquire));
   FullAssignment a(static_cast<std::size_t>(impl.problem.num_variables()), kNoValue);
@@ -217,8 +324,13 @@ RunResult ThreadRuntime::run() {
     result.metrics.nogoods_generated += impl.agents[i]->nogoods_generated();
     result.metrics.redundant_generations += impl.agents[i]->redundant_generations();
   }
+  if (!witness.empty()) a = std::move(witness);
   result.metrics.maxcck = result.metrics.total_checks;
-  result.metrics.messages = impl.sent.load(std::memory_order_acquire);
+  result.metrics.messages = impl.send_attempts.load(std::memory_order_acquire);
+  result.metrics.refresh_messages =
+      impl.refresh_messages.load(std::memory_order_acquire);
+  result.metrics.heartbeats = impl.heartbeat_rounds.load(std::memory_order_acquire);
+  if (impl.plan != nullptr) result.metrics.faults = impl.plan->summary();
   result.assignment = std::move(a);
   return result;
 }

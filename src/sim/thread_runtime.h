@@ -7,6 +7,13 @@
 // This runtime exists to demonstrate that the algorithms, which the paper
 // only *measures* synchronously, genuinely run asynchronously; metrics here
 // are wall-clock flavored and not comparable to the paper's cycle counts.
+//
+// With a fault plan (config.faults, see sim/fault.h) mailbox delivery drops,
+// duplicates and reorders letters, injects latency spikes, and crash-
+// restarts receivers; the monitor injects periodic heartbeat letters so
+// hardened agents can repair the losses, and — because a lossy system never
+// quiesces while heartbeats flow — detects success by validating the
+// published snapshot directly.
 #pragma once
 
 #include <chrono>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "sim/agent.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 
 namespace discsp::sim {
@@ -26,6 +34,10 @@ struct ThreadRuntimeConfig {
   /// distributed algorithm; see sim/termination.h) instead of the
   /// omniscient mailbox/idle scan.
   bool use_credit_termination = true;
+  /// Fault injection; FaultConfig{}.enabled() == false means "reliable".
+  /// refresh_interval is interpreted in milliseconds, delay_spike in
+  /// microseconds.
+  FaultConfig faults;
 };
 
 class ThreadRuntime {

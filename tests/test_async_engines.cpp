@@ -194,7 +194,8 @@ TEST(ThreadRuntime, TimeoutReported) {
   sim::ThreadRuntime runtime(p, solver.make_agents(initial, rng.derive(1)), config);
   const auto result = runtime.run();
   EXPECT_FALSE(result.metrics.solved);
-  EXPECT_TRUE(result.metrics.hit_cycle_cap);
+  EXPECT_TRUE(result.metrics.timed_out) << "wall-clock deadline, not a cycle cap";
+  EXPECT_FALSE(result.metrics.hit_cycle_cap);
 }
 
 }  // namespace

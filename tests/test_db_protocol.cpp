@@ -36,12 +36,17 @@ DbAgent make_agent(Value initial) {
   return DbAgent(1, 1, 2, initial, {0, 2}, std::move(nogoods), Rng(3));
 }
 
-sim::OkMessage ok(AgentId sender, VarId var, Value value) {
-  return sim::OkMessage{.sender = sender, .var = var, .value = value, .priority = 0};
+// DB messages carry the sender's wave round in `seq` (see db_agent.h); the
+// helpers default to round 1, the first wave after start().
+sim::OkMessage ok(AgentId sender, VarId var, Value value, std::uint64_t round = 1) {
+  return sim::OkMessage{.sender = sender, .var = var, .value = value, .priority = 0,
+                        .seq = round};
 }
 
-sim::ImproveMessage improve(AgentId sender, std::int64_t imp, std::int64_t eval) {
-  return sim::ImproveMessage{.sender = sender, .var = sender, .improve = imp, .eval = eval};
+sim::ImproveMessage improve(AgentId sender, std::int64_t imp, std::int64_t eval,
+                            std::uint64_t round = 1) {
+  return sim::ImproveMessage{.sender = sender, .var = sender, .improve = imp,
+                             .eval = eval, .seq = round};
 }
 
 TEST(DbProtocol, StartBroadcastsValue) {
@@ -120,12 +125,13 @@ TEST(DbProtocol, EqualImproveTieGoesToSmallerId) {
   agent.compute(sink);
   EXPECT_EQ(agent.current_value(), 0);
 
-  // Symmetric case: neighbor a2 claims improve 2; we (id 1) win the tie.
-  agent.receive(sim::MessagePayload{ok(0, 0, 0)});
-  agent.receive(sim::MessagePayload{ok(2, 2, 0)});
+  // Symmetric case (round 2): neighbor a2 claims improve 2; we (id 1) win
+  // the tie.
+  agent.receive(sim::MessagePayload{ok(0, 0, 0, 2)});
+  agent.receive(sim::MessagePayload{ok(2, 2, 0, 2)});
   agent.compute(sink);
-  agent.receive(sim::MessagePayload{improve(0, 0, 0)});
-  agent.receive(sim::MessagePayload{improve(2, 2, 2)});
+  agent.receive(sim::MessagePayload{improve(0, 0, 0, 2)});
+  agent.receive(sim::MessagePayload{improve(2, 2, 2, 2)});
   agent.compute(sink);
   EXPECT_EQ(agent.current_value(), 1);
 }

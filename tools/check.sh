@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local check: normal build + complete test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive tests (the
+# thread runtime and the fault/chaos layer exercise real threads and the
+# shared FaultPlan). Usage: tools/check.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== normal build + full test suite (${prefix}) ==="
+cmake -B "${prefix}" -S . >/dev/null
+cmake --build "${prefix}" -j "${jobs}"
+ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
+
+echo
+echo "=== ThreadSanitizer build (${prefix}-tsan) ==="
+cmake -B "${prefix}-tsan" -S . \
+      -DDISCSP_SANITIZE=thread \
+      -DDISCSP_BUILD_BENCH=OFF \
+      -DDISCSP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${prefix}-tsan" -j "${jobs}" --target discsp_tests
+
+echo "--- TSan: thread runtime + fault layer tests ---"
+"${prefix}-tsan/tests/discsp_tests" \
+    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:*Credit*'
+
+echo
+echo "All checks passed."
