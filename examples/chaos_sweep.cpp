@@ -9,11 +9,16 @@
 // periodic anti-entropy heartbeats (docs/FAULT_MODEL.md), so the solve rate
 // should stay high far beyond "perfect channel" conditions.
 //
-//   chaos_sweep [--n 30] [--trials 20] [--seed 7] [--crash 0]
-//               [--refresh 50] [--max-activations 2000000]
+//   chaos_sweep [--n 30] [--trials 20] [--seed 7] [--crash 0] [--amnesia 0]
+//               [--refresh 50] [--max-activations 2000000] [--ack-timeout 0]
+//               [--nogood-capacity 0] [--checkpoint-interval 64]
 //
 // Sweeps a grid of (drop, duplicate) rates with reordering tied to the drop
 // rate, printing solve %, mean activations, and observed fault counters.
+// With --amnesia > 0 agents journal their state (write-ahead log) so an
+// amnesia crash is recoverable; with --ack-timeout > 0 the failure detector
+// retransmits unacked messages under exponential backoff; a nonzero
+// --nogood-capacity bounds each agent's resident learned nogoods.
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
@@ -32,9 +37,14 @@ int main(int argc, char** argv) {
     const int trials = static_cast<int>(opts.get_int("trials", 20));
     const std::uint64_t seed = static_cast<std::uint64_t>(opts.get_int("seed", 7));
     const double crash = opts.get_double("crash", 0.0);
+    const double amnesia = opts.get_double("amnesia", 0.0);
     const std::int64_t refresh = opts.get_int("refresh", 50);
     const std::uint64_t max_activations =
         static_cast<std::uint64_t>(opts.get_int("max-activations", 2'000'000));
+    const std::int64_t ack_timeout = opts.get_int("ack-timeout", 0);
+    const std::size_t nogood_capacity =
+        static_cast<std::size_t>(opts.get_int("nogood-capacity", 0));
+    const std::int64_t checkpoint_interval = opts.get_int("checkpoint-interval", 64);
 
     struct Point {
       double drop;
@@ -46,30 +56,47 @@ int main(int argc, char** argv) {
 
     std::cout << "AWC (resolvent) on async engine, 3-coloring n=" << n << ", "
               << trials << " trials per point, heartbeat every " << refresh
-              << " ticks\n\n";
+              << " ticks";
+    if (amnesia > 0) std::cout << ", amnesia " << amnesia << " (journaled)";
+    if (ack_timeout > 0) std::cout << ", ack timeout " << ack_timeout;
+    if (nogood_capacity > 0) std::cout << ", nogood capacity " << nogood_capacity;
+    std::cout << "\n\n";
     std::cout << std::setw(6) << "drop%" << std::setw(6) << "dup%"
               << std::setw(9) << "solved%" << std::setw(12) << "mean_acts"
               << std::setw(10) << "dropped" << std::setw(8) << "duped"
               << std::setw(10) << "reorder" << std::setw(8) << "crash"
+              << std::setw(9) << "amnesia" << std::setw(9) << "replays"
+              << std::setw(8) << "retx" << std::setw(8) << "evict"
               << std::setw(7) << "valid\n";
 
     for (const Point& pt : grid) {
-      sim::FaultConfig faults;
+      analysis::ChaosRunnerOptions runner_options;
+      sim::FaultConfig& faults = runner_options.faults;
       faults.drop_rate = pt.drop;
       faults.duplicate_rate = pt.duplicate;
       faults.reorder_rate = pt.drop;  // a lossy channel rarely stays FIFO
       faults.crash_rate = crash;
+      faults.amnesia_rate = amnesia;
       faults.refresh_interval = refresh;
       faults.seed = seed * 977 + 1;
       faults.validate();
+      runner_options.max_activations = max_activations;
+      runner_options.nogood_capacity = nogood_capacity;
+      runner_options.journal = amnesia > 0;
+      runner_options.journal_config.checkpoint_interval =
+          static_cast<std::size_t>(checkpoint_interval);
+      runner_options.retransmit.ack_timeout = ack_timeout;
+      runner_options.retransmit.validate();
 
       int solved = 0;
       bool all_valid = true;
       double total_acts = 0.0;
       sim::FaultSummary totals;
+      std::uint64_t total_amnesia = 0, total_replays = 0, total_retx = 0,
+                    total_evictions = 0;
 
       const analysis::TrialRunner run =
-          analysis::awc_chaos_runner("Rslv", faults, max_activations);
+          analysis::awc_chaos_runner("Rslv", runner_options);
       for (int t = 0; t < trials; ++t) {
         Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1)));
         const auto instance = gen::generate_coloring3(n, rng);
@@ -83,6 +110,10 @@ int main(int argc, char** argv) {
         totals.duplicated += result.metrics.faults.duplicated;
         totals.reordered += result.metrics.faults.reordered;
         totals.crashes += result.metrics.faults.crashes;
+        total_amnesia += result.metrics.faults.amnesia;
+        total_replays += result.metrics.journal_replays;
+        total_retx += result.metrics.retransmissions;
+        total_evictions += result.metrics.store_evictions;
         if (result.metrics.solved) {
           ++solved;
           if (!validate_solution(instance.problem, result.assignment).ok) {
@@ -97,8 +128,10 @@ int main(int argc, char** argv) {
                 << std::setprecision(0) << total_acts / trials << std::setw(10)
                 << totals.dropped << std::setw(8) << totals.duplicated
                 << std::setw(10) << totals.reordered << std::setw(8)
-                << totals.crashes << std::setw(7) << (all_valid ? "yes" : "NO")
-                << '\n';
+                << totals.crashes << std::setw(9) << total_amnesia
+                << std::setw(9) << total_replays << std::setw(8) << total_retx
+                << std::setw(8) << total_evictions << std::setw(7)
+                << (all_valid ? "yes" : "NO") << '\n';
       if (!all_valid) {
         std::cerr << "error: a reported solution failed validation\n";
         return 1;

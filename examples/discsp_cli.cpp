@@ -98,8 +98,9 @@ int cmd_solve(const Options& opts) {
   if (opts.positional().size() < 2) {
     std::cerr << "usage: discsp_cli solve FILE [--algo awc|db|abt] [--strategy Rslv] "
                  "[--seed S] [--max-cycles N] [--fault-drop P] [--fault-duplicate P] "
-                 "[--fault-reorder P] [--fault-crash P] [--fault-refresh N] "
-                 "[--fault-seed S]\n";
+                 "[--fault-reorder P] [--fault-crash P] [--fault-amnesia P] "
+                 "[--fault-refresh N] [--fault-seed S] [--ack-timeout N] "
+                 "[--nogood-capacity N] [--checkpoint-interval N]\n";
     return 2;
   }
   const auto dp = load(opts.positional()[1]);
@@ -111,11 +112,20 @@ int cmd_solve(const Options& opts) {
   // --fault-* knobs (see docs/FAULT_MODEL.md) run the hardened algorithms on
   // the asynchronous engine with fault injection instead of the synchronous
   // simulator. Only AWC and DB are hardened against unreliable delivery.
-  const sim::FaultConfig faults = sim::fault_config_from(repro_config_from(opts));
+  const ReproConfig repro = repro_config_from(opts);
+  const sim::FaultConfig faults = sim::fault_config_from(repro);
   faults.validate();
+  // Recovery layer: journal whenever amnesia crashes are possible (recovery
+  // needs it), bound learned stores and arm the failure detector on request.
+  const bool journal = repro.fault_amnesia > 0;
+  recovery::JournalConfig journal_config;
+  journal_config.checkpoint_interval =
+      static_cast<std::size_t>(repro.checkpoint_interval);
   const auto run_with_faults = [&](auto& solver) {
     sim::AsyncConfig config;
     config.faults = faults;
+    config.retransmit.ack_timeout = repro.ack_timeout;
+    config.retransmit.validate();
     sim::AsyncEngine engine(dp.problem(),
                             solver.make_agents(solver.random_initial(rng),
                                                rng.derive(1)),
@@ -128,11 +138,18 @@ int cmd_solve(const Options& opts) {
     auto strategy = learning::make_strategy(opts.get_string("strategy", "Rslv"));
     awc::AwcOptions options;
     options.max_cycles = max_cycles;
+    options.nogood_capacity = static_cast<std::size_t>(repro.nogood_capacity);
+    options.journal = journal;
+    options.journal_config = journal_config;
     awc::AwcSolver solver(dp, *strategy, options);
     result = faults.enabled() ? run_with_faults(solver)
                               : solver.solve(solver.random_initial(rng), rng.derive(1));
   } else if (algo == "db") {
-    db::DbSolver solver(dp, {.max_cycles = max_cycles});
+    db::DbOptions db_options;
+    db_options.max_cycles = max_cycles;
+    db_options.journal = journal;
+    db_options.journal_config = journal_config;
+    db::DbSolver solver(dp, db_options);
     result = faults.enabled() ? run_with_faults(solver)
                               : solver.solve(solver.random_initial(rng), rng.derive(1));
   } else if (algo == "abt") {
@@ -155,8 +172,20 @@ int cmd_solve(const Options& opts) {
     const sim::FaultSummary& f = result.metrics.faults;
     std::cout << "faults: dropped " << f.dropped << ", duplicated " << f.duplicated
               << ", reordered " << f.reordered << ", crashes " << f.crashes
+              << ", amnesia " << f.amnesia
               << " (heartbeats " << result.metrics.heartbeats << ", refresh messages "
               << result.metrics.refresh_messages << ")\n";
+  }
+  if (result.metrics.journal_appends > 0 || result.metrics.retransmissions > 0 ||
+      result.metrics.store_evictions > 0 || repro.nogood_capacity > 0) {
+    std::cout << "recovery: journal appends " << result.metrics.journal_appends
+              << ", checkpoints " << result.metrics.journal_checkpoints
+              << ", replays " << result.metrics.journal_replays
+              << ", evictions " << result.metrics.store_evictions
+              << ", peak learned " << result.metrics.peak_learned_nogoods
+              << ", retransmissions " << result.metrics.retransmissions
+              << " (false positives " << result.metrics.detector_false_positives
+              << ")\n";
   }
   if (result.metrics.solved) {
     const auto validation = validate_solution(dp.problem(), result.assignment);

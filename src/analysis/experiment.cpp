@@ -166,15 +166,27 @@ TrialRunner db_runner(int max_cycles) {
 TrialRunner awc_chaos_runner(const std::string& strategy_label,
                              const sim::FaultConfig& faults,
                              std::uint64_t max_activations) {
+  ChaosRunnerOptions options;
+  options.faults = faults;
+  options.max_activations = max_activations;
+  return awc_chaos_runner(strategy_label, options);
+}
+
+TrialRunner awc_chaos_runner(const std::string& strategy_label,
+                             const ChaosRunnerOptions& options) {
   auto strategy = std::shared_ptr<learning::LearningStrategy>(
       learning::make_strategy(strategy_label));
-  return [strategy, faults, max_activations](const DistributedProblem& dp,
-                                             const FullAssignment& initial,
-                                             const Rng& rng) {
-    awc::AwcSolver solver(dp, *strategy);
+  return [strategy, options](const DistributedProblem& dp,
+                             const FullAssignment& initial, const Rng& rng) {
+    awc::AwcOptions awc_options;
+    awc_options.nogood_capacity = options.nogood_capacity;
+    awc_options.journal = options.journal;
+    awc_options.journal_config = options.journal_config;
+    awc::AwcSolver solver(dp, *strategy, awc_options);
     sim::AsyncConfig config;
-    config.max_activations = max_activations;
-    config.faults = faults;
+    config.max_activations = options.max_activations;
+    config.faults = options.faults;
+    config.retransmit = options.retransmit;
     sim::AsyncEngine engine(dp.problem(), solver.make_agents(initial, rng),
                             config, rng.derive(0x404));
     return engine.run();

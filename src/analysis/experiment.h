@@ -14,6 +14,8 @@
 #include "common/options.h"
 #include "common/rng.h"
 #include "csp/distributed_problem.h"
+#include "recovery/journal.h"
+#include "recovery/retransmit.h"
 #include "sim/metrics.h"
 
 namespace discsp::analysis {
@@ -89,5 +91,22 @@ TrialRunner abt_runner(bool use_resolvent = false, int max_cycles = 10000);
 TrialRunner awc_chaos_runner(const std::string& strategy_label,
                              const sim::FaultConfig& faults,
                              std::uint64_t max_activations = 2'000'000);
+
+/// Full recovery-layer knob set for the chaos runner (PR 2): journaled
+/// amnesia recovery, bounded nogood stores, and the ack/retransmit failure
+/// detector. The three-argument overload above is the all-defaults case.
+struct ChaosRunnerOptions {
+  sim::FaultConfig faults;
+  std::uint64_t max_activations = 2'000'000;
+  /// Bound on resident learned nogoods per agent (0 = unbounded).
+  std::size_t nogood_capacity = 0;
+  /// Per-agent write-ahead journal (required for amnesia recovery).
+  bool journal = false;
+  recovery::JournalConfig journal_config;
+  /// Failure detector; RetransmitConfig{}.enabled() == false means "off".
+  recovery::RetransmitConfig retransmit;
+};
+TrialRunner awc_chaos_runner(const std::string& strategy_label,
+                             const ChaosRunnerOptions& options);
 
 }  // namespace discsp::analysis

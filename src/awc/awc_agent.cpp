@@ -17,12 +17,15 @@ AwcAgent::AwcAgent(AgentId id, VarId var, int domain_size, Value initial_value,
     : id_(id), var_(var), domain_size_(domain_size), value_(initial_value),
       store_(var, domain_size), strategy_(std::move(strategy)),
       links_(std::move(initial_links)), owner_of_var_(std::move(owner_of_var)),
-      generation_log_(std::move(generation_log)), rng_(rng), config_(config) {
+      generation_log_(std::move(generation_log)),
+      wal_(config.journal_config), rng_(rng), config_(config) {
   if (initial_value < 0 || initial_value >= domain_size) {
     throw std::invalid_argument("initial value outside domain");
   }
   if (strategy_ == nullptr) throw std::invalid_argument("null learning strategy");
   link_set_.insert(links_.begin(), links_.end());
+  initial_link_count_ = links_.size();
+  if (config_.journal) initial_nogoods_ = initial_nogoods;
   for (const Nogood& ng : initial_nogoods) {
     if (ng.empty()) {
       insoluble_ = true;  // the problem carries an explicit contradiction
@@ -31,6 +34,7 @@ AwcAgent::AwcAgent(AgentId id, VarId var, int domain_size, Value initial_value,
     store_.add(ng);
   }
   store_.mark_initial();
+  store_.set_capacity(config_.nogood_capacity);
 }
 
 Priority AwcAgent::priority_of(VarId v) const {
@@ -57,7 +61,51 @@ bool AwcAgent::violated_with_own(const Nogood& ng, Value d) {
   return ng.violated_by([&](VarId v) { return v == var_ ? d : view_value(v); });
 }
 
+bool AwcAgent::violated_unmetered(const Nogood& ng) const {
+  return ng.violated_by(
+      [&](VarId v) { return v == var_ ? value_ : view_value(v); });
+}
+
+void AwcAgent::journal(recovery::JournalRecord record) {
+  if (!config_.journal) return;
+  wal_.append(std::move(record));
+  maybe_checkpoint();
+}
+
+void AwcAgent::maybe_checkpoint() {
+  if (!wal_.should_checkpoint()) return;
+  recovery::Checkpoint cp;
+  cp.has_value = true;
+  cp.value = value_;
+  cp.priority = priority_;
+  cp.insoluble = insoluble_;
+  cp.extra_links.assign(links_.begin() + static_cast<std::ptrdiff_t>(initial_link_count_),
+                        links_.end());
+  // Initial nogoods always occupy the store's leading indices (eviction only
+  // ever removes learned ones, and swap-with-last swaps learned into
+  // learned), so the learned tail is a contiguous suffix.
+  cp.learned.reserve(store_.size() - store_.initial_count());
+  for (std::size_t idx = store_.initial_count(); idx < store_.size(); ++idx) {
+    cp.learned.push_back(store_.at(idx));
+  }
+  wal_.write_checkpoint(std::move(cp));
+}
+
+void AwcAgent::set_value(Value v) {
+  value_ = v;
+  journal({recovery::RecordType::kValue, v, 0, Nogood{}});
+}
+
+void AwcAgent::set_priority(Priority p) {
+  priority_ = p;
+  journal({recovery::RecordType::kPriority, p, 0, Nogood{}});
+}
+
 void AwcAgent::start(sim::MessageSink& out) {
+  // Journal the starting state so an amnesia crash that hits before any
+  // transition still recovers a concrete (value, priority) pair.
+  journal({recovery::RecordType::kValue, value_, 0, Nogood{}});
+  journal({recovery::RecordType::kPriority, priority_, 0, Nogood{}});
   broadcast_ok(out);
   dirty_ = true;
 }
@@ -101,13 +149,20 @@ void AwcAgent::on_nogood(const sim::NogoodMessage& m) {
   if (bound != 0 && m.nogood.size() > bound) return;  // size-bounded learning
   if (m.nogood.empty()) {
     insoluble_ = true;
+    journal({recovery::RecordType::kInsoluble, 0, 0, Nogood{}});
     return;
   }
   if (!m.nogood.contains(var_)) {
     // Defensive: a nogood not mentioning our variable is not ours to keep.
     return;
   }
-  if (store_.add(m.nogood)) {
+  if (store_.add(m.nogood, [this](const Nogood& ng) { return violated_unmetered(ng); })) {
+    // Journal the eviction (if the bounded add displaced something) before
+    // the insert, so in-order replay reproduces the store exactly.
+    if (store_.last_eviction().has_value()) {
+      journal({recovery::RecordType::kEvict, 0, 0, *store_.last_eviction()});
+    }
+    journal({recovery::RecordType::kNogood, 0, 0, m.nogood});
     dirty_ = true;
     for (const Assignment& a : m.nogood) {
       if (a.var != var_ && view_.find(a.var) == view_.end()) {
@@ -120,6 +175,7 @@ void AwcAgent::on_nogood(const sim::NogoodMessage& m) {
 void AwcAgent::on_add_link(const sim::AddLinkMessage& m) {
   if (link_set_.insert(m.sender).second) {
     links_.push_back(m.sender);
+    journal({recovery::RecordType::kLink, m.sender, 0, Nogood{}});
   }
   pending_link_replies_.push_back(m.sender);
 }
@@ -160,8 +216,10 @@ void AwcAgent::evaluate(sim::MessageSink& out) {
   std::vector<const Nogood*> current_violations;
   for (std::size_t idx = 0; idx < store_.size(); ++idx) {
     const Nogood& ng = store_.at(idx);
-    if (violated_with_own(ng, value_) && nogood_is_higher(ng)) {
-      current_violations.push_back(&ng);
+    if (violated_with_own(ng, value_)) {
+      // Violation recency feeds the bounded store's LRU eviction order.
+      store_.note_violation(idx);
+      if (nogood_is_higher(ng)) current_violations.push_back(&ng);
     }
   }
   if (current_violations.empty()) return;  // consistent: weak commitment holds
@@ -188,7 +246,7 @@ void AwcAgent::evaluate(sim::MessageSink& out) {
 
   if (!consistent.empty()) {
     // Repair: move to the consistent value minimizing violated lower nogoods.
-    value_ = min_conflict_value(consistent, nullptr);
+    set_value(min_conflict_value(consistent, nullptr));
     broadcast_ok(out);
     return;
   }
@@ -217,6 +275,7 @@ void AwcAgent::handle_deadend(std::vector<std::vector<const Nogood*>> violated_h
       // The resolvent over an empty context: no combination of other
       // variables permits any value — the problem is insoluble.
       insoluble_ = true;
+      journal({recovery::RecordType::kInsoluble, 0, 0, Nogood{}});
       return;
     }
     // Every deadend derivation counts as a generation — including the ones
@@ -249,11 +308,11 @@ void AwcAgent::handle_deadend(std::vector<std::vector<const Nogood*>> violated_h
   // is the only way to break the deadend.
   std::vector<Value> all_values(static_cast<std::size_t>(domain_size_));
   for (Value d = 0; d < domain_size_; ++d) all_values[static_cast<std::size_t>(d)] = d;
-  value_ = min_conflict_value(all_values, &violated_higher);
+  set_value(min_conflict_value(all_values, &violated_higher));
 
   Priority max_seen = 0;
   for (const auto& [var, entry] : view_) max_seen = std::max(max_seen, entry.priority);
-  priority_ = max_seen + 1;
+  set_priority(max_seen + 1);
   dirty_ = true;  // classification changed with the priority; re-examine next round
   broadcast_ok(out);
 }
@@ -289,6 +348,12 @@ Value AwcAgent::min_conflict_value(
 
 void AwcAgent::broadcast_ok(sim::MessageSink& out) {
   ++ok_seq_;
+  if (config_.journal) {
+    // Reserve the sequence block covering this announcement (one record per
+    // `seq_reserve` increments) so post-amnesia announcements never regress.
+    wal_.ensure_seq(ok_seq_);
+    maybe_checkpoint();
+  }
   for (AgentId neighbor : links_) {
     out.send(neighbor, sim::OkMessage{.sender = id_, .var = var_,
                                       .value = value_, .priority = priority_,
@@ -301,8 +366,8 @@ void AwcAgent::crash_restart(sim::MessageSink& out) {
   // agent view, and in-flight bookkeeping. Stable storage survives: the
   // nogood store, the link directory, and the ok? sequence counter (so
   // post-restart announcements are not mistaken for stale ones).
-  value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
-  priority_ = 0;
+  set_value(static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_))));
+  set_priority(0);
   view_.clear();
   pending_value_requests_.clear();
   pending_link_replies_.clear();
@@ -314,6 +379,102 @@ void AwcAgent::crash_restart(sim::MessageSink& out) {
   for (AgentId neighbor : links_) {
     out.send(neighbor, sim::AddLinkMessage{.sender = id_, .var = kNoVar});
   }
+}
+
+void AwcAgent::amnesia_restart(sim::MessageSink& out) {
+  if (!config_.journal) {
+    // No journal, no recovery story: degrade to the PR 1 model where stable
+    // storage is assumed indestructible.
+    crash_restart(out);
+    return;
+  }
+  // Everything in memory is gone. Rebuild in three layers:
+  //  1. static problem configuration (initial nogoods, initial links) —
+  //     re-read from the problem definition;
+  //  2. the journal's checkpoint;
+  //  3. the journal's record tail, replayed in order.
+  view_.clear();
+  pending_value_requests_.clear();
+  pending_link_replies_.clear();
+  last_generated_.reset();
+  links_.resize(initial_link_count_);
+  link_set_.clear();
+  link_set_.insert(links_.begin(), links_.end());
+  store_ = NogoodStore(var_, domain_size_);
+  insoluble_ = false;
+  for (const Nogood& ng : initial_nogoods_) {
+    if (ng.empty()) {
+      insoluble_ = true;
+      continue;
+    }
+    store_.add(ng);
+  }
+  store_.mark_initial();
+
+  const recovery::Checkpoint& cp = wal_.checkpoint();
+  bool have_value = cp.has_value;
+  value_ = have_value ? static_cast<Value>(cp.value) : value_;
+  priority_ = static_cast<Priority>(cp.priority);
+  insoluble_ = insoluble_ || cp.insoluble;
+  for (int link : cp.extra_links) {
+    if (link_set_.insert(link).second) links_.push_back(link);
+  }
+  // Replay rebuilds the store with the bound disabled: kEvict records
+  // already say exactly which nogood left and when, so re-running the
+  // eviction policy (whose recency clock died with the process) would
+  // diverge from the pre-crash store.
+  for (const Nogood& ng : cp.learned) store_.add(ng);
+  for (const recovery::JournalRecord& rec : wal_.records()) {
+    switch (rec.type) {
+      case recovery::RecordType::kValue:
+        value_ = static_cast<Value>(rec.a);
+        have_value = true;
+        break;
+      case recovery::RecordType::kPriority:
+        priority_ = static_cast<Priority>(rec.a);
+        break;
+      case recovery::RecordType::kNogood:
+        store_.add(rec.nogood);
+        break;
+      case recovery::RecordType::kEvict:
+        store_.remove(rec.nogood);
+        break;
+      case recovery::RecordType::kLink:
+        if (link_set_.insert(static_cast<AgentId>(rec.a)).second) {
+          links_.push_back(static_cast<AgentId>(rec.a));
+        }
+        break;
+      case recovery::RecordType::kSeqReserve:
+        break;  // folded into wal_.seq_limit() below
+      case recovery::RecordType::kWeight:
+        break;  // DB-only record; meaningless for AWC
+      case recovery::RecordType::kInsoluble:
+        insoluble_ = true;
+        break;
+    }
+  }
+  store_.set_capacity(config_.nogood_capacity);
+  if (!have_value) {
+    // Crashed before the first kValue record could be written: any domain
+    // value is as good as another.
+    value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
+  }
+  // Resume sequencing past every number any pre-crash incarnation may have
+  // stamped (the counter itself died with the process); skipping the unused
+  // tail of the reserved block is absorbed by the receivers' >= guards.
+  ok_seq_ = wal_.seq_limit();
+  wal_.note_replay();
+
+  dirty_ = true;
+  broadcast_ok(out);
+  for (AgentId neighbor : links_) {
+    out.send(neighbor, sim::AddLinkMessage{.sender = id_, .var = kNoVar});
+  }
+}
+
+sim::Agent::RecoveryStats AwcAgent::recovery_stats() const {
+  return {wal_.appends(), wal_.checkpoints(), wal_.replays(),
+          store_.evictions(), store_.peak_learned()};
 }
 
 void AwcAgent::on_heartbeat(sim::MessageSink& out) {

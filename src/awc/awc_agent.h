@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "csp/nogood_store.h"
 #include "learning/strategy.h"
+#include "recovery/journal.h"
 #include "sim/agent.h"
 
 namespace discsp::awc {
@@ -56,6 +57,13 @@ struct AwcAgentConfig {
   /// When false, received nogood messages are not recorded ("Rslv/norec",
   /// Table 4). Generation, sending, and the duplicate guard are unaffected.
   bool record_received = true;
+  /// Bound on resident *learned* nogoods (0 = unbounded); see
+  /// NogoodStore::set_capacity for the eviction rules.
+  std::size_t nogood_capacity = 0;
+  /// Maintain a write-ahead journal so amnesia crashes (CrashKind::kAmnesia)
+  /// are recoverable. Without it amnesia degrades to crash_restart.
+  bool journal = false;
+  recovery::JournalConfig journal_config;
 };
 
 class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
@@ -78,14 +86,17 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   std::uint64_t take_checks() override;
   bool detected_insoluble() const override { return insoluble_; }
   void crash_restart(sim::MessageSink& out) override;
+  void amnesia_restart(sim::MessageSink& out) override;
   void on_heartbeat(sim::MessageSink& out) override;
   std::uint64_t nogoods_generated() const override { return nogoods_generated_; }
   std::uint64_t redundant_generations() const override { return redundant_generations_; }
+  RecoveryStats recovery_stats() const override;
 
   // Introspection (tests, metrics).
   Priority priority() const { return priority_; }
   const NogoodStore& store() const { return store_; }
   std::size_t view_size() const { return view_.size(); }
+  const recovery::WriteAheadLog& wal() const { return wal_; }
 
  private:
   struct ViewEntry {
@@ -113,6 +124,16 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   void handle_deadend(std::vector<std::vector<const Nogood*>> violated_higher,
                       std::vector<std::vector<const Nogood*>> all_higher,
                       sim::MessageSink& out);
+  /// Unmetered "is this nogood violated right now" — the store-maintenance
+  /// predicate handed to bounded adds (must not pollute the check metric).
+  bool violated_unmetered(const Nogood& ng) const;
+  /// Append one journal record (no-op unless journaling), then fold the log
+  /// into a checkpoint when it has grown past the configured interval.
+  void journal(recovery::JournalRecord record);
+  void maybe_checkpoint();
+  /// Record a new value / priority and journal the transition.
+  void set_value(Value v);
+  void set_priority(Priority p);
   /// Value among `candidates` minimizing violation counts; ties broken
   /// uniformly at random. Lower nogoods are checked afresh; higher-nogood
   /// violations come from the caller (null = none, as for repair candidates).
@@ -138,6 +159,12 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   std::unordered_set<AgentId> link_set_;
   std::shared_ptr<const std::vector<AgentId>> owner_of_var_;
   std::shared_ptr<GenerationLog> generation_log_;
+
+  // Static problem configuration, re-read on amnesia recovery (a real
+  // deployment reloads it from the problem definition, not the journal).
+  std::vector<Nogood> initial_nogoods_;
+  std::size_t initial_link_count_ = 0;
+  recovery::WriteAheadLog wal_;
 
   std::optional<Nogood> last_generated_;
   std::vector<VarId> pending_value_requests_;   // unknown vars from nogoods

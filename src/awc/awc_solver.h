@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "csp/distributed_problem.h"
 #include "learning/strategy.h"
+#include "recovery/journal.h"
 #include "sim/metrics.h"
 #include "sim/sync_engine.h"
 
@@ -19,6 +20,11 @@ struct AwcOptions {
   int max_cycles = 10000;
   /// When false, recipients do not record incoming nogoods ("Rslv/norec").
   bool record_received = true;
+  /// Bound on resident learned nogoods per agent (0 = unbounded).
+  std::size_t nogood_capacity = 0;
+  /// Per-agent write-ahead journal for amnesia-crash recovery.
+  bool journal = false;
+  recovery::JournalConfig journal_config;
 };
 
 class AwcSolver {

@@ -80,11 +80,25 @@ ReproConfig repro_config_from(const Options& opts) {
   cfg.fault_reorder =
       opts.get_double("fault-reorder", cfg.fault_reorder, "REPRO_FAULT_REORDER");
   cfg.fault_crash = opts.get_double("fault-crash", cfg.fault_crash, "REPRO_FAULT_CRASH");
+  cfg.fault_amnesia =
+      opts.get_double("fault-amnesia", cfg.fault_amnesia, "REPRO_FAULT_AMNESIA");
   cfg.fault_refresh = opts.get_int("fault-refresh", cfg.fault_refresh, "REPRO_FAULT_REFRESH");
   cfg.fault_seed = static_cast<std::uint64_t>(
       opts.get_int("fault-seed", static_cast<std::int64_t>(cfg.fault_seed), "REPRO_FAULT_SEED"));
+  cfg.ack_timeout = opts.get_int("ack-timeout", cfg.ack_timeout, "REPRO_ACK_TIMEOUT");
+  cfg.nogood_capacity =
+      opts.get_int("nogood-capacity", cfg.nogood_capacity, "REPRO_NOGOOD_CAPACITY");
+  cfg.checkpoint_interval = opts.get_int("checkpoint-interval", cfg.checkpoint_interval,
+                                         "REPRO_CHECKPOINT_INTERVAL");
   if (cfg.trials <= 0) throw std::invalid_argument("--trials must be positive");
   if (cfg.max_cycles <= 0) throw std::invalid_argument("--max-cycles must be positive");
+  if (cfg.ack_timeout < 0) throw std::invalid_argument("--ack-timeout must be >= 0");
+  if (cfg.nogood_capacity < 0) {
+    throw std::invalid_argument("--nogood-capacity must be >= 0");
+  }
+  if (cfg.checkpoint_interval < 0) {
+    throw std::invalid_argument("--checkpoint-interval must be >= 0");
+  }
   return cfg;
 }
 

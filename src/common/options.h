@@ -58,15 +58,24 @@ struct ReproConfig {
   double fault_duplicate = 0.0;  ///< message duplication probability
   double fault_reorder = 0.0;    ///< per-message FIFO-relaxation probability
   double fault_crash = 0.0;      ///< per-delivery receiver crash probability
+  double fault_amnesia = 0.0;    ///< per-delivery amnesia-crash probability
   std::int64_t fault_refresh = 50;  ///< anti-entropy heartbeat period
   std::uint64_t fault_seed = 0;  ///< 0 = reuse `seed` for the fault streams
+
+  // Recovery-layer knobs (see src/recovery/).
+  std::int64_t ack_timeout = 0;        ///< failure-detector base RTO; 0 = off
+  std::int64_t nogood_capacity = 0;    ///< learned-nogood bound; 0 = unbounded
+  std::int64_t checkpoint_interval = 64;  ///< journal records per checkpoint
 };
 
 /// Build a ReproConfig from options: --trials/REPRO_TRIALS,
 /// --max-cycles, --seed/REPRO_SEED, --full/REPRO_FULL=1 which restores
-/// the paper's 100 trials, and the fault knobs --fault-drop,
-/// --fault-duplicate, --fault-reorder, --fault-crash, --fault-refresh,
-/// --fault-seed (REPRO_FAULT_* in the environment).
+/// the paper's 100 trials, the fault knobs --fault-drop,
+/// --fault-duplicate, --fault-reorder, --fault-crash, --fault-amnesia,
+/// --fault-refresh, --fault-seed (REPRO_FAULT_* in the environment), and
+/// the recovery knobs --ack-timeout/REPRO_ACK_TIMEOUT,
+/// --nogood-capacity/REPRO_NOGOOD_CAPACITY,
+/// --checkpoint-interval/REPRO_CHECKPOINT_INTERVAL.
 ReproConfig repro_config_from(const Options& opts);
 
 }  // namespace discsp

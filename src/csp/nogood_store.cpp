@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace discsp {
@@ -11,21 +12,96 @@ NogoodStore::NogoodStore(VarId own, int domain_size) : own_(own) {
   buckets_.resize(static_cast<std::size_t>(domain_size));
 }
 
-bool NogoodStore::add(Nogood ng) {
+void NogoodStore::mark_initial() {
+  initial_count_ = nogoods_.size();
+  for (Meta& m : meta_) m.initial = true;
+  // The adds above were counted as learned while they happened; now that
+  // they are reclassified, the learned high-watermark starts from zero.
+  peak_learned_ = 0;
+}
+
+void NogoodStore::insert_unchecked(Nogood ng, Meta meta) {
+  const Value v = ng.value_of(own_);
+  const auto idx = static_cast<std::uint32_t>(nogoods_.size());
+  dedup_[ng.hash()].push_back(idx);
+  buckets_[static_cast<std::size_t>(v)].push_back(idx);
+  max_size_ = std::max(max_size_, ng.size());
+  nogoods_.push_back(std::move(ng));
+  meta_.push_back(meta);
+}
+
+void NogoodStore::remove_at(std::size_t idx) {
+  auto erase_index = [](std::vector<std::uint32_t>& vec, std::uint32_t target) {
+    vec.erase(std::find(vec.begin(), vec.end(), target));
+  };
+  const Nogood& victim = nogoods_[idx];
+  const auto idx32 = static_cast<std::uint32_t>(idx);
+  // Drop the victim's bucket and dedup references.
+  auto dup = dedup_.find(victim.hash());
+  assert(dup != dedup_.end());
+  erase_index(dup->second, idx32);
+  if (dup->second.empty()) dedup_.erase(dup);
+  erase_index(buckets_[static_cast<std::size_t>(victim.value_of(own_))], idx32);
+  if (meta_[idx].initial) --initial_count_;
+
+  const std::size_t last = nogoods_.size() - 1;
+  if (idx != last) {
+    // Move the last nogood into the hole and repoint its references.
+    const auto last32 = static_cast<std::uint32_t>(last);
+    const Nogood& moved = nogoods_[last];
+    auto& moved_dup = dedup_[moved.hash()];
+    *std::find(moved_dup.begin(), moved_dup.end(), last32) = idx32;
+    auto& moved_bucket = buckets_[static_cast<std::size_t>(moved.value_of(own_))];
+    *std::find(moved_bucket.begin(), moved_bucket.end(), last32) = idx32;
+    nogoods_[idx] = std::move(nogoods_[last]);
+    meta_[idx] = meta_[last];
+  }
+  nogoods_.pop_back();
+  meta_.pop_back();
+}
+
+std::optional<std::size_t> NogoodStore::pick_victim(
+    const ViolationPredicate& violated_now) const {
+  // LRU over violation recency among the safely evictable learned nogoods:
+  // never an initial constraint (soundness), never a unit nogood (its
+  // pruning holds unconditionally), never a currently-violated one (the
+  // agent's next move depends on it).
+  std::optional<std::size_t> victim;
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t idx = 0; idx < nogoods_.size(); ++idx) {
+    if (meta_[idx].initial) continue;
+    if (nogoods_[idx].size() <= 1) continue;
+    if (meta_[idx].last_violated >= oldest) continue;
+    if (violated_now != nullptr && violated_now(nogoods_[idx])) continue;
+    victim = idx;
+    oldest = meta_[idx].last_violated;
+  }
+  return victim;
+}
+
+bool NogoodStore::add(Nogood ng, const ViolationPredicate& violated_now) {
+  last_eviction_.reset();
   const Value v = ng.value_of(own_);
   assert(v != kNoValue && "stored nogoods must mention the owning variable");
   if (v < 0 || v >= domain_size()) {
     throw std::out_of_range("nogood binds own variable to out-of-domain value");
   }
-  auto& dup = dedup_[ng.hash()];
-  for (std::uint32_t idx : dup) {
-    if (nogoods_[idx] == ng) return false;
+  if (auto it = dedup_.find(ng.hash()); it != dedup_.end()) {
+    for (std::uint32_t idx : it->second) {
+      if (nogoods_[idx] == ng) return false;
+    }
   }
-  const auto idx = static_cast<std::uint32_t>(nogoods_.size());
-  dup.push_back(idx);
-  buckets_[static_cast<std::size_t>(v)].push_back(idx);
-  max_size_ = std::max(max_size_, ng.size());
-  nogoods_.push_back(std::move(ng));
+  if (capacity_ != 0 && learned_count() >= capacity_) {
+    const auto victim = pick_victim(violated_now);
+    if (!victim.has_value()) return false;  // bound holds; knowledge is dropped
+    last_eviction_ = nogoods_[*victim];
+    remove_at(*victim);
+    ++evictions_;
+  }
+  // A fresh nogood counts as "just violated": it was learned because it is
+  // relevant right now, so it must not be the next eviction victim.
+  insert_unchecked(std::move(ng), Meta{false, ++clock_});
+  peak_learned_ = std::max(peak_learned_, learned_count());
   return true;
 }
 
@@ -34,6 +110,18 @@ bool NogoodStore::contains(const Nogood& ng) const {
   if (it == dedup_.end()) return false;
   for (std::uint32_t idx : it->second) {
     if (nogoods_[idx] == ng) return true;
+  }
+  return false;
+}
+
+bool NogoodStore::remove(const Nogood& ng) {
+  auto it = dedup_.find(ng.hash());
+  if (it == dedup_.end()) return false;
+  for (std::uint32_t idx : it->second) {
+    if (nogoods_[idx] == ng) {
+      remove_at(idx);
+      return true;
+    }
   }
   return false;
 }

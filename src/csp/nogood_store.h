@@ -5,9 +5,22 @@
 // ("is value d ruled out?") then only scans bucket(d), which is exactly the
 // set of nogoods that *can* be violated while x_own = d. Duplicates are
 // rejected via the precomputed nogood hashes.
+//
+// Graceful degradation: `set_capacity` bounds the number of resident
+// *learned* nogoods (initial problem constraints are never counted and
+// never evicted — dropping them would break soundness). When a bounded add
+// would exceed the capacity, the least-recently-violated learned nogood is
+// evicted — but never a unit (size <= 1) nogood, whose pruning is
+// unconditional, and never a currently-violated one, whose loss could
+// re-admit the conflict the agent is standing on. If nothing is evictable
+// the incoming nogood is rejected instead, so the bound always holds.
+// Evicting a *learned* nogood only ever discards implied knowledge:
+// soundness and termination detection survive, completeness does not.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -22,11 +35,20 @@ class NogoodStore {
   NogoodStore(VarId own, int domain_size);
 
   /// Insert a nogood. Returns false (and stores nothing) when an equal
-  /// nogood is already present. Precondition: ng.contains(own()).
-  bool add(Nogood ng);
+  /// nogood is already present, or when the store is at capacity and no
+  /// learned nogood may be safely evicted. Precondition: ng.contains(own()).
+  /// `violated_now` (used only when eviction is considered) must report
+  /// whether a stored nogood is violated under the caller's current view;
+  /// null is treated as "nothing is currently violated".
+  using ViolationPredicate = std::function<bool(const Nogood&)>;
+  bool add(Nogood ng, const ViolationPredicate& violated_now = nullptr);
 
   /// True iff an equal nogood is already stored.
   bool contains(const Nogood& ng) const;
+
+  /// Remove a nogood by content (journal-replay support). Returns false when
+  /// absent. The removal is counted as neither an add nor an eviction.
+  bool remove(const Nogood& ng);
 
   VarId own() const { return own_; }
   int domain_size() const { return static_cast<int>(buckets_.size()); }
@@ -39,21 +61,57 @@ class NogoodStore {
   }
 
   /// Mark everything currently stored as "initial" (problem constraints, as
-  /// opposed to learned nogoods). Purely informational, used for metrics.
-  void mark_initial() { initial_count_ = nogoods_.size(); }
+  /// opposed to learned nogoods). Initial nogoods are exempt from the
+  /// capacity bound and can never be evicted.
+  void mark_initial();
   std::size_t initial_count() const { return initial_count_; }
   std::size_t learned_count() const { return nogoods_.size() - initial_count_; }
+  /// True iff `idx` holds an initial (problem-constraint) nogood.
+  bool is_initial(std::size_t idx) const { return meta_[idx].initial; }
+
+  /// Bound the resident learned-nogood count (0 = unbounded, the default).
+  void set_capacity(std::size_t learned_capacity) { capacity_ = learned_capacity; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Record that the nogood at `idx` was observed violated — the recency
+  /// signal the LRU eviction ranks by.
+  void note_violation(std::size_t idx) { meta_[idx].last_violated = ++clock_; }
+
+  /// The nogood removed by the most recent add() (cleared on every add).
+  const std::optional<Nogood>& last_eviction() const { return last_eviction_; }
+
+  /// Lifetime eviction count and the resident learned-count high watermark.
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t peak_learned() const { return peak_learned_; }
 
   /// Largest stored nogood (0 when empty) — used by nogood-explosion metrics.
   std::size_t max_nogood_size() const { return max_size_; }
 
  private:
+  struct Meta {
+    bool initial = false;
+    std::uint64_t last_violated = 0;
+  };
+
+  void insert_unchecked(Nogood ng, Meta meta);
+  /// Remove index `idx` via swap-with-last, fixing buckets and dedup.
+  void remove_at(std::size_t idx);
+  /// Index of the eviction victim, or nullopt when nothing is evictable.
+  std::optional<std::size_t> pick_victim(const ViolationPredicate& violated_now) const;
+
   VarId own_;
   std::vector<Nogood> nogoods_;
+  std::vector<Meta> meta_;
   std::vector<std::vector<std::uint32_t>> buckets_;
   std::unordered_map<std::size_t, std::vector<std::uint32_t>> dedup_;
   std::size_t initial_count_ = 0;
   std::size_t max_size_ = 0;
+
+  std::size_t capacity_ = 0;  // learned-nogood bound; 0 = unbounded
+  std::uint64_t clock_ = 0;   // violation-recency clock
+  std::optional<Nogood> last_eviction_;
+  std::uint64_t evictions_ = 0;
+  std::size_t peak_learned_ = 0;
 };
 
 }  // namespace discsp

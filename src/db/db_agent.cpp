@@ -1,5 +1,6 @@
 #include "db/db_agent.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -7,10 +8,12 @@
 namespace discsp::db {
 
 DbAgent::DbAgent(AgentId id, VarId var, int domain_size, Value initial_value,
-                 std::vector<AgentId> neighbors, std::vector<Nogood> nogoods, Rng rng)
+                 std::vector<AgentId> neighbors, std::vector<Nogood> nogoods, Rng rng,
+                 DbAgentConfig config)
     : id_(id), var_(var), domain_size_(domain_size), value_(initial_value),
       neighbors_(std::move(neighbors)), nogoods_(std::move(nogoods)),
-      weights_(nogoods_.size(), 1), rng_(rng) {
+      weights_(nogoods_.size(), 1), rng_(rng), config_(config),
+      wal_(config.journal_config) {
   if (initial_value < 0 || initial_value >= domain_size) {
     throw std::invalid_argument("initial value outside domain");
   }
@@ -19,6 +22,21 @@ DbAgent::DbAgent(AgentId id, VarId var, int domain_size, Value initial_value,
     improve_seen_[n] = 0;
     improve_of_[n] = NeighborImprove{};
   }
+}
+
+void DbAgent::journal(recovery::JournalRecord record) {
+  if (!config_.journal) return;
+  wal_.append(std::move(record));
+  maybe_checkpoint();
+}
+
+void DbAgent::maybe_checkpoint() {
+  if (!wal_.should_checkpoint()) return;
+  recovery::Checkpoint cp;
+  cp.has_value = true;
+  cp.value = value_;
+  cp.weights = weights_;
+  wal_.write_checkpoint(std::move(cp));
 }
 
 std::int64_t DbAgent::eval(Value d) {
@@ -70,6 +88,7 @@ void DbAgent::receive(const sim::MessagePayload& msg) {
             seen->second = m.seq;
             view_[m.var] = m.value;
           }
+          catch_up(m.seq);
         } else if constexpr (std::is_same_v<T, sim::ImproveMessage>) {
           auto seen = improve_seen_.find(m.sender);
           if (seen == improve_seen_.end()) return;
@@ -77,11 +96,27 @@ void DbAgent::receive(const sim::MessagePayload& msg) {
             seen->second = m.seq;
             improve_of_[m.sender] = NeighborImprove{m.improve, m.eval};
           }
+          catch_up(m.seq);
         } else {
           throw std::logic_error("DB agent received an unsupported message type");
         }
       },
       msg);
+}
+
+void DbAgent::catch_up(std::uint64_t seq) {
+  // A neighbor announcing a round more than one wave ahead can only be a
+  // post-amnesia incarnation that resumed at its reserved seq-block limit
+  // (fault-free, the two-wave lockstep keeps every incoming seq within
+  // round_ + 1). Climbing there one wave at a time is heartbeat-paced and
+  // mixed-round neighborhoods can deadlock outright: an agent in wave B of
+  // round r starves for improves from a neighbor stuck in wave A of r + 1,
+  // which in turn starves for our ok? of r + 1. Adopt the inflated round
+  // instead — the >= completion guards absorb the skipped waves and the
+  // whole neighborhood re-synchronizes at the maximum.
+  if (seq <= round_ + 1) return;
+  round_ = seq;
+  awaiting_improves_ = false;
 }
 
 bool DbAgent::wave_a_complete() const {
@@ -140,6 +175,7 @@ void DbAgent::send_improve(sim::MessageSink& out) {
                                     .seq = round_});
   }
   awaiting_improves_ = true;
+  last_improve_round_ = round_;
 }
 
 void DbAgent::conclude_wave(sim::MessageSink& out) {
@@ -165,6 +201,7 @@ void DbAgent::conclude_wave(sim::MessageSink& out) {
        (my_improve_ == best_neighbor_improve && id_ < best_neighbor));
   if (i_win) {
     value_ = my_best_value_;
+    journal({recovery::RecordType::kValue, value_, 0, Nogood{}});
   } else if (my_eval_ > 0 && my_improve_ <= 0 && !any_positive_neighbor) {
     // Quasi-local-minimum: cost remains, nobody in the neighborhood can
     // improve. Breakout: make the current violations more expensive.
@@ -175,7 +212,11 @@ void DbAgent::conclude_wave(sim::MessageSink& out) {
         auto it = view_.find(v);
         return it != view_.end() ? it->second : kNoValue;
       });
-      if (violated) ++weights_[i];
+      if (violated) {
+        ++weights_[i];
+        journal({recovery::RecordType::kWeight, static_cast<std::int64_t>(i),
+                 weights_[i], Nogood{}});
+      }
     }
   }
 
@@ -185,6 +226,12 @@ void DbAgent::conclude_wave(sim::MessageSink& out) {
 }
 
 void DbAgent::broadcast_ok(sim::MessageSink& out) {
+  if (config_.journal) {
+    // Round numbers double as ok?/improve sequence numbers; reserve them in
+    // blocks so they survive amnesia without journaling every wave.
+    wal_.ensure_seq(round_);
+    maybe_checkpoint();
+  }
   for (AgentId n : neighbors_) {
     out.send(n, sim::OkMessage{.sender = id_, .var = var_, .value = value_,
                                .priority = 0, .seq = round_});
@@ -198,10 +245,72 @@ void DbAgent::crash_restart(sim::MessageSink& out) {
   // restart rejoins the wave protocol instead of replaying it from round 1,
   // which neighbors would discard as stale anyway).
   value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
+  journal({recovery::RecordType::kValue, value_, 0, Nogood{}});
   view_.clear();
   awaiting_improves_ = false;  // redo wave A of the current round
+  last_improve_round_ = 0;     // the improve scratch was volatile too
   broadcast_ok(out);
   // The view is repaired by the neighbors' heartbeat re-announcements.
+}
+
+void DbAgent::amnesia_restart(sim::MessageSink& out) {
+  if (!config_.journal) {
+    crash_restart(out);
+    return;
+  }
+  if (neighbors_.empty()) return;
+  // Everything is gone: weights, round bookkeeping, view, scratch. Rebuild
+  // from the problem definition (all weights 1) plus checkpoint plus the
+  // journal's record tail.
+  weights_.assign(nogoods_.size(), 1);
+  const recovery::Checkpoint& cp = wal_.checkpoint();
+  bool have_value = cp.has_value;
+  if (have_value) {
+    value_ = static_cast<Value>(cp.value);
+    if (!cp.weights.empty()) weights_ = cp.weights;
+  }
+  for (const recovery::JournalRecord& rec : wal_.records()) {
+    switch (rec.type) {
+      case recovery::RecordType::kValue:
+        value_ = static_cast<Value>(rec.a);
+        have_value = true;
+        break;
+      case recovery::RecordType::kWeight:
+        weights_[static_cast<std::size_t>(rec.a)] = rec.b;
+        break;
+      default:
+        break;  // AWC-only record types never appear in a DB journal
+    }
+  }
+  if (!have_value) {
+    value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
+  }
+  // Resume rounds past anything a pre-crash incarnation may have announced;
+  // neighbors' >= guards absorb the skipped block tail, and their own rounds
+  // catch up because our (inflated) announcements satisfy any lower round.
+  round_ = std::max<std::uint64_t>(1, wal_.seq_limit());
+  view_.clear();
+  awaiting_improves_ = false;
+  for (AgentId n : neighbors_) {
+    ok_seen_[n] = 0;
+    improve_seen_[n] = 0;
+    improve_of_[n] = NeighborImprove{};
+  }
+  wal_.note_replay();
+  broadcast_ok(out);
+  // Jump straight into wave B of the resumed round. Our round is inflated
+  // past the neighbors' (the skipped block tail), so waiting for their ok?s
+  // of round >= round_ stalls us for many waves — and in the meantime their
+  // own wave B would starve waiting for improves we never send. One improve
+  // stamped with the inflated round satisfies every neighbor's >= guard for
+  // all their rounds up to ours, keeping the neighborhood live while it
+  // catches up. (Its improve value is computed from the still-empty view —
+  // heuristically poor but protocol-safe, like any stale improve.)
+  send_improve(out);
+}
+
+sim::Agent::RecoveryStats DbAgent::recovery_stats() const {
+  return {wal_.appends(), wal_.checkpoints(), wal_.replays(), 0, 0};
 }
 
 void DbAgent::on_heartbeat(sim::MessageSink& out) {
@@ -209,12 +318,16 @@ void DbAgent::on_heartbeat(sim::MessageSink& out) {
   // Re-send the current round's announcements. Receivers already past them
   // ignore the duplicates (seq guard); receivers whose copy was dropped are
   // repaired — this is what keeps the two-wave protocol live under loss.
+  // The improve is re-sent with the round it was computed at even after this
+  // agent concluded its wave: a neighbor one round behind may still be
+  // starving for exactly that improve (we no longer await anything from it,
+  // so nothing else would repair the drop).
   broadcast_ok(out);
-  if (awaiting_improves_) {
+  if (last_improve_round_ > 0) {
     for (AgentId n : neighbors_) {
       out.send(n, sim::ImproveMessage{.sender = id_, .var = var_,
                                       .improve = my_improve_, .eval = my_eval_,
-                                      .seq = round_});
+                                      .seq = last_improve_round_});
     }
   }
 }

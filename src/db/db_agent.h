@@ -23,14 +23,24 @@
 
 #include "common/rng.h"
 #include "csp/nogood.h"
+#include "recovery/journal.h"
 #include "sim/agent.h"
 
 namespace discsp::db {
 
+struct DbAgentConfig {
+  /// Maintain a write-ahead journal (weights, value, round reservations) so
+  /// amnesia crashes are recoverable. Without it amnesia degrades to
+  /// crash_restart.
+  bool journal = false;
+  recovery::JournalConfig journal_config;
+};
+
 class DbAgent final : public sim::Agent {
  public:
   DbAgent(AgentId id, VarId var, int domain_size, Value initial_value,
-          std::vector<AgentId> neighbors, std::vector<Nogood> nogoods, Rng rng);
+          std::vector<AgentId> neighbors, std::vector<Nogood> nogoods, Rng rng,
+          DbAgentConfig config = {});
 
   AgentId id() const override { return id_; }
   VarId variable() const override { return var_; }
@@ -40,12 +50,15 @@ class DbAgent final : public sim::Agent {
   void compute(sim::MessageSink& out) override;
   std::uint64_t take_checks() override;
   void crash_restart(sim::MessageSink& out) override;
+  void amnesia_restart(sim::MessageSink& out) override;
   void on_heartbeat(sim::MessageSink& out) override;
+  RecoveryStats recovery_stats() const override;
 
   // Introspection for tests.
   std::int64_t weight_of(std::size_t nogood_idx) const { return weights_[nogood_idx]; }
   std::size_t num_nogoods() const { return nogoods_.size(); }
   std::uint64_t round() const { return round_; }
+  const recovery::WriteAheadLog& wal() const { return wal_; }
 
  private:
   /// Latest wave-B data received from one neighbor.
@@ -62,6 +75,9 @@ class DbAgent final : public sim::Agent {
   void send_improve(sim::MessageSink& out);
   void conclude_wave(sim::MessageSink& out);
   void broadcast_ok(sim::MessageSink& out);
+  void catch_up(std::uint64_t seq);
+  void journal(recovery::JournalRecord record);
+  void maybe_checkpoint();
 
   AgentId id_;
   VarId var_;
@@ -85,8 +101,11 @@ class DbAgent final : public sim::Agent {
   std::int64_t my_eval_ = 0;
   std::int64_t my_improve_ = 0;
   Value my_best_value_ = 0;
+  std::uint64_t last_improve_round_ = 0;  // 0 = no improve sent yet
 
   Rng rng_;
+  DbAgentConfig config_;
+  recovery::WriteAheadLog wal_;
   std::uint64_t checks_ = 0;
 };
 

@@ -37,10 +37,13 @@ std::vector<std::unique_ptr<sim::Agent>> DbSolver::make_agents(
     for (std::size_t idx : problem_.nogoods_of_agent(a)) {
       nogoods.push_back(p.nogoods()[idx]);
     }
+    DbAgentConfig config;
+    config.journal = options_.journal;
+    config.journal_config = options_.journal_config;
     agents.push_back(std::make_unique<DbAgent>(
         a, var, p.domain_size(var), initial[static_cast<std::size_t>(var)],
         problem_.neighbors_of_agent(a), std::move(nogoods),
-        rng.derive(static_cast<std::uint64_t>(a) + 0x2545f491ULL)));
+        rng.derive(static_cast<std::uint64_t>(a) + 0x2545f491ULL), config));
   }
   return agents;
 }

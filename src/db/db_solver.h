@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "csp/distributed_problem.h"
+#include "recovery/journal.h"
 #include "sim/metrics.h"
 #include "sim/sync_engine.h"
 
@@ -13,6 +14,9 @@ namespace discsp::db {
 
 struct DbOptions {
   int max_cycles = 10000;
+  /// Per-agent write-ahead journal for amnesia-crash recovery.
+  bool journal = false;
+  recovery::JournalConfig journal_config;
 };
 
 class DbSolver {

@@ -43,10 +43,12 @@ sim::RunResult MultiAwcSolver::solve(const FullAssignment& initial, const Rng& r
     for (std::size_t idx : p.nogoods_of(v)) initial_nogoods.push_back(p.nogoods()[idx]);
     std::vector<AgentId> links;
     for (VarId nb : p.neighbors_of(v)) links.push_back(nb);
+    awc::AwcAgentConfig config;
+    config.nogood_capacity = options_.nogood_capacity;
     agents.push_back(std::make_unique<awc::AwcAgent>(
         v, v, p.domain_size(v), initial[static_cast<std::size_t>(v)],
         strategy_->clone(), std::move(links), initial_nogoods, virtual_owner, log,
-        rng.derive(static_cast<std::uint64_t>(v) + 0x6c62272eULL)));
+        rng.derive(static_cast<std::uint64_t>(v) + 0x6c62272eULL), config));
   }
 
   // Engine loop with real-agent accounting.
@@ -155,6 +157,10 @@ sim::RunResult MultiAwcSolver::solve(const FullAssignment& initial, const Rng& r
   for (const auto& agent : agents) {
     result.metrics.nogoods_generated += agent->nogoods_generated();
     result.metrics.redundant_generations += agent->redundant_generations();
+    const sim::Agent::RecoveryStats rs = agent->recovery_stats();
+    result.metrics.store_evictions += rs.store_evictions;
+    result.metrics.peak_learned_nogoods =
+        std::max(result.metrics.peak_learned_nogoods, rs.peak_learned_nogoods);
   }
   return result;
 }

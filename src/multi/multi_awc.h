@@ -24,6 +24,8 @@ namespace discsp::multi {
 
 struct MultiAwcOptions {
   int max_cycles = 10000;
+  /// Bound on resident learned nogoods per virtual agent (0 = unbounded).
+  std::size_t nogood_capacity = 0;
 };
 
 class MultiAwcSolver {

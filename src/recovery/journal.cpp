@@ -1,0 +1,40 @@
+#include "recovery/journal.h"
+
+#include <stdexcept>
+
+namespace discsp::recovery {
+
+void JournalConfig::validate() const {
+  if (checkpoint_interval < 0) {
+    throw std::invalid_argument("checkpoint_interval must be >= 0");
+  }
+  if (seq_reserve < 1) {
+    throw std::invalid_argument("seq_reserve must be >= 1");
+  }
+}
+
+WriteAheadLog::WriteAheadLog(JournalConfig config) : config_(config) {
+  config_.validate();
+}
+
+void WriteAheadLog::append(JournalRecord record) {
+  records_.push_back(std::move(record));
+  ++appends_;
+}
+
+void WriteAheadLog::write_checkpoint(Checkpoint snapshot) {
+  checkpoint_ = std::move(snapshot);
+  records_.clear();
+  ++checkpoints_;
+}
+
+void WriteAheadLog::ensure_seq(std::uint64_t seq) {
+  if (seq <= seq_limit_) return;
+  // Reserve the block containing `seq` plus the configured slack so the next
+  // seq_reserve increments are covered by this single record.
+  seq_limit_ = seq + static_cast<std::uint64_t>(config_.seq_reserve) - 1;
+  append(JournalRecord{RecordType::kSeqReserve,
+                       static_cast<std::int64_t>(seq_limit_), 0, Nogood{}});
+}
+
+}  // namespace discsp::recovery

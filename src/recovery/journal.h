@@ -1,0 +1,127 @@
+// Write-ahead journal for amnesia-crash recovery.
+//
+// PR 1's crash-restart model let a crashed agent keep its nogood store as
+// free "stable storage", which makes recovery trivial. An *amnesia* crash
+// (FaultConfig::amnesia_rate) destroys everything in memory — value,
+// priority, agent view, AND the learned-nogood store. What survives is the
+// agent's WriteAheadLog: an in-memory model of an append-only on-disk
+// journal plus its most recent checkpoint. Agents journal every durable
+// state transition (learned nogood, eviction, value/priority change, link
+// addition, insolubility) as a compact record *before* acting on it, and
+// periodically fold the log into a checkpoint, which truncates the record
+// tail. Recovery is checkpoint load + in-order record replay — fully
+// deterministic, so the same seed reproduces the same post-recovery state.
+//
+// Sequence durability: ok?/round sequence numbers must never regress across
+// an amnesia crash (neighbors discard announcements older than the newest
+// seen). Journaling every increment would put a record on every heartbeat,
+// so the log instead reserves sequence numbers in blocks (`seq_reserve`,
+// the classic DBMS sequence-cache technique): one kSeqReserve record covers
+// the next N increments, and recovery resumes from the reserved limit —
+// skipping at most one partially-used block, which the >= guards on the
+// receiving side absorb.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "csp/nogood.h"
+
+namespace discsp::recovery {
+
+struct JournalConfig {
+  /// Records accumulated before the agent is asked to fold the log into a
+  /// checkpoint (0 = never checkpoint; the log grows without bound).
+  int checkpoint_interval = 64;
+  /// Sequence numbers reserved per kSeqReserve record (>= 1).
+  int seq_reserve = 32;
+
+  /// Throws std::invalid_argument on negative/zero knobs.
+  void validate() const;
+};
+
+enum class RecordType : std::uint8_t {
+  kValue,       ///< own value changed; `a` = new value
+  kPriority,    ///< own priority changed; `a` = new priority
+  kNogood,      ///< learned nogood stored; `nogood` = the nogood
+  kEvict,       ///< learned nogood evicted; `nogood` = the nogood
+  kLink,        ///< link added; `a` = the neighbor agent id
+  kSeqReserve,  ///< sequence block reserved; `a` = new inclusive limit
+  kWeight,      ///< DB weight change; `a` = nogood index, `b` = new weight
+  kInsoluble,   ///< the empty nogood was derived
+};
+
+/// One compact journal entry. `nogood` is only meaningful for kNogood and
+/// kEvict; `a`/`b` carry the scalar payloads of the other types.
+struct JournalRecord {
+  RecordType type = RecordType::kValue;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  Nogood nogood;
+};
+
+/// Durable snapshot that replaces the record tail at a checkpoint. Static
+/// configuration (the problem's constraints, the initial link topology) is
+/// NOT checkpointed: a recovering process re-reads it from its problem
+/// definition, exactly like a real deployment would.
+struct Checkpoint {
+  bool has_value = false;       ///< false until the first kValue record
+  std::int64_t value = 0;
+  std::int64_t priority = 0;
+  bool insoluble = false;
+  std::vector<int> extra_links;        ///< links beyond the initial topology
+  std::vector<Nogood> learned;         ///< resident learned nogoods, in store order
+  std::vector<std::int64_t> weights;   ///< DB nogood weights (empty for AWC)
+};
+
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(JournalConfig config = {});
+
+  const JournalConfig& config() const { return config_; }
+
+  /// Append one record (counts toward `appends()`).
+  void append(JournalRecord record);
+
+  /// True once the record tail is long enough that the owner should fold it
+  /// into a checkpoint (the log cannot snapshot the agent by itself).
+  bool should_checkpoint() const {
+    return config_.checkpoint_interval > 0 &&
+           records_.size() >= static_cast<std::size_t>(config_.checkpoint_interval);
+  }
+
+  /// Replace the checkpoint and truncate the record tail.
+  void write_checkpoint(Checkpoint snapshot);
+
+  /// Ensure the reserved sequence limit covers `seq`, appending a
+  /// kSeqReserve record when a new block is needed. Call with every sequence
+  /// number *before* stamping it on a message.
+  void ensure_seq(std::uint64_t seq);
+
+  /// Largest sequence number any pre-crash incarnation may have used.
+  std::uint64_t seq_limit() const { return seq_limit_; }
+
+  // Recovery surface.
+  const Checkpoint& checkpoint() const { return checkpoint_; }
+  std::span<const JournalRecord> records() const { return records_; }
+  /// Count one recovery (checkpoint load + replay) for the metrics.
+  void note_replay() { ++replays_; }
+
+  // Lifetime counters (surfaced through RunMetrics).
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t checkpoints() const { return checkpoints_; }
+  std::uint64_t replays() const { return replays_; }
+
+ private:
+  JournalConfig config_;
+  Checkpoint checkpoint_;
+  std::vector<JournalRecord> records_;
+  std::uint64_t seq_limit_ = 0;
+
+  std::uint64_t appends_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t replays_ = 0;
+};
+
+}  // namespace discsp::recovery

@@ -1,0 +1,165 @@
+#include "recovery/retransmit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace discsp::recovery {
+
+namespace {
+
+/// Independent stream per (seed, from, to): splitmix64 over a mixed key —
+/// the same derivation the fault plan uses for its channel streams.
+Rng derive_stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (a + 1)) ^
+                        (0xbf58476d1ce4e5b9ULL * (b + 1));
+  return Rng(splitmix64(state));
+}
+
+}  // namespace
+
+void RetransmitConfig::validate() const {
+  if (ack_timeout < 0) throw std::invalid_argument("ack_timeout must be >= 0");
+  if (backoff < 1.0) throw std::invalid_argument("backoff must be >= 1");
+  if (max_timeout < 0) throw std::invalid_argument("max_timeout must be >= 0");
+  if (max_attempts < 0) throw std::invalid_argument("max_attempts must be >= 0");
+}
+
+std::int64_t RetransmitConfig::timeout_for(int attempt, Rng& jitter) const {
+  const std::int64_t cap = max_timeout > 0 ? max_timeout : ack_timeout * 64;
+  double timeout = static_cast<double>(ack_timeout);
+  for (int i = 0; i < attempt && timeout < static_cast<double>(cap); ++i) {
+    timeout *= backoff;
+  }
+  std::int64_t t = std::min<std::int64_t>(
+      cap, static_cast<std::int64_t>(std::llround(timeout)));
+  // Deterministic per-channel jitter desynchronizes retry bursts without
+  // breaking reproducibility: one draw per scheduled retry.
+  const std::int64_t spread = std::max<std::int64_t>(1, t / 4);
+  return t + static_cast<std::int64_t>(jitter.below(
+                 static_cast<std::uint64_t>(spread) + 1));
+}
+
+RetransmitBuffer::RetransmitBuffer(const RetransmitConfig& config, int num_agents)
+    : config_(config), num_agents_(num_agents) {
+  config_.validate();
+  if (num_agents <= 0) throw std::invalid_argument("retransmit buffer needs agents");
+  const auto n = static_cast<std::size_t>(num_agents);
+  channels_.resize(n * n);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      channels_[from * n + to].jitter = derive_stream(config_.seed, from, to);
+    }
+  }
+}
+
+RetransmitBuffer::Channel& RetransmitBuffer::channel(AgentId from, AgentId to) {
+  if (from < 0 || from >= num_agents_ || to < 0 || to >= num_agents_) {
+    throw std::out_of_range("retransmit buffer consulted for an unknown channel");
+  }
+  return channels_[static_cast<std::size_t>(from) *
+                       static_cast<std::size_t>(num_agents_) +
+                   static_cast<std::size_t>(to)];
+}
+
+std::uint64_t RetransmitBuffer::track(AgentId from, AgentId to,
+                                      const sim::MessagePayload& payload,
+                                      std::int64_t now) {
+  std::lock_guard lock(mutex_);
+  Channel& ch = channel(from, to);
+  const std::uint64_t seq = ch.next_seq++;
+  Pending pending;
+  pending.payload = payload;
+  pending.deadline = now + config_.timeout_for(0, ch.jitter);
+  ch.pending.emplace(seq, std::move(pending));
+  return seq;
+}
+
+void RetransmitBuffer::ack(AgentId from, AgentId to, std::uint64_t seq) {
+  std::lock_guard lock(mutex_);
+  channel(from, to).pending.erase(seq);
+}
+
+bool RetransmitBuffer::mark_delivered(AgentId from, AgentId to, std::uint64_t seq) {
+  std::lock_guard lock(mutex_);
+  return !channel(from, to).delivered.insert(seq).second;
+}
+
+std::optional<std::int64_t> RetransmitBuffer::next_deadline() const {
+  std::lock_guard lock(mutex_);
+  std::optional<std::int64_t> earliest;
+  for (const Channel& ch : channels_) {
+    for (const auto& [seq, pending] : ch.pending) {
+      if (!earliest.has_value() || pending.deadline < *earliest) {
+        earliest = pending.deadline;
+      }
+    }
+  }
+  return earliest;
+}
+
+std::vector<RetransmitBuffer::Due> RetransmitBuffer::collect_due(std::int64_t now) {
+  std::lock_guard lock(mutex_);
+  std::vector<Due> due;
+  const auto n = static_cast<std::size_t>(num_agents_);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      Channel& ch = channels_[from * n + to];
+      for (auto it = ch.pending.begin(); it != ch.pending.end();) {
+        Pending& pending = it->second;
+        if (pending.deadline > now) {
+          ++it;
+          continue;
+        }
+        if (pending.attempts >= config_.max_attempts) {
+          // Give up; the anti-entropy heartbeat fallback owns this repair.
+          ++gave_up_;
+          it = ch.pending.erase(it);
+          continue;
+        }
+        ++pending.attempts;
+        ++retransmissions_;
+        Due d;
+        d.from = static_cast<AgentId>(from);
+        d.to = static_cast<AgentId>(to);
+        d.seq = it->first;
+        d.payload = pending.payload;
+        d.attempt = pending.attempts;
+        d.false_positive = ch.delivered.count(it->first) != 0;
+        if (d.false_positive) ++false_positives_;
+        pending.deadline = now + config_.timeout_for(pending.attempts, ch.jitter);
+        due.push_back(std::move(d));
+        ++it;
+      }
+    }
+  }
+  return due;
+}
+
+void RetransmitBuffer::forget_agent(AgentId agent) {
+  std::lock_guard lock(mutex_);
+  if (agent < 0 || agent >= num_agents_) {
+    throw std::out_of_range("retransmit buffer consulted for an unknown agent");
+  }
+  const auto n = static_cast<std::size_t>(num_agents_);
+  const auto a = static_cast<std::size_t>(agent);
+  for (std::size_t other = 0; other < n; ++other) {
+    channels_[a * n + other].pending.clear();    // agent as sender
+    channels_[other * n + a].delivered.clear();  // agent as receiver
+  }
+}
+
+std::uint64_t RetransmitBuffer::retransmissions() const {
+  std::lock_guard lock(mutex_);
+  return retransmissions_;
+}
+std::uint64_t RetransmitBuffer::false_positives() const {
+  std::lock_guard lock(mutex_);
+  return false_positives_;
+}
+std::uint64_t RetransmitBuffer::gave_up() const {
+  std::lock_guard lock(mutex_);
+  return gave_up_;
+}
+
+}  // namespace discsp::recovery

@@ -48,12 +48,29 @@ class Agent {
   /// counters) survives — then re-announce state and re-request neighbor
   /// values through `out`.
   virtual void crash_restart(MessageSink& out) { (void)out; }
+  /// Simulate an amnesia crash: volatile state AND stable storage are lost;
+  /// only the agent's write-ahead journal survives. Recovery is checkpoint
+  /// load + record replay + link re-request. Agents without a journal
+  /// degrade to crash_restart (their "stable storage" is then treated as an
+  /// unrealistically durable device — PR 1's model).
+  virtual void amnesia_restart(MessageSink& out) { crash_restart(out); }
   /// Anti-entropy heartbeat: re-send whatever repairs dropped messages
   /// (current ok?, pending wave state, the last learned nogood).
   virtual void on_heartbeat(MessageSink& out) { (void)out; }
   /// Lifetime learning counters for Table-4 style reporting.
   virtual std::uint64_t nogoods_generated() const { return 0; }
   virtual std::uint64_t redundant_generations() const { return 0; }
+
+  /// Per-agent recovery/durability counters, aggregated into RunMetrics.
+  /// Agents without a journal or bounded store report zeros.
+  struct RecoveryStats {
+    std::uint64_t journal_appends = 0;
+    std::uint64_t journal_checkpoints = 0;
+    std::uint64_t journal_replays = 0;
+    std::uint64_t store_evictions = 0;
+    std::uint64_t peak_learned_nogoods = 0;  ///< max over agents, not a sum
+  };
+  virtual RecoveryStats recovery_stats() const { return {}; }
 };
 
 }  // namespace discsp::sim

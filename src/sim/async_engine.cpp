@@ -1,6 +1,8 @@
 #include "sim/async_engine.h"
 
+#include <algorithm>
 #include <map>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <tuple>
@@ -14,6 +16,12 @@ struct Event {
   std::uint64_t seq = 0;  // tie-break: stable delivery order
   AgentId to = kNoAgent;
   MessagePayload payload;
+  AgentId from = kNoAgent;
+  /// Reliability frame number (failure detector active); 0 = untracked.
+  std::uint64_t track_seq = 0;
+  /// When non-zero this event is a transport ack: `from` acknowledges frame
+  /// `ack_of` on channel (to, from). Never shown to the agent.
+  std::uint64_t ack_of = 0;
 };
 
 struct EventLater {
@@ -31,9 +39,16 @@ AsyncEngine::AsyncEngine(const Problem& problem, std::vector<std::unique_ptr<Age
     throw std::invalid_argument("async delays must satisfy 1 <= min <= max");
   }
   config_.faults.validate();
+  config_.retransmit.validate();
   if (config_.faults.enabled()) {
     plan_ = std::make_unique<FaultPlan>(config_.faults,
                                         static_cast<int>(agents_.size()));
+    if (config_.retransmit.enabled()) {
+      // Without a fault plan nothing can be lost, so the detector only runs
+      // alongside one — keeping fault-free runs on the historical code path.
+      retransmit_ = std::make_unique<recovery::RetransmitBuffer>(
+          config_.retransmit, static_cast<int>(agents_.size()));
+    }
   }
 }
 
@@ -49,13 +64,17 @@ RunResult AsyncEngine::run() {
   std::map<std::pair<AgentId, AgentId>, std::int64_t> channel_floor;
 
   AgentId current_sender = kNoAgent;
+  // Heartbeat re-announcements are idempotent repair traffic; tracking them
+  // would flood the detector with copies of state the next beat re-sends
+  // anyway, so only regular protocol sends are tracked.
+  bool tracking = true;
   class QueueSink final : public MessageSink {
    public:
     QueueSink(AsyncEngine& engine, decltype(queue)& q, std::uint64_t& seq,
               decltype(channel_floor)& floor, const AgentId& sender,
-              std::uint64_t& messages)
+              const bool& tracking, std::uint64_t& messages)
         : engine_(engine), queue_(q), seq_(seq), floor_(floor), sender_(sender),
-          messages_(messages) {}
+          tracking_(tracking), messages_(messages) {}
 
     void send(AgentId to, MessagePayload payload) override {
       if (to < 0 || static_cast<std::size_t>(to) >= engine_.agents_.size()) {
@@ -63,24 +82,32 @@ RunResult AsyncEngine::run() {
       }
       ++messages_;
       if (engine_.plan_ == nullptr) {
-        schedule(to, std::move(payload), /*reorder=*/false, /*extra_delay=*/0);
+        schedule(sender_, to, std::move(payload), /*reorder=*/false,
+                 /*extra_delay=*/0, /*track_seq=*/0, /*ack_of=*/0);
         return;
+      }
+      std::uint64_t track_seq = 0;
+      if (engine_.retransmit_ != nullptr && tracking_) {
+        track_seq = engine_.retransmit_->track(sender_, to, payload, engine_.now_);
       }
       const ChannelVerdict verdict = engine_.plan_->on_send(sender_, to);
       for (int copy = 0; copy < verdict.copies; ++copy) {
-        schedule(to, payload, verdict.reorder, verdict.extra_delay);
+        schedule(sender_, to, payload, verdict.reorder, verdict.extra_delay,
+                 track_seq, /*ack_of=*/0);
       }
     }
 
-   private:
-    void schedule(AgentId to, MessagePayload payload, bool reorder,
-                  std::int64_t extra_delay) {
+    /// Transport-level scheduling (acks, retransmissions): bypasses the
+    /// protocol `messages` counter but still rides the latency model.
+    void schedule(AgentId from, AgentId to, MessagePayload payload, bool reorder,
+                  std::int64_t extra_delay, std::uint64_t track_seq,
+                  std::uint64_t ack_of) {
       const auto delay =
           static_cast<std::int64_t>(engine_.rng_.between(
               engine_.config_.min_delay, engine_.config_.max_delay)) +
           extra_delay;
       std::int64_t at;
-      auto& floor = floor_[{sender_, to}];
+      auto& floor = floor_[{from, to}];
       if (reorder) {
         // May undercut the floor (overtake earlier traffic) and does not
         // raise it for later messages.
@@ -89,18 +116,32 @@ RunResult AsyncEngine::run() {
         at = std::max(engine_.now_ + delay, floor + 1);
         floor = at;
       }
-      queue_.push(Event{at, seq_++, to, std::move(payload)});
+      queue_.push(Event{at, seq_++, to, std::move(payload), from, track_seq, ack_of});
     }
 
+   private:
     AsyncEngine& engine_;
     decltype(queue)& queue_;
     std::uint64_t& seq_;
     decltype(channel_floor)& floor_;
     const AgentId& sender_;
+    const bool& tracking_;
     std::uint64_t& messages_;
   };
 
-  QueueSink sink(*this, queue, seq, channel_floor, current_sender, result.metrics.messages);
+  QueueSink sink(*this, queue, seq, channel_floor, current_sender, tracking,
+                 result.metrics.messages);
+
+  // The receiver returns an ack frame for every tracked frame it gets —
+  // including duplicates, whose earlier ack may itself have been lost. Acks
+  // traverse the same lossy channel model as everything else.
+  auto send_ack = [&](const Event& ev) {
+    const ChannelVerdict verdict = plan_->on_send(ev.to, ev.from);
+    for (int copy = 0; copy < verdict.copies; ++copy) {
+      sink.schedule(ev.to, ev.from, MessagePayload{}, verdict.reorder,
+                    verdict.extra_delay, /*track_seq=*/0, /*ack_of=*/ev.track_seq);
+    }
+  };
 
   auto snapshot = [&]() {
     FullAssignment a(static_cast<std::size_t>(problem_.num_variables()), kNoValue);
@@ -132,17 +173,39 @@ RunResult AsyncEngine::run() {
 
   std::uint64_t activations = 0;
   while (activations < config_.max_activations) {
+    // Retransmission timer: fires when its deadline precedes every queued
+    // delivery (and the heartbeat, when both are pending). One batch of due
+    // retries counts as one activation, like a heartbeat round.
+    const std::optional<std::int64_t> retx_due =
+        retransmit_ != nullptr ? retransmit_->next_deadline() : std::nullopt;
+    const bool retx_ready =
+        retx_due.has_value() && (queue.empty() || queue.top().time >= *retx_due);
+    if (retx_ready && (refresh <= 0 || *retx_due <= next_refresh)) {
+      now_ = std::max(now_, *retx_due);
+      for (const recovery::RetransmitBuffer::Due& d :
+           retransmit_->collect_due(now_)) {
+        const ChannelVerdict verdict = plan_->on_send(d.from, d.to);
+        for (int copy = 0; copy < verdict.copies; ++copy) {
+          sink.schedule(d.from, d.to, d.payload, verdict.reorder,
+                        verdict.extra_delay, d.seq, /*ack_of=*/0);
+        }
+      }
+      ++activations;
+      continue;
+    }
     if (refresh > 0 && (queue.empty() || queue.top().time >= next_refresh)) {
       // Fire one heartbeat round at its scheduled virtual time: every agent
       // re-announces whatever repairs dropped messages. Counted as one
       // activation so a fully-partitioned run still terminates at the cap.
       now_ = next_refresh;
       const std::uint64_t before = result.metrics.messages;
+      tracking = false;
       for (auto& agent : agents_) {
         current_sender = agent->id();
         agent->on_heartbeat(sink);
         result.metrics.total_checks += agent->take_checks();
       }
+      tracking = true;
       result.metrics.refresh_messages += result.metrics.messages - before;
       ++result.metrics.heartbeats;
       next_refresh += refresh;
@@ -155,14 +218,33 @@ RunResult AsyncEngine::run() {
     queue.pop();
     now_ = ev.time;
 
+    if (ev.ack_of != 0) {
+      // Transport ack: clear the pending entry on the original channel
+      // (ev.to, ev.from). Pure bookkeeping — not an activation.
+      retransmit_->ack(ev.to, ev.from, ev.ack_of);
+      continue;
+    }
+
     Agent& agent = *agents_[static_cast<std::size_t>(ev.to)];
     current_sender = agent.id();
-    if (plan_ != nullptr && plan_->on_deliver(ev.to)) {
+    const CrashKind crash =
+        plan_ != nullptr ? plan_->on_deliver(ev.to) : CrashKind::kNone;
+    if (crash == CrashKind::kRestart) {
       // The receiver crash-restarts; the in-flight message dies with it.
       // The restart re-announces state through the sink, and the snapshot
-      // checks below still apply (the assignment just changed).
+      // checks below still apply (the assignment just changed). A tracked
+      // frame stays unacked, so the detector redelivers it later.
       agent.crash_restart(sink);
+    } else if (crash == CrashKind::kAmnesia) {
+      if (retransmit_ != nullptr) retransmit_->forget_agent(ev.to);
+      agent.amnesia_restart(sink);
     } else {
+      if (ev.track_seq != 0) {
+        const bool duplicate =
+            retransmit_->mark_delivered(ev.from, ev.to, ev.track_seq);
+        send_ack(ev);
+        if (duplicate) continue;  // suppressed; the agent never sees it
+      }
       agent.receive(ev.payload);
       agent.compute(sink);
     }
@@ -202,8 +284,19 @@ RunResult AsyncEngine::run() {
   for (const auto& agent : agents_) {
     result.metrics.nogoods_generated += agent->nogoods_generated();
     result.metrics.redundant_generations += agent->redundant_generations();
+    const Agent::RecoveryStats rs = agent->recovery_stats();
+    result.metrics.journal_appends += rs.journal_appends;
+    result.metrics.journal_checkpoints += rs.journal_checkpoints;
+    result.metrics.journal_replays += rs.journal_replays;
+    result.metrics.store_evictions += rs.store_evictions;
+    result.metrics.peak_learned_nogoods =
+        std::max(result.metrics.peak_learned_nogoods, rs.peak_learned_nogoods);
   }
   if (plan_ != nullptr) result.metrics.faults = plan_->summary();
+  if (retransmit_ != nullptr) {
+    result.metrics.retransmissions = retransmit_->retransmissions();
+    result.metrics.detector_false_positives = retransmit_->false_positives();
+  }
   return result;
 }
 

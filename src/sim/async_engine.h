@@ -9,15 +9,25 @@
 //
 // With a fault plan (config.faults, see sim/fault.h) the engine additionally
 // drops, duplicates and reorders messages, injects delay spikes, crash-
-// restarts receivers, and fires periodic anti-entropy heartbeats so hardened
-// protocols can repair the losses. A disabled fault config leaves every code
-// path and random draw identical to the fault-free engine.
+// restarts (or amnesia-crashes) receivers, and fires periodic anti-entropy
+// heartbeats so hardened protocols can repair the losses. A disabled fault
+// config leaves every code path and random draw identical to the fault-free
+// engine.
+//
+// With config.retransmit enabled on top of a fault plan, the engine also runs
+// a failure detector (see recovery/retransmit.h): protocol sends are stamped
+// with per-channel sequence numbers, receivers return ack frames (which
+// themselves traverse the lossy channel), unacked sends are retransmitted
+// under exponential backoff, and duplicate frames are suppressed before the
+// agent sees them. The heartbeat then acts only as the low-rate fallback for
+// sends the detector gave up on.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
+#include "recovery/retransmit.h"
 #include "sim/agent.h"
 #include "sim/fault.h"
 #include "sim/metrics.h"
@@ -32,6 +42,9 @@ struct AsyncConfig {
   std::uint64_t max_activations = 2'000'000;
   /// Fault injection; FaultConfig{}.enabled() == false means "reliable".
   FaultConfig faults;
+  /// Failure detector (ack/retransmit) in virtual-time units; only active
+  /// when the fault plan is (without faults nothing can be lost).
+  recovery::RetransmitConfig retransmit;
 };
 
 class AsyncEngine {
@@ -56,6 +69,8 @@ class AsyncEngine {
   std::int64_t now_ = 0;
   /// Present only when config_.faults.enabled().
   std::unique_ptr<FaultPlan> plan_;
+  /// Present only when the plan is and config_.retransmit.enabled().
+  std::unique_ptr<recovery::RetransmitBuffer> retransmit_;
 };
 
 }  // namespace discsp::sim

@@ -28,6 +28,7 @@ void FaultConfig::validate() const {
   check_rate(reorder_rate, "reorder_rate");
   check_rate(delay_spike_rate, "delay_spike_rate");
   check_rate(crash_rate, "crash_rate");
+  check_rate(amnesia_rate, "amnesia_rate");
   if (delay_spike < 0) throw std::invalid_argument("delay_spike must be >= 0");
   if (max_crashes_per_agent < 0) {
     throw std::invalid_argument("max_crashes_per_agent must be >= 0");
@@ -86,20 +87,31 @@ ChannelVerdict FaultPlan::on_send(AgentId from, AgentId to) {
   return verdict;
 }
 
-bool FaultPlan::on_deliver(AgentId to) {
+CrashKind FaultPlan::on_deliver(AgentId to) {
   if (to < 0 || to >= num_agents_) {
     throw std::out_of_range("fault plan consulted for an unknown agent");
   }
-  bool crash = false;
+  CrashKind kind = CrashKind::kNone;
   {
     std::lock_guard lock(mutex_);
     AgentState& agent = agents_[static_cast<std::size_t>(to)];
-    crash = agent.rng.chance(config_.crash_rate) &&
-            agent.crashes < config_.max_crashes_per_agent;
-    if (crash) ++agent.crashes;
+    // One draw per knob per delivery keeps the stream alignment independent
+    // of which crash flavors are enabled; restart and amnesia share the
+    // per-agent budget.
+    const bool restart = agent.rng.chance(config_.crash_rate);
+    const bool amnesia = agent.rng.chance(config_.amnesia_rate);
+    if (agent.crashes < config_.max_crashes_per_agent) {
+      if (restart) {
+        kind = CrashKind::kRestart;
+      } else if (amnesia) {
+        kind = CrashKind::kAmnesia;
+      }
+    }
+    if (kind != CrashKind::kNone) ++agent.crashes;
   }
-  if (crash) crashes_.fetch_add(1, std::memory_order_relaxed);
-  return crash;
+  if (kind == CrashKind::kRestart) crashes_.fetch_add(1, std::memory_order_relaxed);
+  if (kind == CrashKind::kAmnesia) amnesia_.fetch_add(1, std::memory_order_relaxed);
+  return kind;
 }
 
 FaultSummary FaultPlan::summary() const {
@@ -109,6 +121,14 @@ FaultSummary FaultPlan::summary() const {
   s.reordered = reordered_.load(std::memory_order_relaxed);
   s.delay_spikes = delay_spikes_.load(std::memory_order_relaxed);
   s.crashes = crashes_.load(std::memory_order_relaxed);
+  s.amnesia = amnesia_.load(std::memory_order_relaxed);
+  s.crashes_by_agent.reserve(agents_.size());
+  {
+    std::lock_guard lock(mutex_);
+    for (const AgentState& agent : agents_) {
+      s.crashes_by_agent.push_back(agent.crashes);
+    }
+  }
   return s;
 }
 
@@ -118,6 +138,7 @@ FaultConfig fault_config_from(const ReproConfig& config) {
   faults.duplicate_rate = config.fault_duplicate;
   faults.reorder_rate = config.fault_reorder;
   faults.crash_rate = config.fault_crash;
+  faults.amnesia_rate = config.fault_amnesia;
   faults.refresh_interval = config.fault_refresh;
   faults.seed = config.fault_seed != 0 ? config.fault_seed : config.seed;
   return faults;

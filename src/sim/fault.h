@@ -47,7 +47,12 @@ struct FaultConfig {
   /// storage (nogood store, sequence counters), and the in-flight message
   /// is lost with it.
   double crash_rate = 0.0;
-  /// Crash budget per agent; keeps crash storms from starving progress.
+  /// Probability a delivery amnesia-crashes its receiver first: the agent
+  /// loses volatile state AND stable storage — everything except its
+  /// write-ahead journal — and must recover by checkpoint load + replay.
+  double amnesia_rate = 0.0;
+  /// Crash budget per agent (restart and amnesia share it); keeps crash
+  /// storms from starving progress.
   int max_crashes_per_agent = 3;
   /// Anti-entropy heartbeat period (0 disables refresh): virtual-time units
   /// in AsyncEngine, milliseconds in ThreadRuntime. On each beat every agent
@@ -61,7 +66,7 @@ struct FaultConfig {
   /// to the pre-fault-layer behavior.
   bool enabled() const {
     return drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
-           delay_spike_rate > 0 || crash_rate > 0;
+           delay_spike_rate > 0 || crash_rate > 0 || amnesia_rate > 0;
   }
 
   /// Throws std::invalid_argument on rates outside [0, 1] or negative knobs.
@@ -75,13 +80,24 @@ struct ChannelVerdict {
   std::int64_t extra_delay = 0;   ///< delay spike to add to the latency
 };
 
+/// Fate of one delivery, as decided by FaultPlan::on_deliver.
+enum class CrashKind {
+  kNone,     ///< deliver normally
+  kRestart,  ///< crash-restart: volatile state lost, stable storage kept
+  kAmnesia,  ///< amnesia crash: everything lost except the write-ahead journal
+};
+
 /// Totals of injected faults over one run (copied into RunMetrics).
 struct FaultSummary {
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t reordered = 0;
   std::uint64_t delay_spikes = 0;
-  std::uint64_t crashes = 0;
+  std::uint64_t crashes = 0;   ///< crash-restarts (excludes amnesia)
+  std::uint64_t amnesia = 0;   ///< amnesia crashes
+  /// Per-agent crash histogram (restart + amnesia combined); each entry is
+  /// bounded by max_crashes_per_agent.
+  std::vector<int> crashes_by_agent;
 };
 
 class FaultPlan {
@@ -96,9 +112,9 @@ class FaultPlan {
   /// decision depends only on (seed, from, to, per-channel send index).
   ChannelVerdict on_send(AgentId from, AgentId to);
 
-  /// Decide whether the receiver crash-restarts before this delivery.
+  /// Decide whether the receiver crashes before this delivery, and how badly.
   /// Thread-safe; depends only on (seed, to, per-agent delivery index).
-  bool on_deliver(AgentId to);
+  CrashKind on_deliver(AgentId to);
 
   FaultSummary summary() const;
 
@@ -122,6 +138,7 @@ class FaultPlan {
   std::atomic<std::uint64_t> reordered_{0};
   std::atomic<std::uint64_t> delay_spikes_{0};
   std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> amnesia_{0};
 };
 
 /// Build a FaultConfig from the shared repro knobs (--fault-drop etc.; see

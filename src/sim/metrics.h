@@ -37,6 +37,16 @@ struct RunMetrics {
   std::uint64_t refresh_messages = 0;
   /// Heartbeat rounds fired by the engine.
   std::uint64_t heartbeats = 0;
+
+  // Recovery-layer totals (all zero without a journal / bounded store /
+  // failure detector; see src/recovery/ and docs/FAULT_MODEL.md).
+  std::uint64_t journal_appends = 0;      ///< write-ahead records written
+  std::uint64_t journal_checkpoints = 0;  ///< log truncations
+  std::uint64_t journal_replays = 0;      ///< amnesia recoveries performed
+  std::uint64_t store_evictions = 0;      ///< learned nogoods evicted (bounds)
+  std::uint64_t peak_learned_nogoods = 0; ///< max resident learned, any agent
+  std::uint64_t retransmissions = 0;      ///< failure-detector resends
+  std::uint64_t detector_false_positives = 0;  ///< resends the receiver had
 };
 
 struct RunResult {

@@ -140,6 +140,13 @@ RunResult SyncEngine::run(int max_cycles) {
   for (const auto& agent : agents_) {
     result.metrics.nogoods_generated += agent->nogoods_generated();
     result.metrics.redundant_generations += agent->redundant_generations();
+    const Agent::RecoveryStats rs = agent->recovery_stats();
+    result.metrics.journal_appends += rs.journal_appends;
+    result.metrics.journal_checkpoints += rs.journal_checkpoints;
+    result.metrics.journal_replays += rs.journal_replays;
+    result.metrics.store_evictions += rs.store_evictions;
+    result.metrics.peak_learned_nogoods =
+        std::max(result.metrics.peak_learned_nogoods, rs.peak_learned_nogoods);
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #include "sim/thread_runtime.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -20,6 +21,15 @@ struct Letter {
   MessagePayload payload;
   std::vector<int> credit;
   bool heartbeat = false;
+  AgentId from = kNoAgent;
+  /// Reliability frame number (failure detector active); 0 = untracked.
+  std::uint64_t track_seq = 0;
+  /// Non-zero = transport ack: `from` acknowledges frame `ack_of` on the
+  /// channel (receiver, from). Never shown to the agent.
+  std::uint64_t ack_of = 0;
+  /// False for transport letters (retransmissions, acks): they were never
+  /// counted in `sent`, so processing them must not bump `processed`.
+  bool counted = true;
 };
 
 /// Unbounded MPSC mailbox with blocking pop.
@@ -86,15 +96,48 @@ struct ThreadRuntime::Impl {
   std::atomic<bool> insoluble{false};
   CreditLedger ledger;
   std::unique_ptr<FaultPlan> plan;  // present only when faults are enabled
+  /// Present only when the plan is and config.retransmit.enabled().
+  std::unique_ptr<recovery::RetransmitBuffer> retransmit;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
 
   Impl(const Problem& p, std::vector<std::unique_ptr<Agent>> a, ThreadRuntimeConfig c)
       : problem(p), agents(std::move(a)), config(c),
         mailboxes(agents.size()), values(agents.size()), idle(agents.size()),
         ledger(static_cast<int>(agents.size())) {
     config.faults.validate();
+    config.retransmit.validate();
     if (config.faults.enabled()) {
       plan = std::make_unique<FaultPlan>(config.faults,
                                          static_cast<int>(agents.size()));
+      if (config.retransmit.enabled()) {
+        retransmit = std::make_unique<recovery::RetransmitBuffer>(
+            config.retransmit, static_cast<int>(agents.size()));
+      }
+    }
+  }
+
+  /// Microseconds since runtime construction — the retransmission clock.
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  }
+
+  /// Enqueue a transport letter (ack or retransmission) through the fault
+  /// plan. Transport letters are uncredited and uncounted: they exist below
+  /// the protocol layer that `sent`/`processed` quiescence reasons about.
+  void push_transport(AgentId from, AgentId to, Letter letter) {
+    const ChannelVerdict verdict = plan->on_send(from, to);
+    if (verdict.extra_delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(verdict.extra_delay));
+    }
+    auto& box = mailboxes[static_cast<std::size_t>(to)];
+    for (int copy = 0; copy < verdict.copies; ++copy) {
+      if (verdict.reorder) {
+        box.push_front(letter);
+      } else {
+        box.push(letter);
+      }
     }
   }
 
@@ -117,20 +160,27 @@ struct ThreadRuntime::Impl {
         impl_.refresh_messages.fetch_add(1, std::memory_order_relaxed);
       }
       if (impl_.plan == nullptr) {
-        deliver(to, std::move(payload), /*reorder=*/false, /*extra_delay=*/0);
+        deliver(to, std::move(payload), /*reorder=*/false, /*extra_delay=*/0,
+                /*track_seq=*/0);
         return;
+      }
+      std::uint64_t track_seq = 0;
+      if (impl_.retransmit != nullptr && !counting_refresh) {
+        // Heartbeat re-announcements are idempotent repair traffic and stay
+        // untracked; only regular protocol sends enter the detector.
+        track_seq = impl_.retransmit->track(self_, to, payload, impl_.now_us());
       }
       const ChannelVerdict verdict = impl_.plan->on_send(self_, to);
       // copies == 0: the message vanishes. Its credit was never detached,
       // so conservation holds — the pool returns it at activation end.
       for (int copy = 0; copy < verdict.copies; ++copy) {
-        deliver(to, payload, verdict.reorder, verdict.extra_delay);
+        deliver(to, payload, verdict.reorder, verdict.extra_delay, track_seq);
       }
     }
 
    private:
     void deliver(AgentId to, MessagePayload payload, bool reorder,
-                 std::int64_t extra_delay) {
+                 std::int64_t extra_delay, std::uint64_t track_seq) {
       // Count the send *before* making it visible so that quiescence
       // (sent == processed && all idle) can never be observed spuriously.
       impl_.sent.fetch_add(1, std::memory_order_acq_rel);
@@ -146,7 +196,7 @@ struct ThreadRuntime::Impl {
       Letter letter{std::move(payload),
                     pool_.empty() ? std::vector<int>{}
                                   : std::vector<int>{pool_.split()},
-                    /*heartbeat=*/false};
+                    /*heartbeat=*/false, self_, track_seq};
       auto& box = impl_.mailboxes[static_cast<std::size_t>(to)];
       if (reorder) {
         box.push_front(std::move(letter));
@@ -177,21 +227,47 @@ struct ThreadRuntime::Impl {
         sink.counting_refresh = false;
         continue;
       }
+      if (letter.ack_of != 0) {
+        // Transport ack for a frame this agent sent to letter.from.
+        retransmit->ack(static_cast<AgentId>(i), letter.from, letter.ack_of);
+        continue;
+      }
       pool.add_all(letter.credit);
-      if (plan != nullptr && plan->on_deliver(static_cast<AgentId>(i))) {
+      const CrashKind crash = plan != nullptr
+                                  ? plan->on_deliver(static_cast<AgentId>(i))
+                                  : CrashKind::kNone;
+      if (crash == CrashKind::kRestart) {
         // Crash-restart: volatile state is lost and the in-flight letter
         // dies with the process; recovery re-announces through the sink.
+        // A tracked frame stays unacked, so the detector redelivers it.
         agent.crash_restart(sink);
+      } else if (crash == CrashKind::kAmnesia) {
+        if (retransmit != nullptr) retransmit->forget_agent(static_cast<AgentId>(i));
+        agent.amnesia_restart(sink);
       } else {
-        agent.receive(letter.payload);
-        agent.compute(sink);
+        bool suppressed = false;
+        if (letter.track_seq != 0 && retransmit != nullptr) {
+          suppressed = retransmit->mark_delivered(letter.from,
+                                                  static_cast<AgentId>(i),
+                                                  letter.track_seq);
+          // Ack every tracked frame, duplicates included: the previous ack
+          // may itself have been lost.
+          push_transport(static_cast<AgentId>(i), letter.from,
+                         Letter{MessagePayload{}, {}, /*heartbeat=*/false,
+                                static_cast<AgentId>(i), 0, letter.track_seq,
+                                /*counted=*/false});
+        }
+        if (!suppressed) {
+          agent.receive(letter.payload);
+          agent.compute(sink);
+        }
       }
       values[i].store(agent.current_value(), std::memory_order_release);
       if (agent.detected_insoluble()) insoluble.store(true, std::memory_order_release);
       // Activation over: return the remaining credit, then count the
-      // message as processed.
+      // message as processed (transport letters were never counted as sent).
       ledger.deposit(pool.drain());
-      processed.fetch_add(1, std::memory_order_acq_rel);
+      if (letter.counted) processed.fetch_add(1, std::memory_order_acq_rel);
     }
   }
 
@@ -307,6 +383,16 @@ RunResult ThreadRuntime::run() {
       impl.heartbeat_rounds.fetch_add(1, std::memory_order_relaxed);
       next_beat += refresh_period;
     }
+    if (impl.retransmit != nullptr) {
+      // The monitor owns the retransmission timer: resend every frame whose
+      // ack deadline has passed, as uncounted transport letters.
+      for (const recovery::RetransmitBuffer::Due& d :
+           impl.retransmit->collect_due(impl.now_us())) {
+        impl.push_transport(d.from, d.to,
+                            Letter{d.payload, {}, /*heartbeat=*/false, d.from,
+                                   d.seq, /*ack_of=*/0, /*counted=*/false});
+      }
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 
@@ -323,6 +409,13 @@ RunResult ThreadRuntime::run() {
     result.metrics.total_checks += impl.agents[i]->take_checks();
     result.metrics.nogoods_generated += impl.agents[i]->nogoods_generated();
     result.metrics.redundant_generations += impl.agents[i]->redundant_generations();
+    const Agent::RecoveryStats rs = impl.agents[i]->recovery_stats();
+    result.metrics.journal_appends += rs.journal_appends;
+    result.metrics.journal_checkpoints += rs.journal_checkpoints;
+    result.metrics.journal_replays += rs.journal_replays;
+    result.metrics.store_evictions += rs.store_evictions;
+    result.metrics.peak_learned_nogoods =
+        std::max(result.metrics.peak_learned_nogoods, rs.peak_learned_nogoods);
   }
   if (!witness.empty()) a = std::move(witness);
   result.metrics.maxcck = result.metrics.total_checks;
@@ -331,6 +424,10 @@ RunResult ThreadRuntime::run() {
       impl.refresh_messages.load(std::memory_order_acquire);
   result.metrics.heartbeats = impl.heartbeat_rounds.load(std::memory_order_acquire);
   if (impl.plan != nullptr) result.metrics.faults = impl.plan->summary();
+  if (impl.retransmit != nullptr) {
+    result.metrics.retransmissions = impl.retransmit->retransmissions();
+    result.metrics.detector_false_positives = impl.retransmit->false_positives();
+  }
   result.assignment = std::move(a);
   return result;
 }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "recovery/retransmit.h"
 #include "sim/agent.h"
 #include "sim/fault.h"
 #include "sim/metrics.h"
@@ -38,6 +39,10 @@ struct ThreadRuntimeConfig {
   /// refresh_interval is interpreted in milliseconds, delay_spike in
   /// microseconds.
   FaultConfig faults;
+  /// Failure detector (ack/retransmit) in microseconds; only active when the
+  /// fault plan is (without faults nothing can be lost). The monitor thread
+  /// drives the retransmission timer on its polling tick.
+  recovery::RetransmitConfig retransmit;
 };
 
 class ThreadRuntime {

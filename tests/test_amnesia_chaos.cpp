@@ -1,0 +1,251 @@
+// Amnesia-crash chaos properties (the PR's acceptance gate):
+//  - under amnesia crashes + drops + duplicates, journaled AWC/resolvent
+//    still solves >= 95% of solvable instances with zero false insolubility;
+//  - recovery is deterministic: the same seed reproduces the identical
+//    post-recovery nogood store in every agent, bit for bit;
+//  - a nogood capacity at 25% of the unbounded peak still solves every
+//    instance and the resident learned count never exceeds the bound;
+//  - the ack/retransmit failure detector repairs drops even with the
+//    anti-entropy heartbeat disabled;
+//  - journaled DB survives amnesia too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "awc/awc_agent.h"
+#include "awc/awc_solver.h"
+#include "csp/distributed_problem.h"
+#include "csp/validate.h"
+#include "db/db_solver.h"
+#include "gen/coloring_gen.h"
+#include "learning/resolvent.h"
+#include "sim/async_engine.h"
+
+namespace discsp {
+namespace {
+
+sim::FaultConfig amnesia_faults(std::uint64_t seed) {
+  sim::FaultConfig faults;
+  faults.drop_rate = 0.10;
+  faults.duplicate_rate = 0.05;
+  faults.amnesia_rate = 0.02;
+  faults.max_crashes_per_agent = 3;
+  faults.refresh_interval = 50;
+  faults.seed = seed * 31 + 7;
+  return faults;
+}
+
+awc::AwcOptions journaled_options(std::size_t nogood_capacity = 0) {
+  awc::AwcOptions options;
+  options.journal = true;
+  options.journal_config.checkpoint_interval = 16;
+  options.nogood_capacity = nogood_capacity;
+  return options;
+}
+
+struct ChaosRun {
+  sim::RunResult result;
+  /// Post-run learned-nogood stores, one per agent, in store order.
+  std::vector<std::vector<Nogood>> stores;
+  std::vector<Value> values;
+};
+
+ChaosRun run_awc_amnesia(const DistributedProblem& dp, const FullAssignment& initial,
+                         std::uint64_t seed, const sim::FaultConfig& faults,
+                         const awc::AwcOptions& options) {
+  awc::AwcSolver solver(dp, learning::ResolventLearning{}, options);
+  sim::AsyncConfig config;
+  config.max_activations = 2'000'000;
+  config.faults = faults;
+  Rng rng(seed);
+  auto agents = solver.make_agents(initial, rng.derive(1));
+  std::vector<const awc::AwcAgent*> awc_agents;
+  for (const auto& agent : agents) {
+    awc_agents.push_back(static_cast<const awc::AwcAgent*>(agent.get()));
+  }
+  sim::AsyncEngine engine(dp.problem(), std::move(agents), config, rng.derive(2));
+  ChaosRun run;
+  run.result = engine.run();
+  for (const awc::AwcAgent* agent : awc_agents) {
+    const NogoodStore& store = agent->store();
+    std::vector<Nogood> learned;
+    for (std::size_t i = store.initial_count(); i < store.size(); ++i) {
+      learned.push_back(store.at(i));
+    }
+    run.stores.push_back(std::move(learned));
+    run.values.push_back(agent->current_value());
+  }
+  return run;
+}
+
+TEST(AmnesiaChaos, AcceptanceGateSolvesDespiteAmnesia) {
+  // The ISSUE bar: amnesia 0.02 + 10% drop + 5% duplication, n=30 solvable
+  // 3-coloring, journaled AWC/resolvent solves >= 95% of trials, never
+  // reports insolubility, and every reported solution validates.
+  constexpr int kTrials = 20;
+  int solved = 0;
+  std::uint64_t total_amnesia = 0, total_replays = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t seed = 7000 + static_cast<std::uint64_t>(t);
+    Rng rng(seed);
+    const auto instance = gen::generate_coloring3(30, rng);
+    const auto dp = gen::distribute(instance);
+    FullAssignment initial(30);
+    for (auto& v : initial) v = static_cast<Value>(rng.index(3));
+
+    const ChaosRun run = run_awc_amnesia(dp, initial, seed, amnesia_faults(seed),
+                                         journaled_options());
+    ASSERT_FALSE(run.result.metrics.insoluble)
+        << "amnesia faked insolubility, trial " << t;
+    if (run.result.metrics.solved) {
+      ++solved;
+      EXPECT_TRUE(validate_solution(instance.problem, run.result.assignment).ok)
+          << "trial " << t;
+    }
+    total_amnesia += run.result.metrics.faults.amnesia;
+    total_replays += run.result.metrics.journal_replays;
+  }
+  EXPECT_GE(solved, (kTrials * 95 + 99) / 100)
+      << "solve rate under amnesia + drop + duplication fell below 95%";
+  EXPECT_GT(total_amnesia, 0u) << "no amnesia crash ever fired";
+  EXPECT_EQ(total_replays, total_amnesia)
+      << "every amnesia crash must trigger exactly one journal replay";
+}
+
+TEST(AmnesiaChaos, RecoveryIsDeterministic) {
+  // Same instance, same seeds, amnesia on: the two runs must agree on every
+  // metric and on every agent's post-recovery learned store, element by
+  // element — checkpoint load + in-order replay has no hidden state.
+  for (std::uint64_t seed : {501u, 502u, 503u}) {
+    Rng rng(seed);
+    const auto instance = gen::generate_coloring3(20, rng);
+    const auto dp = gen::distribute(instance);
+    FullAssignment initial(20);
+    for (auto& v : initial) v = static_cast<Value>(rng.index(3));
+
+    const ChaosRun a = run_awc_amnesia(dp, initial, seed, amnesia_faults(seed),
+                                       journaled_options());
+    const ChaosRun b = run_awc_amnesia(dp, initial, seed, amnesia_faults(seed),
+                                       journaled_options());
+    EXPECT_EQ(a.result.metrics.cycles, b.result.metrics.cycles) << "seed " << seed;
+    EXPECT_EQ(a.result.metrics.maxcck, b.result.metrics.maxcck) << "seed " << seed;
+    EXPECT_EQ(a.result.metrics.faults.amnesia, b.result.metrics.faults.amnesia);
+    EXPECT_EQ(a.result.metrics.journal_replays, b.result.metrics.journal_replays);
+    EXPECT_EQ(a.result.metrics.journal_appends, b.result.metrics.journal_appends);
+    EXPECT_EQ(a.result.assignment, b.result.assignment) << "seed " << seed;
+    EXPECT_EQ(a.values, b.values) << "seed " << seed;
+    ASSERT_EQ(a.stores.size(), b.stores.size());
+    for (std::size_t i = 0; i < a.stores.size(); ++i) {
+      EXPECT_EQ(a.stores[i], b.stores[i])
+          << "post-recovery store of agent " << i << " diverged, seed " << seed;
+    }
+  }
+}
+
+TEST(AmnesiaChaos, QuarterCapacityStillSolvesWithinTheBound) {
+  // Run unbounded to find the peak resident learned count, then rerun the
+  // same trials with capacity = 25% of that peak: everything still solves
+  // and the observed peak never exceeds the bound.
+  constexpr int kTrials = 6;
+  std::uint64_t unbounded_peak = 0;
+  struct Trial {
+    DistributedProblem dp;
+    Problem problem;
+    FullAssignment initial;
+    std::uint64_t seed;
+  };
+  std::vector<Trial> trials;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::uint64_t seed = 9100 + static_cast<std::uint64_t>(t);
+    Rng rng(seed);
+    const auto instance = gen::generate_coloring3(24, rng);
+    auto dp = gen::distribute(instance);
+    FullAssignment initial(24);
+    for (auto& v : initial) v = static_cast<Value>(rng.index(3));
+    trials.push_back({std::move(dp), instance.problem, std::move(initial), seed});
+  }
+
+  for (const Trial& trial : trials) {
+    const ChaosRun run = run_awc_amnesia(trial.dp, trial.initial, trial.seed,
+                                         amnesia_faults(trial.seed),
+                                         journaled_options());
+    ASSERT_TRUE(run.result.metrics.solved) << "unbounded baseline failed";
+    unbounded_peak =
+        std::max(unbounded_peak, run.result.metrics.peak_learned_nogoods);
+  }
+  ASSERT_GT(unbounded_peak, 4u) << "baseline learned too little to bound";
+
+  const auto capacity = static_cast<std::size_t>(std::max<std::uint64_t>(
+      1, unbounded_peak / 4));
+  for (const Trial& trial : trials) {
+    const ChaosRun run = run_awc_amnesia(trial.dp, trial.initial, trial.seed,
+                                         amnesia_faults(trial.seed),
+                                         journaled_options(capacity));
+    ASSERT_TRUE(run.result.metrics.solved)
+        << "bounded run failed at capacity " << capacity;
+    EXPECT_TRUE(validate_solution(trial.problem, run.result.assignment).ok);
+    EXPECT_FALSE(run.result.metrics.insoluble)
+        << "eviction must never fake insolubility";
+    EXPECT_LE(run.result.metrics.peak_learned_nogoods, capacity)
+        << "resident learned nogoods exceeded the bound";
+    for (const auto& learned : run.stores) {
+      EXPECT_LE(learned.size(), capacity);
+    }
+  }
+}
+
+TEST(AmnesiaChaos, RetransmitRepairsDropsWithoutHeartbeat) {
+  // Heartbeat off, failure detector on: selective retransmission alone must
+  // carry AWC through 10% drops (the detector replaces the blind anti-
+  // entropy refresh rather than hiding behind it).
+  Rng rng(606);
+  const auto instance = gen::generate_coloring3(16, rng);
+  const auto dp = gen::distribute(instance);
+  awc::AwcSolver solver(dp, learning::ResolventLearning{});
+  FullAssignment initial(16);
+  for (auto& v : initial) v = static_cast<Value>(rng.index(3));
+
+  sim::AsyncConfig config;
+  config.max_activations = 2'000'000;
+  config.faults.drop_rate = 0.10;
+  config.faults.refresh_interval = 0;  // no heartbeat fallback
+  config.faults.seed = 777;
+  config.retransmit.ack_timeout = 50;
+  sim::AsyncEngine engine(dp.problem(), solver.make_agents(initial, rng.derive(1)),
+                          config, rng.derive(2));
+  const sim::RunResult result = engine.run();
+  ASSERT_TRUE(result.metrics.solved);
+  EXPECT_TRUE(validate_solution(instance.problem, result.assignment).ok);
+  EXPECT_GT(result.metrics.retransmissions, 0u);
+  EXPECT_EQ(result.metrics.heartbeats, 0u);
+}
+
+TEST(AmnesiaChaos, DbRecoversFromAmnesiaWithJournal) {
+  Rng rng(808);
+  const auto instance = gen::generate_coloring3(12, rng);
+  const auto dp = gen::distribute(instance);
+  db::DbOptions options;
+  options.journal = true;
+  options.journal_config.checkpoint_interval = 16;
+  db::DbSolver solver(dp, options);
+  FullAssignment initial(12);
+  for (auto& v : initial) v = static_cast<Value>(rng.index(3));
+
+  sim::AsyncConfig config;
+  config.max_activations = 2'000'000;
+  config.faults.amnesia_rate = 0.005;
+  config.faults.max_crashes_per_agent = 2;
+  config.faults.refresh_interval = 60;
+  config.faults.seed = 4242;
+  sim::AsyncEngine engine(dp.problem(), solver.make_agents(initial, rng.derive(1)),
+                          config, rng.derive(2));
+  const sim::RunResult result = engine.run();
+  ASSERT_TRUE(result.metrics.solved);
+  EXPECT_TRUE(validate_solution(instance.problem, result.assignment).ok);
+  EXPECT_GT(result.metrics.faults.amnesia, 0u);
+  EXPECT_EQ(result.metrics.journal_replays, result.metrics.faults.amnesia);
+}
+
+}  // namespace
+}  // namespace discsp

@@ -101,7 +101,7 @@ TEST(FaultPlan, DisabledConfigNeverFaults) {
     EXPECT_EQ(v.copies, 1);
     EXPECT_FALSE(v.reorder);
     EXPECT_EQ(v.extra_delay, 0);
-    EXPECT_FALSE(plan.on_deliver(1));
+    EXPECT_EQ(plan.on_deliver(1), CrashKind::kNone);
   }
   const FaultSummary s = plan.summary();
   EXPECT_EQ(s.dropped + s.duplicated + s.reordered + s.delay_spikes + s.crashes,
@@ -115,16 +115,62 @@ TEST(FaultPlan, CrashBudgetIsEnforcedPerAgent) {
   FaultPlan plan(config, 2);
   int crashes_agent0 = 0;
   for (int k = 0; k < 50; ++k) {
-    if (plan.on_deliver(0)) ++crashes_agent0;
+    if (plan.on_deliver(0) != CrashKind::kNone) ++crashes_agent0;
   }
   EXPECT_EQ(crashes_agent0, 3);
   // Agent 1 has its own untouched budget.
   int crashes_agent1 = 0;
   for (int k = 0; k < 50; ++k) {
-    if (plan.on_deliver(1)) ++crashes_agent1;
+    if (plan.on_deliver(1) != CrashKind::kNone) ++crashes_agent1;
   }
   EXPECT_EQ(crashes_agent1, 3);
-  EXPECT_EQ(plan.summary().crashes, 6u);
+  const FaultSummary s = plan.summary();
+  EXPECT_EQ(s.crashes, 6u);
+  // The per-agent histogram matches the per-agent counts.
+  ASSERT_EQ(s.crashes_by_agent.size(), 2u);
+  EXPECT_EQ(s.crashes_by_agent[0], 3);
+  EXPECT_EQ(s.crashes_by_agent[1], 3);
+}
+
+TEST(FaultPlan, AmnesiaSharesTheCrashBudget) {
+  FaultConfig config;
+  config.crash_rate = 1.0;
+  config.amnesia_rate = 1.0;  // both fire every delivery; restart wins ties
+  config.max_crashes_per_agent = 4;
+  FaultPlan plan(config, 1);
+  int restarts = 0, amnesias = 0;
+  for (int k = 0; k < 50; ++k) {
+    switch (plan.on_deliver(0)) {
+      case CrashKind::kRestart: ++restarts; break;
+      case CrashKind::kAmnesia: ++amnesias; break;
+      case CrashKind::kNone: break;
+    }
+  }
+  // Restart-or-amnesia totals never exceed the shared budget.
+  EXPECT_EQ(restarts + amnesias, 4);
+  EXPECT_EQ(restarts, 4);  // restart draw happens first and wins at rate 1.0
+  const FaultSummary s = plan.summary();
+  EXPECT_EQ(s.crashes + s.amnesia, 4u);
+  ASSERT_EQ(s.crashes_by_agent.size(), 1u);
+  EXPECT_EQ(s.crashes_by_agent[0], 4);
+}
+
+TEST(FaultPlan, AmnesiaOnlyConfigCrashesWithAmnesia) {
+  FaultConfig config;
+  config.amnesia_rate = 1.0;
+  config.max_crashes_per_agent = 2;
+  EXPECT_TRUE(config.enabled());
+  FaultPlan plan(config, 1);
+  int amnesias = 0;
+  for (int k = 0; k < 10; ++k) {
+    if (plan.on_deliver(0) == CrashKind::kAmnesia) ++amnesias;
+  }
+  EXPECT_EQ(amnesias, 2);
+  const FaultSummary s = plan.summary();
+  EXPECT_EQ(s.amnesia, 2u);
+  EXPECT_EQ(s.crashes, 0u);
+  ASSERT_EQ(s.crashes_by_agent.size(), 1u);
+  EXPECT_EQ(s.crashes_by_agent[0], 2);
 }
 
 TEST(FaultConfig, ValidateRejectsBadKnobs) {
@@ -136,6 +182,9 @@ TEST(FaultConfig, ValidateRejectsBadKnobs) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
   config = {};
   config.crash_rate = 2.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.amnesia_rate = -0.5;
   EXPECT_THROW(config.validate(), std::invalid_argument);
   config = {};
   config.delay_spike = -1;
@@ -156,6 +205,7 @@ TEST(FaultConfig, FromReproConfigMapsKnobs) {
   repro.fault_duplicate = 0.05;
   repro.fault_reorder = 0.2;
   repro.fault_crash = 0.01;
+  repro.fault_amnesia = 0.02;
   repro.fault_refresh = 17;
   repro.fault_seed = 0;  // 0 = reuse the run seed
   const FaultConfig config = fault_config_from(repro);
@@ -163,6 +213,7 @@ TEST(FaultConfig, FromReproConfigMapsKnobs) {
   EXPECT_DOUBLE_EQ(config.duplicate_rate, 0.05);
   EXPECT_DOUBLE_EQ(config.reorder_rate, 0.2);
   EXPECT_DOUBLE_EQ(config.crash_rate, 0.01);
+  EXPECT_DOUBLE_EQ(config.amnesia_rate, 0.02);
   EXPECT_EQ(config.refresh_interval, 17);
   EXPECT_EQ(config.seed, 99u);
   EXPECT_TRUE(config.enabled());

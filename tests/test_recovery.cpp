@@ -1,0 +1,342 @@
+// Recovery-layer unit tests (src/recovery/, csp/nogood_store.h):
+//  - write-ahead log: append/checkpoint accounting, log truncation, and the
+//    block-reserved sequence durability used across amnesia crashes;
+//  - retransmission backoff: the schedule is deterministic in the jitter
+//    seed, grows exponentially, and respects the max_timeout cap;
+//  - retransmit buffer: selective-repeat tracking, ack clearing, duplicate
+//    suppression, false-positive counting, give-up, and amnesia forgetting;
+//  - bounded nogood store: the capacity bound always holds and eviction
+//    never removes an initial, unit, or currently-violated nogood.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "csp/nogood_store.h"
+#include "recovery/journal.h"
+#include "recovery/retransmit.h"
+
+namespace discsp {
+namespace {
+
+using recovery::Checkpoint;
+using recovery::JournalConfig;
+using recovery::JournalRecord;
+using recovery::RecordType;
+using recovery::RetransmitBuffer;
+using recovery::RetransmitConfig;
+using recovery::WriteAheadLog;
+
+TEST(WriteAheadLog, AppendAndCheckpointAccounting) {
+  JournalConfig config;
+  config.checkpoint_interval = 3;
+  WriteAheadLog wal(config);
+  EXPECT_EQ(wal.appends(), 0u);
+  EXPECT_FALSE(wal.should_checkpoint());
+
+  wal.append({RecordType::kValue, 2, 0, Nogood{}});
+  wal.append({RecordType::kPriority, 1, 0, Nogood{}});
+  EXPECT_FALSE(wal.should_checkpoint());
+  wal.append({RecordType::kNogood, 0, 0, Nogood{{0, 1}, {1, 2}}});
+  EXPECT_TRUE(wal.should_checkpoint());
+  EXPECT_EQ(wal.appends(), 3u);
+  EXPECT_EQ(wal.records().size(), 3u);
+
+  Checkpoint cp;
+  cp.has_value = true;
+  cp.value = 2;
+  cp.priority = 1;
+  cp.learned.push_back(Nogood{{0, 1}, {1, 2}});
+  wal.write_checkpoint(cp);
+  // The record tail is folded into the checkpoint and truncated.
+  EXPECT_EQ(wal.records().size(), 0u);
+  EXPECT_FALSE(wal.should_checkpoint());
+  EXPECT_EQ(wal.checkpoints(), 1u);
+  EXPECT_TRUE(wal.checkpoint().has_value);
+  EXPECT_EQ(wal.checkpoint().value, 2);
+  ASSERT_EQ(wal.checkpoint().learned.size(), 1u);
+  EXPECT_EQ(wal.checkpoint().learned[0], (Nogood{{0, 1}, {1, 2}}));
+}
+
+TEST(WriteAheadLog, SequenceBlocksAreReservedNotLogged) {
+  JournalConfig config;
+  config.seq_reserve = 10;
+  WriteAheadLog wal(config);
+  EXPECT_EQ(wal.seq_limit(), 0u);
+
+  // First use reserves a whole block with a single record.
+  wal.ensure_seq(1);
+  EXPECT_EQ(wal.seq_limit(), 10u);
+  EXPECT_EQ(wal.appends(), 1u);
+  ASSERT_EQ(wal.records().size(), 1u);
+  EXPECT_EQ(wal.records()[0].type, RecordType::kSeqReserve);
+  EXPECT_EQ(wal.records()[0].a, 10);
+
+  // Every sequence inside the block is covered for free.
+  for (std::uint64_t seq = 2; seq <= 10; ++seq) wal.ensure_seq(seq);
+  EXPECT_EQ(wal.appends(), 1u);
+
+  // Crossing the limit reserves the next block from the requested seq.
+  wal.ensure_seq(11);
+  EXPECT_EQ(wal.seq_limit(), 20u);
+  EXPECT_EQ(wal.appends(), 2u);
+}
+
+TEST(WriteAheadLog, SequenceLimitSurvivesCheckpointTruncation) {
+  // A recovering agent resumes from seq_limit(); truncating the log (which
+  // discards the kSeqReserve records) must not regress it.
+  WriteAheadLog wal(JournalConfig{.checkpoint_interval = 1, .seq_reserve = 8});
+  wal.ensure_seq(1);
+  EXPECT_EQ(wal.seq_limit(), 8u);
+  wal.write_checkpoint(Checkpoint{});
+  EXPECT_EQ(wal.records().size(), 0u);
+  EXPECT_EQ(wal.seq_limit(), 8u);
+}
+
+TEST(WriteAheadLog, ConfigValidation) {
+  JournalConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.seq_reserve = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.checkpoint_interval = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.checkpoint_interval = 0;  // "never checkpoint" is legal
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(RetransmitBackoff, ScheduleIsDeterministicInTheSeed) {
+  RetransmitConfig config;
+  config.ack_timeout = 100;
+  config.backoff = 2.0;
+  Rng a(42), b(42), c(43);
+  std::vector<std::int64_t> sched_a, sched_b, sched_c;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    sched_a.push_back(config.timeout_for(attempt, a));
+    sched_b.push_back(config.timeout_for(attempt, b));
+    sched_c.push_back(config.timeout_for(attempt, c));
+  }
+  EXPECT_EQ(sched_a, sched_b) << "same jitter seed must give the same schedule";
+  EXPECT_NE(sched_a, sched_c) << "jitter streams with different seeds collide";
+}
+
+TEST(RetransmitBackoff, GrowsExponentiallyUpToTheCap) {
+  RetransmitConfig config;
+  config.ack_timeout = 100;
+  config.backoff = 2.0;
+  config.max_timeout = 400;
+  Rng jitter(7);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const std::int64_t t = config.timeout_for(attempt, jitter);
+    // base * 2^attempt, capped at 400, plus jitter in [0, t/4].
+    const std::int64_t base = std::min<std::int64_t>(
+        400, static_cast<std::int64_t>(100.0 * std::pow(2.0, attempt)));
+    EXPECT_GE(t, base) << "attempt " << attempt;
+    EXPECT_LE(t, base + base / 4 + 1) << "attempt " << attempt;
+  }
+}
+
+TEST(RetransmitBackoff, ConfigValidation) {
+  RetransmitConfig config;
+  EXPECT_FALSE(config.enabled());  // ack_timeout = 0 is the off switch
+  EXPECT_NO_THROW(config.validate());
+  config.ack_timeout = 50;
+  EXPECT_TRUE(config.enabled());
+  EXPECT_NO_THROW(config.validate());
+  config.backoff = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.ack_timeout = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.max_attempts = -2;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+RetransmitConfig buffer_config() {
+  RetransmitConfig config;
+  config.ack_timeout = 100;
+  config.backoff = 2.0;
+  config.max_attempts = 3;
+  config.seed = 99;
+  return config;
+}
+
+TEST(RetransmitBuffer, AckedSendsAreNeverRetransmitted) {
+  RetransmitBuffer buffer(buffer_config(), 3);
+  const std::uint64_t seq = buffer.track(0, 1, sim::MessagePayload{}, 0);
+  EXPECT_EQ(seq, 1u);
+  EXPECT_TRUE(buffer.next_deadline().has_value());
+  buffer.ack(0, 1, seq);
+  EXPECT_FALSE(buffer.next_deadline().has_value());
+  EXPECT_TRUE(buffer.collect_due(1'000'000).empty());
+  EXPECT_EQ(buffer.retransmissions(), 0u);
+}
+
+TEST(RetransmitBuffer, UnackedSendIsRetransmittedWithBackoff) {
+  RetransmitBuffer buffer(buffer_config(), 2);
+  buffer.track(0, 1, sim::MessagePayload{}, 0);
+
+  const auto first_deadline = buffer.next_deadline();
+  ASSERT_TRUE(first_deadline.has_value());
+  auto due = buffer.collect_due(*first_deadline);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].from, 0);
+  EXPECT_EQ(due[0].to, 1);
+  EXPECT_EQ(due[0].seq, 1u);
+  EXPECT_EQ(due[0].attempt, 1);
+  EXPECT_FALSE(due[0].false_positive);
+
+  // The next deadline backed off (strictly later than a base-timeout step).
+  const auto second_deadline = buffer.next_deadline();
+  ASSERT_TRUE(second_deadline.has_value());
+  EXPECT_GT(*second_deadline, *first_deadline + 100);
+  EXPECT_EQ(buffer.retransmissions(), 1u);
+}
+
+TEST(RetransmitBuffer, GivesUpAfterMaxAttempts) {
+  RetransmitBuffer buffer(buffer_config(), 2);  // max_attempts = 3
+  buffer.track(0, 1, sim::MessagePayload{}, 0);
+  int fired = 0;
+  for (int round = 0; round < 10; ++round) {
+    const auto deadline = buffer.next_deadline();
+    if (!deadline.has_value()) break;
+    fired += static_cast<int>(buffer.collect_due(*deadline).size());
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(buffer.gave_up(), 1u);
+  EXPECT_FALSE(buffer.next_deadline().has_value())
+      << "a given-up send must leave the pending buffer";
+}
+
+TEST(RetransmitBuffer, DuplicateDeliveriesAreReported) {
+  RetransmitBuffer buffer(buffer_config(), 2);
+  const std::uint64_t seq = buffer.track(0, 1, sim::MessagePayload{}, 0);
+  EXPECT_FALSE(buffer.mark_delivered(0, 1, seq));
+  EXPECT_TRUE(buffer.mark_delivered(0, 1, seq)) << "second copy is a duplicate";
+}
+
+TEST(RetransmitBuffer, LostAckCountsAsFalsePositive) {
+  RetransmitBuffer buffer(buffer_config(), 2);
+  const std::uint64_t seq = buffer.track(0, 1, sim::MessagePayload{}, 0);
+  // Delivered, but the ack never made it back: the sender still suspects.
+  buffer.mark_delivered(0, 1, seq);
+  const auto deadline = buffer.next_deadline();
+  ASSERT_TRUE(deadline.has_value());
+  const auto due = buffer.collect_due(*deadline);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_TRUE(due[0].false_positive);
+  EXPECT_EQ(buffer.false_positives(), 1u);
+}
+
+TEST(RetransmitBuffer, ForgetAgentDropsPendingAndDedupState) {
+  RetransmitBuffer buffer(buffer_config(), 3);
+  const std::uint64_t out = buffer.track(1, 2, sim::MessagePayload{}, 0);
+  const std::uint64_t in = buffer.track(0, 1, sim::MessagePayload{}, 0);
+  buffer.mark_delivered(0, 1, in);
+
+  buffer.forget_agent(1);
+  // Sender-side pending of agent 1 is gone...
+  EXPECT_EQ(buffer.collect_due(1'000'000).size(), 1u)
+      << "only the (0,1) send — whose *sender* still remembers it — retries";
+  // ...and its receiver-side dedup set is too: the old copy is fresh again.
+  EXPECT_FALSE(buffer.mark_delivered(0, 1, in));
+  (void)out;
+
+  // Channel sequence counters are transport state and keep increasing.
+  EXPECT_EQ(buffer.track(1, 2, sim::MessagePayload{}, 0), out + 1);
+}
+
+TEST(BoundedNogoodStore, CapacityBoundAlwaysHolds) {
+  NogoodStore store(0, 4);
+  ASSERT_TRUE(store.add(Nogood{{0, 0}}));  // problem constraint
+  store.mark_initial();
+  store.set_capacity(2);
+
+  for (Value v = 1; v <= 3; ++v) {
+    EXPECT_TRUE(store.add(Nogood{{0, v}, {1, v}}));
+    EXPECT_LE(store.learned_count(), 2u);
+  }
+  EXPECT_EQ(store.learned_count(), 2u);
+  EXPECT_EQ(store.initial_count(), 1u);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.peak_learned(), 2u);
+  ASSERT_TRUE(store.last_eviction().has_value());
+  // Initial nogoods are exempt from the bound and never evicted.
+  EXPECT_TRUE(store.contains(Nogood{{0, 0}}));
+}
+
+TEST(BoundedNogoodStore, EvictsTheLeastRecentlyViolated) {
+  NogoodStore store(0, 4);
+  store.set_capacity(2);
+  ASSERT_TRUE(store.add(Nogood{{0, 1}, {1, 1}}));
+  ASSERT_TRUE(store.add(Nogood{{0, 2}, {1, 2}}));
+
+  // Touch the first one: the second becomes the LRU victim.
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (store.at(i) == (Nogood{{0, 1}, {1, 1}})) store.note_violation(i);
+  }
+  ASSERT_TRUE(store.add(Nogood{{0, 3}, {1, 3}}));
+  EXPECT_TRUE(store.contains(Nogood{{0, 1}, {1, 1}}));
+  EXPECT_FALSE(store.contains(Nogood{{0, 2}, {1, 2}}));
+  ASSERT_TRUE(store.last_eviction().has_value());
+  EXPECT_EQ(*store.last_eviction(), (Nogood{{0, 2}, {1, 2}}));
+}
+
+TEST(BoundedNogoodStore, NeverEvictsACurrentlyViolatedNogood) {
+  NogoodStore store(0, 4);
+  store.set_capacity(2);
+  ASSERT_TRUE(store.add(Nogood{{0, 1}, {1, 1}}));
+  ASSERT_TRUE(store.add(Nogood{{0, 2}, {1, 2}}));
+
+  // The caller's view says the stale-looking first nogood is violated right
+  // now: evicting it could re-admit the conflict the agent is resolving.
+  const auto violated_now = [](const Nogood& ng) {
+    return ng == Nogood{{0, 1}, {1, 1}};
+  };
+  ASSERT_TRUE(store.add(Nogood{{0, 3}, {1, 3}}, violated_now));
+  EXPECT_TRUE(store.contains(Nogood{{0, 1}, {1, 1}}));
+  EXPECT_FALSE(store.contains(Nogood{{0, 2}, {1, 2}}));
+}
+
+TEST(BoundedNogoodStore, NeverEvictsUnitNogoods) {
+  NogoodStore store(0, 4);
+  store.set_capacity(2);
+  // Unit nogoods prune a whole domain value unconditionally — losing one
+  // can cost completeness outright, so they are never victims.
+  ASSERT_TRUE(store.add(Nogood{{0, 1}}));
+  ASSERT_TRUE(store.add(Nogood{{0, 2}}));
+  // Store full of unit nogoods: the add is rejected, the bound still holds.
+  EXPECT_FALSE(store.add(Nogood{{0, 3}, {1, 3}}));
+  EXPECT_EQ(store.learned_count(), 2u);
+  EXPECT_TRUE(store.contains(Nogood{{0, 1}}));
+  EXPECT_TRUE(store.contains(Nogood{{0, 2}}));
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+TEST(BoundedNogoodStore, RejectsWhenEverythingIsViolated) {
+  NogoodStore store(0, 4);
+  store.set_capacity(1);
+  ASSERT_TRUE(store.add(Nogood{{0, 1}, {1, 1}}));
+  const auto everything_violated = [](const Nogood&) { return true; };
+  EXPECT_FALSE(store.add(Nogood{{0, 2}, {1, 2}}, everything_violated));
+  EXPECT_EQ(store.learned_count(), 1u);
+}
+
+TEST(BoundedNogoodStore, RemoveByContentSupportsReplay) {
+  NogoodStore store(0, 4);
+  ASSERT_TRUE(store.add(Nogood{{0, 1}, {1, 1}}));
+  ASSERT_TRUE(store.add(Nogood{{0, 2}, {1, 2}}));
+  EXPECT_TRUE(store.remove(Nogood{{0, 1}, {1, 1}}));
+  EXPECT_FALSE(store.remove(Nogood{{0, 1}, {1, 1}}));  // already gone
+  EXPECT_FALSE(store.contains(Nogood{{0, 1}, {1, 1}}));
+  EXPECT_TRUE(store.contains(Nogood{{0, 2}, {1, 2}}));
+  // Journal-replay removals are not evictions.
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace discsp

@@ -2,12 +2,16 @@
 # Full local check: normal build + complete test suite, then a
 # ThreadSanitizer build running the concurrency-sensitive tests (the
 # thread runtime and the fault/chaos layer exercise real threads and the
-# shared FaultPlan). Usage: tools/check.sh [build-dir-prefix]
+# shared FaultPlan).
+#
+# Usage: tools/check.sh [build-dir-prefix]
+#   BUILD_DIR=dir   override the build directory prefix (same as argv[1])
+#   JOBS=n          override the parallelism (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-prefix="${1:-build}"
-jobs="$(nproc 2>/dev/null || echo 4)"
+prefix="${BUILD_DIR:-${1:-build}}"
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
 echo "=== normal build + full test suite (${prefix}) ==="
 cmake -B "${prefix}" -S . >/dev/null
@@ -23,8 +27,13 @@ cmake -B "${prefix}-tsan" -S . \
 cmake --build "${prefix}-tsan" -j "${jobs}" --target discsp_tests
 
 echo "--- TSan: thread runtime + fault layer tests ---"
-"${prefix}-tsan/tests/discsp_tests" \
-    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:*Credit*'
+# Run the binary directly (no ctest indirection) and fail the whole script
+# on any sanitizer report or test failure.
+if ! "${prefix}-tsan/tests/discsp_tests" \
+    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:AmnesiaChaos*:*Credit*'; then
+  echo "TSan leg failed." >&2
+  exit 1
+fi
 
 echo
 echo "All checks passed."
