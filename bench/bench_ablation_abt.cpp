@@ -15,9 +15,9 @@ int main(int argc, char** argv) {
   bench.ns = {20, 30, 40};
   bench.make_runners = [](const ReproConfig& config) {
     return std::vector<analysis::NamedRunner>{
-        {"ABT", analysis::abt_runner(/*use_resolvent=*/false, config.max_cycles)},
-        {"ABT+Rslv", analysis::abt_runner(/*use_resolvent=*/true, config.max_cycles)},
-        {"AWC+Rslv", analysis::awc_runner("Rslv", true, config.max_cycles)},
+        {"ABT", analysis::abt_runner(/*use_resolvent=*/false, config.max_cycles, config.incremental)},
+        {"ABT+Rslv", analysis::abt_runner(/*use_resolvent=*/true, config.max_cycles, config.incremental)},
+        {"AWC+Rslv", analysis::awc_runner("Rslv", true, config.max_cycles, config.incremental)},
     };
   };
   return bench::run_table_bench(argc, argv, bench);

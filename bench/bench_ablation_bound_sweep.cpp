@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
 
     for (const auto& sc : scenarios) {
       const auto spec = analysis::spec_for(sc.family, sc.n, config);
-      const auto rows = analysis::run_comparison(spec, bench::awc_runners(labels)(config));
+      const auto rows = analysis::run_comparison(spec, bench::awc_runners(labels)(config), config.threads);
       TextTable table({"family", "n", "learn", "cycle", "maxcck", "%"});
       for (const auto& row : rows) {
         table.row()

@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
                            return solver.solve(initial, rng);
                          }});
     }
-    runners.push_back({"Rslv", analysis::awc_runner("Rslv", true, config.max_cycles)});
+    runners.push_back({"Rslv", analysis::awc_runner("Rslv", true, config.max_cycles, config.incremental)});
 
-    const auto rows = analysis::run_comparison(spec, runners);
+    const auto rows = analysis::run_comparison(spec, runners, config.threads);
     TextTable table({"learn", "cycle", "maxcck", "%"});
     for (const auto& row : rows) {
       table.row().cell(row.label).cell(row.mean_cycles, 1).cell(row.mean_maxcck, 1)

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
                              return solver.solve(initial, rng);
                            }});
       }
-      const auto rows = analysis::run_comparison(spec, runners);
+      const auto rows = analysis::run_comparison(spec, runners, config.threads);
       for (const auto& row : rows) {
         table.row()
             .cell(analysis::family_name(sc.family))

@@ -51,10 +51,10 @@ int main(int argc, char** argv) {
       const auto spec = analysis::spec_for(sc.family, sc.n, config);
       const std::vector<analysis::NamedRunner> runners = {
           {"AWC+" + sc.strategy,
-           analysis::awc_runner(sc.strategy, true, config.max_cycles)},
-          {"DB", analysis::db_runner(config.max_cycles)},
+           analysis::awc_runner(sc.strategy, true, config.max_cycles, config.incremental)},
+          {"DB", analysis::db_runner(config.max_cycles, config.incremental)},
       };
-      const auto rows = analysis::run_comparison(spec, runners);
+      const auto rows = analysis::run_comparison(spec, runners, config.threads);
       const auto awc_cost = cost_of(rows[0]);
       const auto db_cost = cost_of(rows[1]);
       const double crossover = analysis::crossover_delay(awc_cost, db_cost);

@@ -47,11 +47,11 @@ int main(int argc, char** argv) {
         const auto spec = analysis::spec_for(block.family, n, config);
         const std::vector<analysis::NamedRunner> runners = {
             {"Rslv/rec", analysis::awc_runner("Rslv", /*record_received=*/true,
-                                              config.max_cycles)},
+                                              config.max_cycles, config.incremental)},
             {"Rslv/norec", analysis::awc_runner("Rslv", /*record_received=*/false,
-                                                config.max_cycles)},
+                                                config.max_cycles, config.incremental)},
         };
-        const auto rows = analysis::run_comparison(spec, runners);
+        const auto rows = analysis::run_comparison(spec, runners, config.threads);
         const std::string fam = analysis::family_name(block.family);
         table.row()
             .cell(fam)

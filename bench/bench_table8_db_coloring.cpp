@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
   bench.ns = {60, 90, 120, 150};
   bench.make_runners = [](const ReproConfig& config) {
     return std::vector<analysis::NamedRunner>{
-        {"AWC+3rdRslv", analysis::awc_runner("3rdRslv", true, config.max_cycles)},
-        {"DB", analysis::db_runner(config.max_cycles)},
+        {"AWC+3rdRslv", analysis::awc_runner("3rdRslv", true, config.max_cycles, config.incremental)},
+        {"DB", analysis::db_runner(config.max_cycles, config.incremental)},
     };
   };
   bench.paper = {

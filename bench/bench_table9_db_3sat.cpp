@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
   bench.ns = {50, 100, 150};
   bench.make_runners = [](const ReproConfig& config) {
     return std::vector<analysis::NamedRunner>{
-        {"AWC+5thRslv", analysis::awc_runner("5thRslv", true, config.max_cycles)},
-        {"DB", analysis::db_runner(config.max_cycles)},
+        {"AWC+5thRslv", analysis::awc_runner("5thRslv", true, config.max_cycles, config.incremental)},
+        {"DB", analysis::db_runner(config.max_cycles, config.incremental)},
     };
   };
   bench.paper = {

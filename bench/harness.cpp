@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/table.h"
 
@@ -14,22 +16,42 @@ RunnerFactory awc_runners(std::vector<std::string> strategy_labels) {
     runners.reserve(labels.size());
     for (const std::string& label : labels) {
       runners.push_back({label, analysis::awc_runner(label, /*record_received=*/true,
-                                                     config.max_cycles)});
+                                                     config.max_cycles,
+                                                     config.incremental)});
     }
     return runners;
   };
 }
 
+namespace {
+
+// Minimal JSON string escaping (labels/titles are ASCII; quotes/backslashes
+// are the only realistic hazards).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
 int run_table_bench(int argc, const char* const* argv, const TableBench& bench) {
   try {
     const Options opts(argc, argv);
     const ReproConfig config = repro_config_from(opts);
+    const std::string json_path = opts.get_string("json", "", "REPRO_JSON");
 
     std::cout << bench.title << '\n'
               << "family=" << analysis::family_name(bench.family)
               << " trials/n=" << config.trials << " max_cycles=" << config.max_cycles
               << " seed=" << config.seed;
     if (config.n_scale != 1.0) std::cout << " n_scale=" << config.n_scale;
+    if (config.threads != 1) std::cout << " threads=" << config.threads;
+    if (!config.incremental) std::cout << " incremental=0";
     std::cout << "\n(paper columns show the published values for shape comparison)\n\n";
 
     const bool with_paper = !bench.paper.empty();
@@ -38,14 +60,26 @@ int run_table_bench(int argc, const char* const* argv, const TableBench& bench) 
       header.insert(header.end(), {"| paper:cycle", "paper:maxcck", "paper:%"});
     }
 
+    std::ostringstream json_tables;
+    bool first_table = true;
+
     // One table per n, printed (and flushed) as soon as its rows exist —
     // a killed or timed-out run still leaves every completed block behind.
     const auto t0 = std::chrono::steady_clock::now();
     for (int n : bench.ns) {
       const auto spec = analysis::spec_for(bench.family, n, config);
       const auto runners = bench.make_runners(config);
-      const auto rows = analysis::run_comparison(spec, runners);
+      const auto block_t0 = std::chrono::steady_clock::now();
+      const auto rows = analysis::run_comparison(spec, runners, config.threads);
+      const double wall_ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - block_t0)
+              .count());
       TextTable table(header);
+      double block_checks = 0.0;
+      double block_work_ops = 0.0;
+      std::ostringstream json_rows;
+      bool first_row = true;
       for (const auto& row : rows) {
         table.row()
             .cell(std::to_string(n))
@@ -63,13 +97,53 @@ int run_table_bench(int argc, const char* const* argv, const TableBench& bench) 
             table.cell("| -").cell("-").cell("-");
           }
         }
+        block_checks += row.mean_total_checks * row.trials;
+        block_work_ops += row.mean_work_ops * row.trials;
+        json_rows << (first_row ? "" : ",") << "\n      {\"label\": \""
+                  << json_escape(row.label) << "\", \"trials\": " << row.trials
+                  << ", \"cycle\": " << row.mean_cycles
+                  << ", \"maxcck\": " << row.mean_maxcck
+                  << ", \"percent\": " << row.solved_percent
+                  << ", \"mean_total_checks\": " << row.mean_total_checks
+                  << ", \"mean_work_ops\": " << row.mean_work_ops
+                  << ", \"checks_per_cycle\": "
+                  << (row.mean_cycles > 0.0 ? row.mean_total_checks / row.mean_cycles
+                                            : 0.0)
+                  << "}";
+        first_row = false;
       }
       table.print(std::cout);
       std::cout << std::endl;  // flush per block
+
+      json_tables << (first_table ? "" : ",") << "\n    {\"n\": " << n
+                  << ", \"wall_ms\": " << wall_ns / 1e6
+                  << ", \"total_checks\": " << block_checks
+                  << ", \"total_work_ops\": " << block_work_ops
+                  << ", \"ns_per_check\": "
+                  << (block_checks > 0.0 ? wall_ns / block_checks : 0.0)
+                  << ", \"ns_per_work_op\": "
+                  << (block_work_ops > 0.0 ? wall_ns / block_work_ops : 0.0)
+                  << ", \"rows\": [" << json_rows.str() << "\n    ]}";
+      first_table = false;
     }
     const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - t0);
     std::cout << "elapsed: " << elapsed.count() / 1000.0 << " s\n";
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) throw std::runtime_error("cannot write --json file: " + json_path);
+      out << "{\n  \"title\": \"" << json_escape(bench.title) << "\",\n"
+          << "  \"family\": \"" << analysis::family_name(bench.family) << "\",\n"
+          << "  \"trials\": " << config.trials << ",\n"
+          << "  \"max_cycles\": " << config.max_cycles << ",\n"
+          << "  \"seed\": " << config.seed << ",\n"
+          << "  \"threads\": " << config.threads << ",\n"
+          << "  \"incremental\": " << (config.incremental ? "true" : "false") << ",\n"
+          << "  \"elapsed_ms\": " << elapsed.count() << ",\n"
+          << "  \"tables\": [" << json_tables.str() << "\n  ]\n}\n";
+      std::cout << "json: " << json_path << '\n';
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "bench failed: " << e.what() << '\n';

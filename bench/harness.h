@@ -9,6 +9,11 @@
 //   --max-cycles N  cycle cap              (default 10000)
 //   --seed S        root seed              (REPRO_SEED)
 //   --n-scale F     scale the paper's n values (REPRO_N_SCALE)
+//   --threads T     experiment worker threads, 0 = all cores (REPRO_THREADS);
+//                   results are bit-identical at any thread count
+//   --incremental B counter-based consistency path (default on; REPRO_INCREMENTAL)
+//   --json FILE     machine-readable results: per-table wall time, ns/check,
+//                   checks/cycle, work ops (see docs/PERF.md)
 #pragma once
 
 #include <functional>

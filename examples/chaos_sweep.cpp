@@ -12,6 +12,11 @@
 //   chaos_sweep [--n 30] [--trials 20] [--seed 7] [--crash 0] [--amnesia 0]
 //               [--refresh 50] [--max-activations 2000000] [--ack-timeout 0]
 //               [--nogood-capacity 0] [--checkpoint-interval 64]
+//               [--threads 1] [--incremental 1]
+//
+// --threads T fans each point's trials out over T workers (0 = all cores);
+// every trial seeds its own RNG streams, so the printed numbers are
+// identical at any thread count.
 //
 // Sweeps a grid of (drop, duplicate) rates with reordering tied to the drop
 // rate, printing solve %, mean activations, and observed fault counters.
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "analysis/experiment.h"
+#include "analysis/parallel.h"
 #include "common/options.h"
 #include "csp/validate.h"
 #include "gen/coloring_gen.h"
@@ -45,6 +51,8 @@ int main(int argc, char** argv) {
     const std::size_t nogood_capacity =
         static_cast<std::size_t>(opts.get_int("nogood-capacity", 0));
     const std::int64_t checkpoint_interval = opts.get_int("checkpoint-interval", 64);
+    const int threads = static_cast<int>(opts.get_int("threads", 1, "REPRO_THREADS"));
+    const bool incremental = opts.get_bool("incremental", true, "REPRO_INCREMENTAL");
 
     struct Point {
       double drop;
@@ -87,6 +95,43 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(checkpoint_interval);
       runner_options.retransmit.ack_timeout = ack_timeout;
       runner_options.retransmit.validate();
+      runner_options.incremental = incremental;
+
+      // Trials are independent (each generates its own instance from its own
+      // seed), so they fan out over the thread pool; the per-trial outcomes
+      // land in fixed slots and are folded in trial order below, making the
+      // printed numbers independent of the thread count.
+      struct TrialOutcome {
+        double acts = 0.0;
+        sim::FaultSummary faults;
+        std::uint64_t amnesia = 0, replays = 0, retx = 0, evictions = 0;
+        bool solved = false;
+        bool valid = true;
+      };
+      std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(trials));
+      const analysis::TrialRunner run =
+          analysis::awc_chaos_runner("Rslv", runner_options);
+      analysis::parallel_for(
+          static_cast<std::size_t>(trials), threads, [&](std::size_t t) {
+            Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(t) + 1)));
+            const auto instance = gen::generate_coloring3(n, rng);
+            const auto dp = gen::distribute(instance);
+            FullAssignment initial(static_cast<std::size_t>(n));
+            for (auto& v : initial) v = static_cast<Value>(rng.index(3));
+
+            const sim::RunResult result = run(dp, initial, rng.derive(1));
+            TrialOutcome& out = outcomes[t];
+            out.acts = static_cast<double>(result.metrics.cycles);
+            out.faults = result.metrics.faults;
+            out.amnesia = result.metrics.faults.amnesia;
+            out.replays = result.metrics.journal_replays;
+            out.retx = result.metrics.retransmissions;
+            out.evictions = result.metrics.store_evictions;
+            out.solved = result.metrics.solved;
+            if (result.metrics.solved) {
+              out.valid = validate_solution(instance.problem, result.assignment).ok;
+            }
+          });
 
       int solved = 0;
       bool all_valid = true;
@@ -94,32 +139,18 @@ int main(int argc, char** argv) {
       sim::FaultSummary totals;
       std::uint64_t total_amnesia = 0, total_replays = 0, total_retx = 0,
                     total_evictions = 0;
-
-      const analysis::TrialRunner run =
-          analysis::awc_chaos_runner("Rslv", runner_options);
-      for (int t = 0; t < trials; ++t) {
-        Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1)));
-        const auto instance = gen::generate_coloring3(n, rng);
-        const auto dp = gen::distribute(instance);
-        FullAssignment initial(static_cast<std::size_t>(n));
-        for (auto& v : initial) v = static_cast<Value>(rng.index(3));
-
-        const sim::RunResult result = run(dp, initial, rng.derive(1));
-        total_acts += static_cast<double>(result.metrics.cycles);
-        totals.dropped += result.metrics.faults.dropped;
-        totals.duplicated += result.metrics.faults.duplicated;
-        totals.reordered += result.metrics.faults.reordered;
-        totals.crashes += result.metrics.faults.crashes;
-        total_amnesia += result.metrics.faults.amnesia;
-        total_replays += result.metrics.journal_replays;
-        total_retx += result.metrics.retransmissions;
-        total_evictions += result.metrics.store_evictions;
-        if (result.metrics.solved) {
-          ++solved;
-          if (!validate_solution(instance.problem, result.assignment).ok) {
-            all_valid = false;
-          }
-        }
+      for (const TrialOutcome& out : outcomes) {
+        total_acts += out.acts;
+        totals.dropped += out.faults.dropped;
+        totals.duplicated += out.faults.duplicated;
+        totals.reordered += out.faults.reordered;
+        totals.crashes += out.faults.crashes;
+        total_amnesia += out.amnesia;
+        total_replays += out.replays;
+        total_retx += out.retx;
+        total_evictions += out.evictions;
+        if (out.solved) ++solved;
+        if (!out.valid) all_valid = false;
       }
 
       std::cout << std::fixed << std::setprecision(1) << std::setw(6)

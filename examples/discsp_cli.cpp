@@ -7,9 +7,13 @@
 //   discsp_cli convert inst.cnf inst.dcsp
 //   discsp_cli solve inst.dcsp --algo awc --strategy 3rdRslv --seed 7
 //   discsp_cli solve inst.cnf --algo db
+//   discsp_cli experiment --family d3s --n 40 --trials 20 --threads 8
 #include <iostream>
+#include <sstream>
 
 #include "abt/abt_solver.h"
+#include "analysis/experiment.h"
+#include "common/table.h"
 #include "awc/awc_solver.h"
 #include "common/options.h"
 #include "csp/serialize.h"
@@ -100,7 +104,8 @@ int cmd_solve(const Options& opts) {
                  "[--seed S] [--max-cycles N] [--fault-drop P] [--fault-duplicate P] "
                  "[--fault-reorder P] [--fault-crash P] [--fault-amnesia P] "
                  "[--fault-refresh N] [--fault-seed S] [--ack-timeout N] "
-                 "[--nogood-capacity N] [--checkpoint-interval N]\n";
+                 "[--nogood-capacity N] [--checkpoint-interval N] "
+                 "[--incremental 0|1]\n";
     return 2;
   }
   const auto dp = load(opts.positional()[1]);
@@ -141,6 +146,7 @@ int cmd_solve(const Options& opts) {
     options.nogood_capacity = static_cast<std::size_t>(repro.nogood_capacity);
     options.journal = journal;
     options.journal_config = journal_config;
+    options.incremental = repro.incremental;
     awc::AwcSolver solver(dp, *strategy, options);
     result = faults.enabled() ? run_with_faults(solver)
                               : solver.solve(solver.random_initial(rng), rng.derive(1));
@@ -149,6 +155,7 @@ int cmd_solve(const Options& opts) {
     db_options.max_cycles = max_cycles;
     db_options.journal = journal;
     db_options.journal_config = journal_config;
+    db_options.incremental = repro.incremental;
     db::DbSolver solver(dp, db_options);
     result = faults.enabled() ? run_with_faults(solver)
                               : solver.solve(solver.random_initial(rng), rng.derive(1));
@@ -161,6 +168,7 @@ int cmd_solve(const Options& opts) {
     abt::AbtOptions options;
     options.max_cycles = max_cycles;
     options.use_resolvent = opts.get_bool("abt-resolvent", true);
+    options.incremental = repro.incremental;
     abt::AbtSolver solver(dp, options);
     result = solver.solve(solver.random_initial(rng), rng.derive(1));
   } else {
@@ -211,19 +219,86 @@ int cmd_solve(const Options& opts) {
   return 1;
 }
 
+// Run the paper's comparison protocol on generated instances and print one
+// aggregate row per algorithm. `--strategies` takes a comma list of AWC
+// learning strategies plus the special labels DB, ABT and ABT+Rslv.
+int cmd_experiment(const Options& opts) {
+  const std::string family_str = opts.get_string("family", "d3c");
+  analysis::ProblemFamily family;
+  if (family_str == "d3c") {
+    family = analysis::ProblemFamily::kColoring3;
+  } else if (family_str == "d3s") {
+    family = analysis::ProblemFamily::kSat3;
+  } else if (family_str == "d3s1") {
+    family = analysis::ProblemFamily::kOneSat3;
+  } else {
+    std::cerr << "experiment: --family must be d3c, d3s or d3s1\n";
+    return 2;
+  }
+  const int n = static_cast<int>(opts.get_int("n", 60));
+  const ReproConfig config = repro_config_from(opts);
+  const auto spec = analysis::spec_for(family, n, config);
+
+  std::vector<analysis::NamedRunner> runners;
+  std::stringstream labels(opts.get_string("strategies", "No,Rslv"));
+  std::string label;
+  while (std::getline(labels, label, ',')) {
+    if (label.empty()) continue;
+    if (label == "DB") {
+      runners.push_back({label, analysis::db_runner(config.max_cycles,
+                                                    config.incremental)});
+    } else if (label == "ABT") {
+      runners.push_back({label, analysis::abt_runner(false, config.max_cycles,
+                                                     config.incremental)});
+    } else if (label == "ABT+Rslv") {
+      runners.push_back({label, analysis::abt_runner(true, config.max_cycles,
+                                                     config.incremental)});
+    } else {
+      runners.push_back({label, analysis::awc_runner(label, true, config.max_cycles,
+                                                     config.incremental)});
+    }
+  }
+  if (runners.empty()) {
+    std::cerr << "experiment: --strategies produced no runners\n";
+    return 2;
+  }
+
+  std::cout << "experiment family=" << family_str << " n=" << spec.n
+            << " instances=" << spec.instances << " inits=" << spec.inits_per_instance
+            << " max_cycles=" << spec.max_cycles << " seed=" << spec.seed
+            << " threads=" << config.threads
+            << " incremental=" << (config.incremental ? 1 : 0) << "\n\n";
+  const auto rows = analysis::run_comparison(spec, runners, config.threads);
+  TextTable table({"learn", "cycle", "maxcck", "%", "med", "p95", "checks", "work_ops"});
+  for (const auto& row : rows) {
+    table.row()
+        .cell(row.label)
+        .cell(row.mean_cycles, 1)
+        .cell(row.mean_maxcck, 1)
+        .cell(row.solved_percent, 0)
+        .cell(row.median_cycles, 1)
+        .cell(row.p95_cycles, 1)
+        .cell(row.mean_total_checks, 0)
+        .cell(row.mean_work_ops, 0);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opts(argc, argv);
     if (opts.positional().empty()) {
-      std::cerr << "usage: discsp_cli <gen|convert|solve> ...\n";
+      std::cerr << "usage: discsp_cli <gen|convert|solve|experiment> ...\n";
       return 2;
     }
     const std::string& cmd = opts.positional()[0];
     if (cmd == "gen") return cmd_gen(opts);
     if (cmd == "convert") return cmd_convert(opts);
     if (cmd == "solve") return cmd_solve(opts);
+    if (cmd == "experiment") return cmd_experiment(opts);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 2;
   } catch (const std::exception& e) {

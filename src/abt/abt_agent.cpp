@@ -32,15 +32,12 @@ AbtAgent::AbtAgent(AgentId id, VarId var, int domain_size, Value initial_value,
     store_.add(ng);
   }
   store_.mark_initial();
-}
-
-Value AbtAgent::view_value(VarId v) const {
-  auto it = view_.find(v);
-  return it != view_.end() ? it->second : kNoValue;
+  store_.set_own_value(value_);
 }
 
 bool AbtAgent::violated_with_own(const Nogood& ng, Value d) {
   ++checks_;
+  store_.add_scan_work(1);  // the bucket-scan path's unit of real work
   return ng.violated_by([&](VarId v) { return v == var_ ? d : view_value(v); });
 }
 
@@ -54,9 +51,8 @@ void AbtAgent::receive(const sim::MessagePayload& msg) {
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, sim::OkMessage>) {
-          auto [it, inserted] = view_.try_emplace(m.var, m.value);
-          if (inserted || it->second != m.value) {
-            it->second = m.value;
+          if (m.var != var_ && store_.view_value(m.var) != m.value) {
+            store_.set_view(m.var, m.value);
             dirty_ = true;
           }
         } else if constexpr (std::is_same_v<T, sim::NogoodMessage>) {
@@ -68,7 +64,7 @@ void AbtAgent::receive(const sim::MessagePayload& msg) {
           if (store_.add(m.nogood)) {
             dirty_ = true;
             for (const Assignment& a : m.nogood) {
-              if (a.var != var_ && view_.find(a.var) == view_.end()) {
+              if (a.var != var_ && !view_known(a.var)) {
                 pending_value_requests_.push_back(a.var);
               }
             }
@@ -88,7 +84,7 @@ void AbtAgent::receive(const sim::MessagePayload& msg) {
 
 void AbtAgent::compute(sim::MessageSink& out) {
   for (VarId v : pending_value_requests_) {
-    if (view_.find(v) != view_.end()) continue;
+    if (view_known(v)) continue;
     out.send((*owner_of_var_)[static_cast<std::size_t>(v)],
              sim::AddLinkMessage{.sender = id_, .var = v});
   }
@@ -121,14 +117,36 @@ void AbtAgent::compute(sim::MessageSink& out) {
   pending_nogood_acks_.clear();
 }
 
+bool AbtAgent::consistent_current() {
+  // The scan walks bucket(value_) in insertion order and stops at the first
+  // violated nogood. ABT never removes from its store, so bucket order ==
+  // ascending index order, and the first hit is the smallest index in the
+  // counter engine's violated list.
+  const auto& bucket = store_.bucket(value_);
+  scratch_violated_.clear();
+  store_.violated_with_own(value_, scratch_violated_);
+  if (scratch_violated_.empty()) {
+    checks_ += bucket.size();  // the scan evaluates the whole bucket
+    return true;
+  }
+  const auto hit = std::lower_bound(bucket.begin(), bucket.end(), scratch_violated_.front());
+  assert(hit != bucket.end() && *hit == scratch_violated_.front());
+  checks_ += static_cast<std::uint64_t>(hit - bucket.begin()) + 1;  // early break
+  return false;
+}
+
 void AbtAgent::check_agent_view(sim::MessageSink& out) {
   for (;;) {
     // Current value consistent?
     bool consistent = true;
-    for (std::uint32_t idx : store_.bucket(value_)) {
-      if (violated_with_own(store_.at(idx), value_)) {
-        consistent = false;
-        break;
+    if (config_.incremental) {
+      consistent = consistent_current();
+    } else {
+      for (std::uint32_t idx : store_.bucket(value_)) {
+        if (violated_with_own(store_.at(idx), value_)) {
+          consistent = false;
+          break;
+        }
       }
     }
     if (consistent) return;
@@ -139,15 +157,25 @@ void AbtAgent::check_agent_view(sim::MessageSink& out) {
     std::vector<Value> candidates;
     for (Value d = 0; d < domain_size_; ++d) {
       auto& list = violated[static_cast<std::size_t>(d)];
-      for (std::uint32_t idx : store_.bucket(d)) {
-        const Nogood& ng = store_.at(idx);
-        if (violated_with_own(ng, d)) list.push_back(&ng);
+      if (config_.incremental) {
+        // The scan evaluates every nogood in bucket(d); the violated subset
+        // comes straight from the counters, in the same (index) order.
+        checks_ += store_.bucket(d).size();
+        scratch_violated_.clear();
+        store_.violated_with_own(d, scratch_violated_);
+        for (std::uint32_t idx : scratch_violated_) list.push_back(&store_.at(idx));
+      } else {
+        for (std::uint32_t idx : store_.bucket(d)) {
+          const Nogood& ng = store_.at(idx);
+          if (violated_with_own(ng, d)) list.push_back(&ng);
+        }
       }
       if (list.empty()) candidates.push_back(d);
     }
 
     if (!candidates.empty()) {
       value_ = candidates[rng_.index(candidates.size())];
+      store_.set_own_value(value_);
       broadcast_ok(out);
       return;
     }
@@ -162,10 +190,13 @@ void AbtAgent::check_agent_view(sim::MessageSink& out) {
       ctx.order = this;
       learned = learning::build_resolvent(ctx);
     } else {
-      // Classic ABT: the whole agent_view is the nogood.
+      // Classic ABT: the whole agent_view is the nogood (the Nogood ctor
+      // canonicalizes, so flat ascending iteration is order-safe).
+      const auto view = store_.view_values();
       std::vector<Assignment> items;
-      items.reserve(view_.size());
-      for (const auto& [v, val] : view_) items.push_back({v, val});
+      for (std::size_t v = 0; v < view.size(); ++v) {
+        if (view[v] != kNoValue) items.push_back({static_cast<VarId>(v), view[v]});
+      }
       learned = Nogood(std::move(items));
     }
     ++nogoods_generated_;
@@ -178,7 +209,7 @@ void AbtAgent::check_agent_view(sim::MessageSink& out) {
     const VarId target = learned.items().back().var;
     out.send((*owner_of_var_)[static_cast<std::size_t>(target)],
              sim::NogoodMessage{.sender = id_, .nogood = learned});
-    view_.erase(target);  // optimistically assume the target moves
+    store_.set_view(target, kNoValue);  // optimistically assume the target moves
   }
 }
 

@@ -16,6 +16,9 @@ struct AbtOptions {
   int max_cycles = 10000;
   /// false: classic agent_view-as-nogood; true: resolvent learning.
   bool use_resolvent = false;
+  /// Counter-based consistency tests (paper metrics are bit-identical to the
+  /// bucket-scan path; see docs/PERF.md).
+  bool incremental = true;
 };
 
 class AbtSolver {

@@ -66,23 +66,39 @@ struct AggregateRow {
   double p95_cycles = 0.0;
   double max_cycles = 0.0;
   double median_maxcck = 0.0;
+  /// Σ checks over cycles and agents, averaged over trials (the paper's
+  /// check definition; path-independent).
+  double mean_total_checks = 0.0;
+  /// Real consistency-engine operations averaged over trials (machine cost;
+  /// differs between the scan and incremental paths — see docs/PERF.md).
+  double mean_work_ops = 0.0;
 };
 
 /// Run all `runners` over the spec's trials (same instances and initial
 /// values for every runner — the paper's comparison methodology) and return
 /// one aggregate row per runner, in order.
+///
+/// `threads` > 1 fans the (instance × init) cells out over a thread pool.
+/// Every cell seeds its own RNG streams from the spec alone and aggregation
+/// folds the per-cell results in (instance, init, runner) order, so every
+/// aggregate — including the floating-point means — is bit-identical to the
+/// serial run at any thread count. threads <= 1 runs the cells inline in
+/// that same order (0 = all hardware threads).
 std::vector<AggregateRow> run_comparison(const ExperimentSpec& spec,
-                                         std::span<const NamedRunner> runners);
+                                         std::span<const NamedRunner> runners,
+                                         int threads = 1);
 
 /// Generate the spec's instance with the given index (deterministic in
 /// spec.seed). Exposed for tests and custom harnesses.
 DistributedProblem make_instance(const ExperimentSpec& spec, int instance_index);
 
-/// Standard runner factories.
+/// Standard runner factories. `incremental` selects the counter-based
+/// consistency path (paper metrics are bit-identical either way).
 TrialRunner awc_runner(const std::string& strategy_label, bool record_received = true,
-                       int max_cycles = 10000);
-TrialRunner db_runner(int max_cycles = 10000);
-TrialRunner abt_runner(bool use_resolvent = false, int max_cycles = 10000);
+                       int max_cycles = 10000, bool incremental = true);
+TrialRunner db_runner(int max_cycles = 10000, bool incremental = true);
+TrialRunner abt_runner(bool use_resolvent = false, int max_cycles = 10000,
+                       bool incremental = true);
 
 /// AWC on the asynchronous engine with fault injection (sim/fault.h): the
 /// chaos-sweep counterpart of awc_runner. A disabled fault config reduces to
@@ -105,6 +121,8 @@ struct ChaosRunnerOptions {
   recovery::JournalConfig journal_config;
   /// Failure detector; RetransmitConfig{}.enabled() == false means "off".
   recovery::RetransmitConfig retransmit;
+  /// Counter-based consistency path (metrics bit-identical either way).
+  bool incremental = true;
 };
 TrialRunner awc_chaos_runner(const std::string& strategy_label,
                              const ChaosRunnerOptions& options);

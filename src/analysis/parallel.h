@@ -1,0 +1,30 @@
+// Deterministic fork-join helper for the experiment layer.
+//
+// parallel_for(n, threads, body) runs body(0..n-1), each index exactly once.
+// Determinism contract: the caller must make every index self-contained
+// (per-index seeded RNG streams, per-index result slots) so the outcome is a
+// pure function of the index — then the aggregate is bit-identical at any
+// thread count, because aggregation happens in index order afterwards.
+//
+// With threads <= 1 (or n <= 1) the body runs inline, in index order, on the
+// calling thread — callers relying on call-order side effects (tests with
+// stateful runners) get the exact historical behavior by default.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace discsp::analysis {
+
+/// Map a --threads request to a worker count: 0 = all hardware threads,
+/// otherwise the value itself (min 1).
+int resolve_threads(int requested);
+
+/// Run body(i) for i in [0, n): inline in order when threads <= 1, else on a
+/// pool of min(threads, n) workers pulling indices from a shared counter.
+/// The first exception thrown by any body is rethrown after all workers
+/// finish.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace discsp::analysis

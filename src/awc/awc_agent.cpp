@@ -25,6 +25,10 @@ AwcAgent::AwcAgent(AgentId id, VarId var, int domain_size, Value initial_value,
   if (strategy_ == nullptr) throw std::invalid_argument("null learning strategy");
   link_set_.insert(links_.begin(), links_.end());
   initial_link_count_ = links_.size();
+  if (owner_of_var_ != nullptr) {
+    view_priority_.resize(owner_of_var_->size(), 0);
+    view_seq_.resize(owner_of_var_->size(), 0);
+  }
   if (config_.journal) initial_nogoods_ = initial_nogoods;
   for (const Nogood& ng : initial_nogoods) {
     if (ng.empty()) {
@@ -35,17 +39,35 @@ AwcAgent::AwcAgent(AgentId id, VarId var, int domain_size, Value initial_value,
   }
   store_.mark_initial();
   store_.set_capacity(config_.nogood_capacity);
+  store_.set_own_value(value_);
 }
 
 Priority AwcAgent::priority_of(VarId v) const {
   if (v == var_) return priority_;
-  auto it = view_.find(v);
-  return it != view_.end() ? it->second.priority : 0;
+  if (!view_known(v)) return 0;
+  const auto vi = static_cast<std::size_t>(v);
+  return vi < view_priority_.size() ? view_priority_[vi] : 0;
 }
 
-Value AwcAgent::view_value(VarId v) const {
-  auto it = view_.find(v);
-  return it != view_.end() ? it->second.value : kNoValue;
+void AwcAgent::ensure_view_var(VarId var) {
+  const auto v = static_cast<std::size_t>(var);
+  if (v >= view_priority_.size()) {
+    view_priority_.resize(v + 1, 0);
+    view_seq_.resize(v + 1, 0);
+  }
+}
+
+void AwcAgent::clear_agent_view() {
+  store_.clear_view();
+  std::fill(view_priority_.begin(), view_priority_.end(), Priority{0});
+  std::fill(view_seq_.begin(), view_seq_.end(), std::uint64_t{0});
+}
+
+std::size_t AwcAgent::view_size() const {
+  const auto view = store_.view_values();
+  return static_cast<std::size_t>(
+      std::count_if(view.begin(), view.end(),
+                    [](Value v) { return v != kNoValue; }));
 }
 
 bool AwcAgent::nogood_is_higher(const Nogood& ng) const {
@@ -58,12 +80,8 @@ bool AwcAgent::nogood_is_higher(const Nogood& ng) const {
 
 bool AwcAgent::violated_with_own(const Nogood& ng, Value d) {
   ++checks_;
+  store_.add_scan_work(1);  // the flat-scan path's unit of real work
   return ng.violated_by([&](VarId v) { return v == var_ ? d : view_value(v); });
-}
-
-bool AwcAgent::violated_unmetered(const Nogood& ng) const {
-  return ng.violated_by(
-      [&](VarId v) { return v == var_ ? value_ : view_value(v); });
 }
 
 void AwcAgent::journal(recovery::JournalRecord record) {
@@ -93,6 +111,7 @@ void AwcAgent::maybe_checkpoint() {
 
 void AwcAgent::set_value(Value v) {
   value_ = v;
+  store_.set_own_value(v);
   journal({recovery::RecordType::kValue, v, 0, Nogood{}});
 }
 
@@ -128,17 +147,19 @@ void AwcAgent::receive(const sim::MessagePayload& msg) {
 }
 
 void AwcAgent::on_ok(const sim::OkMessage& m) {
-  ViewEntry& entry = view_[m.var];
+  if (m.var == var_) return;  // defensive: nobody else announces our variable
+  ensure_view_var(m.var);
+  const auto vi = static_cast<std::size_t>(m.var);
   // Duplicate/stale suppression: under unreliable delivery an older
   // announcement can arrive after a newer one; applying it would regress
   // the view to a value/priority its owner has already abandoned. Sequence
   // numbers are monotone per sender, so "older" is simply a smaller seq.
   // (seq 0 = unsequenced legacy sender: always applied, as before.)
-  if (m.seq != 0 && m.seq < entry.seq) return;
-  entry.seq = m.seq;
-  if (entry.value != m.value || entry.priority != m.priority) {
-    entry.value = m.value;
-    entry.priority = m.priority;
+  if (m.seq != 0 && m.seq < view_seq_[vi]) return;
+  view_seq_[vi] = m.seq;
+  if (store_.view_value(m.var) != m.value || view_priority_[vi] != m.priority) {
+    store_.set_view(m.var, m.value);
+    view_priority_[vi] = m.priority;
     dirty_ = true;
   }
 }
@@ -156,7 +177,7 @@ void AwcAgent::on_nogood(const sim::NogoodMessage& m) {
     // Defensive: a nogood not mentioning our variable is not ours to keep.
     return;
   }
-  if (store_.add(m.nogood, [this](const Nogood& ng) { return violated_unmetered(ng); })) {
+  if (store_.add(m.nogood)) {
     // Journal the eviction (if the bounded add displaced something) before
     // the insert, so in-order replay reproduces the store exactly.
     if (store_.last_eviction().has_value()) {
@@ -165,7 +186,7 @@ void AwcAgent::on_nogood(const sim::NogoodMessage& m) {
     journal({recovery::RecordType::kNogood, 0, 0, m.nogood});
     dirty_ = true;
     for (const Assignment& a : m.nogood) {
-      if (a.var != var_ && view_.find(a.var) == view_.end()) {
+      if (a.var != var_ && !view_known(a.var)) {
         pending_value_requests_.push_back(a.var);
       }
     }
@@ -183,7 +204,7 @@ void AwcAgent::on_add_link(const sim::AddLinkMessage& m) {
 void AwcAgent::compute(sim::MessageSink& out) {
   // 1. Request values for variables that appeared in received nogoods.
   for (VarId v : pending_value_requests_) {
-    if (view_.find(v) != view_.end()) continue;  // answered meanwhile
+    if (view_known(v)) continue;  // answered meanwhile
     const AgentId owner = (*owner_of_var_)[static_cast<std::size_t>(v)];
     out.send(owner, sim::AddLinkMessage{.sender = id_, .var = v});
   }
@@ -206,12 +227,19 @@ void AwcAgent::compute(sim::MessageSink& out) {
 }
 
 void AwcAgent::evaluate(sim::MessageSink& out) {
-  // Check metering note: every pass examines the whole nogood list — one
-  // check per nogood — exactly like the flat-list implementation the paper
-  // meters. (The store's value buckets could skip two thirds of the tests,
-  // but that would silently change the maxcck accounting that Tables 1-10
-  // and Figure 2 are built on.)
+  // Check metering note: both paths account one check per (nogood, candidate
+  // value) examined — exactly like the flat-list implementation the paper
+  // meters, so maxcck in Tables 1-10 / Figure 2 is path-independent. The
+  // scan path performs the evaluations; the incremental path reads the
+  // store's counters and credits the same arithmetic.
+  if (config_.incremental) {
+    evaluate_incremental(out);
+  } else {
+    evaluate_scan(out);
+  }
+}
 
+void AwcAgent::evaluate_scan(sim::MessageSink& out) {
   // Pass 1: is the current value consistent with all higher nogoods?
   std::vector<const Nogood*> current_violations;
   for (std::size_t idx = 0; idx < store_.size(); ++idx) {
@@ -254,6 +282,61 @@ void AwcAgent::evaluate(sim::MessageSink& out) {
   handle_deadend(std::move(violated_higher), std::move(all_higher), out);
 }
 
+void AwcAgent::evaluate_incremental(sim::MessageSink& out) {
+  // Pass 1 via counters: the nogoods violated with own = value_ are exactly
+  // the store's violated list for value_, already in flat-scan discovery
+  // order. The scan path evaluates every stored nogood here — credit the
+  // same store_.size() checks.
+  checks_ += store_.size();
+  scratch_violated_.clear();
+  store_.violated_with_own(value_, scratch_violated_);
+  std::vector<const Nogood*> current_violations;
+  for (std::uint32_t idx : scratch_violated_) {
+    store_.note_violation(idx);  // identical LRU stamping order to the scan
+    const Nogood& ng = store_.at(idx);
+    if (nogood_is_higher(ng)) current_violations.push_back(&ng);
+  }
+  if (current_violations.empty()) return;  // consistent: weak commitment holds
+
+  // Pass 2: the higher-nogood list is value-independent; the violated subset
+  // per candidate comes from the counters. The scan path meters
+  // (domain - 1) * |higher| checks here — credit the same.
+  std::vector<const Nogood*> higher;
+  for (std::size_t idx = 0; idx < store_.size(); ++idx) {
+    if (nogood_is_higher(store_.at(idx))) higher.push_back(&store_.at(idx));
+  }
+  checks_ += static_cast<std::uint64_t>(domain_size_ - 1) * higher.size();
+
+  std::vector<std::vector<const Nogood*>> violated_higher(
+      static_cast<std::size_t>(domain_size_));
+  std::vector<std::vector<const Nogood*>> all_higher(
+      static_cast<std::size_t>(domain_size_));
+  std::vector<Value> consistent;
+  for (Value d = 0; d < domain_size_; ++d) {
+    all_higher[static_cast<std::size_t>(d)] = higher;
+    auto& violated = violated_higher[static_cast<std::size_t>(d)];
+    if (d == value_) {
+      violated = std::move(current_violations);
+    } else {
+      scratch_violated_.clear();
+      store_.violated_with_own(d, scratch_violated_);
+      for (std::uint32_t idx : scratch_violated_) {
+        const Nogood& ng = store_.at(idx);
+        if (nogood_is_higher(ng)) violated.push_back(&ng);
+      }
+    }
+    if (violated.empty()) consistent.push_back(d);
+  }
+
+  if (!consistent.empty()) {
+    set_value(min_conflict_value(consistent, nullptr));
+    broadcast_ok(out);
+    return;
+  }
+
+  handle_deadend(std::move(violated_higher), std::move(all_higher), out);
+}
+
 void AwcAgent::handle_deadend(std::vector<std::vector<const Nogood*>> violated_higher,
                               std::vector<std::vector<const Nogood*>> all_higher,
                               sim::MessageSink& out) {
@@ -262,9 +345,15 @@ void AwcAgent::handle_deadend(std::vector<std::vector<const Nogood*>> violated_h
   ctx.domain_size = domain_size_;
   ctx.violated = violated_higher;
   ctx.higher = all_higher;
+  // The flat view in ascending variable order; strategies canonicalize the
+  // nogoods they build from it, so the order carries no meaning.
+  const auto view = store_.view_values();
   std::vector<Assignment> view_items;
-  view_items.reserve(view_.size());
-  for (const auto& [var, entry] : view_) view_items.push_back({var, entry.value});
+  for (std::size_t v = 0; v < view.size(); ++v) {
+    if (view[v] != kNoValue) {
+      view_items.push_back({static_cast<VarId>(v), view[v]});
+    }
+  }
   ctx.agent_view = &view_items;
   ctx.order = this;
 
@@ -311,7 +400,11 @@ void AwcAgent::handle_deadend(std::vector<std::vector<const Nogood*>> violated_h
   set_value(min_conflict_value(all_values, &violated_higher));
 
   Priority max_seen = 0;
-  for (const auto& [var, entry] : view_) max_seen = std::max(max_seen, entry.priority);
+  for (std::size_t v = 0; v < view.size(); ++v) {
+    if (view[v] != kNoValue && v < view_priority_.size()) {
+      max_seen = std::max(max_seen, view_priority_[v]);
+    }
+  }
   set_priority(max_seen + 1);
   dirty_ = true;  // classification changed with the priority; re-examine next round
   broadcast_ok(out);
@@ -327,15 +420,25 @@ Value AwcAgent::min_conflict_value(
   std::vector<Value> best;
   std::uint64_t best_count = std::numeric_limits<std::uint64_t>::max();
   for (Value d : candidates) {
-    std::uint64_t count =
-        higher_violations == nullptr
-            ? 0
-            : (*higher_violations)[static_cast<std::size_t>(d)].size();
-    for (std::size_t idx = 0; idx < store_.size(); ++idx) {
-      const Nogood& ng = store_.at(idx);
-      // Flat scan (see evaluate() metering note); higher-nogood violations
-      // arrive pre-counted through `higher_violations`.
-      if (violated_with_own(ng, d) && !nogood_is_higher(ng)) ++count;
+    std::uint64_t count;
+    if (config_.incremental) {
+      // Counter equivalence: for repair candidates nothing higher is
+      // violated, so the violated total *is* the lower count; at a deadend
+      // the total splits as |higher violated| + |lower violated|, which is
+      // exactly the sum the scan path forms. Either way the total is the
+      // O(1) counter read — credited with the scan's store_.size() checks.
+      count = store_.violated_count(d);
+      checks_ += store_.size();
+    } else {
+      count = higher_violations == nullptr
+                  ? 0
+                  : (*higher_violations)[static_cast<std::size_t>(d)].size();
+      for (std::size_t idx = 0; idx < store_.size(); ++idx) {
+        const Nogood& ng = store_.at(idx);
+        // Flat scan (see evaluate() metering note); higher-nogood violations
+        // arrive pre-counted through `higher_violations`.
+        if (violated_with_own(ng, d) && !nogood_is_higher(ng)) ++count;
+      }
     }
     if (count < best_count) {
       best_count = count;
@@ -366,9 +469,9 @@ void AwcAgent::crash_restart(sim::MessageSink& out) {
   // agent view, and in-flight bookkeeping. Stable storage survives: the
   // nogood store, the link directory, and the ok? sequence counter (so
   // post-restart announcements are not mistaken for stale ones).
+  clear_agent_view();
   set_value(static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_))));
   set_priority(0);
-  view_.clear();
   pending_value_requests_.clear();
   pending_link_replies_.clear();
   last_generated_.reset();
@@ -393,7 +496,6 @@ void AwcAgent::amnesia_restart(sim::MessageSink& out) {
   //     re-read from the problem definition;
   //  2. the journal's checkpoint;
   //  3. the journal's record tail, replayed in order.
-  view_.clear();
   pending_value_requests_.clear();
   pending_link_replies_.clear();
   last_generated_.reset();
@@ -401,6 +503,7 @@ void AwcAgent::amnesia_restart(sim::MessageSink& out) {
   link_set_.clear();
   link_set_.insert(links_.begin(), links_.end());
   store_ = NogoodStore(var_, domain_size_);
+  clear_agent_view();  // fresh store: resets the flat priority/seq arrays
   insoluble_ = false;
   for (const Nogood& ng : initial_nogoods_) {
     if (ng.empty()) {
@@ -459,6 +562,7 @@ void AwcAgent::amnesia_restart(sim::MessageSink& out) {
     // value is as good as another.
     value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
   }
+  store_.set_own_value(value_);
   // Resume sequencing past every number any pre-crash incarnation may have
   // stamped (the counter itself died with the process); skipping the unused
   // tail of the reserved block is absorbed by the receivers' >= guards.
@@ -486,15 +590,17 @@ void AwcAgent::on_heartbeat(sim::MessageSink& out) {
   //  - add_link requests for variables stored nogoods mention but the view
   //    still lacks (a lost add_link or its ok? reply would otherwise leave
   //    those nogoods unevaluable forever);
-  std::unordered_set<VarId> missing;
+  std::vector<VarId> missing;
   for (std::size_t idx = 0; idx < store_.size(); ++idx) {
-    for (const Assignment& a : store_.at(idx)) {
-      if (a.var != var_ && view_.find(a.var) == view_.end()) missing.insert(a.var);
+    for (const VarId var : store_.lit_vars(idx)) {
+      if (!view_known(var)) missing.push_back(var);
     }
   }
   for (VarId v : pending_value_requests_) {
-    if (view_.find(v) == view_.end()) missing.insert(v);
+    if (!view_known(v)) missing.push_back(v);
   }
+  std::sort(missing.begin(), missing.end());
+  missing.erase(std::unique(missing.begin(), missing.end()), missing.end());
   for (VarId v : missing) {
     const AgentId owner = (*owner_of_var_)[static_cast<std::size_t>(v)];
     out.send(owner, sim::AddLinkMessage{.sender = id_, .var = v});

@@ -14,13 +14,22 @@
 //    violations over all nogoods, broadcast ok?. An empty learned nogood
 //    proves insolubility. With NoLearning the priority raise and move happen
 //    unconditionally (and completeness is lost).
+//
+// View representation: values live in the nogood store's mirrored flat view
+// (vector indexed by variable id — one cache-friendly array instead of a
+// hash map), which also drives the store's incremental violation counters;
+// the AWC-specific per-variable priority and ok?-sequence live in flat
+// arrays here. With config.incremental (the default) consistency tests read
+// those counters; the flat-scan path is kept selectable because it is the
+// accounting the paper's maxcck tables define — both paths produce
+// bit-identical metrics (the incremental one adds the same check counts
+// arithmetically).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -64,6 +73,9 @@ struct AwcAgentConfig {
   /// are recoverable. Without it amnesia degrades to crash_restart.
   bool journal = false;
   recovery::JournalConfig journal_config;
+  /// Consistency tests through the store's match counters (O(Δ)) instead of
+  /// flat scans. Metrics are bit-identical either way.
+  bool incremental = true;
 };
 
 class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
@@ -90,28 +102,21 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   void on_heartbeat(sim::MessageSink& out) override;
   std::uint64_t nogoods_generated() const override { return nogoods_generated_; }
   std::uint64_t redundant_generations() const override { return redundant_generations_; }
+  std::uint64_t work_ops() const override { return store_.work_ops(); }
   RecoveryStats recovery_stats() const override;
 
   // Introspection (tests, metrics).
   Priority priority() const { return priority_; }
   const NogoodStore& store() const { return store_; }
-  std::size_t view_size() const { return view_.size(); }
+  std::size_t view_size() const;
   const recovery::WriteAheadLog& wal() const { return wal_; }
 
  private:
-  struct ViewEntry {
-    Value value = kNoValue;
-    Priority priority = 0;
-    /// Newest ok? sequence seen from this variable's owner; older (stale or
-    /// duplicated) announcements are discarded so reordered delivery cannot
-    /// regress the view (see docs/FAULT_MODEL.md).
-    std::uint64_t seq = 0;
-  };
-
   // learning::PriorityOrder
   Priority priority_of(VarId v) const override;
 
-  Value view_value(VarId v) const;
+  Value view_value(VarId v) const { return store_.view_value(v); }
+  bool view_known(VarId v) const { return store_.view_value(v) != kNoValue; }
   bool nogood_is_higher(const Nogood& ng) const;
   /// One metered evaluation of a stored nogood under the view with own = d.
   bool violated_with_own(const Nogood& ng, Value d);
@@ -121,12 +126,11 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   void on_add_link(const sim::AddLinkMessage& m);
 
   void evaluate(sim::MessageSink& out);
+  void evaluate_scan(sim::MessageSink& out);
+  void evaluate_incremental(sim::MessageSink& out);
   void handle_deadend(std::vector<std::vector<const Nogood*>> violated_higher,
                       std::vector<std::vector<const Nogood*>> all_higher,
                       sim::MessageSink& out);
-  /// Unmetered "is this nogood violated right now" — the store-maintenance
-  /// predicate handed to bounded adds (must not pollute the check metric).
-  bool violated_unmetered(const Nogood& ng) const;
   /// Append one journal record (no-op unless journaling), then fold the log
   /// into a checkpoint when it has grown past the configured interval.
   void journal(recovery::JournalRecord record);
@@ -141,6 +145,10 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
       const std::vector<Value>& candidates,
       const std::vector<std::vector<const Nogood*>>* higher_violations);
   void broadcast_ok(sim::MessageSink& out);
+  /// Reset the agent view (values in the store, priorities/seqs here).
+  void clear_agent_view();
+  /// Grow the priority/seq arrays to cover `var`.
+  void ensure_view_var(VarId var);
 
   AgentId id_;
   VarId var_;
@@ -151,7 +159,10 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   /// crash-restarts (modeled as stable storage, like the nogood store).
   std::uint64_t ok_seq_ = 0;
 
-  std::unordered_map<VarId, ViewEntry> view_;
+  // Flat agent view, indexed by variable id. Values (the part constraint
+  // checks read) are mirrored in store_; these carry the AWC extras.
+  std::vector<Priority> view_priority_;
+  std::vector<std::uint64_t> view_seq_;
   NogoodStore store_;
   std::unique_ptr<learning::LearningStrategy> strategy_;
 
@@ -169,6 +180,7 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   std::optional<Nogood> last_generated_;
   std::vector<VarId> pending_value_requests_;   // unknown vars from nogoods
   std::vector<AgentId> pending_link_replies_;   // new links awaiting our ok?
+  std::vector<std::uint32_t> scratch_violated_;  // reused per evaluate()
 
   Rng rng_;
   AwcAgentConfig config_;

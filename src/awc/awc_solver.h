@@ -25,6 +25,9 @@ struct AwcOptions {
   /// Per-agent write-ahead journal for amnesia-crash recovery.
   bool journal = false;
   recovery::JournalConfig journal_config;
+  /// Counter-based consistency tests (paper metrics are bit-identical to the
+  /// flat-scan path; see docs/PERF.md).
+  bool incremental = true;
 };
 
 class AwcSolver {

@@ -74,6 +74,8 @@ ReproConfig repro_config_from(const Options& opts) {
   cfg.max_cycles = static_cast<int>(opts.get_int("max-cycles", cfg.max_cycles, "REPRO_MAX_CYCLES"));
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", static_cast<std::int64_t>(cfg.seed), "REPRO_SEED"));
   cfg.n_scale = opts.get_double("n-scale", cfg.n_scale, "REPRO_N_SCALE");
+  cfg.threads = static_cast<int>(opts.get_int("threads", cfg.threads, "REPRO_THREADS"));
+  cfg.incremental = opts.get_bool("incremental", cfg.incremental, "REPRO_INCREMENTAL");
   cfg.fault_drop = opts.get_double("fault-drop", cfg.fault_drop, "REPRO_FAULT_DROP");
   cfg.fault_duplicate =
       opts.get_double("fault-duplicate", cfg.fault_duplicate, "REPRO_FAULT_DUPLICATE");
@@ -92,6 +94,7 @@ ReproConfig repro_config_from(const Options& opts) {
                                          "REPRO_CHECKPOINT_INTERVAL");
   if (cfg.trials <= 0) throw std::invalid_argument("--trials must be positive");
   if (cfg.max_cycles <= 0) throw std::invalid_argument("--max-cycles must be positive");
+  if (cfg.threads < 0) throw std::invalid_argument("--threads must be >= 0");
   if (cfg.ack_timeout < 0) throw std::invalid_argument("--ack-timeout must be >= 0");
   if (cfg.nogood_capacity < 0) {
     throw std::invalid_argument("--nogood-capacity must be >= 0");

@@ -51,6 +51,12 @@ struct ReproConfig {
   std::uint64_t seed = 20000704;  // ICDCS 2000 vintage
   /// Scale factor on the paper's n values (1.0 = paper scale).
   double n_scale = 1.0;
+  /// Worker threads for the experiment fan-out (1 = serial, 0 = all cores).
+  /// Results are bit-identical at any value; see docs/PERF.md.
+  int threads = 1;
+  /// Counter-based incremental consistency path (paper metrics are
+  /// bit-identical to the scan path either way; see docs/PERF.md).
+  bool incremental = true;
 
   // Fault-injection knobs for the asynchronous engines (all off by default;
   // consumed via sim::fault_config_from, see docs/FAULT_MODEL.md).
@@ -70,7 +76,8 @@ struct ReproConfig {
 
 /// Build a ReproConfig from options: --trials/REPRO_TRIALS,
 /// --max-cycles, --seed/REPRO_SEED, --full/REPRO_FULL=1 which restores
-/// the paper's 100 trials, the fault knobs --fault-drop,
+/// the paper's 100 trials, --threads/REPRO_THREADS,
+/// --incremental/REPRO_INCREMENTAL, the fault knobs --fault-drop,
 /// --fault-duplicate, --fault-reorder, --fault-crash, --fault-amnesia,
 /// --fault-refresh, --fault-seed (REPRO_FAULT_* in the environment), and
 /// the recovery knobs --ack-timeout/REPRO_ACK_TIMEOUT,

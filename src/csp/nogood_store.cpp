@@ -10,6 +10,7 @@ namespace discsp {
 NogoodStore::NogoodStore(VarId own, int domain_size) : own_(own) {
   if (domain_size <= 0) throw std::invalid_argument("domain_size must be positive");
   buckets_.resize(static_cast<std::size_t>(domain_size));
+  violated_.resize(static_cast<std::size_t>(domain_size));
 }
 
 void NogoodStore::mark_initial() {
@@ -20,14 +21,114 @@ void NogoodStore::mark_initial() {
   peak_learned_ = 0;
 }
 
+void NogoodStore::ensure_var(VarId var) {
+  const auto v = static_cast<std::size_t>(var);
+  if (v >= view_.size()) {
+    view_.resize(v + 1, kNoValue);
+    occ_.resize(v + 1);
+  }
+}
+
+void NogoodStore::enter_violated(std::uint32_t idx) {
+  auto& list = violated_[static_cast<std::size_t>(own_binding_[idx])];
+  vpos_[idx] = static_cast<std::uint32_t>(list.size());
+  list.push_back(idx);
+}
+
+void NogoodStore::leave_violated(std::uint32_t idx) {
+  auto& list = violated_[static_cast<std::size_t>(own_binding_[idx])];
+  const std::uint32_t pos = vpos_[idx];
+  assert(pos != kNoPos && list[pos] == idx);
+  list[pos] = list.back();
+  vpos_[list[pos]] = pos;
+  list.pop_back();
+  vpos_[idx] = kNoPos;
+}
+
+void NogoodStore::set_view(VarId var, Value value) {
+  assert(var != own_ && "the own variable is tracked via set_own_value");
+  ensure_var(var);
+  Value& slot = view_[static_cast<std::size_t>(var)];
+  if (slot == value) return;
+  const Value old = slot;
+  slot = value;
+  for (const Occ& o : occ_[static_cast<std::size_t>(var)]) {
+    ++work_ops_;
+    const bool was = o.bound == old;
+    const bool now = o.bound == value;
+    if (was == now) continue;
+    if (now) {
+      if (++matched_[o.ng] == lits_[o.ng].len) enter_violated(o.ng);
+    } else {
+      if (matched_[o.ng]-- == lits_[o.ng].len) leave_violated(o.ng);
+    }
+  }
+}
+
+void NogoodStore::clear_view() {
+  for (std::size_t v = 0; v < view_.size(); ++v) {
+    if (view_[v] != kNoValue) set_view(static_cast<VarId>(v), kNoValue);
+  }
+}
+
+void NogoodStore::violated_with_own(Value d, std::vector<std::uint32_t>& out) const {
+  const auto& list = violated_[static_cast<std::size_t>(d)];
+  work_ops_ += list.size();
+  out.insert(out.end(), list.begin(), list.end());
+  // The live list is swap-maintained; flat scans discover violations in
+  // index order, and resolvent source selection / LRU stamping depend on it.
+  std::sort(out.end() - static_cast<std::ptrdiff_t>(list.size()), out.end());
+}
+
 void NogoodStore::insert_unchecked(Nogood ng, Meta meta) {
   const Value v = ng.value_of(own_);
   const auto idx = static_cast<std::uint32_t>(nogoods_.size());
   dedup_[ng.hash()].push_back(idx);
   buckets_[static_cast<std::size_t>(v)].push_back(idx);
   max_size_ = std::max(max_size_, ng.size());
+
+  // Counter/arena bookkeeping: append the non-own literals to the arena,
+  // index their occurrences, and count the ones already matching the view.
+  Lits lits{static_cast<std::uint32_t>(arena_vars_.size()), 0};
+  std::uint32_t matched = 0;
+  for (const Assignment& a : ng) {
+    if (a.var == own_) continue;
+    ++work_ops_;
+    ensure_var(a.var);
+    arena_vars_.push_back(a.var);
+    arena_vals_.push_back(a.value);
+    ++lits.len;
+    occ_[static_cast<std::size_t>(a.var)].push_back(Occ{idx, a.value});
+    if (view_[static_cast<std::size_t>(a.var)] == a.value) ++matched;
+  }
+  arena_live_ += lits.len;
+  lits_.push_back(lits);
+  matched_.push_back(matched);
+  own_binding_.push_back(v);
+  vpos_.push_back(kNoPos);
   nogoods_.push_back(std::move(ng));
   meta_.push_back(meta);
+  if (matched == lits.len) enter_violated(idx);
+}
+
+void NogoodStore::compact_arena() {
+  // Rebuild the arena hole-free, preserving index order so slices stay
+  // cache-linear along bucket walks.
+  std::vector<VarId> vars;
+  std::vector<Value> vals;
+  vars.reserve(arena_live_);
+  vals.reserve(arena_live_);
+  for (std::size_t idx = 0; idx < lits_.size(); ++idx) {
+    Lits& l = lits_[idx];
+    const auto offset = static_cast<std::uint32_t>(vars.size());
+    vars.insert(vars.end(), arena_vars_.begin() + l.offset,
+                arena_vars_.begin() + l.offset + l.len);
+    vals.insert(vals.end(), arena_vals_.begin() + l.offset,
+                arena_vals_.begin() + l.offset + l.len);
+    l.offset = offset;
+  }
+  arena_vars_ = std::move(vars);
+  arena_vals_ = std::move(vals);
 }
 
 void NogoodStore::remove_at(std::size_t idx) {
@@ -36,6 +137,19 @@ void NogoodStore::remove_at(std::size_t idx) {
   };
   const Nogood& victim = nogoods_[idx];
   const auto idx32 = static_cast<std::uint32_t>(idx);
+  if (vpos_[idx] != kNoPos) leave_violated(idx32);
+  // Drop the victim's occurrence-index entries (swap-removal: occurrence
+  // order within a variable's list carries no meaning).
+  for (const VarId var : lit_vars(idx)) {
+    ++work_ops_;
+    auto& occs = occ_[static_cast<std::size_t>(var)];
+    auto it = std::find_if(occs.begin(), occs.end(),
+                           [&](const Occ& o) { return o.ng == idx32; });
+    assert(it != occs.end());
+    *it = occs.back();
+    occs.pop_back();
+  }
+  arena_live_ -= lits_[idx].len;  // the arena slice becomes a hole
   // Drop the victim's bucket and dedup references.
   auto dup = dedup_.find(victim.hash());
   assert(dup != dedup_.end());
@@ -53,15 +167,35 @@ void NogoodStore::remove_at(std::size_t idx) {
     *std::find(moved_dup.begin(), moved_dup.end(), last32) = idx32;
     auto& moved_bucket = buckets_[static_cast<std::size_t>(moved.value_of(own_))];
     *std::find(moved_bucket.begin(), moved_bucket.end(), last32) = idx32;
+    for (const VarId var : lit_vars(last)) {
+      ++work_ops_;
+      auto& occs = occ_[static_cast<std::size_t>(var)];
+      auto it = std::find_if(occs.begin(), occs.end(),
+                             [&](const Occ& o) { return o.ng == last32; });
+      assert(it != occs.end());
+      it->ng = idx32;
+    }
+    if (vpos_[last] != kNoPos) {
+      violated_[static_cast<std::size_t>(own_binding_[last])][vpos_[last]] = idx32;
+    }
     nogoods_[idx] = std::move(nogoods_[last]);
     meta_[idx] = meta_[last];
+    lits_[idx] = lits_[last];
+    matched_[idx] = matched_[last];
+    own_binding_[idx] = own_binding_[last];
+    vpos_[idx] = vpos_[last];
   }
   nogoods_.pop_back();
   meta_.pop_back();
+  lits_.pop_back();
+  matched_.pop_back();
+  own_binding_.pop_back();
+  vpos_.pop_back();
+
+  if (arena_vars_.size() > 2 * arena_live_ + 64) compact_arena();
 }
 
-std::optional<std::size_t> NogoodStore::pick_victim(
-    const ViolationPredicate& violated_now) const {
+std::optional<std::size_t> NogoodStore::pick_victim() const {
   // LRU over violation recency among the safely evictable learned nogoods:
   // never an initial constraint (soundness), never a unit nogood (its
   // pruning holds unconditionally), never a currently-violated one (the
@@ -72,14 +206,14 @@ std::optional<std::size_t> NogoodStore::pick_victim(
     if (meta_[idx].initial) continue;
     if (nogoods_[idx].size() <= 1) continue;
     if (meta_[idx].last_violated >= oldest) continue;
-    if (violated_now != nullptr && violated_now(nogoods_[idx])) continue;
+    if (currently_violated(idx)) continue;
     victim = idx;
     oldest = meta_[idx].last_violated;
   }
   return victim;
 }
 
-bool NogoodStore::add(Nogood ng, const ViolationPredicate& violated_now) {
+bool NogoodStore::add(Nogood ng) {
   last_eviction_.reset();
   const Value v = ng.value_of(own_);
   assert(v != kNoValue && "stored nogoods must mention the owning variable");
@@ -92,7 +226,7 @@ bool NogoodStore::add(Nogood ng, const ViolationPredicate& violated_now) {
     }
   }
   if (capacity_ != 0 && learned_count() >= capacity_) {
-    const auto victim = pick_victim(violated_now);
+    const auto victim = pick_victim();
     if (!victim.has_value()) return false;  // bound holds; knowledge is dropped
     last_eviction_ = nogoods_[*victim];
     remove_at(*victim);

@@ -22,6 +22,81 @@ DbAgent::DbAgent(AgentId id, VarId var, int domain_size, Value initial_value,
     improve_seen_[n] = 0;
     improve_of_[n] = NeighborImprove{};
   }
+  // Build the occurrence index once: DB's nogood set is fixed for the run.
+  matched_.assign(nogoods_.size(), 0);
+  needed_.assign(nogoods_.size(), 0);
+  own_binding_.assign(nogoods_.size(), kNoValue);
+  cost_.assign(static_cast<std::size_t>(domain_size_), 0);
+  for (std::size_t i = 0; i < nogoods_.size(); ++i) {
+    for (const Assignment& a : nogoods_[i]) {
+      if (a.var == var_) {
+        own_binding_[i] = a.value;
+        continue;
+      }
+      ensure_var(a.var);
+      occ_[static_cast<std::size_t>(a.var)].push_back(
+          Occ{static_cast<std::uint32_t>(i), a.value});
+      ++needed_[i];
+    }
+  }
+  rebuild_costs();
+}
+
+void DbAgent::ensure_var(VarId var) {
+  const auto v = static_cast<std::size_t>(var);
+  if (v >= view_.size()) {
+    view_.resize(v + 1, kNoValue);
+    occ_.resize(v + 1);
+  }
+}
+
+void DbAgent::add_cost(std::size_t i, std::int64_t delta) {
+  if (own_binding_[i] == kNoValue) {
+    global_cost_ += delta;
+  } else {
+    cost_[static_cast<std::size_t>(own_binding_[i])] += delta;
+  }
+}
+
+void DbAgent::set_view(VarId var, Value value) {
+  ensure_var(var);
+  Value& slot = view_[static_cast<std::size_t>(var)];
+  if (slot == value) return;
+  const Value old = slot;
+  slot = value;
+  for (const Occ& o : occ_[static_cast<std::size_t>(var)]) {
+    ++work_ops_;
+    const bool was = o.bound == old;
+    const bool now = o.bound == value;
+    if (was == now) continue;
+    if (now) {
+      if (++matched_[o.ng] == needed_[o.ng]) add_cost(o.ng, weights_[o.ng]);
+    } else {
+      if (matched_[o.ng]-- == needed_[o.ng]) add_cost(o.ng, -weights_[o.ng]);
+    }
+  }
+}
+
+void DbAgent::clear_view() {
+  std::fill(view_.begin(), view_.end(), kNoValue);
+  rebuild_costs();
+}
+
+void DbAgent::rebuild_costs() {
+  // From-scratch recompute: recovery paths reset the view and may have
+  // replaced the weights wholesale, so the deltas are not reconstructible.
+  std::fill(cost_.begin(), cost_.end(), std::int64_t{0});
+  global_cost_ = 0;
+  for (std::size_t i = 0; i < nogoods_.size(); ++i) {
+    std::uint32_t matched = 0;
+    for (const Assignment& a : nogoods_[i]) {
+      if (a.var == var_) continue;
+      ++work_ops_;
+      if (view_value(a.var) == a.value) ++matched;
+    }
+    matched_[i] = matched;
+    if (matched == needed_[i]) add_cost(i, weights_[i]);
+  }
 }
 
 void DbAgent::journal(recovery::JournalRecord record) {
@@ -40,13 +115,19 @@ void DbAgent::maybe_checkpoint() {
 }
 
 std::int64_t DbAgent::eval(Value d) {
+  if (config_.incremental) {
+    // The scan would evaluate every nogood — credit the same check count
+    // (the paper's metric); the answer itself is two counter reads.
+    checks_ += nogoods_.size();
+    ++work_ops_;
+    return cost_[static_cast<std::size_t>(d)] + global_cost_;
+  }
   std::int64_t cost = 0;
   for (std::size_t i = 0; i < nogoods_.size(); ++i) {
     ++checks_;
+    ++work_ops_;
     const bool violated = nogoods_[i].violated_by([&](VarId v) {
-      if (v == var_) return d;
-      auto it = view_.find(v);
-      return it != view_.end() ? it->second : kNoValue;
+      return v == var_ ? d : view_value(v);
     });
     if (violated) cost += weights_[i];
   }
@@ -86,7 +167,7 @@ void DbAgent::receive(const sim::MessagePayload& msg) {
           if (seen == ok_seen_.end()) return;  // not a neighbor of ours
           if (m.seq >= seen->second) {
             seen->second = m.seq;
-            view_[m.var] = m.value;
+            set_view(m.var, m.value);
           }
           catch_up(m.seq);
         } else if constexpr (std::is_same_v<T, sim::ImproveMessage>) {
@@ -204,16 +285,23 @@ void DbAgent::conclude_wave(sim::MessageSink& out) {
     journal({recovery::RecordType::kValue, value_, 0, Nogood{}});
   } else if (my_eval_ > 0 && my_improve_ <= 0 && !any_positive_neighbor) {
     // Quasi-local-minimum: cost remains, nobody in the neighborhood can
-    // improve. Breakout: make the current violations more expensive.
+    // improve. Breakout: make the current violations more expensive. Both
+    // paths enumerate ascending i, so journal record order is identical.
     for (std::size_t i = 0; i < nogoods_.size(); ++i) {
       ++checks_;
-      const bool violated = nogoods_[i].violated_by([&](VarId v) {
-        if (v == var_) return value_;
-        auto it = view_.find(v);
-        return it != view_.end() ? it->second : kNoValue;
-      });
+      ++work_ops_;
+      const bool violated =
+          config_.incremental
+              ? matched_[i] == needed_[i] &&
+                    (own_binding_[i] == kNoValue || own_binding_[i] == value_)
+              : nogoods_[i].violated_by([&](VarId v) {
+                  return v == var_ ? value_ : view_value(v);
+                });
       if (violated) {
         ++weights_[i];
+        // Keep the cost sums in step with the new weight (a violated nogood
+        // is necessarily fully matched).
+        if (matched_[i] == needed_[i]) add_cost(i, 1);
         journal({recovery::RecordType::kWeight, static_cast<std::int64_t>(i),
                  weights_[i], Nogood{}});
       }
@@ -246,7 +334,7 @@ void DbAgent::crash_restart(sim::MessageSink& out) {
   // which neighbors would discard as stale anyway).
   value_ = static_cast<Value>(rng_.index(static_cast<std::size_t>(domain_size_)));
   journal({recovery::RecordType::kValue, value_, 0, Nogood{}});
-  view_.clear();
+  clear_view();
   awaiting_improves_ = false;  // redo wave A of the current round
   last_improve_round_ = 0;     // the improve scratch was volatile too
   broadcast_ok(out);
@@ -289,7 +377,7 @@ void DbAgent::amnesia_restart(sim::MessageSink& out) {
   // neighbors' >= guards absorb the skipped block tail, and their own rounds
   // catch up because our (inflated) announcements satisfy any lower round.
   round_ = std::max<std::uint64_t>(1, wal_.seq_limit());
-  view_.clear();
+  clear_view();  // also folds the restored weights back into the cost sums
   awaiting_improves_ = false;
   for (AgentId n : neighbors_) {
     ok_seen_[n] = 0;

@@ -15,6 +15,14 @@
 // reliable FIFO delivery the accounting is equivalent to counting. Dropped
 // messages are repaired by the engine's heartbeat (the agent re-sends its
 // current wave's announcements idempotently).
+//
+// Incremental cost engine: DB carries no NogoodStore, so the agent keeps its
+// own flat view (vector indexed by VarId) plus per-nogood match counters and
+// a var→occurrence index, maintaining the weighted violation cost of every
+// own value (`cost_[d]`, plus `global_cost_` for nogoods not mentioning the
+// own variable) under view updates. With config.incremental (the default)
+// eval(d) is a counter read credited with the scan's check count, so paper
+// metrics are bit-identical between the two paths.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +42,9 @@ struct DbAgentConfig {
   /// crash_restart.
   bool journal = false;
   recovery::JournalConfig journal_config;
+  /// Cost evaluations through the match counters instead of nogood scans.
+  /// Metrics are bit-identical either way.
+  bool incremental = true;
 };
 
 class DbAgent final : public sim::Agent {
@@ -52,6 +63,7 @@ class DbAgent final : public sim::Agent {
   void crash_restart(sim::MessageSink& out) override;
   void amnesia_restart(sim::MessageSink& out) override;
   void on_heartbeat(sim::MessageSink& out) override;
+  std::uint64_t work_ops() const override { return work_ops_; }
   RecoveryStats recovery_stats() const override;
 
   // Introspection for tests.
@@ -66,10 +78,29 @@ class DbAgent final : public sim::Agent {
     std::int64_t improve = 0;
     std::int64_t eval = 0;
   };
+  /// One occurrence of a variable in a nogood's non-own literals.
+  struct Occ {
+    std::uint32_t ng = 0;
+    Value bound = kNoValue;
+  };
 
-  /// Weighted cost of taking value d under the current view (one check per
-  /// nogood evaluation).
+  /// Weighted cost of taking value d under the current view. Both paths
+  /// credit one check per stored nogood (the paper's metric).
   std::int64_t eval(Value d);
+  /// Record a view update and maintain the match counters / cost sums.
+  void set_view(VarId var, Value value);
+  /// Forget the whole view and recompute counters/costs from scratch
+  /// (crash and amnesia recovery, where weights may have changed too).
+  void clear_view();
+  void rebuild_costs();
+  /// Add `delta` to the cost bucket nogood `i` feeds.
+  void add_cost(std::size_t i, std::int64_t delta);
+  /// Grow the view / occurrence tables to cover `var`.
+  void ensure_var(VarId var);
+  Value view_value(VarId v) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return vi < view_.size() ? view_[vi] : kNoValue;
+  }
   bool wave_a_complete() const;
   bool wave_b_complete() const;
   void send_improve(sim::MessageSink& out);
@@ -87,7 +118,15 @@ class DbAgent final : public sim::Agent {
   std::vector<AgentId> neighbors_;
   std::vector<Nogood> nogoods_;
   std::vector<std::int64_t> weights_;
-  std::unordered_map<VarId, Value> view_;
+
+  // Flat agent view + incremental cost engine (see the header comment).
+  std::vector<Value> view_;                 // var -> value (kNoValue = unknown)
+  std::vector<std::vector<Occ>> occ_;       // var -> occurrences
+  std::vector<std::uint32_t> matched_;      // nogood -> matching non-own literals
+  std::vector<std::uint32_t> needed_;       // nogood -> non-own literal count
+  std::vector<Value> own_binding_;          // nogood -> own value (kNoValue = absent)
+  std::vector<std::int64_t> cost_;          // own value -> weighted violation cost
+  std::int64_t global_cost_ = 0;            // nogoods not mentioning the own var
 
   // Wave bookkeeping, by round. round_ r means: ok? announcements for round
   // r have been broadcast; wave A of round r completes when every neighbor's
@@ -107,6 +146,7 @@ class DbAgent final : public sim::Agent {
   DbAgentConfig config_;
   recovery::WriteAheadLog wal_;
   std::uint64_t checks_ = 0;
+  std::uint64_t work_ops_ = 0;
 };
 
 }  // namespace discsp::db

@@ -17,6 +17,9 @@ struct DbOptions {
   /// Per-agent write-ahead journal for amnesia-crash recovery.
   bool journal = false;
   recovery::JournalConfig journal_config;
+  /// Counter-based cost evaluations (paper metrics are bit-identical to the
+  /// scan path; see docs/PERF.md).
+  bool incremental = true;
 };
 
 class DbSolver {

@@ -61,6 +61,12 @@ class Agent {
   virtual std::uint64_t nogoods_generated() const { return 0; }
   virtual std::uint64_t redundant_generations() const { return 0; }
 
+  /// Lifetime count of real consistency-engine operations (literal touches,
+  /// occurrence walks, scan evaluations) — the machine-cost counter behind
+  /// BENCH_core, as opposed to the paper's check metric, which is defined by
+  /// the algorithm rather than the implementation. Zero when unreported.
+  virtual std::uint64_t work_ops() const { return 0; }
+
   /// Per-agent recovery/durability counters, aggregated into RunMetrics.
   /// Agents without a journal or bounded store report zeros.
   struct RecoveryStats {

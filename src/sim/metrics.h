@@ -17,6 +17,11 @@ struct RunMetrics {
   /// Σ over cycles and agents of nogood checks (not reported by the paper,
   /// but useful when reasoning about total computational load).
   std::uint64_t total_checks = 0;
+  /// Σ over agents of real consistency-engine operations actually executed
+  /// (Agent::work_ops) — the implementation-cost counter the bench harness
+  /// compares across scan/incremental paths; independent of the paper's
+  /// check metric.
+  std::uint64_t work_ops = 0;
   std::uint64_t messages = 0;
   /// Nogoods generated at deadends (learning solvers fill these in).
   std::uint64_t nogoods_generated = 0;

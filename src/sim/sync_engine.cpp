@@ -140,6 +140,7 @@ RunResult SyncEngine::run(int max_cycles) {
   for (const auto& agent : agents_) {
     result.metrics.nogoods_generated += agent->nogoods_generated();
     result.metrics.redundant_generations += agent->redundant_generations();
+    result.metrics.work_ops += agent->work_ops();
     const Agent::RecoveryStats rs = agent->recovery_stats();
     result.metrics.journal_appends += rs.journal_appends;
     result.metrics.journal_checkpoints += rs.journal_checkpoints;

@@ -409,6 +409,7 @@ RunResult ThreadRuntime::run() {
     result.metrics.total_checks += impl.agents[i]->take_checks();
     result.metrics.nogoods_generated += impl.agents[i]->nogoods_generated();
     result.metrics.redundant_generations += impl.agents[i]->redundant_generations();
+    result.metrics.work_ops += impl.agents[i]->work_ops();
     const Agent::RecoveryStats rs = impl.agents[i]->recovery_stats();
     result.metrics.journal_appends += rs.journal_appends;
     result.metrics.journal_checkpoints += rs.journal_checkpoints;

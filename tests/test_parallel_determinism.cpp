@@ -1,0 +1,99 @@
+// The parallel experiment runner must be a pure wall-clock optimization:
+// every aggregate — including floating-point means, medians and tails —
+// is bit-identical at any thread count, because each (instance, init) cell
+// seeds its own RNG streams and the fold runs in fixed serial order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "analysis/parallel.h"
+
+namespace discsp::analysis {
+namespace {
+
+void expect_rows_bit_identical(const std::vector<AggregateRow>& a,
+                               const std::vector<AggregateRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].trials, b[i].trials);
+    EXPECT_EQ(a[i].mean_cycles, b[i].mean_cycles);
+    EXPECT_EQ(a[i].mean_maxcck, b[i].mean_maxcck);
+    EXPECT_EQ(a[i].solved_percent, b[i].solved_percent);
+    EXPECT_EQ(a[i].mean_nogoods_generated, b[i].mean_nogoods_generated);
+    EXPECT_EQ(a[i].mean_redundant_generations, b[i].mean_redundant_generations);
+    EXPECT_EQ(a[i].median_cycles, b[i].median_cycles);
+    EXPECT_EQ(a[i].p95_cycles, b[i].p95_cycles);
+    EXPECT_EQ(a[i].max_cycles, b[i].max_cycles);
+    EXPECT_EQ(a[i].median_maxcck, b[i].median_maxcck);
+    EXPECT_EQ(a[i].mean_total_checks, b[i].mean_total_checks);
+    EXPECT_EQ(a[i].mean_work_ops, b[i].mean_work_ops);
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceAtAnyThreadCount) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(37);
+    parallel_for(hits.size(), threads,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  EXPECT_THROW(parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i % 5 == 0) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ResolveThreads, MapsZeroToHardware) {
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(-2), resolve_threads(0));
+}
+
+TEST(ParallelDeterminism, AggregatesBitIdenticalAcrossThreadCounts) {
+  ExperimentSpec spec;
+  spec.family = ProblemFamily::kColoring3;
+  spec.n = 24;
+  spec.instances = 3;
+  spec.inits_per_instance = 4;
+  spec.seed = 20000704;
+  spec.max_cycles = 2000;
+  const std::vector<NamedRunner> runners = {
+      {"Rslv", awc_runner("Rslv", true, spec.max_cycles)},
+      {"No", awc_runner("No", true, spec.max_cycles)},
+      {"DB", db_runner(spec.max_cycles)},
+      {"ABT", abt_runner(true, spec.max_cycles)},
+  };
+  const auto serial = run_comparison(spec, runners, 1);
+  const auto four = run_comparison(spec, runners, 4);
+  const auto eight = run_comparison(spec, runners, 8);
+  expect_rows_bit_identical(serial, four);
+  expect_rows_bit_identical(serial, eight);
+  // Sanity: the runs actually did work.
+  for (const auto& row : serial) EXPECT_EQ(row.trials, 12) << row.label;
+}
+
+TEST(ParallelDeterminism, SatFamilyMatchesToo) {
+  ExperimentSpec spec;
+  spec.family = ProblemFamily::kSat3;
+  spec.n = 20;
+  spec.instances = 2;
+  spec.inits_per_instance = 3;
+  spec.seed = 7;
+  spec.max_cycles = 2000;
+  const std::vector<NamedRunner> runners = {
+      {"Rslv", awc_runner("Rslv", true, spec.max_cycles)},
+  };
+  expect_rows_bit_identical(run_comparison(spec, runners, 1),
+                            run_comparison(spec, runners, 8));
+}
+
+}  // namespace
+}  // namespace discsp::analysis

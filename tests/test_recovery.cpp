@@ -292,12 +292,11 @@ TEST(BoundedNogoodStore, NeverEvictsACurrentlyViolatedNogood) {
   ASSERT_TRUE(store.add(Nogood{{0, 1}, {1, 1}}));
   ASSERT_TRUE(store.add(Nogood{{0, 2}, {1, 2}}));
 
-  // The caller's view says the stale-looking first nogood is violated right
+  // The mirrored view says the stale-looking first nogood is violated right
   // now: evicting it could re-admit the conflict the agent is resolving.
-  const auto violated_now = [](const Nogood& ng) {
-    return ng == Nogood{{0, 1}, {1, 1}};
-  };
-  ASSERT_TRUE(store.add(Nogood{{0, 3}, {1, 3}}, violated_now));
+  store.set_own_value(1);
+  store.set_view(1, 1);
+  ASSERT_TRUE(store.add(Nogood{{0, 3}, {1, 3}}));
   EXPECT_TRUE(store.contains(Nogood{{0, 1}, {1, 1}}));
   EXPECT_FALSE(store.contains(Nogood{{0, 2}, {1, 2}}));
 }
@@ -321,8 +320,10 @@ TEST(BoundedNogoodStore, RejectsWhenEverythingIsViolated) {
   NogoodStore store(0, 4);
   store.set_capacity(1);
   ASSERT_TRUE(store.add(Nogood{{0, 1}, {1, 1}}));
-  const auto everything_violated = [](const Nogood&) { return true; };
-  EXPECT_FALSE(store.add(Nogood{{0, 2}, {1, 2}}, everything_violated));
+  // Make the only resident learned nogood currently violated: no victim.
+  store.set_own_value(1);
+  store.set_view(1, 1);
+  EXPECT_FALSE(store.add(Nogood{{0, 2}, {1, 2}}));
   EXPECT_EQ(store.learned_count(), 1u);
 }
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Gate the consistency-engine probe against the committed baseline.
+
+Usage: bench_check.py BENCH_core.json [tools/bench_baseline.json]
+
+Fails (exit 1) when:
+  - the counter path saves fewer than MIN_WORK_RATIO x constraint-check
+    operations over the flat scan (the PR's core claim), or
+  - incremental ns/check regressed more than MAX_NS_REGRESSION x against the
+    baseline. ns/check is machine-dependent, so the bound is deliberately
+    loose (3x): it catches accidental de-optimization (a dropped counter, a
+    reintroduced scan), not CPU scatter.
+"""
+import json
+import sys
+
+MIN_WORK_RATIO = 5.0
+MAX_NS_REGRESSION = 3.0
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        return 2
+    with open(sys.argv[1]) as f:
+        probe = json.load(f)
+    baseline = None
+    if len(sys.argv) > 2:
+        with open(sys.argv[2]) as f:
+            baseline = json.load(f)
+
+    ok = True
+    ratio = probe["work_ops_ratio"]
+    print(f"work_ops_ratio: {ratio:.1f}x (scan {probe['scan_work_ops']} vs "
+          f"incremental {probe['incremental_work_ops']})")
+    if ratio < MIN_WORK_RATIO:
+        print(f"FAIL: work-op ratio {ratio:.2f} < {MIN_WORK_RATIO}")
+        ok = False
+
+    ns = probe["incremental_ns_per_check"]
+    print(f"incremental_ns_per_check: {ns:.4f} "
+          f"(scan {probe['scan_ns_per_check']:.4f}, "
+          f"wall speedup {probe['wall_speedup']:.1f}x)")
+    if baseline is not None:
+        base_ns = baseline["incremental_ns_per_check"]
+        if ns > MAX_NS_REGRESSION * base_ns:
+            print(f"FAIL: ns/check {ns:.4f} > {MAX_NS_REGRESSION}x baseline "
+                  f"{base_ns:.4f}")
+            ok = False
+        else:
+            print(f"ns/check within {MAX_NS_REGRESSION}x of baseline {base_ns:.4f}")
+
+    print("bench check:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
