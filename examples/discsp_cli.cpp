@@ -7,12 +7,14 @@
 //   discsp_cli convert inst.cnf inst.dcsp
 //   discsp_cli solve inst.dcsp --algo awc --strategy 3rdRslv --seed 7
 //   discsp_cli solve inst.cnf --algo db
+//   discsp_cli repro repro-awc-1a2b.repro
 //   discsp_cli experiment --family d3s --n 40 --trials 20 --threads 8
 #include <iostream>
 #include <sstream>
 
 #include "abt/abt_solver.h"
 #include "analysis/experiment.h"
+#include "analysis/repro.h"
 #include "common/table.h"
 #include "awc/awc_solver.h"
 #include "common/options.h"
@@ -98,14 +100,42 @@ int cmd_convert(const Options& opts) {
   return 0;
 }
 
+void print_chaos_counters(const sim::RunMetrics& metrics) {
+  const sim::FaultSummary& f = metrics.faults;
+  std::cout << "faults: dropped " << f.dropped << ", duplicated " << f.duplicated
+            << ", reordered " << f.reordered << ", crashes " << f.crashes
+            << ", amnesia " << f.amnesia << ", partition drops "
+            << f.partition_drops << ", corrupted " << f.corrupted
+            << " (heartbeats " << metrics.heartbeats << ", refresh messages "
+            << metrics.refresh_messages << ")\n";
+  if (f.corrupted > 0 || metrics.malformed_frames > 0 || metrics.quarantines > 0) {
+    std::cout << "wire: malformed frames rejected " << metrics.malformed_frames
+              << ", quarantines " << metrics.quarantines
+              << ", quarantine drops " << metrics.quarantine_drops << '\n';
+  }
+}
+
+void print_monitor_summary(const sim::MonitorSummary& monitor) {
+  std::cout << "monitor: violations " << monitor.violations << ", checks "
+            << monitor.checks << ", nogoods screened " << monitor.nogoods_screened
+            << ", seq regressions " << monitor.seq_regressions << ", stalls "
+            << monitor.stalls << '\n';
+  for (const std::string& report : monitor.reports) {
+    std::cout << "  violation: " << report << '\n';
+  }
+}
+
 int cmd_solve(const Options& opts) {
   if (opts.positional().size() < 2) {
     std::cerr << "usage: discsp_cli solve FILE [--algo awc|db|abt] [--strategy Rslv] "
                  "[--seed S] [--max-cycles N] [--fault-drop P] [--fault-duplicate P] "
-                 "[--fault-reorder P] [--fault-crash P] [--fault-amnesia P] "
-                 "[--fault-refresh N] [--fault-seed S] [--ack-timeout N] "
+                 "[--fault-reorder P] [--fault-corrupt P] [--fault-crash P] "
+                 "[--fault-amnesia P] [--fault-refresh N] [--fault-seed S] "
+                 "[--partition-interval N] [--partition-duration N] "
+                 "[--partition-groups K] [--quarantine-budget N] "
+                 "[--quarantine-duration N] [--ack-timeout N] "
                  "[--nogood-capacity N] [--checkpoint-interval N] "
-                 "[--incremental 0|1]\n";
+                 "[--incremental 0|1] [--monitor 0|1] [--monitor-stall N]\n";
     return 2;
   }
   const auto dp = load(opts.positional()[1]);
@@ -126,11 +156,17 @@ int cmd_solve(const Options& opts) {
   recovery::JournalConfig journal_config;
   journal_config.checkpoint_interval =
       static_cast<std::size_t>(repro.checkpoint_interval);
+  // The monitor needs the engine's hooks, so --monitor also routes through
+  // the asynchronous engine (with a disabled fault plan it is plain
+  // asynchronous execution, and the monitor never perturbs outcomes).
+  const bool async_path = faults.enabled() || repro.monitor;
   const auto run_with_faults = [&](auto& solver) {
     sim::AsyncConfig config;
     config.faults = faults;
     config.retransmit.ack_timeout = repro.ack_timeout;
     config.retransmit.validate();
+    config.monitor.enabled = repro.monitor;
+    config.monitor.stall_window = repro.monitor_stall;
     sim::AsyncEngine engine(dp.problem(),
                             solver.make_agents(solver.random_initial(rng),
                                                rng.derive(1)),
@@ -148,8 +184,8 @@ int cmd_solve(const Options& opts) {
     options.journal_config = journal_config;
     options.incremental = repro.incremental;
     awc::AwcSolver solver(dp, *strategy, options);
-    result = faults.enabled() ? run_with_faults(solver)
-                              : solver.solve(solver.random_initial(rng), rng.derive(1));
+    result = async_path ? run_with_faults(solver)
+                        : solver.solve(solver.random_initial(rng), rng.derive(1));
   } else if (algo == "db") {
     db::DbOptions db_options;
     db_options.max_cycles = max_cycles;
@@ -157,12 +193,12 @@ int cmd_solve(const Options& opts) {
     db_options.journal_config = journal_config;
     db_options.incremental = repro.incremental;
     db::DbSolver solver(dp, db_options);
-    result = faults.enabled() ? run_with_faults(solver)
-                              : solver.solve(solver.random_initial(rng), rng.derive(1));
+    result = async_path ? run_with_faults(solver)
+                        : solver.solve(solver.random_initial(rng), rng.derive(1));
   } else if (algo == "abt") {
-    if (faults.enabled()) {
-      std::cerr << "solve: --fault-* requires --algo awc or db (abt is not "
-                   "hardened against unreliable delivery)\n";
+    if (async_path) {
+      std::cerr << "solve: --fault-* and --monitor require --algo awc or db "
+                   "(abt is not hardened against unreliable delivery)\n";
       return 2;
     }
     abt::AbtOptions options;
@@ -176,14 +212,8 @@ int cmd_solve(const Options& opts) {
     return 2;
   }
 
-  if (faults.enabled()) {
-    const sim::FaultSummary& f = result.metrics.faults;
-    std::cout << "faults: dropped " << f.dropped << ", duplicated " << f.duplicated
-              << ", reordered " << f.reordered << ", crashes " << f.crashes
-              << ", amnesia " << f.amnesia
-              << " (heartbeats " << result.metrics.heartbeats << ", refresh messages "
-              << result.metrics.refresh_messages << ")\n";
-  }
+  if (faults.enabled()) print_chaos_counters(result.metrics);
+  if (repro.monitor) print_monitor_summary(result.metrics.monitor);
   if (result.metrics.journal_appends > 0 || result.metrics.retransmissions > 0 ||
       result.metrics.store_evictions > 0 || repro.nogood_capacity > 0) {
     std::cout << "recovery: journal appends " << result.metrics.journal_appends
@@ -217,6 +247,47 @@ int cmd_solve(const Options& opts) {
                 : result.metrics.hit_cycle_cap ? " (cycle cap)" : "")
             << '\n';
   return 1;
+}
+
+// Replay a repro bundle (analysis/repro.h) emitted by a chaos run. The
+// replay is bit-deterministic, so when the bundle records its original
+// outcome the command certifies whether it reproduced.
+int cmd_repro(const Options& opts) {
+  if (opts.positional().size() != 2) {
+    std::cerr << "usage: discsp_cli repro BUNDLE.repro\n";
+    return 2;
+  }
+  const analysis::ReproBundle bundle =
+      analysis::read_bundle_file(opts.positional()[1]);
+  std::cout << "replaying " << opts.positional()[1] << ": algo=" << bundle.algo
+            << " strategy=" << bundle.strategy << " seed=" << bundle.seed
+            << " n=" << bundle.instance.problem().num_variables() << '\n';
+  if (!bundle.reason.empty()) std::cout << "reason: " << bundle.reason << '\n';
+
+  const sim::RunResult result = analysis::run_bundle(bundle);
+  const sim::RunMetrics& m = result.metrics;
+  std::cout << "outcome: "
+            << (m.solved ? "SOLVED" : m.insoluble ? "INSOLUBLE" : "UNDECIDED")
+            << " after " << m.cycles << " activations (" << m.messages
+            << " messages)\n";
+  print_chaos_counters(m);
+  print_monitor_summary(m.monitor);
+
+  if (!bundle.observed.has_value()) {
+    std::cout << "bundle records no observed outcome; nothing to compare\n";
+    return 0;
+  }
+  const analysis::ObservedOutcome replay = analysis::observe(result);
+  const bool ok = analysis::matches_observed(bundle, result);
+  std::cout << "observed: solved=" << bundle.observed->solved
+            << " cycles=" << bundle.observed->cycles
+            << " violations=" << bundle.observed->violations
+            << " malformed=" << bundle.observed->malformed_frames << '\n';
+  std::cout << "replayed: solved=" << replay.solved << " cycles=" << replay.cycles
+            << " violations=" << replay.violations
+            << " malformed=" << replay.malformed_frames << '\n';
+  std::cout << "reproduced: " << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
 }
 
 // Run the paper's comparison protocol on generated instances and print one
@@ -291,13 +362,14 @@ int main(int argc, char** argv) {
   try {
     const Options opts(argc, argv);
     if (opts.positional().empty()) {
-      std::cerr << "usage: discsp_cli <gen|convert|solve|experiment> ...\n";
+      std::cerr << "usage: discsp_cli <gen|convert|solve|repro|experiment> ...\n";
       return 2;
     }
     const std::string& cmd = opts.positional()[0];
     if (cmd == "gen") return cmd_gen(opts);
     if (cmd == "convert") return cmd_convert(opts);
     if (cmd == "solve") return cmd_solve(opts);
+    if (cmd == "repro") return cmd_repro(opts);
     if (cmd == "experiment") return cmd_experiment(opts);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 2;

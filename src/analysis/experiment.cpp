@@ -242,6 +242,7 @@ TrialRunner awc_chaos_runner(const std::string& strategy_label,
     config.max_activations = options.max_activations;
     config.faults = options.faults;
     config.retransmit = options.retransmit;
+    config.monitor = options.monitor;
     sim::AsyncEngine engine(dp.problem(), solver.make_agents(initial, rng),
                             config, rng.derive(0x404));
     return engine.run();

@@ -123,6 +123,11 @@ struct ChaosRunnerOptions {
   recovery::RetransmitConfig retransmit;
   /// Counter-based consistency path (metrics bit-identical either way).
   bool incremental = true;
+  /// Online protocol-invariant monitor (sim/monitor.h); note that the
+  /// planted-solution screen only applies when `monitor.planted` is set,
+  /// which a generic multi-instance runner cannot do — per-instance
+  /// witnesses go through analysis/repro.h instead.
+  sim::MonitorConfig monitor;
 };
 TrialRunner awc_chaos_runner(const std::string& strategy_label,
                              const ChaosRunnerOptions& options);

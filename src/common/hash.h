@@ -1,11 +1,39 @@
-// Small hashing helpers: combine and range hashing for canonical containers.
+// Small hashing helpers: combine and range hashing for canonical containers,
+// plus a platform-stable FNV-1a for wire checksums and file digests.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 
 namespace discsp {
+
+/// 64-bit FNV-1a over raw bytes. Unlike std::hash this is specified byte for
+/// byte, so checksums computed with it are stable across platforms, compiler
+/// versions and process runs — the property the wire format and the .dcsp
+/// file digest rely on.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a64(std::uint64_t hash, std::span<const std::byte> bytes) noexcept {
+  for (std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Fold one 64-bit word (as its 8 little-endian-ordered bytes) into an
+/// FNV-1a accumulator. Used word-wise by the frame checksum and the problem
+/// digest so the result does not depend on host endianness.
+inline std::uint64_t fnv1a64_word(std::uint64_t hash, std::uint64_t word) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (word >> (8 * i)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
 
 /// Mix a value into an existing seed (boost::hash_combine style, 64-bit).
 inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {

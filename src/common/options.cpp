@@ -81,12 +81,27 @@ ReproConfig repro_config_from(const Options& opts) {
       opts.get_double("fault-duplicate", cfg.fault_duplicate, "REPRO_FAULT_DUPLICATE");
   cfg.fault_reorder =
       opts.get_double("fault-reorder", cfg.fault_reorder, "REPRO_FAULT_REORDER");
+  cfg.fault_corrupt =
+      opts.get_double("fault-corrupt", cfg.fault_corrupt, "REPRO_FAULT_CORRUPT");
   cfg.fault_crash = opts.get_double("fault-crash", cfg.fault_crash, "REPRO_FAULT_CRASH");
   cfg.fault_amnesia =
       opts.get_double("fault-amnesia", cfg.fault_amnesia, "REPRO_FAULT_AMNESIA");
   cfg.fault_refresh = opts.get_int("fault-refresh", cfg.fault_refresh, "REPRO_FAULT_REFRESH");
   cfg.fault_seed = static_cast<std::uint64_t>(
       opts.get_int("fault-seed", static_cast<std::int64_t>(cfg.fault_seed), "REPRO_FAULT_SEED"));
+  cfg.partition_interval = opts.get_int("partition-interval", cfg.partition_interval,
+                                        "REPRO_PARTITION_INTERVAL");
+  cfg.partition_duration = opts.get_int("partition-duration", cfg.partition_duration,
+                                        "REPRO_PARTITION_DURATION");
+  cfg.partition_groups =
+      opts.get_int("partition-groups", cfg.partition_groups, "REPRO_PARTITION_GROUPS");
+  cfg.quarantine_budget =
+      opts.get_int("quarantine-budget", cfg.quarantine_budget, "REPRO_QUARANTINE_BUDGET");
+  cfg.quarantine_duration = opts.get_int("quarantine-duration", cfg.quarantine_duration,
+                                         "REPRO_QUARANTINE_DURATION");
+  cfg.monitor = opts.get_bool("monitor", cfg.monitor, "REPRO_MONITOR");
+  cfg.monitor_stall =
+      opts.get_int("monitor-stall", cfg.monitor_stall, "REPRO_MONITOR_STALL");
   cfg.ack_timeout = opts.get_int("ack-timeout", cfg.ack_timeout, "REPRO_ACK_TIMEOUT");
   cfg.nogood_capacity =
       opts.get_int("nogood-capacity", cfg.nogood_capacity, "REPRO_NOGOOD_CAPACITY");
@@ -94,7 +109,48 @@ ReproConfig repro_config_from(const Options& opts) {
                                          "REPRO_CHECKPOINT_INTERVAL");
   if (cfg.trials <= 0) throw std::invalid_argument("--trials must be positive");
   if (cfg.max_cycles <= 0) throw std::invalid_argument("--max-cycles must be positive");
+  if (cfg.n_scale <= 0.0) throw std::invalid_argument("--n-scale must be positive");
   if (cfg.threads < 0) throw std::invalid_argument("--threads must be >= 0");
+  // Fault knobs: probabilities must be probabilities, durations must be
+  // durations. Rejecting here (with the flag named) beats a deep
+  // std::invalid_argument out of FaultConfig::validate long after parsing.
+  const auto check_rate = [](double rate, const char* flag) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      throw std::invalid_argument(std::string(flag) +
+                                  " is a probability and must lie in [0, 1]");
+    }
+  };
+  check_rate(cfg.fault_drop, "--fault-drop");
+  check_rate(cfg.fault_duplicate, "--fault-duplicate");
+  check_rate(cfg.fault_reorder, "--fault-reorder");
+  check_rate(cfg.fault_corrupt, "--fault-corrupt");
+  check_rate(cfg.fault_crash, "--fault-crash");
+  check_rate(cfg.fault_amnesia, "--fault-amnesia");
+  if (cfg.fault_refresh < 0) {
+    throw std::invalid_argument("--fault-refresh must be >= 0");
+  }
+  if (cfg.partition_interval < 0) {
+    throw std::invalid_argument("--partition-interval must be >= 0");
+  }
+  if (cfg.partition_duration < 0) {
+    throw std::invalid_argument("--partition-duration must be >= 0");
+  }
+  if (cfg.partition_interval > 0 && cfg.partition_duration > cfg.partition_interval) {
+    throw std::invalid_argument(
+        "--partition-duration must not exceed --partition-interval");
+  }
+  if (cfg.partition_groups < 2) {
+    throw std::invalid_argument("--partition-groups must be >= 2");
+  }
+  if (cfg.quarantine_budget < 0) {
+    throw std::invalid_argument("--quarantine-budget must be >= 0");
+  }
+  if (cfg.quarantine_duration < 0) {
+    throw std::invalid_argument("--quarantine-duration must be >= 0");
+  }
+  if (cfg.monitor_stall < 0) {
+    throw std::invalid_argument("--monitor-stall must be >= 0");
+  }
   if (cfg.ack_timeout < 0) throw std::invalid_argument("--ack-timeout must be >= 0");
   if (cfg.nogood_capacity < 0) {
     throw std::invalid_argument("--nogood-capacity must be >= 0");

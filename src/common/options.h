@@ -63,10 +63,24 @@ struct ReproConfig {
   double fault_drop = 0.0;       ///< message drop probability
   double fault_duplicate = 0.0;  ///< message duplication probability
   double fault_reorder = 0.0;    ///< per-message FIFO-relaxation probability
+  double fault_corrupt = 0.0;    ///< per-message wire-corruption probability
   double fault_crash = 0.0;      ///< per-delivery receiver crash probability
   double fault_amnesia = 0.0;    ///< per-delivery amnesia-crash probability
   std::int64_t fault_refresh = 50;  ///< anti-entropy heartbeat period
   std::uint64_t fault_seed = 0;  ///< 0 = reuse `seed` for the fault streams
+
+  // Correlated partition episodes (see sim::PartitionSchedule).
+  std::int64_t partition_interval = 0;  ///< time between episodes; 0 = off
+  std::int64_t partition_duration = 0;  ///< severed window length
+  std::int64_t partition_groups = 2;    ///< groups per episode (>= 2)
+
+  // Receiver-side wire defense (see sim::ChannelGuard).
+  std::int64_t quarantine_budget = 0;     ///< malformed frames per window; 0 = off
+  std::int64_t quarantine_duration = 200; ///< quarantine window length
+
+  // Online protocol-invariant monitor (see sim/monitor.h).
+  bool monitor = false;            ///< enable the invariant monitor
+  std::int64_t monitor_stall = 0;  ///< stall-watchdog window; 0 = off
 
   // Recovery-layer knobs (see src/recovery/).
   std::int64_t ack_timeout = 0;        ///< failure-detector base RTO; 0 = off
@@ -78,11 +92,19 @@ struct ReproConfig {
 /// --max-cycles, --seed/REPRO_SEED, --full/REPRO_FULL=1 which restores
 /// the paper's 100 trials, --threads/REPRO_THREADS,
 /// --incremental/REPRO_INCREMENTAL, the fault knobs --fault-drop,
-/// --fault-duplicate, --fault-reorder, --fault-crash, --fault-amnesia,
-/// --fault-refresh, --fault-seed (REPRO_FAULT_* in the environment), and
-/// the recovery knobs --ack-timeout/REPRO_ACK_TIMEOUT,
-/// --nogood-capacity/REPRO_NOGOOD_CAPACITY,
+/// --fault-duplicate, --fault-reorder, --fault-corrupt, --fault-crash,
+/// --fault-amnesia, --fault-refresh, --fault-seed (REPRO_FAULT_* in the
+/// environment), the partition knobs --partition-interval,
+/// --partition-duration, --partition-groups (REPRO_PARTITION_*), the wire
+/// defense knobs --quarantine-budget, --quarantine-duration
+/// (REPRO_QUARANTINE_*), the monitor knobs --monitor, --monitor-stall
+/// (REPRO_MONITOR, REPRO_MONITOR_STALL), and the recovery knobs
+/// --ack-timeout/REPRO_ACK_TIMEOUT, --nogood-capacity/REPRO_NOGOOD_CAPACITY,
 /// --checkpoint-interval/REPRO_CHECKPOINT_INTERVAL.
+///
+/// Every probability is validated to lie in [0, 1] and every duration /
+/// count to be non-negative; violations throw std::invalid_argument with
+/// the offending flag named.
 ReproConfig repro_config_from(const Options& opts);
 
 }  // namespace discsp

@@ -2,12 +2,37 @@
 
 #include <fstream>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/hash.h"
 
 namespace discsp {
 
 namespace {
+
+/// Digest of the parsed structure; `owner` empty = plain (non-distributed)
+/// file. Field-order sensitive by design: any structural change changes it.
+std::uint64_t structure_digest(const Problem& problem,
+                               const std::vector<AgentId>& owner) {
+  std::uint64_t h = fnv1a64_word(kFnvOffsetBasis, 0xdc59ULL);  // format tag
+  h = fnv1a64_word(h, static_cast<std::uint64_t>(problem.num_variables()));
+  for (VarId v = 0; v < problem.num_variables(); ++v) {
+    h = fnv1a64_word(h, static_cast<std::uint64_t>(problem.domain_size(v)));
+  }
+  h = fnv1a64_word(h, owner.empty() ? 0 : 1);
+  for (AgentId a : owner) h = fnv1a64_word(h, static_cast<std::uint64_t>(a));
+  h = fnv1a64_word(h, static_cast<std::uint64_t>(problem.nogoods().size()));
+  for (const Nogood& ng : problem.nogoods()) {
+    h = fnv1a64_word(h, static_cast<std::uint64_t>(ng.size()));
+    for (const Assignment& a : ng) {
+      h = fnv1a64_word(h, static_cast<std::uint64_t>(a.var));
+      h = fnv1a64_word(h, static_cast<std::uint64_t>(a.value));
+    }
+  }
+  return h;
+}
 
 [[noreturn]] void fail(int line, const std::string& what) {
   throw std::runtime_error("dcsp parse error at line " + std::to_string(line) + ": " + what);
@@ -26,6 +51,7 @@ Parsed parse(std::istream& in) {
   bool header_seen = false;
   int declared_vars = -1;
   std::vector<int> domain_sizes;
+  std::optional<std::uint64_t> expected_check;
 
   auto ensure_vars_built = [&]() {
     if (out.problem.num_variables() == 0 && declared_vars > 0) {
@@ -86,6 +112,15 @@ Parsed parse(std::istream& in) {
       } catch (const std::exception& e) {
         fail(lineno, e.what());
       }
+    } else if (keyword == "check") {
+      std::string hex;
+      if (!(body >> hex)) fail(lineno, "bad check line");
+      std::istringstream digits(hex);
+      std::uint64_t value = 0;
+      if (!(digits >> std::hex >> value) || !digits.eof()) {
+        fail(lineno, "bad check digest '" + hex + "'");
+      }
+      expected_check = value;
     } else {
       fail(lineno, "unknown keyword '" + keyword + "'");
     }
@@ -93,6 +128,17 @@ Parsed parse(std::istream& in) {
   if (!header_seen) throw std::runtime_error("dcsp parse error: empty input");
   if (declared_vars < 0) throw std::runtime_error("dcsp parse error: missing vars line");
   ensure_vars_built();
+  if (expected_check.has_value()) {
+    const std::uint64_t actual = structure_digest(
+        out.problem, out.has_owner ? out.owner : std::vector<AgentId>{});
+    if (actual != *expected_check) {
+      std::ostringstream msg;
+      msg << "dcsp checksum mismatch: file declares " << std::hex
+          << *expected_check << " but the parsed structure digests to "
+          << actual << " (corrupted or hand-edited file)";
+      throw std::runtime_error(msg.str());
+    }
+  }
   return out;
 }
 
@@ -117,11 +163,31 @@ void write_nogoods(std::ostream& out, const Problem& problem) {
   }
 }
 
+void write_check(std::ostream& out, std::uint64_t digest) {
+  std::ostringstream hex;
+  hex << std::hex << digest;
+  out << "check " << hex.str() << '\n';
+}
+
 }  // namespace
+
+std::uint64_t problem_digest(const Problem& problem) {
+  return structure_digest(problem, {});
+}
+
+std::uint64_t distributed_digest(const DistributedProblem& problem) {
+  std::vector<AgentId> owner;
+  owner.reserve(static_cast<std::size_t>(problem.problem().num_variables()));
+  for (VarId v = 0; v < problem.problem().num_variables(); ++v) {
+    owner.push_back(problem.owner_of(v));
+  }
+  return structure_digest(problem.problem(), owner);
+}
 
 void write_problem(std::ostream& out, const Problem& problem, const std::string& comment) {
   write_header(out, problem, comment);
   write_nogoods(out, problem);
+  write_check(out, problem_digest(problem));
 }
 
 Problem read_problem(std::istream& in) { return parse(in).problem; }
@@ -133,6 +199,7 @@ void write_distributed(std::ostream& out, const DistributedProblem& problem,
     out << "owner " << v << ' ' << problem.owner_of(v) << '\n';
   }
   write_nogoods(out, problem.problem());
+  write_check(out, distributed_digest(problem));
 }
 
 DistributedProblem read_distributed(std::istream& in) {

@@ -11,14 +11,28 @@
 //   domain <var> <size>            one per variable
 //   owner <var> <agent>            optional; identity when omitted
 //   nogood <var> <value> [<var> <value> ...]
+//   check <hex digest>             optional integrity trailer
+//
+// The `check` line carries an FNV-1a digest of the *parsed structure*
+// (variable count, domain sizes, owners when present, every nogood in
+// order), not of the bytes — so whitespace and comments never invalidate a
+// file, while any flipped value, lost line or reordered nogood does.
+// Writers always emit it; readers verify it when present (files from older
+// versions without a trailer still load).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "csp/distributed_problem.h"
 
 namespace discsp {
+
+/// Platform-stable structural digest of a problem (the `check` trailer).
+std::uint64_t problem_digest(const Problem& problem);
+/// Same, additionally covering the agent partition.
+std::uint64_t distributed_digest(const DistributedProblem& problem);
 
 void write_problem(std::ostream& out, const Problem& problem,
                    const std::string& comment = {});

@@ -22,6 +22,11 @@ struct Event {
   /// When non-zero this event is a transport ack: `from` acknowledges frame
   /// `ack_of` on channel (to, from). Never shown to the agent.
   std::uint64_t ack_of = 0;
+  /// Serialized payload when the wire format is active (corruption enabled).
+  /// Non-empty frames are what actually "travels": the receiver must
+  /// checksum-verify and validate the frame, and `payload` is replaced by
+  /// the decoded result (or the delivery is dropped as malformed).
+  WireFrame frame;
 };
 
 struct EventLater {
@@ -49,6 +54,19 @@ AsyncEngine::AsyncEngine(const Problem& problem, std::vector<std::unique_ptr<Age
       retransmit_ = std::make_unique<recovery::RetransmitBuffer>(
           config_.retransmit, static_cast<int>(agents_.size()));
     }
+    if (config_.faults.corrupt_rate > 0) {
+      // Corruption is possible, so payloads must actually travel as
+      // checksummed frames and receivers must validate before delivery.
+      wire_ = std::make_unique<WireLimits>(
+          wire_limits_for(problem_, static_cast<int>(agents_.size())));
+      guard_ = std::make_unique<ChannelGuard>(static_cast<int>(agents_.size()),
+                                              config_.faults.quarantine_budget,
+                                              config_.faults.quarantine_duration);
+    }
+  }
+  if (config_.monitor.enabled) {
+    monitor_ = std::make_unique<InvariantMonitor>(
+        config_.monitor, static_cast<int>(agents_.size()), /*concurrent=*/false);
   }
 }
 
@@ -81,6 +99,9 @@ RunResult AsyncEngine::run() {
         throw std::out_of_range("message addressed to unknown agent");
       }
       ++messages_;
+      if (engine_.monitor_ != nullptr) {
+        engine_.monitor_->on_send(sender_, payload, engine_.now_);
+      }
       if (engine_.plan_ == nullptr) {
         schedule(sender_, to, std::move(payload), /*reorder=*/false,
                  /*extra_delay=*/0, /*track_seq=*/0, /*ack_of=*/0);
@@ -90,10 +111,16 @@ RunResult AsyncEngine::run() {
       if (engine_.retransmit_ != nullptr && tracking_) {
         track_seq = engine_.retransmit_->track(sender_, to, payload, engine_.now_);
       }
-      const ChannelVerdict verdict = engine_.plan_->on_send(sender_, to);
+      const ChannelVerdict verdict =
+          engine_.plan_->on_send(sender_, to, engine_.now_);
+      WireFrame frame;
+      if (engine_.wire_ != nullptr && verdict.copies > 0) {
+        frame = encode_frame(payload);
+        if (verdict.corrupt) corrupt_frame(frame, verdict.corrupt_seed);
+      }
       for (int copy = 0; copy < verdict.copies; ++copy) {
         schedule(sender_, to, payload, verdict.reorder, verdict.extra_delay,
-                 track_seq, /*ack_of=*/0);
+                 track_seq, /*ack_of=*/0, frame);
       }
     }
 
@@ -101,7 +128,7 @@ RunResult AsyncEngine::run() {
     /// protocol `messages` counter but still rides the latency model.
     void schedule(AgentId from, AgentId to, MessagePayload payload, bool reorder,
                   std::int64_t extra_delay, std::uint64_t track_seq,
-                  std::uint64_t ack_of) {
+                  std::uint64_t ack_of, WireFrame frame = {}) {
       const auto delay =
           static_cast<std::int64_t>(engine_.rng_.between(
               engine_.config_.min_delay, engine_.config_.max_delay)) +
@@ -116,7 +143,8 @@ RunResult AsyncEngine::run() {
         at = std::max(engine_.now_ + delay, floor + 1);
         floor = at;
       }
-      queue_.push(Event{at, seq_++, to, std::move(payload), from, track_seq, ack_of});
+      queue_.push(Event{at, seq_++, to, std::move(payload), from, track_seq,
+                        ack_of, std::move(frame)});
     }
 
    private:
@@ -136,7 +164,10 @@ RunResult AsyncEngine::run() {
   // including duplicates, whose earlier ack may itself have been lost. Acks
   // traverse the same lossy channel model as everything else.
   auto send_ack = [&](const Event& ev) {
-    const ChannelVerdict verdict = plan_->on_send(ev.to, ev.from);
+    const ChannelVerdict verdict = plan_->on_send(ev.to, ev.from, now_);
+    // A corrupted ack is unparseable garbage to its receiver: model it as
+    // lost (the sender keeps retransmitting until a clean ack lands).
+    if (verdict.corrupt) return;
     for (int copy = 0; copy < verdict.copies; ++copy) {
       sink.schedule(ev.to, ev.from, MessagePayload{}, verdict.reorder,
                     verdict.extra_delay, /*track_seq=*/0, /*ack_of=*/ev.track_seq);
@@ -172,6 +203,7 @@ RunResult AsyncEngine::run() {
   std::int64_t next_refresh = refresh;
 
   std::uint64_t activations = 0;
+  std::uint64_t popped = 0;  // conservation: every push is popped or queued
   while (activations < config_.max_activations) {
     // Retransmission timer: fires when its deadline precedes every queued
     // delivery (and the heartbeat, when both are pending). One batch of due
@@ -184,12 +216,20 @@ RunResult AsyncEngine::run() {
       now_ = std::max(now_, *retx_due);
       for (const recovery::RetransmitBuffer::Due& d :
            retransmit_->collect_due(now_)) {
-        const ChannelVerdict verdict = plan_->on_send(d.from, d.to);
+        const ChannelVerdict verdict = plan_->on_send(d.from, d.to, now_);
+        // Retransmissions re-encode from the tracked (clean) payload, so a
+        // corrupted original cannot poison its own repair.
+        WireFrame frame;
+        if (wire_ != nullptr && verdict.copies > 0) {
+          frame = encode_frame(d.payload);
+          if (verdict.corrupt) corrupt_frame(frame, verdict.corrupt_seed);
+        }
         for (int copy = 0; copy < verdict.copies; ++copy) {
           sink.schedule(d.from, d.to, d.payload, verdict.reorder,
-                        verdict.extra_delay, d.seq, /*ack_of=*/0);
+                        verdict.extra_delay, d.seq, /*ack_of=*/0, frame);
         }
       }
+      if (monitor_ != nullptr) monitor_->on_activation(now_);
       ++activations;
       continue;
     }
@@ -209,6 +249,7 @@ RunResult AsyncEngine::run() {
       result.metrics.refresh_messages += result.metrics.messages - before;
       ++result.metrics.heartbeats;
       next_refresh += refresh;
+      if (monitor_ != nullptr) monitor_->on_activation(now_);
       ++activations;
       continue;
     }
@@ -216,6 +257,7 @@ RunResult AsyncEngine::run() {
 
     Event ev = queue.top();
     queue.pop();
+    ++popped;
     now_ = ev.time;
 
     if (ev.ack_of != 0) {
@@ -227,6 +269,7 @@ RunResult AsyncEngine::run() {
 
     Agent& agent = *agents_[static_cast<std::size_t>(ev.to)];
     current_sender = agent.id();
+    if (monitor_ != nullptr) monitor_->on_activation(now_);
     const CrashKind crash =
         plan_ != nullptr ? plan_->on_deliver(ev.to) : CrashKind::kNone;
     if (crash == CrashKind::kRestart) {
@@ -239,19 +282,46 @@ RunResult AsyncEngine::run() {
       if (retransmit_ != nullptr) retransmit_->forget_agent(ev.to);
       agent.amnesia_restart(sink);
     } else {
+      if (!ev.frame.empty()) {
+        // The wire format is active: what arrived is the frame, and it must
+        // survive checksum + semantic validation before the agent (or even
+        // the dedup/ack machinery) reacts to it.
+        if (guard_->is_quarantined(ev.from, ev.to, now_)) {
+          guard_->note_quarantine_drop();
+          ++activations;
+          continue;
+        }
+        DecodeResult decoded = decode_frame(ev.frame, *wire_);
+        if (!decoded.ok()) {
+          // Drop and count; no ack, so a tracked frame is retransmitted
+          // (from the clean tracked payload) like any lost message.
+          guard_->record_malformed(ev.from, ev.to, now_);
+          ++activations;
+          continue;
+        }
+        ev.payload = std::move(*decoded.payload);
+      }
       if (ev.track_seq != 0) {
         const bool duplicate =
             retransmit_->mark_delivered(ev.from, ev.to, ev.track_seq);
         send_ack(ev);
         if (duplicate) continue;  // suppressed; the agent never sees it
       }
+      if (monitor_ != nullptr) {
+        monitor_->on_deliver(ev.from, ev.to, ev.payload, now_);
+      }
+      const Value value_before = agent.current_value();
       agent.receive(ev.payload);
       agent.compute(sink);
+      if (monitor_ != nullptr && agent.current_value() != value_before) {
+        monitor_->on_progress(now_);  // O(1) stall-watchdog feed
+      }
     }
     result.metrics.total_checks += agent.take_checks();
     ++activations;
 
     if (agent.detected_insoluble()) {
+      if (monitor_ != nullptr) monitor_->on_insoluble(agent.id(), now_);
       result.metrics.insoluble = true;
       break;
     }
@@ -297,6 +367,17 @@ RunResult AsyncEngine::run() {
   if (retransmit_ != nullptr) {
     result.metrics.retransmissions = retransmit_->retransmissions();
     result.metrics.detector_false_positives = retransmit_->false_positives();
+  }
+  if (guard_ != nullptr) {
+    result.metrics.malformed_frames = guard_->malformed_frames();
+    result.metrics.quarantines = guard_->quarantines();
+    result.metrics.quarantine_drops = guard_->quarantine_drops();
+  }
+  if (monitor_ != nullptr) {
+    // Conservation identity (invariant b): every event ever pushed was
+    // either popped or is still queued at run end.
+    monitor_->check_conservation(seq, popped, queue.size(), now_);
+    result.metrics.monitor = monitor_->summary();
   }
   return result;
 }

@@ -31,6 +31,7 @@
 #include "sim/agent.h"
 #include "sim/fault.h"
 #include "sim/metrics.h"
+#include "sim/monitor.h"
 
 namespace discsp::sim {
 
@@ -45,6 +46,10 @@ struct AsyncConfig {
   /// Failure detector (ack/retransmit) in virtual-time units; only active
   /// when the fault plan is (without faults nothing can be lost).
   recovery::RetransmitConfig retransmit;
+  /// Online protocol-invariant monitor (see sim/monitor.h). Independent of
+  /// the fault plan: it can watch fault-free runs too, draws no randomness,
+  /// and never changes a run's outcome.
+  MonitorConfig monitor;
 };
 
 class AsyncEngine {
@@ -71,6 +76,13 @@ class AsyncEngine {
   std::unique_ptr<FaultPlan> plan_;
   /// Present only when the plan is and config_.retransmit.enabled().
   std::unique_ptr<recovery::RetransmitBuffer> retransmit_;
+  /// Present only when config_.monitor.enabled.
+  std::unique_ptr<InvariantMonitor> monitor_;
+  /// Wire-format state, present only when the plan is and corruption can
+  /// fire (config_.faults.corrupt_rate > 0): payloads then travel as
+  /// checksummed frames that receivers must validate before delivery.
+  std::unique_ptr<WireLimits> wire_;
+  std::unique_ptr<ChannelGuard> guard_;
 };
 
 }  // namespace discsp::sim

@@ -22,11 +22,34 @@ Rng derive_stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
+int PartitionSchedule::group_of(std::int64_t episode, AgentId agent) const {
+  // Stateless splitmix64 hash of (seed, episode, agent): membership never
+  // consumes stream state, so schedules can be evaluated from any thread at
+  // any time without perturbing the per-channel fault streams.
+  std::uint64_t state = seed_ ^
+                        (0xa0761d6478bd642fULL * (static_cast<std::uint64_t>(episode) + 1)) ^
+                        (0xe7037ed1a0b428dbULL * (static_cast<std::uint64_t>(agent) + 1));
+  return static_cast<int>(splitmix64(state) % static_cast<std::uint64_t>(groups_));
+}
+
+std::int64_t PartitionSchedule::episode_at(std::int64_t now) const {
+  if (!active() || now < 0) return -1;
+  const std::int64_t episode = now / interval_;
+  return (now - episode * interval_) < duration_ ? episode : -1;
+}
+
+bool PartitionSchedule::severed(AgentId from, AgentId to, std::int64_t now) const {
+  const std::int64_t episode = episode_at(now);
+  if (episode < 0) return false;
+  return group_of(episode, from) != group_of(episode, to);
+}
+
 void FaultConfig::validate() const {
   check_rate(drop_rate, "drop_rate");
   check_rate(duplicate_rate, "duplicate_rate");
   check_rate(reorder_rate, "reorder_rate");
   check_rate(delay_spike_rate, "delay_spike_rate");
+  check_rate(corrupt_rate, "corrupt_rate");
   check_rate(crash_rate, "crash_rate");
   check_rate(amnesia_rate, "amnesia_rate");
   if (delay_spike < 0) throw std::invalid_argument("delay_spike must be >= 0");
@@ -36,10 +59,32 @@ void FaultConfig::validate() const {
   if (refresh_interval < 0) {
     throw std::invalid_argument("refresh_interval must be >= 0");
   }
+  if (partition_interval < 0) {
+    throw std::invalid_argument("partition_interval must be >= 0");
+  }
+  if (partition_duration < 0) {
+    throw std::invalid_argument("partition_duration must be >= 0");
+  }
+  if (partition_interval > 0 && partition_duration > partition_interval) {
+    throw std::invalid_argument(
+        "partition_duration must not exceed partition_interval "
+        "(a window outliving its interval would never heal)");
+  }
+  if (partitions_enabled() && partition_groups < 2) {
+    throw std::invalid_argument("partition_groups must be >= 2");
+  }
+  if (quarantine_budget < 0) {
+    throw std::invalid_argument("quarantine_budget must be >= 0");
+  }
+  if (quarantine_duration < 0) {
+    throw std::invalid_argument("quarantine_duration must be >= 0");
+  }
 }
 
 FaultPlan::FaultPlan(const FaultConfig& config, int num_agents)
-    : config_(config), num_agents_(num_agents) {
+    : config_(config), num_agents_(num_agents),
+      partitions_(config.seed, config.partition_interval,
+                  config.partition_duration, config.partition_groups) {
   config_.validate();
   if (num_agents <= 0) throw std::invalid_argument("fault plan needs agents");
   const auto n = static_cast<std::size_t>(num_agents);
@@ -55,11 +100,19 @@ FaultPlan::FaultPlan(const FaultConfig& config, int num_agents)
   }
 }
 
-ChannelVerdict FaultPlan::on_send(AgentId from, AgentId to) {
+ChannelVerdict FaultPlan::on_send(AgentId from, AgentId to, std::int64_t now) {
   if (from < 0 || from >= num_agents_ || to < 0 || to >= num_agents_) {
     throw std::out_of_range("fault plan consulted for an unknown channel");
   }
   ChannelVerdict verdict;
+  // An open partition window severs the channel before any per-message
+  // stream is consulted: correlated drops must not perturb the independent
+  // per-channel streams (an empty schedule is then stream-bit-identical).
+  if (partitions_.severed(from, to, now)) {
+    verdict.copies = 0;
+    partition_drops_.fetch_add(1, std::memory_order_relaxed);
+    return verdict;
+  }
   {
     std::lock_guard lock(mutex_);
     Rng& rng = channels_[static_cast<std::size_t>(from) *
@@ -67,7 +120,9 @@ ChannelVerdict FaultPlan::on_send(AgentId from, AgentId to) {
                          static_cast<std::size_t>(to)]
                    .rng;
     // One draw per knob per send keeps the stream alignment independent of
-    // which faults are enabled at which rates.
+    // which faults are enabled at which rates. The corruption draws are the
+    // exception: they only exist when corrupt_rate > 0, so every
+    // corruption-free config keeps the historical stream alignment.
     const bool drop = rng.chance(config_.drop_rate);
     const bool dup = rng.chance(config_.duplicate_rate);
     const bool reorder = rng.chance(config_.reorder_rate);
@@ -79,11 +134,23 @@ ChannelVerdict FaultPlan::on_send(AgentId from, AgentId to) {
     }
     verdict.reorder = verdict.copies > 0 && reorder;
     verdict.extra_delay = (verdict.copies > 0 && spike) ? config_.delay_spike : 0;
+    if (config_.corrupt_rate > 0) {
+      const bool corrupt = rng.chance(config_.corrupt_rate);
+      if (corrupt && verdict.copies > 0) {
+        verdict.corrupt = true;
+        verdict.corrupt_seed = rng.next();
+      }
+    }
   }
   if (verdict.copies == 0) dropped_.fetch_add(1, std::memory_order_relaxed);
   if (verdict.copies > 1) duplicated_.fetch_add(1, std::memory_order_relaxed);
   if (verdict.reorder) reordered_.fetch_add(1, std::memory_order_relaxed);
   if (verdict.extra_delay > 0) delay_spikes_.fetch_add(1, std::memory_order_relaxed);
+  if (verdict.corrupt) {
+    // Every enqueued copy of a corrupted send carries the mutated frame.
+    corrupted_.fetch_add(static_cast<std::uint64_t>(verdict.copies),
+                         std::memory_order_relaxed);
+  }
   return verdict;
 }
 
@@ -120,6 +187,8 @@ FaultSummary FaultPlan::summary() const {
   s.duplicated = duplicated_.load(std::memory_order_relaxed);
   s.reordered = reordered_.load(std::memory_order_relaxed);
   s.delay_spikes = delay_spikes_.load(std::memory_order_relaxed);
+  s.partition_drops = partition_drops_.load(std::memory_order_relaxed);
+  s.corrupted = corrupted_.load(std::memory_order_relaxed);
   s.crashes = crashes_.load(std::memory_order_relaxed);
   s.amnesia = amnesia_.load(std::memory_order_relaxed);
   s.crashes_by_agent.reserve(agents_.size());
@@ -137,9 +206,15 @@ FaultConfig fault_config_from(const ReproConfig& config) {
   faults.drop_rate = config.fault_drop;
   faults.duplicate_rate = config.fault_duplicate;
   faults.reorder_rate = config.fault_reorder;
+  faults.corrupt_rate = config.fault_corrupt;
   faults.crash_rate = config.fault_crash;
   faults.amnesia_rate = config.fault_amnesia;
   faults.refresh_interval = config.fault_refresh;
+  faults.partition_interval = config.partition_interval;
+  faults.partition_duration = config.partition_duration;
+  faults.partition_groups = static_cast<int>(config.partition_groups);
+  faults.quarantine_budget = static_cast<int>(config.quarantine_budget);
+  faults.quarantine_duration = config.quarantine_duration;
   faults.seed = config.fault_seed != 0 ? config.fault_seed : config.seed;
   return faults;
 }

@@ -1,15 +1,33 @@
-// Message vocabulary of the distributed algorithms.
+// Message vocabulary of the distributed algorithms, plus the checksummed
+// wire format the fault layer's corruption model targets.
 //
 // AWC/ABT use ok?, nogood and add_link messages; DB uses ok? and improve.
 // The payload is a closed variant: engines move envelopes around without
 // knowing which algorithm is running.
+//
+// Wire format: when corruption is possible (FaultConfig::corrupt_rate > 0)
+// engines serialize every payload into a WireFrame — a flat word vector
+// ending in an FNV-1a checksum — and receivers must (1) verify the checksum,
+// (2) semantically validate every field (sender/var ids exist, values lie in
+// their domains, priorities/seqs are sane) before any agent state changes.
+// Malformed frames are dropped and counted; the ack/retransmit layer then
+// repairs them like any lost message. A ChannelGuard additionally
+// quarantines channels that exceed a malformed-frame budget.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "csp/nogood.h"
+
+namespace discsp {
+class Problem;
+}
 
 namespace discsp::sim {
 
@@ -69,6 +87,124 @@ class MessageSink {
  public:
   virtual ~MessageSink() = default;
   virtual void send(AgentId to, MessagePayload payload) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Checksummed wire format.
+
+/// A serialized payload: [kind, fields..., checksum]. The checksum is FNV-1a
+/// over the word count and every preceding word, so truncation, bit flips
+/// and field rewrites are all detectable.
+using WireFrame = std::vector<std::uint64_t>;
+
+/// Semantic bounds a decoded frame is validated against. Values beyond these
+/// can only come from corruption (or a protocol bug) and are rejected before
+/// any agent sees them.
+struct WireLimits {
+  AgentId num_agents = 0;
+  std::vector<int> domain_sizes;  ///< indexed by VarId; size = num variables
+  /// Sanity caps on unbounded numeric fields: anything larger is treated as
+  /// corruption (no legitimate run approaches 2^48 messages or costs).
+  static constexpr std::uint64_t kMaxSeq = 1ULL << 48;
+  static constexpr std::int64_t kMaxMagnitude = 1LL << 48;
+
+  VarId num_vars() const { return static_cast<VarId>(domain_sizes.size()); }
+};
+
+/// Bounds for `problem` solved by `num_agents` agents.
+WireLimits wire_limits_for(const Problem& problem, int num_agents);
+
+/// Serialize a payload into a checksummed frame.
+WireFrame encode_frame(const MessagePayload& payload);
+
+/// Why a frame was rejected.
+enum class DecodeError {
+  kNone = 0,
+  kTruncated,   ///< too short to hold its declared shape
+  kChecksum,    ///< FNV mismatch (bit flip / truncation)
+  kBadKind,     ///< unknown payload tag
+  kBadAgent,    ///< sender id outside [0, num_agents)
+  kBadVar,      ///< variable id outside the problem
+  kBadValue,    ///< value outside its variable's domain
+  kBadBounds,   ///< priority/seq/cost beyond sane limits, or malformed nogood
+};
+const char* to_string(DecodeError error);
+
+struct DecodeResult {
+  std::optional<MessagePayload> payload;  ///< engaged iff error == kNone
+  DecodeError error = DecodeError::kNone;
+  bool ok() const { return error == DecodeError::kNone; }
+};
+
+/// Verify the checksum, then semantically validate every field against
+/// `limits`. Never throws on hostile input; any anomaly yields an error.
+DecodeResult decode_frame(const WireFrame& frame, const WireLimits& limits);
+
+/// The corruption model's mutation modes (FaultConfig::corrupt_rate).
+enum class CorruptMode {
+  kBitFlip = 0,    ///< flip one bit anywhere (checksum catches it)
+  kTruncate = 1,   ///< chop the frame short (length/checksum catches it)
+  kRewrite = 2,    ///< out-of-range field rewrite with a *fixed-up* checksum
+                   ///< (only semantic validation catches it)
+};
+
+/// Apply one deterministic mutation of `mode` driven by (r1, r2). The frame
+/// is guaranteed to differ from the original, and every mode is constructed
+/// to be rejected by decode_frame (kRewrite plants a value beyond every
+/// field's semantic bound, so validation must refuse it even though the
+/// checksum verifies).
+void apply_corruption(WireFrame& frame, CorruptMode mode, std::uint64_t r1,
+                      std::uint64_t r2);
+
+/// Mutation used by the fault layer: mode and operands derived from `seed`.
+void corrupt_frame(WireFrame& frame, std::uint64_t seed);
+
+/// Receiver-side defense policy: counts malformed frames per channel and
+/// quarantines a channel whose count exceeds `budget` within one window;
+/// after `duration` the channel is readmitted and its budget resets.
+/// Thread-safe (ThreadRuntime agents record concurrently).
+class ChannelGuard {
+ public:
+  /// `budget` 0 = count malformed frames but never quarantine.
+  ChannelGuard(int num_agents, int budget, std::int64_t duration);
+
+  /// Record one malformed frame on (from, to) at `now`; returns true when
+  /// this pushes the channel into quarantine.
+  bool record_malformed(AgentId from, AgentId to, std::int64_t now);
+
+  /// True while (from, to) is quarantined at `now`. A window that has
+  /// elapsed readmits the channel and resets its malformed budget.
+  bool is_quarantined(AgentId from, AgentId to, std::int64_t now);
+
+  /// Count one frame dropped because its channel was quarantined.
+  void note_quarantine_drop() {
+    quarantine_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t malformed_frames() const {
+    return malformed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t quarantines() const {
+    return quarantines_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t quarantine_drops() const {
+    return quarantine_drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Channel {
+    int malformed_in_window = 0;
+    std::int64_t quarantined_until = -1;
+  };
+
+  int num_agents_;
+  int budget_;
+  std::int64_t duration_;
+  std::vector<Channel> channels_;  // num_agents^2, row-major by sender
+  std::mutex mutex_;
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> quarantine_drops_{0};
 };
 
 }  // namespace discsp::sim

@@ -7,6 +7,7 @@
 
 #include "csp/problem.h"
 #include "sim/fault.h"
+#include "sim/monitor.h"
 
 namespace discsp::sim {
 
@@ -52,6 +53,17 @@ struct RunMetrics {
   std::uint64_t peak_learned_nogoods = 0; ///< max resident learned, any agent
   std::uint64_t retransmissions = 0;      ///< failure-detector resends
   std::uint64_t detector_false_positives = 0;  ///< resends the receiver had
+
+  // Wire-format defense totals (all zero unless corruption is enabled; see
+  // sim/message.h). Every corrupted frame copy that reaches a receiver must
+  // land in malformed_frames or quarantine_drops — none may reach an agent.
+  std::uint64_t malformed_frames = 0;   ///< frames rejected by checksum/validation
+  std::uint64_t quarantines = 0;        ///< channels pushed into quarantine
+  std::uint64_t quarantine_drops = 0;   ///< frames refused while quarantined
+
+  /// Online invariant-monitor result (all zero when the monitor is off; see
+  /// sim/monitor.h). `monitor.violations` must be zero on every healthy run.
+  MonitorSummary monitor;
 };
 
 struct RunResult {

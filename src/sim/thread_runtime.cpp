@@ -30,6 +30,10 @@ struct Letter {
   /// False for transport letters (retransmissions, acks): they were never
   /// counted in `sent`, so processing them must not bump `processed`.
   bool counted = true;
+  /// Serialized payload when the wire format is active (corruption enabled);
+  /// the receiver must checksum-verify and validate it before the payload is
+  /// trusted (a malformed frame is dropped unprocessed).
+  WireFrame frame = {};
 };
 
 /// Unbounded MPSC mailbox with blocking pop.
@@ -69,6 +73,17 @@ class Mailbox {
     return queue_.empty();
   }
 
+  /// Letters still queued that carry credit (for the monitor's run-end
+  /// credit-conservation check; only meaningful once the threads stopped).
+  std::size_t credited_pending() const {
+    std::lock_guard lock(mutex_);
+    std::size_t n = 0;
+    for (const Letter& letter : queue_) {
+      if (!letter.credit.empty()) ++n;
+    }
+    return n;
+  }
+
   void wake() { cv_.notify_all(); }
 
  private:
@@ -98,6 +113,12 @@ struct ThreadRuntime::Impl {
   std::unique_ptr<FaultPlan> plan;  // present only when faults are enabled
   /// Present only when the plan is and config.retransmit.enabled().
   std::unique_ptr<recovery::RetransmitBuffer> retransmit;
+  /// Present only when config.monitor.enabled.
+  std::unique_ptr<InvariantMonitor> monitor;
+  /// Wire-format state, present only when the plan is and corruption can
+  /// fire (config.faults.corrupt_rate > 0).
+  std::unique_ptr<WireLimits> wire;
+  std::unique_ptr<ChannelGuard> guard;
   std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
 
   Impl(const Problem& p, std::vector<std::unique_ptr<Agent>> a, ThreadRuntimeConfig c)
@@ -113,6 +134,17 @@ struct ThreadRuntime::Impl {
         retransmit = std::make_unique<recovery::RetransmitBuffer>(
             config.retransmit, static_cast<int>(agents.size()));
       }
+      if (config.faults.corrupt_rate > 0) {
+        wire = std::make_unique<WireLimits>(
+            wire_limits_for(problem, static_cast<int>(agents.size())));
+        guard = std::make_unique<ChannelGuard>(static_cast<int>(agents.size()),
+                                               config.faults.quarantine_budget,
+                                               config.faults.quarantine_duration);
+      }
+    }
+    if (config.monitor.enabled) {
+      monitor = std::make_unique<InvariantMonitor>(
+          config.monitor, static_cast<int>(agents.size()));
     }
   }
 
@@ -127,9 +159,19 @@ struct ThreadRuntime::Impl {
   /// plan. Transport letters are uncredited and uncounted: they exist below
   /// the protocol layer that `sent`/`processed` quiescence reasons about.
   void push_transport(AgentId from, AgentId to, Letter letter) {
-    const ChannelVerdict verdict = plan->on_send(from, to);
+    const ChannelVerdict verdict = plan->on_send(from, to, now_us());
     if (verdict.extra_delay > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(verdict.extra_delay));
+    }
+    if (letter.ack_of == 0 && wire != nullptr && verdict.copies > 0) {
+      // Retransmissions re-encode from the tracked (clean) payload; a
+      // corrupted original cannot poison its own repair.
+      letter.frame = encode_frame(letter.payload);
+      if (verdict.corrupt) corrupt_frame(letter.frame, verdict.corrupt_seed);
+    } else if (verdict.corrupt) {
+      // A corrupted ack is unparseable garbage to its receiver: model it as
+      // lost (the sender keeps retransmitting until a clean ack lands).
+      return;
     }
     auto& box = mailboxes[static_cast<std::size_t>(to)];
     for (int copy = 0; copy < verdict.copies; ++copy) {
@@ -159,6 +201,9 @@ struct ThreadRuntime::Impl {
       if (counting_refresh) {
         impl_.refresh_messages.fetch_add(1, std::memory_order_relaxed);
       }
+      if (impl_.monitor != nullptr) {
+        impl_.monitor->on_send(self_, payload, impl_.now_us());
+      }
       if (impl_.plan == nullptr) {
         deliver(to, std::move(payload), /*reorder=*/false, /*extra_delay=*/0,
                 /*track_seq=*/0);
@@ -170,17 +215,25 @@ struct ThreadRuntime::Impl {
         // untracked; only regular protocol sends enter the detector.
         track_seq = impl_.retransmit->track(self_, to, payload, impl_.now_us());
       }
-      const ChannelVerdict verdict = impl_.plan->on_send(self_, to);
+      const ChannelVerdict verdict =
+          impl_.plan->on_send(self_, to, impl_.now_us());
+      WireFrame frame;
+      if (impl_.wire != nullptr && verdict.copies > 0) {
+        frame = encode_frame(payload);
+        if (verdict.corrupt) corrupt_frame(frame, verdict.corrupt_seed);
+      }
       // copies == 0: the message vanishes. Its credit was never detached,
       // so conservation holds — the pool returns it at activation end.
       for (int copy = 0; copy < verdict.copies; ++copy) {
-        deliver(to, payload, verdict.reorder, verdict.extra_delay, track_seq);
+        deliver(to, payload, verdict.reorder, verdict.extra_delay, track_seq,
+                frame);
       }
     }
 
    private:
     void deliver(AgentId to, MessagePayload payload, bool reorder,
-                 std::int64_t extra_delay, std::uint64_t track_seq) {
+                 std::int64_t extra_delay, std::uint64_t track_seq,
+                 WireFrame frame = {}) {
       // Count the send *before* making it visible so that quiescence
       // (sent == processed && all idle) can never be observed spuriously.
       impl_.sent.fetch_add(1, std::memory_order_acq_rel);
@@ -196,7 +249,8 @@ struct ThreadRuntime::Impl {
       Letter letter{std::move(payload),
                     pool_.empty() ? std::vector<int>{}
                                   : std::vector<int>{pool_.split()},
-                    /*heartbeat=*/false, self_, track_seq};
+                    /*heartbeat=*/false, self_, track_seq, /*ack_of=*/0,
+                    /*counted=*/true, std::move(frame)};
       auto& box = impl_.mailboxes[static_cast<std::size_t>(to)];
       if (reorder) {
         box.push_front(std::move(letter));
@@ -233,6 +287,7 @@ struct ThreadRuntime::Impl {
         continue;
       }
       pool.add_all(letter.credit);
+      if (monitor != nullptr) monitor->on_activation(now_us());
       const CrashKind crash = plan != nullptr
                                   ? plan->on_deliver(static_cast<AgentId>(i))
                                   : CrashKind::kNone;
@@ -245,8 +300,31 @@ struct ThreadRuntime::Impl {
         if (retransmit != nullptr) retransmit->forget_agent(static_cast<AgentId>(i));
         agent.amnesia_restart(sink);
       } else {
+        // Wire format active: the frame is what arrived, and it must pass
+        // checksum + semantic validation before anything — even the dedup/
+        // ack machinery — reacts to it. Malformed frames are dropped (their
+        // credit was already absorbed above, so conservation holds) and the
+        // missing ack makes the detector redeliver a clean copy.
+        bool malformed = false;
+        if (!letter.frame.empty()) {
+          const std::int64_t arrival = now_us();
+          if (guard->is_quarantined(letter.from, static_cast<AgentId>(i),
+                                    arrival)) {
+            guard->note_quarantine_drop();
+            malformed = true;
+          } else {
+            DecodeResult decoded = decode_frame(letter.frame, *wire);
+            if (!decoded.ok()) {
+              guard->record_malformed(letter.from, static_cast<AgentId>(i),
+                                      arrival);
+              malformed = true;
+            } else {
+              letter.payload = std::move(*decoded.payload);
+            }
+          }
+        }
         bool suppressed = false;
-        if (letter.track_seq != 0 && retransmit != nullptr) {
+        if (!malformed && letter.track_seq != 0 && retransmit != nullptr) {
           suppressed = retransmit->mark_delivered(letter.from,
                                                   static_cast<AgentId>(i),
                                                   letter.track_seq);
@@ -257,13 +335,26 @@ struct ThreadRuntime::Impl {
                                 static_cast<AgentId>(i), 0, letter.track_seq,
                                 /*counted=*/false});
         }
-        if (!suppressed) {
+        if (!malformed && !suppressed) {
+          if (monitor != nullptr) {
+            monitor->on_deliver(letter.from, static_cast<AgentId>(i),
+                                letter.payload, now_us());
+          }
+          const Value value_before = agent.current_value();
           agent.receive(letter.payload);
           agent.compute(sink);
+          if (monitor != nullptr && agent.current_value() != value_before) {
+            monitor->on_progress(now_us());
+          }
         }
       }
       values[i].store(agent.current_value(), std::memory_order_release);
-      if (agent.detected_insoluble()) insoluble.store(true, std::memory_order_release);
+      if (agent.detected_insoluble()) {
+        if (monitor != nullptr) {
+          monitor->on_insoluble(static_cast<AgentId>(i), now_us());
+        }
+        insoluble.store(true, std::memory_order_release);
+      }
       // Activation over: return the remaining credit, then count the
       // message as processed (transport letters were never counted as sent).
       ledger.deposit(pool.drain());
@@ -428,6 +519,26 @@ RunResult ThreadRuntime::run() {
   if (impl.retransmit != nullptr) {
     result.metrics.retransmissions = impl.retransmit->retransmissions();
     result.metrics.detector_false_positives = impl.retransmit->false_positives();
+  }
+  if (impl.guard != nullptr) {
+    result.metrics.malformed_frames = impl.guard->malformed_frames();
+    result.metrics.quarantines = impl.guard->quarantines();
+    result.metrics.quarantine_drops = impl.guard->quarantine_drops();
+  }
+  if (impl.monitor != nullptr) {
+    // Credit conservation (invariant b), checked after every thread has
+    // joined so the counts are race-free: the ledger must never hold more
+    // than one unit per agent, and "terminated" must not coexist with
+    // unprocessed credited letters.
+    std::uint64_t credited_backlog = 0;
+    for (const auto& box : impl.mailboxes) {
+      credited_backlog += box.credited_pending();
+    }
+    impl.monitor->check_credit(impl.ledger.recovered(),
+                               static_cast<int>(impl.agents.size()),
+                               impl.ledger.terminated(), credited_backlog,
+                               impl.now_us());
+    result.metrics.monitor = impl.monitor->summary();
   }
   result.assignment = std::move(a);
   return result;

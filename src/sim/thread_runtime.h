@@ -24,6 +24,7 @@
 #include "sim/agent.h"
 #include "sim/fault.h"
 #include "sim/metrics.h"
+#include "sim/monitor.h"
 
 namespace discsp::sim {
 
@@ -43,6 +44,9 @@ struct ThreadRuntimeConfig {
   /// fault plan is (without faults nothing can be lost). The monitor thread
   /// drives the retransmission timer on its polling tick.
   recovery::RetransmitConfig retransmit;
+  /// Online protocol-invariant monitor (see sim/monitor.h). Time unit here
+  /// is microseconds since runtime construction (stall_window included).
+  MonitorConfig monitor;
 };
 
 class ThreadRuntime {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <vector>
 
 #include "common/options.h"
 #include "common/table.h"
@@ -107,6 +108,66 @@ TEST(ReproConfig, RejectsNonPositive) {
   EXPECT_THROW(repro_config_from(Options(2, argv)), std::invalid_argument);
   const char* argv2[] = {"prog", "--max-cycles=-5"};
   EXPECT_THROW(repro_config_from(Options(2, argv2)), std::invalid_argument);
+}
+
+TEST(ReproConfig, RejectsOutOfRangeFaultRates) {
+  // Every --fault-* probability is validated into [0, 1] with a clear error.
+  const auto reject = [](const char* flag) {
+    const char* argv[] = {"prog", flag};
+    EXPECT_THROW(repro_config_from(Options(2, argv)), std::invalid_argument)
+        << flag << " was accepted";
+  };
+  reject("--fault-drop=1.5");
+  reject("--fault-drop=-0.1");
+  reject("--fault-duplicate=2");
+  reject("--fault-reorder=-1");
+  reject("--fault-corrupt=1.01");
+  reject("--fault-corrupt=-0.5");
+  reject("--fault-crash=7");
+  reject("--fault-amnesia=-0.2");
+
+  // Boundary values are legal.
+  const char* argv[] = {"prog", "--fault-drop=1", "--fault-corrupt=0"};
+  const ReproConfig config = repro_config_from(Options(3, argv));
+  EXPECT_EQ(config.fault_drop, 1.0);
+  EXPECT_EQ(config.fault_corrupt, 0.0);
+}
+
+TEST(ReproConfig, RejectsBadPartitionAndQuarantineKnobs) {
+  const auto reject = [](std::vector<const char*> extra) {
+    std::vector<const char*> argv{"prog"};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    EXPECT_THROW(
+        repro_config_from(Options(static_cast<int>(argv.size()), argv.data())),
+        std::invalid_argument)
+        << extra.front() << " was accepted";
+  };
+  reject({"--partition-interval=-1"});
+  reject({"--partition-duration=-5"});
+  // Duration longer than the interval would overlap episodes.
+  reject({"--partition-interval=100", "--partition-duration=200"});
+  reject({"--partition-groups=1"});
+  reject({"--partition-groups=0"});
+  reject({"--quarantine-budget=-1"});
+  reject({"--quarantine-duration=-1"});
+  reject({"--fault-refresh=-10"});
+  reject({"--monitor-stall=-1"});
+
+  // A sane chaos cell parses and lands in the right fields.
+  const char* argv[] = {"prog", "--partition-interval=400",
+                        "--partition-duration=150", "--partition-groups=3",
+                        "--quarantine-budget=4", "--quarantine-duration=250",
+                        "--monitor=1", "--monitor-stall=1000",
+                        "--fault-corrupt=0.01"};
+  const ReproConfig config = repro_config_from(Options(9, argv));
+  EXPECT_EQ(config.partition_interval, 400);
+  EXPECT_EQ(config.partition_duration, 150);
+  EXPECT_EQ(config.partition_groups, 3);
+  EXPECT_EQ(config.quarantine_budget, 4);
+  EXPECT_EQ(config.quarantine_duration, 250);
+  EXPECT_TRUE(config.monitor);
+  EXPECT_EQ(config.monitor_stall, 1000);
+  EXPECT_EQ(config.fault_corrupt, 0.01);
 }
 
 }  // namespace

@@ -28,10 +28,28 @@ cmake --build "${prefix}-tsan" -j "${jobs}" --target discsp_tests
 
 echo "--- TSan: thread runtime + fault layer tests ---"
 # Run the binary directly (no ctest indirection) and fail the whole script
-# on any sanitizer report or test failure.
+# on any sanitizer report or test failure. PartitionChaos/CorruptionChaos
+# include ThreadRuntime legs that exercise the monitor's concurrent mode.
 if ! "${prefix}-tsan/tests/discsp_tests" \
-    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:AmnesiaChaos*:*Credit*'; then
+    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:AmnesiaChaos*:PartitionChaos*:CorruptionChaos*:*Credit*'; then
   echo "TSan leg failed." >&2
+  exit 1
+fi
+
+echo
+echo "=== AddressSanitizer build (${prefix}-asan) ==="
+cmake -B "${prefix}-asan" -S . \
+      -DDISCSP_SANITIZE=address \
+      -DDISCSP_BUILD_BENCH=OFF \
+      -DDISCSP_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "${prefix}-asan" -j "${jobs}" --target discsp_tests
+
+echo "--- ASan+UBSan: wire decode fuzz + corruption/partition chaos ---"
+# The decoder fuzz tests feed adversarial frames straight into the parser;
+# ASan/UBSan turn any out-of-bounds read or signed overflow into a failure.
+if ! "${prefix}-asan/tests/discsp_tests" \
+    --gtest_filter='WireFormat*:ChannelGuardPolicy*:DcspDigest*:ReproBundle*:MonitorOracle*:PartitionSchedule*:PartitionChaos*:CorruptionChaos*'; then
+  echo "ASan leg failed." >&2
   exit 1
 fi
 
