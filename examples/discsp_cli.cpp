@@ -9,8 +9,15 @@
 //   discsp_cli solve inst.cnf --algo db
 //   discsp_cli repro repro-awc-1a2b.repro
 //   discsp_cli experiment --family d3s --n 40 --trials 20 --threads 8
+//   discsp_cli serve inst.dcsp --workers 3 --deadline-ms 5000
+//   discsp_cli serve inst.dcsp --listen 127.0.0.1:0 --port-file port.txt
+//   discsp_cli worker --connect 127.0.0.1:9000
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "abt/abt_solver.h"
 #include "analysis/experiment.h"
@@ -25,6 +32,10 @@
 #include "gen/onesat_gen.h"
 #include "gen/sat_gen.h"
 #include "learning/strategy.h"
+#include "net/coordinator.h"
+#include "net/jobspec.h"
+#include "net/tcp_transport.h"
+#include "net/worker.h"
 #include "sat/cnf_to_csp.h"
 #include "sat/dimacs.h"
 #include "sim/async_engine.h"
@@ -356,13 +367,203 @@ int cmd_experiment(const Options& opts) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Multi-process runtime (docs/NETWORK.md).
+
+// Assemble the job spec shared by every worker: the full repro bundle
+// (instance embedded) plus the sharding/reporting knobs. The recorded
+// transport and deadline make any emitted repro bundle replayable in-process.
+net::JobSpec build_jobspec(const Options& opts, const DistributedProblem& dp,
+                           const NetConfig& net_cfg) {
+  const ReproConfig repro = repro_config_from(opts);
+  analysis::ReproBundle bundle;
+  bundle.algo = opts.get_string("algo", "awc");
+  if (bundle.algo != "awc" && bundle.algo != "db") {
+    throw std::invalid_argument("serve: --algo must be awc or db (only the "
+                                "hardened algorithms run distributed)");
+  }
+  bundle.strategy = opts.get_string("strategy", "Rslv");
+  bundle.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  bundle.faults = sim::fault_config_from(repro);
+  bundle.faults.validate();
+  // Distributed runs default the failure detector ON (50 ms base RTO):
+  // worker death always loses in-flight messages, faults or not.
+  bundle.retransmit.ack_timeout =
+      opts.get_int("ack-timeout", 50, "REPRO_ACK_TIMEOUT");
+  bundle.retransmit.validate();
+  bundle.nogood_capacity = static_cast<std::size_t>(repro.nogood_capacity);
+  bundle.journal = repro.fault_amnesia > 0;
+  bundle.checkpoint_interval = static_cast<int>(repro.checkpoint_interval);
+  bundle.incremental = repro.incremental;
+  // The coordinator-side invariant monitor likewise defaults ON.
+  bundle.monitor = opts.get_bool("monitor", true, "REPRO_MONITOR");
+  bundle.monitor_stall = repro.monitor_stall;
+  bundle.instance = dp;
+  bundle.transport = net_cfg.listen.empty() ? "inproc" : "tcp";
+  bundle.deadline_ms = net_cfg.deadline_ms;
+
+  Rng rng(bundle.seed);
+  const Problem& p = dp.problem();
+  bundle.initial.resize(static_cast<std::size_t>(p.num_variables()));
+  for (VarId v = 0; v < p.num_variables(); ++v) {
+    bundle.initial[static_cast<std::size_t>(v)] = static_cast<Value>(
+        rng.below(static_cast<std::uint64_t>(p.domain_size(v))));
+  }
+
+  net::JobSpec job;
+  job.bundle = std::move(bundle);
+  job.num_workers = net_cfg.workers;
+  job.report_interval_ms = net_cfg.report_interval_ms;
+  return job;
+}
+
+net::ServeConfig build_serve_config(net::JobSpec job, const NetConfig& net_cfg) {
+  net::ServeConfig cfg;
+  cfg.job = std::move(job);
+  cfg.deadline_ms = net_cfg.deadline_ms;
+  cfg.supervisor.dead_after_ms = net_cfg.dead_after_ms;
+  cfg.supervisor.suspect_after_ms =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(250, net_cfg.dead_after_ms / 2));
+  cfg.supervisor.ping_interval_ms =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(50, cfg.supervisor.suspect_after_ms));
+  cfg.emit_dir = net_cfg.emit_dir;
+  cfg.transport = net_cfg.listen.empty() ? "inproc" : "tcp";
+  return cfg;
+}
+
+int report_serve(const net::ServeResult& res, const DistributedProblem& dp,
+                 const net::ServeConfig& cfg) {
+  const sim::RunMetrics& m = res.run.metrics;
+  std::cout << "stop: " << net::to_string(res.reason) << " (worker restarts "
+            << res.worker_restarts << ", deliveries " << m.cycles << ", messages "
+            << m.messages << ")\n";
+  if (cfg.job.bundle.faults.enabled()) print_chaos_counters(m);
+  if (cfg.job.bundle.monitor) print_monitor_summary(m.monitor);
+  if (!res.bundle_path.empty()) {
+    std::cout << "repro bundle: " << res.bundle_path << '\n';
+  }
+  if (!res.error.empty()) {
+    std::cerr << "serve: " << res.error << '\n';
+    return 2;
+  }
+  const Problem& p = dp.problem();
+  if (m.solved) {
+    const auto validation = validate_solution(p, res.run.assignment);
+    std::cout << "SOLVED; validated: " << (validation.ok ? "yes" : "NO") << '\n';
+    return validation.ok ? 0 : 1;
+  }
+  if (m.insoluble) {
+    std::cout << "INSOLUBLE (empty nogood derived)\n";
+    return 0;
+  }
+  if (res.reason == net::StopReason::kDeadline) {
+    // Graceful degradation: a well-formed partial result with full metrics.
+    std::size_t assigned = 0;
+    for (Value v : res.run.assignment) {
+      if (v != kNoValue) ++assigned;
+    }
+    std::cout << "DEADLINE: partial assignment covers " << assigned << '/'
+              << p.num_variables() << " variables";
+    if (assigned == static_cast<std::size_t>(p.num_variables())) {
+      std::cout << " (" << p.violated_count(res.run.assignment)
+                << " violated constraints)";
+    }
+    std::cout << '\n';
+    return 3;
+  }
+  std::cout << "UNDECIDED\n";
+  return 1;
+}
+
+int cmd_serve(const Options& opts) {
+  if (opts.positional().size() < 2) {
+    std::cerr << "usage: discsp_cli serve FILE [--workers N] [--listen host:port] "
+                 "[--port-file F] [--deadline-ms N] [--algo awc|db] [--strategy S] "
+                 "[--seed S] [--report-interval-ms N] [--dead-after-ms N] "
+                 "[--emit-dir DIR] [--ack-timeout N] [--monitor 0|1] "
+                 "[+ the --fault-* / --partition-* / --quarantine-* knobs of solve]\n";
+    return 2;
+  }
+  const NetConfig net_cfg = net_config_from(opts);
+  const auto dp = load(opts.positional()[1]);
+  const net::ServeConfig cfg =
+      build_serve_config(build_jobspec(opts, dp, net_cfg), net_cfg);
+
+  if (net_cfg.listen.empty()) {
+    // In-process distributed mode: the same protocol, frames and supervisor,
+    // with worker threads instead of worker processes.
+    net::InProcTransport transport;
+    auto listener = transport.listen("coordinator");
+    std::vector<net::WorkerResult> results(
+        static_cast<std::size_t>(net_cfg.workers));
+    std::vector<std::thread> threads;
+    threads.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      threads.emplace_back([&transport, &results, i] {
+        net::WorkerConfig wc;
+        wc.endpoint = "coordinator";
+        wc.connect_timeout_ms = 1000;
+        wc.max_connect_attempts = 10;
+        wc.reconnect_seed = 0x5eed + i;
+        results[i] = net::run_worker(transport, wc);
+      });
+    }
+    const net::ServeResult res = net::serve(*listener, cfg);
+    for (std::thread& t : threads) t.join();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].error.empty()) {
+        std::cerr << "worker " << i << ": " << results[i].error << '\n';
+      }
+    }
+    return report_serve(res, dp, cfg);
+  }
+
+  net::TcpTransport transport;
+  auto listener = transport.listen(net_cfg.listen);
+  if (!net_cfg.port_file.empty()) {
+    std::ofstream port_file(net_cfg.port_file);
+    port_file << listener->port() << '\n';
+  }
+  std::cout << "listening on " << net_cfg.listen << " (port "
+            << listener->port() << "), expecting " << net_cfg.workers
+            << " workers\n"
+            << std::flush;
+  const net::ServeResult res = net::serve(*listener, cfg);
+  return report_serve(res, dp, cfg);
+}
+
+int cmd_worker(const Options& opts) {
+  const NetConfig net_cfg = net_config_from(opts);
+  if (net_cfg.connect.empty()) {
+    std::cerr << "usage: discsp_cli worker --connect host:port [--shard K] "
+                 "[--exit-after-ms N]\n";
+    return 2;
+  }
+  net::TcpTransport transport;
+  net::WorkerConfig wc;
+  wc.endpoint = net_cfg.connect;
+  wc.shard = net_cfg.shard >= 0 ? static_cast<std::uint64_t>(net_cfg.shard)
+                                : net::kAnyShard;
+  wc.exit_after_ms = net_cfg.exit_after_ms;
+  const net::WorkerResult res = net::run_worker(transport, wc);
+  if (!res.error.empty()) {
+    std::cerr << "worker: " << res.error << '\n';
+    return 1;
+  }
+  std::cout << "worker done: stop=" << net::to_string(res.stop)
+            << " reconnects=" << res.reconnects
+            << (res.killed ? " (simulated kill)" : "") << '\n';
+  return res.killed || res.completed ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options opts(argc, argv);
     if (opts.positional().empty()) {
-      std::cerr << "usage: discsp_cli <gen|convert|solve|repro|experiment> ...\n";
+      std::cerr << "usage: discsp_cli "
+                   "<gen|convert|solve|repro|experiment|serve|worker> ...\n";
       return 2;
     }
     const std::string& cmd = opts.positional()[0];
@@ -371,6 +572,8 @@ int main(int argc, char** argv) {
     if (cmd == "solve") return cmd_solve(opts);
     if (cmd == "repro") return cmd_repro(opts);
     if (cmd == "experiment") return cmd_experiment(opts);
+    if (cmd == "serve") return cmd_serve(opts);
+    if (cmd == "worker") return cmd_worker(opts);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 2;
   } catch (const std::exception& e) {

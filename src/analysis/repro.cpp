@@ -158,6 +158,8 @@ void write_bundle(std::ostream& out, const ReproBundle& bundle) {
   out << "incremental " << (bundle.incremental ? 1 : 0) << '\n';
   out << "monitor " << (bundle.monitor ? 1 : 0) << '\n';
   out << "monitor-stall " << bundle.monitor_stall << '\n';
+  out << "transport " << bundle.transport << '\n';
+  out << "deadline-ms " << bundle.deadline_ms << '\n';
 
   write_assignment(out, "initial", bundle.initial);
   write_assignment(out, "planted", bundle.planted);
@@ -285,6 +287,15 @@ ReproBundle read_bundle(std::istream& in) {
       read_bool(bundle.monitor);
     } else if (keyword == "monitor-stall") {
       read_i64(bundle.monitor_stall);
+    } else if (keyword == "transport") {
+      if (!(body >> bundle.transport) ||
+          (bundle.transport != "async" && bundle.transport != "inproc" &&
+           bundle.transport != "tcp")) {
+        fail(lineno, "transport must be async, inproc or tcp");
+      }
+    } else if (keyword == "deadline-ms") {
+      read_i64(bundle.deadline_ms);
+      if (bundle.deadline_ms < 0) fail(lineno, "deadline-ms must be >= 0");
     } else if (keyword == "initial") {
       bundle.initial = parse_assignment(body, lineno);
     } else if (keyword == "planted") {

@@ -63,6 +63,16 @@ struct ReproBundle {
   /// The instance, embedded in the bundle as .dcsp.
   DistributedProblem instance{Problem{}, {}};
 
+  /// Execution surface of the emitting run: "async" (in-process AsyncEngine,
+  /// also the replay surface), "inproc" (multi-process protocol over the
+  /// in-proc transport) or "tcp" (real sockets). Replays always run the
+  /// async path — the field records provenance, so a failure first seen in a
+  /// multi-process run replays deterministically in-process.
+  std::string transport = "async";
+  /// Wall-clock deadline of the emitting run in ms (net/clock.h); 0 = none.
+  /// Informational: the async replay is bounded by max_activations instead.
+  std::int64_t deadline_ms = 0;
+
   /// Why this bundle was emitted (one line; e.g. "monitor violation" or
   /// "cell 0.20/0.10 solved 17/20 < 95%").
   std::string reason;

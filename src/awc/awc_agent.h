@@ -100,6 +100,10 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   void crash_restart(sim::MessageSink& out) override;
   void amnesia_restart(sim::MessageSink& out) override;
   void on_heartbeat(sim::MessageSink& out) override;
+  void set_seq_floor(std::uint64_t floor) override {
+    // broadcast_ok pre-increments, so the next announcement carries > floor.
+    if (ok_seq_ < floor) ok_seq_ = floor;
+  }
   std::uint64_t nogoods_generated() const override { return nogoods_generated_; }
   std::uint64_t redundant_generations() const override { return redundant_generations_; }
   std::uint64_t work_ops() const override { return store_.work_ops(); }

@@ -161,4 +161,71 @@ ReproConfig repro_config_from(const Options& opts) {
   return cfg;
 }
 
+namespace {
+
+/// Syntactic endpoint check: "host:port", non-empty host, numeric port in
+/// [0, 65535]. Resolution/bind errors are the transport's job; this only
+/// guarantees the flag is shaped like an endpoint.
+void check_endpoint(const std::string& endpoint, const char* flag) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == endpoint.size()) {
+    throw std::invalid_argument(std::string(flag) +
+                                " expects host:port, got '" + endpoint + "'");
+  }
+  const std::string port = endpoint.substr(colon + 1);
+  long value = 0;
+  try {
+    std::size_t used = 0;
+    value = std::stol(port, &used);
+    if (used != port.size()) throw std::invalid_argument(port);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string(flag) + " port '" + port +
+                                "' is not a number");
+  }
+  if (value < 0 || value > 65535) {
+    throw std::invalid_argument(std::string(flag) +
+                                " port must lie in [0, 65535]");
+  }
+}
+
+}  // namespace
+
+NetConfig net_config_from(const Options& opts) {
+  NetConfig cfg;
+  cfg.listen = opts.get_string("listen", cfg.listen);
+  cfg.connect = opts.get_string("connect", cfg.connect);
+  cfg.workers = static_cast<int>(opts.get_int("workers", cfg.workers));
+  cfg.deadline_ms = opts.get_int("deadline-ms", cfg.deadline_ms);
+  cfg.shard = opts.get_int("shard", cfg.shard);
+  cfg.exit_after_ms = opts.get_int("exit-after-ms", cfg.exit_after_ms);
+  cfg.port_file = opts.get_string("port-file", cfg.port_file);
+  cfg.report_interval_ms =
+      opts.get_int("report-interval-ms", cfg.report_interval_ms);
+  cfg.dead_after_ms = opts.get_int("dead-after-ms", cfg.dead_after_ms);
+  cfg.emit_dir = opts.get_string("emit-dir", cfg.emit_dir);
+
+  if (!cfg.listen.empty()) check_endpoint(cfg.listen, "--listen");
+  if (!cfg.connect.empty()) check_endpoint(cfg.connect, "--connect");
+  // 4096 mirrors the wire protocol's kMaxWorkers sanity cap.
+  if (cfg.workers < 1 || cfg.workers > 4096) {
+    throw std::invalid_argument("--workers must lie in [1, 4096]");
+  }
+  if (cfg.deadline_ms < 0) {
+    throw std::invalid_argument("--deadline-ms must be >= 0");
+  }
+  if (cfg.shard < -1) {
+    throw std::invalid_argument("--shard must be >= 0 (or -1 for any)");
+  }
+  if (cfg.exit_after_ms < 0) {
+    throw std::invalid_argument("--exit-after-ms must be >= 0");
+  }
+  if (cfg.report_interval_ms < 1) {
+    throw std::invalid_argument("--report-interval-ms must be >= 1");
+  }
+  if (cfg.dead_after_ms < 1) {
+    throw std::invalid_argument("--dead-after-ms must be >= 1");
+  }
+  return cfg;
+}
+
 }  // namespace discsp

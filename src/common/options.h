@@ -107,4 +107,41 @@ struct ReproConfig {
 /// the offending flag named.
 ReproConfig repro_config_from(const Options& opts);
 
+/// Knobs of the multi-process runtime (`discsp_cli serve` / `worker`; see
+/// docs/NETWORK.md). Validation here is purely syntactic — endpoint shape,
+/// ranges — so a bad flag fails fast with its name instead of surfacing as a
+/// socket error mid-run.
+struct NetConfig {
+  /// Coordinator bind endpoint "host:port" ("" = in-proc worker threads).
+  /// Port 0 binds an ephemeral port (report it with --port-file).
+  std::string listen;
+  /// Worker-side coordinator endpoint "host:port".
+  std::string connect;
+  /// Worker shards the coordinator expects (agents are dealt round-robin).
+  int workers = 3;
+  /// Wall-clock budget in ms; 0 = unlimited. On expiry the run degrades
+  /// gracefully: workers are stopped and the best partial result returned.
+  std::int64_t deadline_ms = 0;
+  /// Worker: requested shard (-1 = let the coordinator assign one).
+  std::int64_t shard = -1;
+  /// Worker: simulate a SIGKILL this many ms after attaching (0 = off).
+  std::int64_t exit_after_ms = 0;
+  /// Coordinator: write the bound TCP port here (ephemeral-port rendezvous).
+  std::string port_file;
+  /// Worker stats cadence in ms.
+  std::int64_t report_interval_ms = 25;
+  /// Supervisor silence window after which a worker slot is declared dead.
+  std::int64_t dead_after_ms = 2000;
+  /// Directory for repro bundles on monitor violations ("" = disabled).
+  std::string emit_dir;
+};
+
+/// Build a NetConfig from --listen, --connect, --workers, --deadline-ms,
+/// --shard, --exit-after-ms, --port-file, --report-interval-ms,
+/// --dead-after-ms and --emit-dir. Endpoints must look like "host:port" with
+/// a numeric port in [0, 65535]; --workers must lie in [1, 4096]; every
+/// duration must be non-negative. Violations throw std::invalid_argument
+/// naming the offending flag.
+NetConfig net_config_from(const Options& opts);
+
 }  // namespace discsp

@@ -63,6 +63,15 @@ class DbAgent final : public sim::Agent {
   void crash_restart(sim::MessageSink& out) override;
   void amnesia_restart(sim::MessageSink& out) override;
   void on_heartbeat(sim::MessageSink& out) override;
+  void set_seq_floor(std::uint64_t floor) override {
+    // Rounds double as ok?/improve seqs; resume strictly above the floor so
+    // neighbors' per-round guards accept the rebuilt agent's announcements
+    // (they would otherwise drop them as stale until catch_up converges).
+    if (round_ <= floor) {
+      round_ = floor + 1;
+      awaiting_improves_ = false;
+    }
+  }
   std::uint64_t work_ops() const override { return work_ops_; }
   RecoveryStats recovery_stats() const override;
 

@@ -1,0 +1,51 @@
+// Wall-clock deadline budgets for the multi-process runtime.
+//
+// The in-process engines meter runs in virtual time or activations; a
+// distributed run has neither, so the coordinator owns a single wall-clock
+// budget. When it expires the run degrades gracefully: workers are stopped,
+// final reports are collected, and the caller receives the best partial
+// assignment plus full metrics instead of a hang (docs/NETWORK.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace discsp::net {
+
+/// Monotonic milliseconds (std::chrono::steady_clock); never goes backwards,
+/// unaffected by wall-clock adjustments.
+inline std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A wall-clock budget started at construction. `limit_ms` 0 disables the
+/// deadline (the budget never expires but still measures elapsed time).
+class DeadlineBudget {
+ public:
+  explicit DeadlineBudget(std::int64_t limit_ms)
+      : limit_ms_(limit_ms), start_ms_(steady_now_ms()) {}
+
+  bool limited() const { return limit_ms_ > 0; }
+  std::int64_t limit_ms() const { return limit_ms_; }
+
+  std::int64_t elapsed_ms() const { return steady_now_ms() - start_ms_; }
+
+  /// Milliseconds left before expiry, clamped at 0; effectively unbounded
+  /// when no limit was set.
+  std::int64_t remaining_ms() const {
+    if (!limited()) return std::numeric_limits<std::int64_t>::max();
+    const std::int64_t left = limit_ms_ - elapsed_ms();
+    return left > 0 ? left : 0;
+  }
+
+  bool expired() const { return limited() && remaining_ms() == 0; }
+
+ private:
+  std::int64_t limit_ms_;
+  std::int64_t start_ms_;
+};
+
+}  // namespace discsp::net

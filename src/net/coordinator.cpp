@@ -1,0 +1,549 @@
+#include "net/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "analysis/repro.h"
+#include "net/clock.h"
+#include "sim/monitor.h"
+
+namespace discsp::net {
+
+namespace {
+
+AgentId payload_sender(const sim::MessagePayload& payload) {
+  return std::visit([](const auto& m) { return m.sender; }, payload);
+}
+
+/// Sum `add` into `into` (peak counters take the max). decode_metrics_words
+/// assigns, so incarnation snapshots are decoded into a fresh RunMetrics and
+/// merged here.
+void merge_metrics(sim::RunMetrics& into, const sim::RunMetrics& add) {
+  into.total_checks += add.total_checks;
+  into.work_ops += add.work_ops;
+  into.messages += add.messages;
+  into.nogoods_generated += add.nogoods_generated;
+  into.redundant_generations += add.redundant_generations;
+  into.refresh_messages += add.refresh_messages;
+  into.heartbeats += add.heartbeats;
+  into.journal_appends += add.journal_appends;
+  into.journal_checkpoints += add.journal_checkpoints;
+  into.journal_replays += add.journal_replays;
+  into.store_evictions += add.store_evictions;
+  into.peak_learned_nogoods =
+      std::max(into.peak_learned_nogoods, add.peak_learned_nogoods);
+  into.retransmissions += add.retransmissions;
+  into.detector_false_positives += add.detector_false_positives;
+  into.malformed_frames += add.malformed_frames;
+  into.quarantines += add.quarantines;
+  into.quarantine_drops += add.quarantine_drops;
+  into.faults.dropped += add.faults.dropped;
+  into.faults.duplicated += add.faults.duplicated;
+  into.faults.reordered += add.faults.reordered;
+  into.faults.delay_spikes += add.faults.delay_spikes;
+  into.faults.crashes += add.faults.crashes;
+  into.faults.amnesia += add.faults.amnesia;
+  into.faults.partition_drops += add.faults.partition_drops;
+  into.faults.corrupted += add.faults.corrupted;
+}
+
+sim::MonitorConfig monitor_config_for(const analysis::ReproBundle& bundle) {
+  sim::MonitorConfig config;
+  config.enabled = bundle.monitor;
+  config.planted = bundle.planted;
+  config.stall_window = bundle.monitor_stall;
+  return config;
+}
+
+class Coordinator {
+ public:
+  Coordinator(Listener& listener, const ServeConfig& config)
+      : listener_(listener),
+        config_(config),
+        problem_(config.job.bundle.instance.problem()),
+        num_vars_(problem_.num_variables()),
+        num_workers_(config.job.num_workers),
+        digest_(jobspec_digest(config.job)),
+        limits_(sim::wire_limits_for(problem_, num_vars_)),
+        supervisor_(config.supervisor, config.job.num_workers),
+        monitor_(monitor_config_for(config.job.bundle), num_vars_,
+                 /*concurrent=*/false),
+        budget_(config.deadline_ms),
+        slots_(static_cast<std::size_t>(config.job.num_workers)),
+        values_(static_cast<std::size_t>(num_vars_), kNoValue),
+        max_seq_(static_cast<std::size_t>(num_vars_), 0) {
+    start_ms_ = steady_now_ms();
+  }
+
+  ServeResult run() {
+    while (!stopping_) {
+      const std::int64_t now = elapsed();
+      accept_connections(now);
+      handshake_pending(now);
+      const bool activity = pump_slots(now);
+      if (!stopping_) supervise(now);
+      if (!stopping_) evaluate(now);
+      if (stopping_) break;
+      if (budget_.limited() && budget_.expired()) {
+        request_stop(StopReason::kDeadline);
+        break;
+      }
+      if (!all_attached_once_ && now >= config_.attach_timeout_ms) {
+        result_.error = "not every worker slot attached within " +
+                        std::to_string(config_.attach_timeout_ms) + " ms";
+        request_stop(StopReason::kShutdown);
+        break;
+      }
+      if (!activity) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    drain_grace();
+    return finish();
+  }
+
+ private:
+  struct Slot {
+    std::unique_ptr<Connection> conn;
+    std::uint64_t incarnation = 0;  // attach count
+    bool attached = false;
+    bool idle = false;
+    bool final_seen = false;
+    std::uint64_t sent = 0;       // current incarnation, latest report
+    std::uint64_t processed = 0;  // current incarnation, latest report
+    std::uint64_t prior_processed = 0;  // folded dead incarnations
+    std::vector<std::uint64_t> latest_words;
+    sim::RunMetrics prior;  // folded dead incarnations
+  };
+
+  struct PendingConn {
+    std::unique_ptr<Connection> conn;
+    std::int64_t deadline_ms = 0;
+  };
+
+  // ----- attach path -----------------------------------------------------
+
+  void accept_connections(std::int64_t now) {
+    while (auto conn = listener_.accept()) {
+      pending_.push_back({std::move(conn), now + kHelloTimeoutMs});
+    }
+  }
+
+  void handshake_pending(std::int64_t now) {
+    for (std::size_t i = 0; i < pending_.size();) {
+      PendingConn& p = pending_[i];
+      p.conn->pump(0);
+      WireFrame raw;
+      bool resolved = false;
+      while (!resolved && p.conn->recv(raw)) {
+        const NetDecodeResult decoded = decode_net_frame(raw);
+        if (!decoded.ok()) continue;
+        if (const auto* hello = std::get_if<NetHello>(&*decoded.frame)) {
+          attach(std::move(p.conn), *hello, now);
+          resolved = true;
+        }
+        // Anything else before HELLO is a protocol error; keep waiting.
+      }
+      if (resolved || now >= p.deadline_ms || !p.conn || !p.conn->open()) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void refuse(std::unique_ptr<Connection> conn, NetErrorCode code) {
+    conn->send(encode_net_frame(NetFrame{NetError{code}}));
+    conn->pump(0);  // flush before the connection drops
+  }
+
+  void attach(std::unique_ptr<Connection> conn, const NetHello& hello,
+              std::int64_t now) {
+    if (hello.proto != kNetProtoVersion) {
+      refuse(std::move(conn), NetErrorCode::kVersionMismatch);
+      return;
+    }
+    if (hello.digest != 0 && hello.digest != digest_) {
+      refuse(std::move(conn), NetErrorCode::kDigestMismatch);
+      return;
+    }
+    int idx = -1;
+    if (hello.shard < static_cast<std::uint64_t>(num_workers_) &&
+        !slots_[hello.shard].attached) {
+      idx = static_cast<int>(hello.shard);
+    } else {
+      for (int i = 0; i < num_workers_; ++i) {
+        if (!slots_[static_cast<std::size_t>(i)].attached) {
+          idx = i;
+          break;
+        }
+      }
+    }
+    if (idx < 0) {
+      refuse(std::move(conn), NetErrorCode::kNoShard);
+      return;
+    }
+    Slot& slot = slots_[static_cast<std::size_t>(idx)];
+    // A worker that already holds the job (digest in its HELLO) survived with
+    // its agents — only the socket died. A digest-less HELLO on a used slot
+    // is a fresh process replacing a dead incarnation: fold the dead
+    // incarnation's counters and have the replacement recover.
+    const bool continuation = hello.digest == digest_ && slot.incarnation > 0;
+    const bool replacement = !continuation && slot.incarnation > 0;
+    if (replacement) {
+      fold_slot(slot);
+      ++restarts_;
+    }
+    ++slot.incarnation;
+    slot.conn = std::move(conn);
+    slot.attached = true;
+    slot.idle = false;
+    slot.final_seen = false;
+    supervisor_.note_attached(idx, now);
+
+    NetWelcome welcome;
+    welcome.shard = static_cast<std::uint64_t>(idx);
+    welcome.num_workers = static_cast<std::uint64_t>(num_workers_);
+    welcome.digest = digest_;
+    welcome.incarnation = slot.incarnation;
+    welcome.restart = replacement;
+    slot.conn->send(encode_net_frame(NetFrame{welcome}));
+
+    JobSpec spec = config_.job;
+    for (AgentId a = 0; a < num_vars_; ++a) {
+      if (spec.shard_of(a) == idx && max_seq_[static_cast<std::size_t>(a)] > 0) {
+        spec.seq_floors.emplace_back(a, max_seq_[static_cast<std::size_t>(a)]);
+      }
+    }
+    slot.conn->send(encode_net_frame(NetFrame{NetJob{serialize_jobspec(spec)}}));
+    slot.conn->pump(0);
+
+    all_attached_once_ =
+        std::all_of(slots_.begin(), slots_.end(),
+                    [](const Slot& s) { return s.incarnation > 0; });
+  }
+
+  // ----- frame pump ------------------------------------------------------
+
+  bool pump_slots(std::int64_t now) {
+    bool activity = false;
+    for (int i = 0; i < num_workers_; ++i) {
+      Slot& slot = slots_[static_cast<std::size_t>(i)];
+      if (!slot.attached) continue;
+      slot.conn->pump(0);
+      const bool quarantined =
+          supervisor_.health(i, now) == PeerHealth::kQuarantined;
+      WireFrame raw;
+      while (slot.conn->recv(raw)) {
+        activity = true;
+        const NetDecodeResult decoded = decode_net_frame(raw);
+        if (!decoded.ok()) {
+          supervisor_.note_malformed(i, now);
+          continue;
+        }
+        if (quarantined) continue;  // drained but refused until readmission
+        supervisor_.note_alive(i, now);
+        handle_frame(i, *decoded.frame, now);
+      }
+      if (!slot.conn->open()) detach(i);
+    }
+    return activity;
+  }
+
+  void handle_frame(int i, const NetFrame& frame, std::int64_t now) {
+    if (const auto* route = std::get_if<NetRoute>(&frame)) {
+      handle_route(i, *route, now);
+    } else if (const auto* ack = std::get_if<NetAck>(&frame)) {
+      if (ack->from < 0 || ack->from >= num_vars_) {
+        supervisor_.note_malformed(i, now);
+        return;
+      }
+      forward(config_.job.shard_of(ack->from), NetFrame{*ack});
+    } else if (const auto* stats = std::get_if<NetStats>(&frame)) {
+      handle_stats(i, *stats, now);
+    }
+    // NetPong carries no state beyond liveness (already noted); everything
+    // else is a protocol misuse by an attached worker and is ignored.
+  }
+
+  void handle_route(int i, const NetRoute& route, std::int64_t now) {
+    if (route.to < 0 || route.to >= num_vars_) {
+      supervisor_.note_malformed(i, now);
+      return;
+    }
+    const sim::DecodeResult decoded = sim::decode_frame(route.frame, limits_);
+    if (decoded.ok()) {
+      if (payload_sender(*decoded.payload) != route.from) {
+        // A forged route (valid payload under a wrong label) never happens
+        // under the fault model; refuse it rather than corrupt the seq map.
+        supervisor_.note_malformed(i, now);
+        return;
+      }
+      note_payload(route.from, route.to, *decoded.payload, now);
+    }
+    // A frame the checksum rejects is forwarded anyway: the receiving
+    // worker's decode_frame charges it to the agent-level ChannelGuard,
+    // exactly like in-process corruption.
+    monitor_.on_activation(now);
+    forward(config_.job.shard_of(route.to), NetFrame{route});
+  }
+
+  /// Routed ok?/improve seqs feed the per-agent floor map (what a rebuilt
+  /// worker's announcements must exceed) and the invariant monitor; routed
+  /// ok?s double as fresh value observations.
+  void note_payload(AgentId from, AgentId to,
+                    const sim::MessagePayload& payload, std::int64_t now) {
+    monitor_.on_send(from, payload, now);
+    monitor_.on_deliver(from, to, payload, now);
+    const auto slot = static_cast<std::size_t>(from);
+    if (const auto* ok = std::get_if<sim::OkMessage>(&payload)) {
+      max_seq_[slot] = std::max(max_seq_[slot], ok->seq);
+      observe_value(ok->var, ok->value, now);
+    } else if (const auto* improve = std::get_if<sim::ImproveMessage>(&payload)) {
+      max_seq_[slot] = std::max(max_seq_[slot], improve->seq);
+    }
+  }
+
+  void observe_value(VarId var, Value value, std::int64_t now) {
+    if (var < 0 || var >= num_vars_) return;
+    Value& current = values_[static_cast<std::size_t>(var)];
+    if (current == value) return;
+    current = value;
+    monitor_.on_progress(now);
+  }
+
+  void handle_stats(int i, const NetStats& stats, std::int64_t now) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    if (stats.incarnation != slot.incarnation) return;  // stale in-flight
+    slot.idle = stats.idle;
+    slot.sent = stats.sent;
+    slot.processed = stats.processed;
+    slot.latest_words = stats.metrics_words;
+    if (stats.final_report) slot.final_seen = true;
+    for (const auto& [var, value] : stats.values) {
+      observe_value(var, value, now);
+    }
+    if (stats.insoluble && !insoluble_) {
+      insoluble_ = true;
+      monitor_.on_insoluble(stats.insoluble_agent >= 0 ? stats.insoluble_agent
+                                                       : AgentId{0},
+                            now);
+      request_stop(StopReason::kInsoluble);
+    }
+  }
+
+  void forward(int shard, const NetFrame& frame) {
+    Slot& slot = slots_[static_cast<std::size_t>(shard)];
+    // A detached destination drops the frame; the sending agent's retransmit
+    // layer re-offers it once a replacement worker holds the shard.
+    if (slot.attached) slot.conn->send(encode_net_frame(frame));
+  }
+
+  // ----- supervision & termination ---------------------------------------
+
+  void supervise(std::int64_t now) {
+    for (int i = 0; i < num_workers_; ++i) {
+      Slot& slot = slots_[static_cast<std::size_t>(i)];
+      if (!slot.attached) continue;
+      if (supervisor_.dead(i, now)) {
+        detach(i);
+        continue;
+      }
+      if (supervisor_.ping_due(i, now)) {
+        slot.conn->send(encode_net_frame(NetFrame{NetPing{nonce_++, now}}));
+      }
+    }
+  }
+
+  void detach(int i) {
+    Slot& slot = slots_[static_cast<std::size_t>(i)];
+    slot.conn.reset();
+    slot.attached = false;
+    slot.idle = false;
+    supervisor_.note_detached(i);
+  }
+
+  void evaluate(std::int64_t now) {
+    const bool complete =
+        std::none_of(values_.begin(), values_.end(),
+                     [](Value v) { return v == kNoValue; });
+    if (complete) {
+      // A complete snapshot satisfying every constraint is a valid solution
+      // witness, no matter how its values interleaved in time.
+      if (problem_.is_solution(values_)) {
+        solved_ = true;
+        // Freeze the witness now: final stats drained during the grace
+        // window keep updating values_, and the live snapshot may no longer
+        // be a solution by the time finish() runs.
+        solution_ = values_;
+        request_stop(StopReason::kSolved);
+        return;
+      }
+      const std::size_t violated = problem_.violated_count(values_);
+      if (!have_best_ || violated < best_violations_) {
+        best_ = values_;
+        best_violations_ = violated;
+        have_best_ = true;
+      }
+    }
+    if (now - last_quiesce_eval_ >= config_.job.report_interval_ms) {
+      last_quiesce_eval_ = now;
+      if (quiescent()) {
+        if (++idle_rounds_ >= config_.quiesce_rounds) {
+          request_stop(StopReason::kQuiesced);
+        }
+      } else {
+        idle_rounds_ = 0;
+      }
+    }
+  }
+
+  /// Fault-free distributed termination detection: every worker attached and
+  /// idle, every sent message processed, and the totals unchanged since the
+  /// previous round. Under faults (or after any restart) in-flight repair
+  /// traffic makes "quiet" unknowable from here, so the deadline owns
+  /// termination instead.
+  bool quiescent() {
+    if (config_.job.bundle.faults.enabled() || restarts_ > 0) return false;
+    std::uint64_t sent = 0;
+    std::uint64_t processed = 0;
+    for (const Slot& slot : slots_) {
+      if (!slot.attached || !slot.idle) return false;
+      sent += slot.sent;
+      processed += slot.processed;
+    }
+    const bool stable = sent == processed && sent == last_sent_total_ &&
+                        processed == last_processed_total_;
+    last_sent_total_ = sent;
+    last_processed_total_ = processed;
+    return stable;
+  }
+
+  void request_stop(StopReason reason) {
+    if (stopping_) return;
+    stopping_ = true;
+    reason_ = reason;
+    const WireFrame stop = encode_net_frame(NetFrame{NetStop{reason}});
+    for (Slot& slot : slots_) {
+      if (!slot.attached) continue;
+      slot.conn->send(stop);
+      slot.conn->pump(0);
+    }
+  }
+
+  void drain_grace() {
+    const std::int64_t until = elapsed() + config_.grace_ms;
+    while (elapsed() < until) {
+      const bool all_final = std::all_of(
+          slots_.begin(), slots_.end(),
+          [](const Slot& s) { return !s.attached || s.final_seen; });
+      if (all_final) break;
+      if (!pump_slots(elapsed())) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+
+  // ----- result assembly -------------------------------------------------
+
+  /// Fold the slot's current incarnation counters into its dead-incarnation
+  /// accumulator (called when a replacement takes over, and at run end).
+  void fold_slot(Slot& slot) {
+    if (!slot.latest_words.empty()) {
+      sim::RunMetrics incarnation;
+      decode_metrics_words(slot.latest_words, incarnation);
+      merge_metrics(slot.prior, incarnation);
+      slot.latest_words.clear();
+    }
+    slot.prior_processed += slot.processed;
+    slot.processed = 0;
+    slot.sent = 0;
+  }
+
+  ServeResult finish() {
+    result_.reason = reason_;
+    result_.worker_restarts = restarts_;
+    sim::RunMetrics total;
+    std::uint64_t processed = 0;
+    for (Slot& slot : slots_) {
+      fold_slot(slot);
+      merge_metrics(total, slot.prior);
+      processed += slot.prior_processed;
+    }
+    total.monitor = monitor_.summary();
+    total.solved = solved_;
+    total.insoluble = insoluble_;
+    total.timed_out = reason_ == StopReason::kDeadline;
+    total.cycles = static_cast<int>(
+        std::min<std::uint64_t>(processed, static_cast<std::uint64_t>(INT_MAX)));
+    result_.run.metrics = total;
+    // Graceful degradation: a solved run returns the frozen witness; an
+    // unsolved one hands back the least violating complete snapshot seen
+    // (falling back to the final one).
+    result_.run.assignment =
+        solved_ ? solution_ : (have_best_ ? best_ : values_);
+
+    if (total.monitor.violations > 0 && !config_.emit_dir.empty()) {
+      analysis::ReproBundle bundle = config_.job.bundle;
+      bundle.transport = config_.transport;
+      bundle.deadline_ms = config_.deadline_ms;
+      bundle.reason = "monitor violation (" + config_.transport + " transport)";
+      bundle.observed.reset();  // async replay cannot match a wall-clock run
+      result_.bundle_path = analysis::emit_bundle(config_.emit_dir, bundle);
+    }
+    return result_;
+  }
+
+  std::int64_t elapsed() const { return steady_now_ms() - start_ms_; }
+
+  static constexpr std::int64_t kHelloTimeoutMs = 5000;
+
+  Listener& listener_;
+  ServeConfig config_;
+  const Problem& problem_;
+  VarId num_vars_;
+  int num_workers_;
+  std::uint64_t digest_;
+  sim::WireLimits limits_;
+  PeerSupervisor supervisor_;
+  sim::InvariantMonitor monitor_;
+  DeadlineBudget budget_;
+
+  std::vector<Slot> slots_;
+  std::vector<PendingConn> pending_;
+  FullAssignment values_;
+  std::vector<std::uint64_t> max_seq_;
+  FullAssignment best_;
+  std::size_t best_violations_ = 0;
+  bool have_best_ = false;
+  /// The snapshot that won (frozen at declaration; see evaluate()).
+  FullAssignment solution_;
+
+  ServeResult result_;
+  StopReason reason_ = StopReason::kShutdown;
+  bool stopping_ = false;
+  bool solved_ = false;
+  bool insoluble_ = false;
+  bool all_attached_once_ = false;
+  int restarts_ = 0;
+  int idle_rounds_ = 0;
+  std::uint64_t last_sent_total_ = 0;
+  std::uint64_t last_processed_total_ = 0;
+  std::int64_t last_quiesce_eval_ = 0;
+  std::uint64_t nonce_ = 1;
+  std::int64_t start_ms_ = 0;
+};
+
+}  // namespace
+
+ServeResult serve(Listener& listener, const ServeConfig& config) {
+  config.supervisor.validate();
+  Coordinator coordinator(listener, config);
+  return coordinator.run();
+}
+
+}  // namespace discsp::net

@@ -1,0 +1,74 @@
+// The coordinator side of the multi-process runtime (docs/NETWORK.md).
+//
+// serve() owns the listener: it attaches workers (HELLO/WELCOME/JOB), routes
+// every cross-shard agent frame and ack (star topology — all inter-worker
+// traffic passes through here), supervises worker health (pings, silence
+// windows, malformed-frame quarantine via PeerSupervisor), and decides when
+// the run is over:
+//
+//   kSolved    — the value snapshot assembled from worker reports is a
+//                complete assignment satisfying every constraint (a valid
+//                witness regardless of message timing);
+//   kInsoluble — a worker reported an agent derived the empty nogood;
+//   kDeadline  — the wall-clock budget expired: workers are stopped
+//                gracefully and the best snapshot seen so far is returned as
+//                a partial result with full metrics (graceful degradation);
+//   kQuiesced  — fault-free runs only: every worker idle with all traffic
+//                drained over consecutive report rounds (livelock guard).
+//
+// A worker slot that dies (connection loss or silence past the dead window)
+// is detached; the next attaching worker takes the slot with an incremented
+// incarnation, restart=true and per-agent seq floors — the highest ok?/
+// improve seq the coordinator ever routed for each agent — so the rebuilt
+// agents announce above everything their peers' seq guards remember.
+//
+// The run is judged by the same InvariantMonitor as the in-process engines:
+// every successfully validated routed payload feeds on_send + on_deliver,
+// and a nonzero violation count emits a repro bundle whose transport field
+// records the provenance ("inproc" or "tcp").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/jobspec.h"
+#include "net/netframe.h"
+#include "net/supervisor.h"
+#include "net/transport.h"
+#include "sim/metrics.h"
+
+namespace discsp::net {
+
+struct ServeConfig {
+  JobSpec job;
+  /// Wall-clock budget in ms; 0 = unlimited.
+  std::int64_t deadline_ms = 0;
+  SupervisorConfig supervisor;
+  /// After STOP: how long to wait for the workers' final reports.
+  std::int64_t grace_ms = 500;
+  /// Every slot must attach once within this window or serve() aborts
+  /// (guards against hanging forever with no deadline and missing workers).
+  std::int64_t attach_timeout_ms = 10000;
+  /// Consecutive all-idle report rounds before declaring quiescence.
+  int quiesce_rounds = 3;
+  /// Directory for repro bundles on monitor violations ("" = disabled).
+  std::string emit_dir;
+  /// Provenance recorded in emitted bundles: "inproc" or "tcp".
+  std::string transport = "inproc";
+};
+
+struct ServeResult {
+  sim::RunResult run;
+  StopReason reason = StopReason::kShutdown;
+  /// Worker incarnations beyond the first, across all slots.
+  int worker_restarts = 0;
+  /// Nonempty when a monitor violation emitted a repro bundle.
+  std::string bundle_path;
+  /// Nonempty on an aborted run (e.g. workers never attached).
+  std::string error;
+};
+
+/// Run one distributed solve over `listener` until a stop condition fires.
+ServeResult serve(Listener& listener, const ServeConfig& config);
+
+}  // namespace discsp::net

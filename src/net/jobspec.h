@@ -1,0 +1,64 @@
+// The job a coordinator distributes to its workers.
+//
+// A JobSpec is a ReproBundle (analysis/repro.h) — algorithm, strategy, root
+// seed, solver options, fault/retransmit configuration, initial assignment
+// and the embedded .dcsp instance — plus the multi-process extras: the
+// worker count that fixes the agent sharding, the stats reporting cadence,
+// and (on re-attach after a worker death) per-agent sequence floors.
+//
+// Reusing the bundle is deliberate: the coordinator can emit any failing run
+// directly as a repro bundle, and `discsp_cli repro` replays it through the
+// deterministic in-process path (bundle.transport records the provenance).
+//
+// The spec travels as one NetJob text blob. Parsing verifies the embedded
+// instance's .dcsp integrity trailer; the coordinator additionally puts
+// distributed_digest(instance) in its WELCOME so a worker can prove it holds
+// the same instance before (re)building agents.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/repro.h"
+#include "sim/agent.h"
+
+namespace discsp::net {
+
+struct JobSpec {
+  analysis::ReproBundle bundle;
+
+  /// Worker count; agent a lives on shard a % num_workers.
+  int num_workers = 1;
+  /// NetStats reporting period (ms).
+  std::int64_t report_interval_ms = 25;
+  /// Per-agent seq floors (Agent::set_seq_floor) for a rebuilt shard:
+  /// the highest ok?/improve seq the coordinator ever routed from each
+  /// agent. Empty on first attach.
+  std::vector<std::pair<AgentId, std::uint64_t>> seq_floors;
+
+  /// Shard of `agent` under this spec's worker count.
+  int shard_of(AgentId agent) const {
+    return static_cast<int>(agent) % num_workers;
+  }
+};
+
+std::string serialize_jobspec(const JobSpec& spec);
+
+/// Throws std::runtime_error on malformed text or a corrupted embedded
+/// instance (integrity trailer mismatch).
+JobSpec parse_jobspec(const std::string& text);
+
+/// The instance identity exchanged in HELLO/WELCOME.
+std::uint64_t jobspec_digest(const JobSpec& spec);
+
+/// Build the full agent population of `bundle` by the canonical repro
+/// recipe (agents draw from Rng(bundle.seed).derive(1)); every worker runs
+/// this identically and keeps only its shard. Throws std::invalid_argument
+/// on an unknown algo or strategy.
+std::vector<std::unique_ptr<sim::Agent>> make_job_agents(
+    const analysis::ReproBundle& bundle);
+
+}  // namespace discsp::net

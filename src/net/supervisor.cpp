@@ -1,0 +1,104 @@
+#include "net/supervisor.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace discsp::net {
+
+const char* to_string(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kHealthy: return "healthy";
+    case PeerHealth::kSuspect: return "suspect";
+    case PeerHealth::kQuarantined: return "quarantined";
+    case PeerHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+void SupervisorConfig::validate() const {
+  if (ping_interval_ms <= 0) {
+    throw std::invalid_argument("supervisor: ping_interval_ms must be > 0");
+  }
+  if (suspect_after_ms <= 0 || dead_after_ms <= suspect_after_ms) {
+    throw std::invalid_argument(
+        "supervisor: need 0 < suspect_after_ms < dead_after_ms");
+  }
+  if (malformed_budget < 0) {
+    throw std::invalid_argument("supervisor: malformed_budget must be >= 0");
+  }
+  if (quarantine_ms <= 0) {
+    throw std::invalid_argument("supervisor: quarantine_ms must be > 0");
+  }
+}
+
+PeerSupervisor::PeerSupervisor(const SupervisorConfig& config, int num_peers)
+    : config_(config),
+      peers_(static_cast<std::size_t>(num_peers)),
+      guard_(num_peers, config.malformed_budget, config.quarantine_ms) {
+  config_.validate();
+}
+
+void PeerSupervisor::note_alive(int peer, std::int64_t now) {
+  auto& p = peers_[static_cast<std::size_t>(peer)];
+  p.last_alive = now;
+}
+
+bool PeerSupervisor::note_malformed(int peer, std::int64_t now) {
+  const auto id = static_cast<AgentId>(peer);
+  return guard_.record_malformed(id, id, now);
+}
+
+void PeerSupervisor::note_detached(int peer) {
+  peers_[static_cast<std::size_t>(peer)].attached = false;
+}
+
+void PeerSupervisor::note_attached(int peer, std::int64_t now) {
+  auto& p = peers_[static_cast<std::size_t>(peer)];
+  p.attached = true;
+  p.last_alive = now;
+  p.last_ping = -1;
+}
+
+PeerHealth PeerSupervisor::health(int peer, std::int64_t now) {
+  const auto& p = peers_[static_cast<std::size_t>(peer)];
+  if (!p.attached) return PeerHealth::kDead;
+  const auto id = static_cast<AgentId>(peer);
+  if (guard_.is_quarantined(id, id, now)) return PeerHealth::kQuarantined;
+  const std::int64_t silent = now - p.last_alive;
+  if (silent >= config_.dead_after_ms) return PeerHealth::kDead;
+  if (silent >= config_.suspect_after_ms) return PeerHealth::kSuspect;
+  return PeerHealth::kHealthy;
+}
+
+bool PeerSupervisor::ping_due(int peer, std::int64_t now) {
+  auto& p = peers_[static_cast<std::size_t>(peer)];
+  if (!p.attached) return false;
+  if (p.last_ping >= 0 && now - p.last_ping < config_.ping_interval_ms) {
+    return false;
+  }
+  p.last_ping = now;
+  return true;
+}
+
+bool PeerSupervisor::dead(int peer, std::int64_t now) {
+  return health(peer, now) == PeerHealth::kDead;
+}
+
+ReconnectPolicy::ReconnectPolicy(recovery::RetransmitConfig schedule,
+                                 std::uint64_t seed)
+    : schedule_(std::move(schedule)), jitter_(seed) {
+  if (!schedule_.enabled()) schedule_.ack_timeout = 100;
+  schedule_.validate();
+}
+
+std::int64_t ReconnectPolicy::next_delay_ms() {
+  // timeout_for caps the exponent internally; keep the attempt counter from
+  // overflowing the double exponentiation on very long outages.
+  const int attempt = attempt_ < 62 ? attempt_ : 62;
+  ++attempt_;
+  return schedule_.timeout_for(attempt, jitter_);
+}
+
+void ReconnectPolicy::reset() { attempt_ = 0; }
+
+}  // namespace discsp::net

@@ -1,0 +1,120 @@
+// Connection supervision: per-peer liveness, quarantine, and reconnect
+// backoff (docs/NETWORK.md).
+//
+// The coordinator runs one PeerSupervisor over its worker slots. Liveness
+// reuses the recovery layer's detector shape: periodic pings, and a peer
+// whose traffic goes silent degrades healthy -> suspect -> dead. Frame
+// hygiene reuses the wire-format defense: a peer exceeding a malformed
+// net-frame budget is quarantined for a window by the same ChannelGuard that
+// protects agent channels (instantiated at peer granularity), and its frames
+// are dropped until readmission. Dead peers free their shard slot; a
+// replacement worker re-attaches and is rebuilt from the job spec.
+//
+// Workers use ReconnectPolicy for the other direction: reconnection delays
+// follow RetransmitConfig::timeout_for — the exact exponential backoff +
+// seeded jitter schedule of the ack/retransmit failure detector — so one
+// tested schedule governs every retry in the system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "recovery/retransmit.h"
+#include "sim/message.h"
+
+namespace discsp::net {
+
+enum class PeerHealth {
+  kHealthy,      ///< traffic (or a pong) within the suspect window
+  kSuspect,      ///< silent past the suspect window; pinged, not yet dead
+  kQuarantined,  ///< malformed-frame budget exceeded; frames dropped
+  kDead,         ///< silent past the dead window (or connection lost)
+};
+const char* to_string(PeerHealth health);
+
+struct SupervisorConfig {
+  std::int64_t ping_interval_ms = 50;
+  std::int64_t suspect_after_ms = 250;
+  std::int64_t dead_after_ms = 2000;
+  /// Malformed net frames tolerated per peer within one quarantine window
+  /// (0 = never quarantine).
+  int malformed_budget = 8;
+  std::int64_t quarantine_ms = 500;
+
+  /// Throws std::invalid_argument on non-positive windows or a suspect
+  /// window not below the dead window.
+  void validate() const;
+};
+
+/// Tracks health per peer slot. Not thread-safe; the coordinator owns it.
+class PeerSupervisor {
+ public:
+  PeerSupervisor(const SupervisorConfig& config, int num_peers);
+
+  /// Any well-formed frame (or pong) arrived from `peer` at `now`.
+  void note_alive(int peer, std::int64_t now);
+
+  /// A malformed frame arrived from `peer`; returns true when this pushes
+  /// the peer into quarantine.
+  bool note_malformed(int peer, std::int64_t now);
+
+  /// The peer's connection dropped (or it was detached); marks it dead
+  /// until the slot re-attaches.
+  void note_detached(int peer);
+
+  /// A (re)attached peer starts healthy.
+  void note_attached(int peer, std::int64_t now);
+
+  PeerHealth health(int peer, std::int64_t now);
+
+  /// True when `peer` is due a ping at `now` (healthy or suspect peers
+  /// only); marks the ping sent.
+  bool ping_due(int peer, std::int64_t now);
+
+  /// True when `peer` has been silent past the dead window.
+  bool dead(int peer, std::int64_t now);
+
+  std::uint64_t quarantines() const { return guard_.quarantines(); }
+  std::uint64_t malformed_frames() const { return guard_.malformed_frames(); }
+
+ private:
+  struct Peer {
+    std::int64_t last_alive = 0;
+    std::int64_t last_ping = -1;
+    bool attached = false;
+  };
+
+  SupervisorConfig config_;
+  std::vector<Peer> peers_;
+  /// Peer-granularity reuse of the wire defense guard: peer p's budget is
+  /// channel (p, p).
+  sim::ChannelGuard guard_;
+};
+
+/// Worker-side reconnection backoff. attempt 0 retries after
+/// schedule.timeout_for(0, jitter), then 1, ... — capped exponential growth
+/// with deterministic jitter for a fixed seed (the backoff tests pin the
+/// exact sequence).
+class ReconnectPolicy {
+ public:
+  /// `schedule.ack_timeout` is the base reconnect delay in ms; a
+  /// non-enabled schedule (ack_timeout 0) falls back to 100 ms.
+  ReconnectPolicy(recovery::RetransmitConfig schedule, std::uint64_t seed);
+
+  /// Delay before the next attempt, advancing the attempt counter.
+  std::int64_t next_delay_ms();
+
+  /// A successful connection resets the backoff.
+  void reset();
+
+  int attempts() const { return attempt_; }
+
+ private:
+  recovery::RetransmitConfig schedule_;
+  Rng jitter_;
+  int attempt_ = 0;
+};
+
+}  // namespace discsp::net

@@ -1,0 +1,280 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/netframe.h"  // kMaxFrameWords
+
+namespace discsp::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Parse "host:port" into a sockaddr. Throws std::invalid_argument on a
+/// malformed endpoint.
+sockaddr_in parse_endpoint(const std::string& endpoint) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= endpoint.size()) {
+    throw std::invalid_argument("tcp endpoint must be host:port, got '" +
+                                endpoint + "'");
+  }
+  std::string host = endpoint.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  int port = 0;
+  try {
+    port = std::stoi(endpoint.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("tcp endpoint has a non-numeric port: '" +
+                                endpoint + "'");
+  }
+  if (port < 0 || port > 65535) {
+    throw std::invalid_argument("tcp endpoint port out of range: '" +
+                                endpoint + "'");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("tcp endpoint host must be IPv4 dotted quad: '" +
+                                endpoint + "'");
+  }
+  return addr;
+}
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    set_nonblocking(fd_);
+    set_nodelay(fd_);
+  }
+
+  ~TcpConnection() override { close(); }
+
+  bool send(const WireFrame& frame) override {
+    if (fd_ < 0) return false;
+    // 4-byte LE word count + 8-byte LE words.
+    const auto count = static_cast<std::uint32_t>(frame.size());
+    append_le(count, 4);
+    for (const std::uint64_t word : frame) append_le(word, 8);
+    flush_writes();
+    return fd_ >= 0;
+  }
+
+  bool recv(WireFrame& frame) override {
+    if (!parse_one(frame)) return false;
+    return true;
+  }
+
+  void pump(int timeout_ms) override {
+    if (fd_ < 0) return;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    if (!out_.empty()) pfd.events |= POLLOUT;
+    // A frame may already be buffered; never block on the socket then.
+    const bool buffered = in_.size() >= 4;
+    const int rc = ::poll(&pfd, 1, buffered ? 0 : timeout_ms);
+    if (rc <= 0) return;
+    if ((pfd.revents & POLLOUT) != 0) flush_writes();
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) drain_reads();
+  }
+
+  bool open() const override { return fd_ >= 0 || in_.size() >= 4; }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  void append_le(std::uint64_t value, int bytes) {
+    for (int b = 0; b < bytes; ++b) {
+      out_.push_back(static_cast<unsigned char>((value >> (8 * b)) & 0xff));
+    }
+  }
+
+  void flush_writes() {
+    while (fd_ >= 0 && write_pos_ < out_.size()) {
+      const ssize_t n = ::send(fd_, out_.data() + write_pos_,
+                               out_.size() - write_pos_, MSG_NOSIGNAL);
+      if (n > 0) {
+        write_pos_ += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close();
+      return;
+    }
+    if (write_pos_ == out_.size()) {
+      out_.clear();
+      write_pos_ = 0;
+    } else if (write_pos_ > (1u << 20)) {
+      out_.erase(out_.begin(),
+                 out_.begin() + static_cast<std::ptrdiff_t>(write_pos_));
+      write_pos_ = 0;
+    }
+  }
+
+  void drain_reads() {
+    unsigned char chunk[65536];
+    while (fd_ >= 0) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        in_.insert(in_.end(), chunk, chunk + n);
+        if (static_cast<ssize_t>(sizeof(chunk)) == n) continue;
+        break;
+      }
+      if (n == 0) {  // orderly shutdown by the peer
+        close();
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close();
+      break;
+    }
+  }
+
+  std::uint64_t read_le(std::size_t offset, int bytes) const {
+    std::uint64_t value = 0;
+    for (int b = 0; b < bytes; ++b) {
+      value |= static_cast<std::uint64_t>(in_[offset + static_cast<std::size_t>(b)])
+               << (8 * b);
+    }
+    return value;
+  }
+
+  bool parse_one(WireFrame& frame) {
+    if (in_.size() < 4) return false;
+    const std::uint64_t count = read_le(0, 4);
+    if (count > kMaxFrameWords) {
+      // The stream is desynchronized or hostile; no way to resync framing.
+      close();
+      in_.clear();
+      return false;
+    }
+    const std::size_t need = 4 + 8 * static_cast<std::size_t>(count);
+    if (in_.size() < need) return false;
+    frame.clear();
+    frame.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      frame.push_back(read_le(4 + 8 * static_cast<std::size_t>(i), 8));
+    }
+    in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(need));
+    return true;
+  }
+
+  int fd_;
+  std::vector<unsigned char> out_;
+  std::size_t write_pos_ = 0;
+  std::vector<unsigned char> in_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  ~TcpListener() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  std::unique_ptr<Connection> accept() override {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) return nullptr;
+    return std::make_unique<TcpConnection>(client);
+  }
+
+  int port() const override { return port_; }
+
+ private:
+  int fd_;
+  int port_;
+};
+
+}  // namespace
+
+std::unique_ptr<Listener> TcpTransport::listen(const std::string& endpoint) {
+  const sockaddr_in addr = parse_endpoint(endpoint);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("tcp: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("tcp: cannot bind " + endpoint + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("tcp: listen() failed on " + endpoint);
+  }
+  set_nonblocking(fd);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  int port = 0;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port = ntohs(bound.sin_port);
+  }
+  return std::make_unique<TcpListener>(fd, port);
+}
+
+std::unique_ptr<Connection> TcpTransport::connect(const std::string& endpoint,
+                                                  int timeout_ms) {
+  sockaddr_in addr{};
+  try {
+    addr = parse_endpoint(endpoint);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  set_nonblocking(fd);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  if (rc != 0) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace discsp::net

@@ -1,0 +1,28 @@
+// TCP implementation of the frame transport (net/transport.h).
+//
+// Endpoints are "host:port" with IPv4 dotted-quad hosts ("localhost" maps
+// to 127.0.0.1; port 0 binds an ephemeral port reported by
+// Listener::port()). Sockets are nonblocking throughout; Connection::pump
+// polls the descriptor, flushes buffered writes and drains reads.
+//
+// Stream framing: each WireFrame travels as a 4-byte little-endian word
+// count followed by that many 8-byte little-endian words. The frame payload
+// is still a sealed WireFrame, so the stream framing carries no checksum of
+// its own — a mangled stream either desynchronizes (caught by the word-count
+// sanity cap, which closes the connection) or delivers a frame that fails
+// its seal. TCP_NODELAY is set: the protocol is request/response-heavy and
+// latency-bound, not throughput-bound.
+#pragma once
+
+#include "net/transport.h"
+
+namespace discsp::net {
+
+class TcpTransport final : public Transport {
+ public:
+  std::unique_ptr<Listener> listen(const std::string& endpoint) override;
+  std::unique_ptr<Connection> connect(const std::string& endpoint,
+                                      int timeout_ms) override;
+};
+
+}  // namespace discsp::net

@@ -1,0 +1,169 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace discsp::net {
+
+namespace {
+
+/// One bidirectional in-proc link: two frame queues under one lock. The
+/// condition variable wakes whichever side is pump()-ing when traffic or a
+/// close arrives.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<WireFrame> to_a;  // frames travelling b -> a
+  std::deque<WireFrame> to_b;  // frames travelling a -> b
+  bool open = true;
+};
+
+class InProcConnection final : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<Pipe> pipe, bool side_a)
+      : pipe_(std::move(pipe)), side_a_(side_a) {}
+
+  ~InProcConnection() override { close(); }
+
+  bool send(const WireFrame& frame) override {
+    std::lock_guard<std::mutex> lock(pipe_->mutex);
+    if (!pipe_->open) return false;
+    (side_a_ ? pipe_->to_b : pipe_->to_a).push_back(frame);
+    pipe_->cv.notify_all();
+    return true;
+  }
+
+  bool recv(WireFrame& frame) override {
+    std::lock_guard<std::mutex> lock(pipe_->mutex);
+    auto& inbox = side_a_ ? pipe_->to_a : pipe_->to_b;
+    if (inbox.empty()) return false;
+    frame = std::move(inbox.front());
+    inbox.pop_front();
+    return true;
+  }
+
+  void pump(int timeout_ms) override {
+    if (timeout_ms <= 0) return;  // queues need no driving; only the wait
+    std::unique_lock<std::mutex> lock(pipe_->mutex);
+    auto& inbox = side_a_ ? pipe_->to_a : pipe_->to_b;
+    pipe_->cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return !inbox.empty() || !pipe_->open; });
+  }
+
+  bool open() const override {
+    std::lock_guard<std::mutex> lock(pipe_->mutex);
+    // A closed pipe still drains: the survivor reads what was in flight.
+    return pipe_->open || !(side_a_ ? pipe_->to_a : pipe_->to_b).empty();
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(pipe_->mutex);
+    pipe_->open = false;
+    pipe_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<Pipe> pipe_;
+  bool side_a_;
+};
+
+struct ListenerState {
+  std::mutex mutex;
+  std::deque<std::unique_ptr<Connection>> pending;
+  bool open = true;
+};
+
+}  // namespace
+
+struct InProcTransport::State {
+  std::mutex mutex;
+  std::condition_variable cv;  // wakes connect() waiting for a listener
+  std::map<std::string, std::shared_ptr<ListenerState>> listeners;
+};
+
+namespace {
+
+class InProcListener final : public Listener {
+ public:
+  InProcListener(std::shared_ptr<InProcTransport::State> transport,
+                 std::shared_ptr<ListenerState> state, std::string endpoint)
+      : transport_(std::move(transport)),
+        state_(std::move(state)),
+        endpoint_(std::move(endpoint)) {}
+
+  ~InProcListener() override {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->open = false;
+    }
+    std::lock_guard<std::mutex> lock(transport_->mutex);
+    auto it = transport_->listeners.find(endpoint_);
+    if (it != transport_->listeners.end() && it->second == state_) {
+      transport_->listeners.erase(it);
+    }
+  }
+
+  std::unique_ptr<Connection> accept() override {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->pending.empty()) return nullptr;
+    auto conn = std::move(state_->pending.front());
+    state_->pending.pop_front();
+    return conn;
+  }
+
+ private:
+  std::shared_ptr<InProcTransport::State> transport_;
+  std::shared_ptr<ListenerState> state_;
+  std::string endpoint_;
+};
+
+}  // namespace
+
+InProcTransport::InProcTransport() : state_(std::make_shared<State>()) {}
+
+std::unique_ptr<Listener> InProcTransport::listen(const std::string& endpoint) {
+  auto listener_state = std::make_shared<ListenerState>();
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto [it, inserted] = state_->listeners.emplace(endpoint, listener_state);
+    if (!inserted) {
+      throw std::runtime_error("in-proc endpoint already bound: " + endpoint);
+    }
+    state_->cv.notify_all();
+  }
+  return std::make_unique<InProcListener>(state_, std::move(listener_state),
+                                          endpoint);
+}
+
+std::unique_ptr<Connection> InProcTransport::connect(
+    const std::string& endpoint, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+  std::shared_ptr<ListenerState> listener;
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait_until(lock, deadline, [&] {
+      return state_->listeners.count(endpoint) != 0;
+    });
+    auto it = state_->listeners.find(endpoint);
+    if (it == state_->listeners.end()) return nullptr;
+    listener = it->second;
+  }
+  auto pipe = std::make_shared<Pipe>();
+  auto server_end = std::make_unique<InProcConnection>(pipe, /*side_a=*/false);
+  auto client_end = std::make_unique<InProcConnection>(std::move(pipe),
+                                                       /*side_a=*/true);
+  {
+    std::lock_guard<std::mutex> lock(listener->mutex);
+    if (!listener->open) return nullptr;
+    listener->pending.push_back(std::move(server_end));
+  }
+  return client_end;
+}
+
+}  // namespace discsp::net

@@ -1,0 +1,95 @@
+// Frame transport abstraction of the multi-process runtime.
+//
+// The coordinator and its workers exchange sealed WireFrames over
+// Connections. Two implementations share the interface:
+//
+//   InProcTransport — lock-protected queue pairs inside one process. Workers
+//     run as threads; tests drive kill/restart scenarios deterministically
+//     (WorkerConfig::exit_after_ms) without sockets, and `discsp_cli serve`
+//     without --listen uses it to run a whole distributed solve in-process.
+//
+//   TcpTransport (net/tcp_transport.h) — nonblocking TCP sockets with
+//     length-prefixed framing, for genuinely separate worker processes.
+//
+// All calls are nonblocking except pump(), which drives I/O and may wait up
+// to its timeout for inbound frames. One Connection may be used by one
+// thread at a time; distinct Connections of one transport are independent.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/message.h"
+
+namespace discsp::net {
+
+using sim::WireFrame;
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Queue one frame for delivery; returns false (frame discarded) once the
+  /// connection is closed. A true return means "accepted", not "delivered" —
+  /// the peer may still die with the frame in flight.
+  virtual bool send(const WireFrame& frame) = 0;
+
+  /// Pop the next inbound frame without blocking; false when none is ready.
+  virtual bool recv(WireFrame& frame) = 0;
+
+  /// Drive I/O, waiting up to `timeout_ms` for inbound frames (0 = poll).
+  /// TCP connections also flush pending writes here.
+  virtual void pump(int timeout_ms) = 0;
+
+  virtual bool open() const = 0;
+  virtual void close() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accept one pending connection; nullptr when none is waiting.
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  /// The concrete local port (TCP; 0 for in-proc). Lets `--listen host:0`
+  /// bind an ephemeral port and report it (--port-file).
+  virtual int port() const { return 0; }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Bind `endpoint` and start accepting. Throws std::runtime_error when the
+  /// endpoint cannot be bound.
+  virtual std::unique_ptr<Listener> listen(const std::string& endpoint) = 0;
+
+  /// Connect to `endpoint`, waiting up to `timeout_ms` for the peer to
+  /// accept; nullptr on failure (the reconnect policy retries with backoff).
+  virtual std::unique_ptr<Connection> connect(const std::string& endpoint,
+                                              int timeout_ms) = 0;
+};
+
+/// In-process transport: endpoints are arbitrary names, connections are
+/// queue pairs guarded by a mutex + condition variable. Thread-safe; one
+/// instance is shared by the coordinator thread and every worker thread.
+/// connect() waits for a listener of that name to appear (workers may start
+/// before the coordinator binds).
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport();
+
+  std::unique_ptr<Listener> listen(const std::string& endpoint) override;
+  std::unique_ptr<Connection> connect(const std::string& endpoint,
+                                      int timeout_ms) override;
+
+  /// Shared registry of named listeners (opaque; defined in transport.cpp,
+  /// public so the listener implementation can deregister itself).
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace discsp::net

@@ -1,0 +1,587 @@
+#include "net/worker.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <queue>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "net/clock.h"
+#include "net/jobspec.h"
+#include "net/supervisor.h"
+#include "sim/agent.h"
+#include "sim/fault.h"
+
+namespace discsp::net {
+
+namespace {
+
+/// One frame copy awaiting dispatch: a local delivery or a route to the
+/// coordinator, possibly held back by a delay spike.
+struct Unit {
+  std::int64_t due_ms = 0;
+  std::uint64_t order = 0;  // FIFO tie-break
+  AgentId from = kNoAgent;
+  AgentId to = kNoAgent;
+  sim::MessagePayload payload;  // the clean payload
+  WireFrame frame;              // sealed frame (maybe corrupted); may be empty
+                                // for local deliveries on the corruption-free path
+  std::uint64_t track_seq = 0;
+};
+
+struct UnitLater {
+  bool operator()(const Unit& a, const Unit& b) const {
+    return std::tie(a.due_ms, a.order) > std::tie(b.due_ms, b.order);
+  }
+};
+
+class Worker {
+ public:
+  Worker(Transport& transport, const WorkerConfig& config)
+      : transport_(transport),
+        config_(config),
+        reconnect_(config.reconnect, config.reconnect_seed) {}
+
+  WorkerResult run() {
+    if (!connect_and_handshake(/*initial=*/true)) return finish();
+    while (true) {
+      const std::int64_t now = now_ms();
+      if (config_.exit_after_ms > 0 && attach_ms_ >= 0 &&
+          now - attach_ms_ >= config_.exit_after_ms) {
+        // Simulated SIGKILL: vanish without a final report. The state dies
+        // here; the coordinator's supervisor notices the silence.
+        result_.killed = true;
+        return finish();
+      }
+      conn_->pump(static_cast<int>(wait_ms(now)));
+      drain_frames();
+      if (stopping_) return finish();
+      if (conn_ == nullptr || !conn_->open()) {
+        if (!connect_and_handshake(/*initial=*/false)) return finish();
+      }
+      tick(now_ms());
+    }
+  }
+
+ private:
+  // ----- connection management ------------------------------------------
+
+  bool connect_and_handshake(bool initial) {
+    while (attempts_ < config_.max_connect_attempts) {
+      if (!initial || attempts_ > 0) {
+        const std::int64_t delay = reconnect_.next_delay_ms();
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      ++attempts_;
+      conn_ = transport_.connect(config_.endpoint, config_.connect_timeout_ms);
+      if (conn_ == nullptr) continue;
+      if (handshake()) {
+        reconnect_.reset();
+        attempts_ = 0;
+        if (!initial) ++result_.reconnects;
+        return true;
+      }
+      if (!result_.error.empty()) return false;  // fatal protocol answer
+      conn_.reset();
+    }
+    result_.error = "could not reach coordinator at " + config_.endpoint +
+                    " after " + std::to_string(attempts_) + " attempts";
+    return false;
+  }
+
+  /// HELLO -> WELCOME -> JOB. Returns false on timeout (retry) and sets
+  /// result_.error on a fatal answer (version/digest mismatch, no shard).
+  bool handshake() {
+    NetHello hello;
+    hello.shard = shard_ == kAnyShard ? config_.shard : shard_;
+    hello.digest = digest_;
+    conn_->send(encode_net_frame(NetFrame{hello}));
+
+    const std::int64_t deadline = now_ms() + config_.handshake_timeout_ms;
+    bool welcomed = false;
+    NetWelcome welcome;
+    while (now_ms() < deadline && conn_->open()) {
+      conn_->pump(10);
+      WireFrame frame;
+      while (conn_->recv(frame)) {
+        const NetDecodeResult decoded = decode_net_frame(frame);
+        if (!decoded.ok()) continue;
+        if (const auto* err = std::get_if<NetError>(&*decoded.frame)) {
+          if (err->code == NetErrorCode::kNoShard) {
+            // Every slot is taken *right now* — typically a replacement
+            // racing the coordinator's detection of the incarnation it is
+            // replacing. Retry with backoff instead of giving up.
+            return false;
+          }
+          result_.error = std::string("coordinator refused: code ") +
+                          std::to_string(static_cast<int>(err->code));
+          return false;
+        }
+        if (const auto* w = std::get_if<NetWelcome>(&*decoded.frame)) {
+          if (w->proto != kNetProtoVersion) {
+            result_.error = "protocol version mismatch";
+            return false;
+          }
+          welcome = *w;
+          welcomed = true;
+          continue;
+        }
+        if (const auto* job = std::get_if<NetJob>(&*decoded.frame)) {
+          if (!welcomed) continue;  // JOB before WELCOME: ignore
+          return load_job(welcome, job->text);
+        }
+        // Any other frame before the handshake completes is early traffic
+        // from an optimistic coordinator; it is safe to drop (repairable).
+      }
+    }
+    return false;
+  }
+
+  bool load_job(const NetWelcome& welcome, const std::string& text) {
+    JobSpec spec;
+    try {
+      spec = parse_jobspec(text);
+    } catch (const std::exception& e) {
+      result_.error = std::string("bad job spec: ") + e.what();
+      return false;
+    }
+    const std::uint64_t digest = jobspec_digest(spec);
+    if (welcome.digest != 0 && digest != welcome.digest) {
+      result_.error = "job spec digest does not match WELCOME";
+      return false;
+    }
+
+    shard_ = welcome.shard;
+    incarnation_ = welcome.incarnation;
+    const bool rebuild = local_.empty() || digest != digest_;
+    digest_ = digest;
+    spec_ = std::move(spec);
+    // The epoch anchors the fault-plan timeline and every retransmit
+    // deadline; a socket-only reconnect must not shift it.
+    if (rebuild) epoch_ms_ = now_ms();
+    if (attach_ms_ < 0) attach_ms_ = now_ms();
+
+    if (rebuild) build_shard(welcome.restart);
+    // Seq floors are monotone: applying them to intact agents is a no-op,
+    // applying them to rebuilt ones lifts their announcements above every
+    // seq the coordinator ever routed for them.
+    for (const auto& [agent, floor] : spec_.seq_floors) {
+      if (auto* a = local_agent(agent)) a->set_seq_floor(floor);
+    }
+    if (!rebuild) {
+      // Socket-only reconnect: agents survived, but traffic queued on the
+      // old connection died. One re-announcement round resyncs the peers.
+      for (auto& [id, agent] : local_) announce(*agent);
+    }
+    return true;
+  }
+
+  void build_shard(bool restart) {
+    local_.clear();
+    auto population = make_job_agents(spec_.bundle);
+    for (auto& agent : population) {
+      if (spec_.shard_of(agent->id()) == static_cast<int>(shard_)) {
+        local_.emplace(agent->id(), std::move(agent));
+      }
+    }
+    num_agents_ = static_cast<int>(population.size());
+
+    const sim::FaultConfig& faults = spec_.bundle.faults;
+    plan_ = faults.enabled()
+                ? std::make_unique<sim::FaultPlan>(faults, num_agents_)
+                : nullptr;
+    retransmit_ = spec_.bundle.retransmit.enabled()
+                      ? std::make_unique<recovery::RetransmitBuffer>(
+                            spec_.bundle.retransmit, num_agents_)
+                      : nullptr;
+    limits_ = std::make_unique<sim::WireLimits>(sim::wire_limits_for(
+        spec_.bundle.instance.problem(), num_agents_));
+    guard_ = std::make_unique<sim::ChannelGuard>(num_agents_,
+                                                 faults.quarantine_budget,
+                                                 faults.quarantine_duration);
+    metrics_ = {};
+    egress_ = {};
+    next_heartbeat_ms_ = heartbeat_period() > 0 ? elapsed() + heartbeat_period() : -1;
+    next_report_ms_ = elapsed() + spec_.report_interval_ms;
+
+    for (auto& [id, agent] : local_) {
+      Sink sink(*this, id, /*tracking=*/true);
+      // A replacement for a dead incarnation recovers instead of starting:
+      // crash_restart re-announces (above the seq floors) and re-requests
+      // every link's current value; start would re-send the initial ok?s of
+      // a run the peers have long moved past.
+      if (restart) {
+        agent->crash_restart(sink);
+      } else {
+        agent->start(sink);
+      }
+      metrics_.total_checks += agent->take_checks();
+    }
+  }
+
+  sim::Agent* local_agent(AgentId id) {
+    const auto it = local_.find(id);
+    return it == local_.end() ? nullptr : it->second.get();
+  }
+
+  // ----- outbound path ---------------------------------------------------
+
+  class Sink final : public sim::MessageSink {
+   public:
+    Sink(Worker& worker, AgentId sender, bool tracking)
+        : worker_(worker), sender_(sender), tracking_(tracking) {}
+    void send(AgentId to, sim::MessagePayload payload) override {
+      worker_.agent_send(sender_, to, std::move(payload), tracking_);
+    }
+
+   private:
+    Worker& worker_;
+    AgentId sender_;
+    bool tracking_;
+  };
+
+  /// A protocol send by local agent `from`: count it, track it, pass it
+  /// through the fault bridge, and enqueue the surviving copies.
+  void agent_send(AgentId from, AgentId to, sim::MessagePayload payload,
+                  bool tracking) {
+    ++metrics_.messages;
+    if (!tracking) ++metrics_.refresh_messages;
+    std::uint64_t track_seq = 0;
+    if (retransmit_ != nullptr && tracking) {
+      track_seq = retransmit_->track(from, to, payload, elapsed());
+    }
+    dispatch(from, to, std::move(payload), track_seq);
+  }
+
+  /// Fault-bridge + enqueue (shared by fresh sends and retransmissions).
+  void dispatch(AgentId from, AgentId to, sim::MessagePayload payload,
+                std::uint64_t track_seq) {
+    const bool remote = spec_.shard_of(to) != static_cast<int>(shard_);
+    sim::ChannelVerdict verdict;  // default: one clean copy
+    if (plan_ != nullptr) verdict = plan_->on_send(from, to, elapsed());
+    if (verdict.copies == 0) return;
+    WireFrame frame;
+    // Remote payloads always travel as sealed frames; local ones only when
+    // corruption is in play (mirroring AsyncEngine's wire_ activation).
+    if (remote || (plan_ != nullptr && plan_->config().corrupt_rate > 0)) {
+      frame = sim::encode_frame(payload);
+      if (verdict.corrupt) sim::corrupt_frame(frame, verdict.corrupt_seed);
+    }
+    for (int copy = 0; copy < verdict.copies; ++copy) {
+      Unit unit;
+      // Reordered copies skip the delay entirely, overtaking anything a
+      // spike is holding back; real queueing provides the rest.
+      unit.due_ms = elapsed() + (verdict.reorder ? 0 : verdict.extra_delay);
+      unit.order = next_order_++;
+      unit.from = from;
+      unit.to = to;
+      unit.payload = payload;
+      unit.frame = frame;
+      unit.track_seq = track_seq;
+      egress_.push(std::move(unit));
+    }
+  }
+
+  void flush_egress(std::int64_t now) {
+    while (!egress_.empty() && egress_.top().due_ms <= now) {
+      Unit unit = egress_.top();
+      egress_.pop();
+      if (spec_.shard_of(unit.to) == static_cast<int>(shard_)) {
+        deliver_local(std::move(unit));
+      } else {
+        NetRoute route;
+        route.from = unit.from;
+        route.to = unit.to;
+        route.track_seq = unit.track_seq;
+        route.frame = std::move(unit.frame);
+        if (conn_ != nullptr) conn_->send(encode_net_frame(NetFrame{route}));
+      }
+    }
+  }
+
+  // ----- inbound path ----------------------------------------------------
+
+  void drain_frames() {
+    if (conn_ == nullptr) return;
+    WireFrame raw;
+    while (conn_->recv(raw)) {
+      const NetDecodeResult decoded = decode_net_frame(raw);
+      if (!decoded.ok()) {
+        ++net_malformed_;
+        continue;
+      }
+      handle(*decoded.frame);
+      if (stopping_) return;
+    }
+  }
+
+  void handle(const NetFrame& frame) {
+    if (const auto* route = std::get_if<NetRoute>(&frame)) {
+      Unit unit;
+      unit.from = route->from;
+      unit.to = route->to;
+      unit.track_seq = route->track_seq;
+      unit.frame = route->frame;
+      deliver_local(std::move(unit));
+    } else if (const auto* ack = std::get_if<NetAck>(&frame)) {
+      if (retransmit_ != nullptr && ack->from >= 0 && ack->from < num_agents_ &&
+          ack->to >= 0 && ack->to < num_agents_) {
+        retransmit_->ack(ack->from, ack->to, ack->seq);
+      }
+    } else if (const auto* ping = std::get_if<NetPing>(&frame)) {
+      NetPong pong{ping->nonce, ping->sent_ms};
+      conn_->send(encode_net_frame(NetFrame{pong}));
+    } else if (const auto* stop = std::get_if<NetStop>(&frame)) {
+      send_stats(/*final_report=*/true);
+      result_.completed = true;
+      result_.stop = stop->reason;
+      stopping_ = true;
+    }
+    // WELCOME/JOB outside a handshake and all coordinator-only frames are
+    // ignored: harmless duplicates or misroutes.
+  }
+
+  /// Deliver one frame copy to a local agent — the exact AsyncEngine
+  /// receive path: quarantine check, checksum + semantic validation, crash
+  /// draw, dedup + ack, then receive/compute.
+  void deliver_local(Unit unit) {
+    // The guard and retransmit matrices are indexed by agent id; a forged
+    // out-of-range sender must be refused before touching either.
+    if (unit.from < 0 || unit.from >= num_agents_) return;
+    sim::Agent* agent = local_agent(unit.to);
+    if (agent == nullptr) return;  // mis-sharded route; drop
+    const std::int64_t now = elapsed();
+
+    if (!unit.frame.empty()) {
+      if (guard_->is_quarantined(unit.from, unit.to, now)) {
+        guard_->note_quarantine_drop();
+        return;
+      }
+      sim::DecodeResult decoded = sim::decode_frame(unit.frame, *limits_);
+      if (!decoded.ok()) {
+        guard_->record_malformed(unit.from, unit.to, now);
+        return;  // no ack; a tracked frame is repaired by retransmission
+      }
+      unit.payload = std::move(*decoded.payload);
+    }
+
+    const sim::CrashKind crash =
+        plan_ != nullptr ? plan_->on_deliver(unit.to) : sim::CrashKind::kNone;
+    if (crash != sim::CrashKind::kNone) {
+      Sink sink(*this, unit.to, /*tracking=*/true);
+      if (crash == sim::CrashKind::kAmnesia) {
+        if (retransmit_ != nullptr) retransmit_->forget_agent(unit.to);
+        agent->amnesia_restart(sink);
+      } else {
+        agent->crash_restart(sink);
+      }
+      metrics_.total_checks += agent->take_checks();
+      return;  // the in-flight message died with the crash
+    }
+
+    if (unit.track_seq != 0 && retransmit_ != nullptr) {
+      const bool duplicate =
+          retransmit_->mark_delivered(unit.from, unit.to, unit.track_seq);
+      send_ack(unit.from, unit.to, unit.track_seq);
+      if (duplicate) return;
+    }
+
+    Sink sink(*this, unit.to, /*tracking=*/true);
+    agent->receive(unit.payload);
+    agent->compute(sink);
+    metrics_.total_checks += agent->take_checks();
+    ++processed_;
+    if (agent->detected_insoluble() && !insoluble_) {
+      insoluble_ = true;
+      insoluble_agent_ = agent->id();
+      send_stats(/*final_report=*/false);  // tell the coordinator promptly
+    }
+  }
+
+  /// Ack `seq` on channel (from, to) back to the original sender. The ack
+  /// is itself subject to the fault bridge on channel (to, from) — this
+  /// worker owns that stream because `to` is local. A corrupted ack is
+  /// unparseable to its receiver: modeled as lost (AsyncEngine::send_ack).
+  void send_ack(AgentId from, AgentId to, std::uint64_t seq) {
+    sim::ChannelVerdict verdict;
+    if (plan_ != nullptr) verdict = plan_->on_send(to, from, elapsed());
+    if (verdict.copies == 0 || verdict.corrupt) return;
+    if (spec_.shard_of(from) == static_cast<int>(shard_)) {
+      if (retransmit_ != nullptr) retransmit_->ack(from, to, seq);
+      return;
+    }
+    NetAck ack{from, to, seq};
+    if (conn_ != nullptr) conn_->send(encode_net_frame(NetFrame{ack}));
+  }
+
+  // ----- timers ----------------------------------------------------------
+
+  void tick(std::int64_t wall_now) {
+    (void)wall_now;
+    const std::int64_t now = elapsed();
+    flush_egress(now);
+
+    if (retransmit_ != nullptr) {
+      const auto due = retransmit_->next_deadline();
+      if (due.has_value() && *due <= now) {
+        for (const recovery::RetransmitBuffer::Due& d :
+             retransmit_->collect_due(now)) {
+          // Re-dispatch from the clean tracked payload: a corrupted original
+          // cannot poison its own repair.
+          dispatch(d.from, d.to, d.payload, d.seq);
+        }
+        flush_egress(now);
+      }
+    }
+
+    if (next_heartbeat_ms_ >= 0 && now >= next_heartbeat_ms_) {
+      for (auto& [id, agent] : local_) announce(*agent);
+      ++metrics_.heartbeats;
+      next_heartbeat_ms_ = now + heartbeat_period();
+      flush_egress(now);
+    }
+
+    if (now >= next_report_ms_) {
+      send_stats(/*final_report=*/false);
+      next_report_ms_ = now + spec_.report_interval_ms;
+    }
+  }
+
+  /// One untracked re-announcement round for `agent` (heartbeat repair).
+  void announce(sim::Agent& agent) {
+    Sink sink(*this, agent.id(), /*tracking=*/false);
+    agent.on_heartbeat(sink);
+    metrics_.total_checks += agent.take_checks();
+  }
+
+  std::int64_t wait_ms(std::int64_t wall_now) const {
+    (void)wall_now;
+    const std::int64_t now = steady_now_ms() - epoch_ms_;
+    std::int64_t next = next_report_ms_;
+    if (next_heartbeat_ms_ >= 0) next = std::min(next, next_heartbeat_ms_);
+    if (!egress_.empty()) next = std::min(next, egress_.top().due_ms);
+    if (retransmit_ != nullptr) {
+      const auto due = retransmit_->next_deadline();
+      if (due.has_value()) next = std::min(next, *due);
+    }
+    return std::clamp<std::int64_t>(next - now, 0, 10);
+  }
+
+  // ----- reporting -------------------------------------------------------
+
+  sim::RunMetrics snapshot_metrics() {
+    sim::RunMetrics m = metrics_;
+    if (plan_ != nullptr) m.faults = plan_->summary();
+    if (retransmit_ != nullptr) {
+      m.retransmissions = retransmit_->retransmissions();
+      m.detector_false_positives = retransmit_->false_positives();
+    }
+    if (guard_ != nullptr) {
+      m.malformed_frames = guard_->malformed_frames();
+      m.quarantines = guard_->quarantines();
+      m.quarantine_drops = guard_->quarantine_drops();
+    }
+    for (const auto& [id, agent] : local_) {
+      m.nogoods_generated += agent->nogoods_generated();
+      m.redundant_generations += agent->redundant_generations();
+      m.work_ops += agent->work_ops();
+      const sim::Agent::RecoveryStats rs = agent->recovery_stats();
+      m.journal_appends += rs.journal_appends;
+      m.journal_checkpoints += rs.journal_checkpoints;
+      m.journal_replays += rs.journal_replays;
+      m.store_evictions += rs.store_evictions;
+      m.peak_learned_nogoods =
+          std::max(m.peak_learned_nogoods, rs.peak_learned_nogoods);
+    }
+    return m;
+  }
+
+  void send_stats(bool final_report) {
+    if (conn_ == nullptr || local_.empty()) return;
+    NetStats stats;
+    stats.shard = shard_;
+    stats.incarnation = incarnation_;
+    stats.idle = processed_ == last_reported_processed_ && egress_.empty() &&
+                 (retransmit_ == nullptr ||
+                  !retransmit_->next_deadline().has_value());
+    stats.insoluble = insoluble_;
+    stats.insoluble_agent = insoluble_agent_;
+    stats.final_report = final_report;
+    stats.sent = metrics_.messages;
+    stats.processed = processed_;
+    stats.metrics_words = encode_metrics_words(snapshot_metrics());
+    stats.values.reserve(local_.size());
+    for (const auto& [id, agent] : local_) {
+      stats.values.emplace_back(agent->variable(), agent->current_value());
+    }
+    conn_->send(encode_net_frame(NetFrame{stats}));
+    last_reported_processed_ = processed_;
+  }
+
+  WorkerResult finish() {
+    result_.metrics = local_.empty() ? metrics_ : snapshot_metrics();
+    return result_;
+  }
+
+  /// Milliseconds since the job epoch — the time base of the fault plan,
+  /// retransmit deadlines and all timers (roughly aligned across workers by
+  /// the handshake).
+  std::int64_t elapsed() const { return steady_now_ms() - epoch_ms_; }
+  static std::int64_t now_ms() { return steady_now_ms(); }
+
+  // ----- state -----------------------------------------------------------
+
+  Transport& transport_;
+  WorkerConfig config_;
+  ReconnectPolicy reconnect_;
+  std::unique_ptr<Connection> conn_;
+  WorkerResult result_;
+
+  std::uint64_t shard_ = kAnyShard;
+  std::uint64_t incarnation_ = 1;
+  std::uint64_t digest_ = 0;
+  JobSpec spec_;
+  int num_agents_ = 0;
+  std::map<AgentId, std::unique_ptr<sim::Agent>> local_;
+
+  std::unique_ptr<sim::FaultPlan> plan_;
+  std::unique_ptr<recovery::RetransmitBuffer> retransmit_;
+  std::unique_ptr<sim::WireLimits> limits_;
+  std::unique_ptr<sim::ChannelGuard> guard_;
+
+  std::priority_queue<Unit, std::vector<Unit>, UnitLater> egress_;
+  std::uint64_t next_order_ = 0;
+
+  sim::RunMetrics metrics_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t last_reported_processed_ = 0;
+  std::uint64_t net_malformed_ = 0;
+  bool insoluble_ = false;
+  AgentId insoluble_agent_ = kNoAgent;
+  bool stopping_ = false;
+
+  int attempts_ = 0;
+  std::int64_t epoch_ms_ = 0;
+  std::int64_t attach_ms_ = -1;
+  std::int64_t next_heartbeat_ms_ = -1;
+  std::int64_t next_report_ms_ = 0;
+
+  std::int64_t heartbeat_period() const {
+    // Heartbeats are repair traffic; like AsyncEngine they only run when
+    // faults can make messages disappear. Process death is repaired by the
+    // retransmit layer and the crash_restart re-announcement protocol.
+    return plan_ != nullptr ? spec_.bundle.faults.refresh_interval : 0;
+  }
+};
+
+}  // namespace
+
+WorkerResult run_worker(Transport& transport, const WorkerConfig& config) {
+  Worker worker(transport, config);
+  return worker.run();
+}
+
+}  // namespace discsp::net

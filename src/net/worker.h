@@ -1,0 +1,74 @@
+// The worker side of the multi-process runtime (docs/NETWORK.md).
+//
+// run_worker connects to the coordinator, handshakes (HELLO/WELCOME/JOB),
+// builds the agents of its assigned shard from the job spec, and enters the
+// event loop: deliver routed frames to local agents (after the same
+// checksum + semantic validation the in-process engines perform), route
+// their outbound messages, run the ack/retransmit failure detector and the
+// anti-entropy heartbeat, and report NetStats on the spec's cadence until
+// the coordinator says STOP.
+//
+// The fault bridge makes chaos identical to the in-process engines: every
+// send by a local agent consults the same seeded FaultPlan (this worker owns
+// the channel streams of its local senders and the crash streams of its
+// local receivers), payloads travel as sealed WireFrames, and injected
+// corruption must be caught by the receiving worker's decode_frame exactly
+// like in AsyncEngine.
+//
+// A lost connection triggers reconnection with the ReconnectPolicy backoff;
+// agents and their state survive (only in-flight traffic dies, and the
+// retransmit layer plus heartbeats repair it). A worker *process* death is
+// the coordinator's problem: the replacement attaches, receives
+// restart=true plus seq floors, rebuilds its shard and recovers via
+// crash_restart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/netframe.h"
+#include "net/transport.h"
+#include "recovery/retransmit.h"
+#include "sim/metrics.h"
+
+namespace discsp::net {
+
+struct WorkerConfig {
+  /// Coordinator endpoint (transport-specific).
+  std::string endpoint;
+  /// Requested shard; kAnyShard lets the coordinator assign one.
+  std::uint64_t shard = kAnyShard;
+
+  int connect_timeout_ms = 1000;
+  /// Connection attempts (initial + reconnects) before giving up.
+  int max_connect_attempts = 30;
+  /// Reconnect backoff schedule; ack_timeout is the base delay in ms
+  /// (0 = the ReconnectPolicy's 100 ms default).
+  recovery::RetransmitConfig reconnect;
+  std::uint64_t reconnect_seed = 0x5eed;
+  /// Give up when WELCOME/JOB do not arrive within this window.
+  std::int64_t handshake_timeout_ms = 5000;
+
+  /// Chaos knob for deterministic in-proc kill tests: vanish abruptly — no
+  /// STOP handshake, no final stats, exactly like a SIGKILL — this many ms
+  /// after the first successful attach. 0 = off.
+  std::int64_t exit_after_ms = 0;
+};
+
+struct WorkerResult {
+  /// True when the coordinator ended the run with STOP.
+  bool completed = false;
+  StopReason stop = StopReason::kShutdown;
+  /// True when exit_after_ms fired (simulated kill).
+  bool killed = false;
+  /// Nonempty on connect/handshake/protocol failure.
+  std::string error;
+  int reconnects = 0;
+  /// This worker's local lifetime counters (the same numbers its final
+  /// NetStats reported).
+  sim::RunMetrics metrics;
+};
+
+WorkerResult run_worker(Transport& transport, const WorkerConfig& config);
+
+}  // namespace discsp::net

@@ -57,6 +57,12 @@ class Agent {
   /// Anti-entropy heartbeat: re-send whatever repairs dropped messages
   /// (current ok?, pending wave state, the last learned nogood).
   virtual void on_heartbeat(MessageSink& out) { (void)out; }
+  /// Reserve the sequence space up to `floor`: every ok?/improve seq the
+  /// agent emits afterwards must exceed it. The multi-process analogue of
+  /// the journal's kSeqReserve record — a worker process rebuilt after a
+  /// SIGKILL lost its counters, but its peers' per-sender seq guards did
+  /// not, so fresh announcements would be dropped as stale without this.
+  virtual void set_seq_floor(std::uint64_t floor) { (void)floor; }
   /// Lifetime learning counters for Table-4 style reporting.
   virtual std::uint64_t nogoods_generated() const { return 0; }
   virtual std::uint64_t redundant_generations() const { return 0; }

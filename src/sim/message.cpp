@@ -90,6 +90,13 @@ WireLimits wire_limits_for(const Problem& problem, int num_agents) {
   return limits;
 }
 
+void seal_frame(WireFrame& frame) { seal(frame); }
+
+bool verify_sealed_frame(const WireFrame& frame) {
+  if (frame.size() < 2) return false;
+  return frame_checksum(frame, frame.size() - 1) == frame.back();
+}
+
 WireFrame encode_frame(const MessagePayload& payload) {
   WireFrame frame;
   std::visit(

@@ -117,6 +117,13 @@ WireLimits wire_limits_for(const Problem& problem, int num_agents);
 /// Serialize a payload into a checksummed frame.
 WireFrame encode_frame(const MessagePayload& payload);
 
+/// Append the FNV-1a checksum word to `frame` (the same sealing scheme
+/// decode_frame verifies). Exposed so the net layer's control frames share
+/// one checksum definition with the payload wire format.
+void seal_frame(WireFrame& frame);
+/// True when `frame` ends in a checksum word matching its preceding words.
+bool verify_sealed_frame(const WireFrame& frame);
+
 /// Why a frame was rejected.
 enum class DecodeError {
   kNone = 0,

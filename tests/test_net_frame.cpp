@@ -1,0 +1,306 @@
+// Net control-frame codec tests (net/netframe.h):
+//  - every frame kind round-trips through encode_net_frame/decode_net_frame;
+//  - hostile input never decodes: truncation, checksum damage, unknown
+//    kinds and out-of-bounds fields are rejected with the right error;
+//  - the RunMetrics counter words round-trip through
+//    encode_metrics_words/decode_metrics_words, and short (older-worker)
+//    word lists leave the trailing counters untouched.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/netframe.h"
+#include "sim/message.h"
+
+namespace discsp {
+namespace {
+
+using net::decode_net_frame;
+using net::encode_net_frame;
+using net::NetAck;
+using net::NetDecodeError;
+using net::NetError;
+using net::NetErrorCode;
+using net::NetFrame;
+using net::NetHello;
+using net::NetJob;
+using net::NetPing;
+using net::NetPong;
+using net::NetRoute;
+using net::NetStats;
+using net::NetStop;
+using net::NetWelcome;
+using net::StopReason;
+using sim::WireFrame;
+
+WireFrame sealed_payload() {
+  // A plausible payload frame; the route codec treats it as an opaque blob.
+  sim::OkMessage ok;
+  ok.sender = 2;
+  ok.var = 2;
+  ok.value = 1;
+  ok.priority = 3;
+  ok.seq = 7;
+  return sim::encode_frame(ok);
+}
+
+TEST(NetFrame, HelloRoundTrip) {
+  NetHello hello;
+  hello.shard = 2;
+  hello.digest = 0xfeedULL;
+  auto decoded = decode_net_frame(encode_net_frame(hello));
+  ASSERT_TRUE(decoded.ok());
+  const auto& got = std::get<NetHello>(*decoded.frame);
+  EXPECT_EQ(got.proto, net::kNetProtoVersion);
+  EXPECT_EQ(got.shard, 2u);
+  EXPECT_EQ(got.digest, 0xfeedULL);
+}
+
+TEST(NetFrame, WelcomeRoundTrip) {
+  NetWelcome welcome;
+  welcome.shard = 1;
+  welcome.num_workers = 3;
+  welcome.digest = 42;
+  welcome.incarnation = 4;
+  welcome.restart = true;
+  auto decoded = decode_net_frame(encode_net_frame(welcome));
+  ASSERT_TRUE(decoded.ok());
+  const auto& got = std::get<NetWelcome>(*decoded.frame);
+  EXPECT_EQ(got.shard, 1u);
+  EXPECT_EQ(got.num_workers, 3u);
+  EXPECT_EQ(got.digest, 42u);
+  EXPECT_EQ(got.incarnation, 4u);
+  EXPECT_TRUE(got.restart);
+}
+
+TEST(NetFrame, JobRoundTripIncludingNulBytes) {
+  NetJob job;
+  job.text = std::string("job 1\nline\0with nul\n", 20);
+  auto decoded = decode_net_frame(encode_net_frame(job));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<NetJob>(*decoded.frame).text, job.text);
+}
+
+TEST(NetFrame, RouteRoundTripPreservesEmbeddedFrameVerbatim) {
+  NetRoute route;
+  route.from = 2;
+  route.to = 5;
+  route.track_seq = 9;
+  route.frame = sealed_payload();
+  // Mangle the embedded frame: the route codec must carry it verbatim (the
+  // receiving worker's decode_frame is the validator, not the router).
+  route.frame[1] ^= 0xff;
+  auto decoded = decode_net_frame(encode_net_frame(route));
+  ASSERT_TRUE(decoded.ok());
+  const auto& got = std::get<NetRoute>(*decoded.frame);
+  EXPECT_EQ(got.from, 2);
+  EXPECT_EQ(got.to, 5);
+  EXPECT_EQ(got.track_seq, 9u);
+  EXPECT_EQ(got.frame, route.frame);
+}
+
+TEST(NetFrame, AckRoundTrip) {
+  NetAck ack;
+  ack.from = 3;
+  ack.to = 1;
+  ack.seq = 77;
+  auto decoded = decode_net_frame(encode_net_frame(ack));
+  ASSERT_TRUE(decoded.ok());
+  const auto& got = std::get<NetAck>(*decoded.frame);
+  EXPECT_EQ(got.from, 3);
+  EXPECT_EQ(got.to, 1);
+  EXPECT_EQ(got.seq, 77u);
+}
+
+TEST(NetFrame, StatsRoundTrip) {
+  NetStats stats;
+  stats.shard = 2;
+  stats.incarnation = 3;
+  stats.idle = true;
+  stats.insoluble = true;
+  stats.final_report = true;
+  stats.insoluble_agent = 4;
+  stats.sent = 100;
+  stats.processed = 99;
+  stats.metrics_words = {1, 2, 3, 4, 5};
+  stats.values = {{0, -2}, {3, 1}, {6, 0}};
+  auto decoded = decode_net_frame(encode_net_frame(stats));
+  ASSERT_TRUE(decoded.ok());
+  const auto& got = std::get<NetStats>(*decoded.frame);
+  EXPECT_EQ(got.shard, 2u);
+  EXPECT_EQ(got.incarnation, 3u);
+  EXPECT_TRUE(got.idle);
+  EXPECT_TRUE(got.insoluble);
+  EXPECT_TRUE(got.final_report);
+  EXPECT_EQ(got.insoluble_agent, 4);
+  EXPECT_EQ(got.sent, 100u);
+  EXPECT_EQ(got.processed, 99u);
+  EXPECT_EQ(got.metrics_words, stats.metrics_words);
+  EXPECT_EQ(got.values, stats.values);
+}
+
+TEST(NetFrame, StopPingPongErrorRoundTrip) {
+  {
+    auto decoded = decode_net_frame(
+        encode_net_frame(NetStop{StopReason::kDeadline}));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<NetStop>(*decoded.frame).reason, StopReason::kDeadline);
+  }
+  {
+    NetPing ping;
+    ping.nonce = 11;
+    ping.sent_ms = -5;
+    auto decoded = decode_net_frame(encode_net_frame(ping));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<NetPing>(*decoded.frame).nonce, 11u);
+    EXPECT_EQ(std::get<NetPing>(*decoded.frame).sent_ms, -5);
+  }
+  {
+    NetPong pong;
+    pong.nonce = 12;
+    pong.sent_ms = 333;
+    auto decoded = decode_net_frame(encode_net_frame(pong));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<NetPong>(*decoded.frame).nonce, 12u);
+    EXPECT_EQ(std::get<NetPong>(*decoded.frame).sent_ms, 333);
+  }
+  {
+    auto decoded = decode_net_frame(
+        encode_net_frame(NetError{NetErrorCode::kDigestMismatch}));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<NetError>(*decoded.frame).code,
+              NetErrorCode::kDigestMismatch);
+  }
+}
+
+TEST(NetFrame, RejectsTruncation) {
+  // Losing the trailing word breaks the seal (or the length, whichever the
+  // decoder checks first) — either way the frame must not decode.
+  auto frame = encode_net_frame(NetHello{});
+  frame.pop_back();
+  EXPECT_FALSE(decode_net_frame(frame).ok());
+  EXPECT_EQ(decode_net_frame(WireFrame{}).error, NetDecodeError::kTruncated);
+}
+
+TEST(NetFrame, RejectsChecksumDamage) {
+  auto frame = encode_net_frame(NetAck{1, 2, 3});
+  frame[2] ^= 1;  // single bit flip, length preserved
+  EXPECT_EQ(decode_net_frame(frame).error, NetDecodeError::kChecksum);
+}
+
+TEST(NetFrame, RejectsUnknownKind) {
+  // Re-seal after the kind rewrite so only the kind check can object.
+  auto frame = encode_net_frame(NetPing{});
+  WireFrame words(frame.begin(), frame.end() - 1);
+  words[0] = 999;
+  WireFrame resealed = words;
+  sim::seal_frame(resealed);
+  EXPECT_EQ(decode_net_frame(resealed).error, NetDecodeError::kBadKind);
+  // Payload kinds (< 100) must never decode as net frames.
+  words[0] = 0;
+  resealed = words;
+  sim::seal_frame(resealed);
+  EXPECT_EQ(decode_net_frame(resealed).error, NetDecodeError::kBadKind);
+}
+
+TEST(NetFrame, RejectsOutOfBoundsFields) {
+  {
+    NetHello hello;
+    hello.shard = net::kMaxWorkers;  // valid shards are < kMaxWorkers
+    EXPECT_EQ(decode_net_frame(encode_net_frame(hello)).error,
+              NetDecodeError::kBadBounds);
+  }
+  {
+    NetWelcome welcome;
+    welcome.num_workers = net::kMaxWorkers + 1;
+    EXPECT_EQ(decode_net_frame(encode_net_frame(welcome)).error,
+              NetDecodeError::kBadBounds);
+  }
+  {
+    NetStop stop;
+    stop.reason = static_cast<StopReason>(99);
+    EXPECT_EQ(decode_net_frame(encode_net_frame(stop)).error,
+              NetDecodeError::kBadBounds);
+  }
+  {
+    NetError error;
+    error.code = static_cast<NetErrorCode>(99);
+    EXPECT_EQ(decode_net_frame(encode_net_frame(error)).error,
+              NetDecodeError::kBadBounds);
+  }
+}
+
+TEST(NetFrame, FuzzTruncatedPrefixesNeverDecode) {
+  // Every strict prefix of a valid frame must be rejected, never crash.
+  NetStats stats;
+  stats.metrics_words = {7, 8, 9};
+  stats.values = {{1, 2}, {3, 4}};
+  const auto frame = encode_net_frame(stats);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    WireFrame prefix(frame.begin(), frame.begin() + len);
+    EXPECT_FALSE(decode_net_frame(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(NetFrame, MetricsWordsRoundTrip) {
+  sim::RunMetrics metrics;
+  metrics.messages = 10;
+  metrics.total_checks = 20;
+  metrics.work_ops = 30;
+  metrics.nogoods_generated = 40;
+  metrics.redundant_generations = 50;
+  metrics.refresh_messages = 60;
+  metrics.heartbeats = 70;
+  metrics.retransmissions = 80;
+  metrics.detector_false_positives = 90;
+  metrics.malformed_frames = 100;
+  metrics.quarantines = 110;
+  metrics.quarantine_drops = 120;
+  metrics.journal_appends = 130;
+  metrics.journal_checkpoints = 140;
+  metrics.journal_replays = 150;
+  metrics.store_evictions = 160;
+  metrics.peak_learned_nogoods = 170;
+  metrics.faults.dropped = 180;
+  metrics.faults.duplicated = 190;
+  metrics.monitor.violations = 200;
+  metrics.monitor.checks = 210;
+
+  sim::RunMetrics out;
+  net::decode_metrics_words(net::encode_metrics_words(metrics), out);
+  EXPECT_EQ(out.messages, 10u);
+  EXPECT_EQ(out.total_checks, 20u);
+  EXPECT_EQ(out.work_ops, 30u);
+  EXPECT_EQ(out.nogoods_generated, 40u);
+  EXPECT_EQ(out.redundant_generations, 50u);
+  EXPECT_EQ(out.refresh_messages, 60u);
+  EXPECT_EQ(out.heartbeats, 70u);
+  EXPECT_EQ(out.retransmissions, 80u);
+  EXPECT_EQ(out.detector_false_positives, 90u);
+  EXPECT_EQ(out.malformed_frames, 100u);
+  EXPECT_EQ(out.quarantines, 110u);
+  EXPECT_EQ(out.quarantine_drops, 120u);
+  EXPECT_EQ(out.journal_appends, 130u);
+  EXPECT_EQ(out.journal_checkpoints, 140u);
+  EXPECT_EQ(out.journal_replays, 150u);
+  EXPECT_EQ(out.store_evictions, 160u);
+  EXPECT_EQ(out.peak_learned_nogoods, 170u);
+  EXPECT_EQ(out.faults.dropped, 180u);
+  EXPECT_EQ(out.faults.duplicated, 190u);
+  EXPECT_EQ(out.monitor.violations, 200u);
+  EXPECT_EQ(out.monitor.checks, 210u);
+}
+
+TEST(NetFrame, ShortMetricsWordsLeaveTrailingCountersUntouched) {
+  // An older worker reporting fewer counters must not zero the rest.
+  sim::RunMetrics out;
+  out.monitor.violations = 5;
+  net::decode_metrics_words({1, 2}, out);
+  EXPECT_EQ(out.messages, 1u);
+  EXPECT_EQ(out.total_checks, 2u);
+  EXPECT_EQ(out.monitor.violations, 5u);
+}
+
+}  // namespace
+}  // namespace discsp

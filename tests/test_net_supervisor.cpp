@@ -1,0 +1,118 @@
+// Peer supervision tests (net/supervisor.h): the coordinator-side health
+// state machine (healthy -> suspect -> dead on silence, quarantine on
+// malformed-frame budget), the ping cadence, and config validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/supervisor.h"
+
+namespace discsp {
+namespace {
+
+using net::PeerHealth;
+using net::PeerSupervisor;
+using net::SupervisorConfig;
+
+SupervisorConfig fast_config() {
+  SupervisorConfig config;
+  config.ping_interval_ms = 10;
+  config.suspect_after_ms = 50;
+  config.dead_after_ms = 200;
+  config.malformed_budget = 3;
+  config.quarantine_ms = 100;
+  return config;
+}
+
+TEST(NetSupervisor, SilenceDegradesHealthyToSuspectToDead) {
+  PeerSupervisor sup(fast_config(), 2);
+  sup.note_attached(0, 1000);
+
+  EXPECT_EQ(sup.health(0, 1000), PeerHealth::kHealthy);
+  EXPECT_EQ(sup.health(0, 1049), PeerHealth::kHealthy);
+  EXPECT_EQ(sup.health(0, 1050), PeerHealth::kSuspect);
+  EXPECT_FALSE(sup.dead(0, 1199));
+  EXPECT_EQ(sup.health(0, 1200), PeerHealth::kDead);
+  EXPECT_TRUE(sup.dead(0, 1200));
+}
+
+TEST(NetSupervisor, TrafficResetsTheSilenceWindow) {
+  PeerSupervisor sup(fast_config(), 1);
+  sup.note_attached(0, 0);
+  // Keep traffic flowing just under the suspect window: never degrades.
+  for (std::int64_t now = 40; now <= 400; now += 40) {
+    EXPECT_EQ(sup.health(0, now), PeerHealth::kHealthy) << "at " << now;
+    sup.note_alive(0, now);
+  }
+  // Then go silent: suspect at +50, dead at +200.
+  EXPECT_EQ(sup.health(0, 449), PeerHealth::kHealthy);
+  EXPECT_EQ(sup.health(0, 450), PeerHealth::kSuspect);
+  EXPECT_EQ(sup.health(0, 600), PeerHealth::kDead);
+}
+
+TEST(NetSupervisor, MalformedBudgetTriggersQuarantineThenReadmits) {
+  PeerSupervisor sup(fast_config(), 1);
+  sup.note_attached(0, 0);
+
+  // Budget is 3 per window: the first three malformed frames are tolerated.
+  EXPECT_FALSE(sup.note_malformed(0, 10));
+  EXPECT_FALSE(sup.note_malformed(0, 11));
+  EXPECT_FALSE(sup.note_malformed(0, 12));
+  EXPECT_TRUE(sup.note_malformed(0, 13));
+  EXPECT_EQ(sup.health(0, 14), PeerHealth::kQuarantined);
+  EXPECT_EQ(sup.quarantines(), 1u);
+  EXPECT_EQ(sup.malformed_frames(), 4u);
+
+  // After the quarantine window the peer is readmitted (still attached and
+  // recently alive, so healthy).
+  sup.note_alive(0, 120);
+  EXPECT_EQ(sup.health(0, 121), PeerHealth::kHealthy);
+}
+
+TEST(NetSupervisor, DetachedPeersAreDeadUntilReattach) {
+  PeerSupervisor sup(fast_config(), 2);
+  sup.note_attached(0, 0);
+  sup.note_detached(0);
+  EXPECT_EQ(sup.health(0, 1), PeerHealth::kDead);
+  EXPECT_TRUE(sup.dead(0, 1));
+
+  // A replacement attaches into the slot and starts healthy.
+  sup.note_attached(0, 500);
+  EXPECT_EQ(sup.health(0, 500), PeerHealth::kHealthy);
+
+  // Never-attached slots are dead from the start.
+  EXPECT_EQ(sup.health(1, 0), PeerHealth::kDead);
+}
+
+TEST(NetSupervisor, PingCadenceFollowsTheInterval) {
+  PeerSupervisor sup(fast_config(), 1);
+  sup.note_attached(0, 0);
+
+  EXPECT_TRUE(sup.ping_due(0, 10));
+  EXPECT_FALSE(sup.ping_due(0, 15));  // just pinged
+  EXPECT_FALSE(sup.ping_due(0, 19));
+  EXPECT_TRUE(sup.ping_due(0, 20));
+
+  // Dead peers are not pinged.
+  sup.note_detached(0);
+  EXPECT_FALSE(sup.ping_due(0, 100));
+}
+
+TEST(NetSupervisor, ConfigValidationRejectsBadWindows) {
+  SupervisorConfig config = fast_config();
+  config.suspect_after_ms = config.dead_after_ms;  // must be strictly below
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = fast_config();
+  config.ping_interval_ms = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = fast_config();
+  config.quarantine_ms = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(fast_config().validate());
+}
+
+}  // namespace
+}  // namespace discsp

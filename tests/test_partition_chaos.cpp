@@ -293,6 +293,8 @@ TEST(ReproBundle, RoundTripsThroughTextFormat) {
   bundle.planted = instance.planted;
   bundle.initial.assign(12, 1);
   bundle.instance = gen::distribute(instance);
+  bundle.transport = "tcp";
+  bundle.deadline_ms = 1500;
   bundle.reason = "unit test cell drop=0.125";
   bundle.observed = analysis::ObservedOutcome{true, 321, 0, 7};
 
@@ -319,6 +321,8 @@ TEST(ReproBundle, RoundTripsThroughTextFormat) {
   EXPECT_EQ(back.monitor_stall, bundle.monitor_stall);
   EXPECT_EQ(back.planted, bundle.planted);
   EXPECT_EQ(back.initial, bundle.initial);
+  EXPECT_EQ(back.transport, bundle.transport);
+  EXPECT_EQ(back.deadline_ms, bundle.deadline_ms);
   EXPECT_EQ(back.reason, bundle.reason);
   ASSERT_TRUE(back.observed.has_value());
   EXPECT_EQ(back.observed->solved, bundle.observed->solved);

@@ -26,12 +26,14 @@ cmake -B "${prefix}-tsan" -S . \
       -DDISCSP_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${prefix}-tsan" -j "${jobs}" --target discsp_tests
 
-echo "--- TSan: thread runtime + fault layer tests ---"
+echo "--- TSan: thread runtime + fault layer + net transport tests ---"
 # Run the binary directly (no ctest indirection) and fail the whole script
 # on any sanitizer report or test failure. PartitionChaos/CorruptionChaos
-# include ThreadRuntime legs that exercise the monitor's concurrent mode.
+# include ThreadRuntime legs that exercise the monitor's concurrent mode;
+# NetLoopback* runs coordinator + worker threads over the in-proc and TCP
+# transports (the multi-process runtime's real concurrency surface).
 if ! "${prefix}-tsan/tests/discsp_tests" \
-    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:AmnesiaChaos*:PartitionChaos*:CorruptionChaos*:*Credit*'; then
+    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:AmnesiaChaos*:PartitionChaos*:CorruptionChaos*:*Credit*:NetLoopback*:NetSupervisor*'; then
   echo "TSan leg failed." >&2
   exit 1
 fi

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Multi-process loopback smoke: the ISSUE acceptance bar for the distributed
+# runtime (docs/NETWORK.md).
+#
+#   1. Chaos trials: coordinator + 3 worker processes on 127.0.0.1 under 10%
+#      drop + 5% duplication; one worker is SIGKILLed mid-solve and a
+#      replacement started. >= 95% of trials must end SOLVED with a
+#      validated assignment and zero monitor violations.
+#   2. Deadline trial: a large instance under a tiny wall-clock budget must
+#      degrade gracefully — exit code 3 and a well-formed partial report.
+#
+# Usage: tools/net_smoke.sh [build-dir]
+#   CLI=path        override the discsp_cli binary
+#   TRIALS=n        chaos trials (default 20)
+#   NET_SMOKE_N=n   chaos instance size (default 36)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+cli="${CLI:-${build}/examples/discsp_cli}"
+trials="${TRIALS:-20}"
+n="${NET_SMOKE_N:-36}"
+
+if [[ ! -x "${cli}" ]]; then
+  echo "net_smoke: ${cli} not built" >&2
+  exit 2
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "${work}"; kill $(jobs -p) 2>/dev/null || true' EXIT
+
+"${cli}" gen coloring --n "${n}" --seed 9 --out "${work}/chaos.dcsp" >/dev/null
+"${cli}" gen coloring --n 90 --seed 4 --out "${work}/big.dcsp" >/dev/null
+
+wait_port_file() {
+  local file="$1"
+  for _ in $(seq 1 100); do
+    [[ -s "${file}" ]] && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+run_trial() {
+  local seed="$1" log="$2"
+  local port_file="${work}/port.${seed}"
+  rm -f "${port_file}"
+
+  timeout 120 "${cli}" serve "${work}/chaos.dcsp" \
+    --listen 127.0.0.1:0 --port-file "${port_file}" \
+    --workers 3 --deadline-ms 90000 --seed "${seed}" \
+    --fault-drop 0.10 --fault-duplicate 0.05 >"${log}" 2>&1 &
+  local serve_pid=$!
+
+  if ! wait_port_file "${port_file}"; then
+    echo "trial ${seed}: coordinator never bound" >&2
+    kill -9 "${serve_pid}" 2>/dev/null || true
+    wait "${serve_pid}" 2>/dev/null || true
+    return 1
+  fi
+  local port
+  port="$(cat "${port_file}")"
+
+  timeout 120 "${cli}" worker --connect "127.0.0.1:${port}" >/dev/null 2>&1 &
+  timeout 120 "${cli}" worker --connect "127.0.0.1:${port}" >/dev/null 2>&1 &
+  # The victim runs bare (no `timeout` wrapper): SIGKILL is not forwardable,
+  # so wrapping it would orphan the worker instead of killing it. The serve
+  # timeout above bounds the trial either way.
+  "${cli}" worker --connect "127.0.0.1:${port}" >/dev/null 2>&1 &
+  local victim_pid=$!
+
+  # A real SIGKILL mid-solve, then a replacement attach (restart=true + seq
+  # floors on the coordinator side). If the solve already finished, both the
+  # kill and the replacement are harmless no-ops.
+  sleep 0.5
+  kill -9 "${victim_pid}" 2>/dev/null || true
+  timeout 120 "${cli}" worker --connect "127.0.0.1:${port}" >/dev/null 2>&1 &
+
+  local status=0
+  wait "${serve_pid}" || status=$?
+  wait 2>/dev/null || true
+
+  if [[ "${status}" -ne 0 ]]; then
+    echo "trial ${seed}: serve exited ${status}" >&2
+    return 1
+  fi
+  if ! grep -q "SOLVED; validated: yes" "${log}"; then
+    echo "trial ${seed}: no validated solution" >&2
+    return 1
+  fi
+  if ! grep -q "monitor: violations 0," "${log}"; then
+    echo "trial ${seed}: monitor violations reported" >&2
+    return 1
+  fi
+  return 0
+}
+
+echo "=== chaos trials: ${trials} x (3 workers, 1 SIGKILLed, 10% drop + 5% dup) ==="
+solved=0
+for t in $(seq 1 "${trials}"); do
+  if run_trial "$((100 + t))" "${work}/trial.${t}.log"; then
+    solved=$((solved + 1))
+  else
+    sed -n '1,12p' "${work}/trial.${t}.log" >&2 || true
+  fi
+done
+need=$(( (trials * 95 + 99) / 100 ))  # ceil(95%)
+echo "solved ${solved}/${trials} (need >= ${need})"
+if [[ "${solved}" -lt "${need}" ]]; then
+  echo "net_smoke: chaos solve rate below 95%" >&2
+  exit 1
+fi
+
+echo "=== deadline trial: 90-variable instance, 300 ms budget ==="
+# Drops force >= one ack-timeout per repair, so the budget reliably expires;
+# a solve inside the budget is still accepted (never wrong, just fast).
+status=0
+timeout 60 "${cli}" serve "${work}/big.dcsp" --workers 3 \
+  --deadline-ms 300 --seed 5 --fault-drop 0.20 >"${work}/deadline.log" 2>&1 || status=$?
+if grep -q "^SOLVED" "${work}/deadline.log"; then
+  echo "deadline trial solved inside the budget (accepted)"
+elif [[ "${status}" -eq 3 ]] && grep -q "partial assignment covers" "${work}/deadline.log"; then
+  grep "partial assignment covers" "${work}/deadline.log"
+else
+  echo "net_smoke: deadline run not well-formed (exit ${status})" >&2
+  cat "${work}/deadline.log" >&2
+  exit 1
+fi
+
+echo "net_smoke: all checks passed."
