@@ -17,7 +17,16 @@
 //               [--partition-interval 400] [--partition-duration 150]
 //               [--partition-groups 2] [--quarantine-budget 0]
 //               [--quarantine-duration 200] [--monitor 1] [--repro-dir DIR]
-//               [--threads 1] [--incremental 1]
+//               [--threads 1] [--incremental 1] [--coord-kill-ms 0]
+//
+// --coord-kill-ms T > 0 adds a coordinator-crash axis: each trial runs on
+// the in-proc distributed runtime (net/coordinator.h) instead of the
+// single-process engine, the coordinator is halted abruptly T ms into the
+// solve (no STOP, no drain — the SIGKILL analogue) and restarted from its
+// control-plane journal with --resume semantics; workers park orphaned and
+// re-rendezvous. The folded counters then cover both coordinator
+// incarnations. The halt timer is wall-clock, so which trials are actually
+// interrupted (vs. solved before T) varies with machine speed.
 //
 // --threads T fans each point's trials out over T workers (0 = all cores);
 // every trial seeds its own RNG streams, so the printed numbers are
@@ -33,9 +42,13 @@
 // $DISCSP_REPRO_DIR) for deterministic replay with `discsp_cli repro`.
 // Unsolved trials are bundled the same way.
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "analysis/experiment.h"
@@ -44,6 +57,69 @@
 #include "common/options.h"
 #include "csp/validate.h"
 #include "gen/coloring_gen.h"
+#include "net/coordinator.h"
+#include "net/jobspec.h"
+#include "net/transport.h"
+#include "net/worker.h"
+
+namespace {
+
+/// One trial on the in-proc distributed runtime: the coordinator is halted
+/// `kill_ms` into the solve (the SIGKILL analogue: no STOP, no drain, no
+/// final checkpoint) and restarted against the same journal with resume
+/// semantics, while the three workers park orphaned and re-rendezvous. If
+/// the solve beats the halt timer the first incarnation's result stands.
+discsp::net::ServeResult run_with_coordinator_kill(
+    const discsp::analysis::ReproBundle& bundle, std::int64_t kill_ms,
+    std::uint64_t trial_seed) {
+  namespace net = discsp::net;
+  net::InProcTransport transport;
+  const std::string name = "sweep." + std::to_string(trial_seed);
+  const std::string journal =
+      (std::filesystem::temp_directory_path() /
+       ("discsp_sweep_" + std::to_string(trial_seed) + ".journal"))
+          .string();
+  std::remove(journal.c_str());
+
+  net::ServeConfig config;
+  config.job.bundle = bundle;
+  config.job.num_workers = 3;
+  config.job.report_interval_ms = 5;
+  config.deadline_ms = 120000;
+  config.journal_path = journal;
+  config.halt_after_ms = kill_ms;
+
+  std::vector<std::thread> threads;
+  threads.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    net::WorkerConfig wc;
+    wc.endpoint = name;
+    wc.reconnect_seed = trial_seed * 31 + static_cast<std::uint64_t>(i);
+    // The outage spans the restart gap; keep retrying well past it.
+    wc.max_connect_attempts = 200;
+    wc.connect_timeout_ms = 500;
+    threads.emplace_back([&transport, wc] { net::run_worker(transport, wc); });
+  }
+
+  net::ServeResult result;
+  {
+    auto listener = transport.listen(name);
+    result = net::serve(*listener, config);
+    // The listener dies with this scope — exactly like the process.
+  }
+  if (result.halted) {
+    net::ServeConfig resumed = config;
+    resumed.halt_after_ms = 0;
+    resumed.resume = true;
+    auto listener = transport.listen(name);
+    result = net::serve(*listener, resumed);
+  }
+  for (auto& t : threads) t.join();
+  std::remove(journal.c_str());
+  return result;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace discsp;
@@ -73,6 +149,10 @@ int main(int argc, char** argv) {
         opts.get_string("repro-dir", "", "DISCSP_REPRO_DIR");
     const int threads = static_cast<int>(opts.get_int("threads", 1, "REPRO_THREADS"));
     const bool incremental = opts.get_bool("incremental", true, "REPRO_INCREMENTAL");
+    const std::int64_t coord_kill_ms = opts.get_int("coord-kill-ms", 0);
+    if (coord_kill_ms < 0) {
+      throw std::invalid_argument("--coord-kill-ms must be >= 0");
+    }
 
     struct Point {
       double drop;
@@ -95,6 +175,10 @@ int main(int argc, char** argv) {
     std::cout << ", partitions " << partition_duration << "/" << partition_interval
               << " x" << partition_groups
               << (monitor ? ", monitor on" : ", monitor OFF");
+    if (coord_kill_ms > 0) {
+      std::cout << ", coordinator killed+resumed at " << coord_kill_ms
+                << " ms (in-proc runtime, 3 workers)";
+    }
     std::cout << "\n\n";
     std::cout << std::setw(6) << "drop%" << std::setw(6) << "dup%"
               << std::setw(7) << "corr%" << std::setw(6) << "part"
@@ -164,7 +248,14 @@ int main(int argc, char** argv) {
             for (auto& v : bundle.initial) v = static_cast<Value>(rng.index(3));
             bundle.instance = gen::distribute(instance);
 
-            const sim::RunResult result = analysis::run_bundle(bundle);
+            sim::RunResult result;
+            if (coord_kill_ms > 0) {
+              result = run_with_coordinator_kill(bundle, coord_kill_ms,
+                                                 trial_seed)
+                           .run;
+            } else {
+              result = analysis::run_bundle(bundle);
+            }
             TrialOutcome& out = outcomes[t];
             out.acts = static_cast<double>(result.metrics.cycles);
             out.faults = result.metrics.faults;

@@ -11,8 +11,12 @@
 //   discsp_cli experiment --family d3s --n 40 --trials 20 --threads 8
 //   discsp_cli serve inst.dcsp --workers 3 --deadline-ms 5000
 //   discsp_cli serve inst.dcsp --listen 127.0.0.1:0 --port-file port.txt
+//   discsp_cli serve inst.dcsp --listen 127.0.0.1:0 --port-file port.txt \
+//     --coordinator-journal run.journal --resume
 //   discsp_cli worker --connect 127.0.0.1:9000
+//   discsp_cli worker --port-file port.txt --max-connect-attempts 60
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -123,6 +127,11 @@ void print_chaos_counters(const sim::RunMetrics& metrics) {
     std::cout << "wire: malformed frames rejected " << metrics.malformed_frames
               << ", quarantines " << metrics.quarantines
               << ", quarantine drops " << metrics.quarantine_drops << '\n';
+  }
+  if (metrics.backpressure_drops > 0) {
+    std::cout << "backpressure: frames shed at send high-water / orphan "
+                 "overflow "
+              << metrics.backpressure_drops << '\n';
   }
 }
 
@@ -426,17 +435,49 @@ net::ServeConfig build_serve_config(net::JobSpec job, const NetConfig& net_cfg) 
       std::max<std::int64_t>(1, std::min<std::int64_t>(250, net_cfg.dead_after_ms / 2));
   cfg.supervisor.ping_interval_ms =
       std::max<std::int64_t>(1, std::min<std::int64_t>(50, cfg.supervisor.suspect_after_ms));
+  if (net_cfg.detector == "phi") {
+    cfg.supervisor.adaptive = true;
+    cfg.supervisor.phi_suspect = net_cfg.phi_suspect;
+    cfg.supervisor.phi_dead = net_cfg.phi_dead;
+    cfg.supervisor.phi_window = static_cast<int>(net_cfg.phi_window);
+    cfg.supervisor.phi_min_samples = static_cast<int>(net_cfg.phi_min_samples);
+    cfg.supervisor.phi_min_std_ms = net_cfg.phi_min_std_ms;
+  }
+  cfg.supervisor.ping_burst = static_cast<int>(net_cfg.ping_burst);
   cfg.emit_dir = net_cfg.emit_dir;
   cfg.transport = net_cfg.listen.empty() ? "inproc" : "tcp";
+  cfg.journal_path = net_cfg.coordinator_journal;
+  cfg.resume = net_cfg.resume;
+  cfg.halt_after_ms = net_cfg.halt_after_ms;
   return cfg;
+}
+
+// Publish the bound port atomically: write a sibling temp file, then
+// rename(2) over the target. A worker re-reading the file mid-publish sees
+// either the old complete contents or the new ones, never a torn prefix.
+void write_port_file(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    out << port << '\n';
+  }
+  std::rename(tmp.c_str(), path.c_str());
 }
 
 int report_serve(const net::ServeResult& res, const DistributedProblem& dp,
                  const net::ServeConfig& cfg) {
   const sim::RunMetrics& m = res.run.metrics;
+  if (res.halted) {
+    // halt_after_ms fired: the coordinator "died". The run is not over —
+    // restart with --resume against the same journal to pick it back up.
+    std::cout << "HALTED (simulated coordinator crash; resume with --resume)\n";
+    return 3;
+  }
   std::cout << "stop: " << net::to_string(res.reason) << " (worker restarts "
             << res.worker_restarts << ", deliveries " << m.cycles << ", messages "
             << m.messages << ")\n";
+  std::cout << "coordinator incarnation " << res.coordinator_incarnation
+            << (res.resumed ? " (resumed from journal)" : "") << '\n';
   if (cfg.job.bundle.faults.enabled()) print_chaos_counters(m);
   if (cfg.job.bundle.monitor) print_monitor_summary(m.monitor);
   if (!res.bundle_path.empty()) {
@@ -481,6 +522,10 @@ int cmd_serve(const Options& opts) {
                  "[--port-file F] [--deadline-ms N] [--algo awc|db] [--strategy S] "
                  "[--seed S] [--report-interval-ms N] [--dead-after-ms N] "
                  "[--emit-dir DIR] [--ack-timeout N] [--monitor 0|1] "
+                 "[--coordinator-journal F] [--resume] [--halt-after-ms N] "
+                 "[--detector fixed|phi] [--phi-suspect X] [--phi-dead X] "
+                 "[--phi-window N] [--phi-min-samples N] [--phi-min-std-ms X] "
+                 "[--ping-burst N] "
                  "[+ the --fault-* / --partition-* / --quarantine-* knobs of solve]\n";
     return 2;
   }
@@ -521,8 +566,7 @@ int cmd_serve(const Options& opts) {
   net::TcpTransport transport;
   auto listener = transport.listen(net_cfg.listen);
   if (!net_cfg.port_file.empty()) {
-    std::ofstream port_file(net_cfg.port_file);
-    port_file << listener->port() << '\n';
+    write_port_file(net_cfg.port_file, listener->port());
   }
   std::cout << "listening on " << net_cfg.listen << " (port "
             << listener->port() << "), expecting " << net_cfg.workers
@@ -534,18 +578,29 @@ int cmd_serve(const Options& opts) {
 
 int cmd_worker(const Options& opts) {
   const NetConfig net_cfg = net_config_from(opts);
-  if (net_cfg.connect.empty()) {
+  if (net_cfg.connect.empty() && net_cfg.port_file.empty()) {
     std::cerr << "usage: discsp_cli worker --connect host:port [--shard K] "
-                 "[--exit-after-ms N]\n";
+                 "[--exit-after-ms N] [--port-file F [--host H]] "
+                 "[--max-connect-attempts N]\n";
     return 2;
   }
   net::TcpTransport transport;
   net::WorkerConfig wc;
   wc.endpoint = net_cfg.connect;
+  wc.port_file = net_cfg.port_file;
+  wc.host = net_cfg.host;
+  wc.max_connect_attempts = static_cast<int>(net_cfg.max_connect_attempts);
   wc.shard = net_cfg.shard >= 0 ? static_cast<std::uint64_t>(net_cfg.shard)
                                 : net::kAnyShard;
   wc.exit_after_ms = net_cfg.exit_after_ms;
   const net::WorkerResult res = net::run_worker(transport, wc);
+  if (res.gave_up) {
+    // Distinct exit code: "I am healthy but my coordinator never came back"
+    // must not read as success (or as a worker-side crash) to the harness.
+    std::cerr << "worker: gave up re-rendezvous; final supervisor verdict: "
+              << res.verdict << '\n';
+    return 4;
+  }
   if (!res.error.empty()) {
     std::cerr << "worker: " << res.error << '\n';
     return 1;

@@ -160,6 +160,7 @@ void write_bundle(std::ostream& out, const ReproBundle& bundle) {
   out << "monitor-stall " << bundle.monitor_stall << '\n';
   out << "transport " << bundle.transport << '\n';
   out << "deadline-ms " << bundle.deadline_ms << '\n';
+  out << "coordinator-incarnations " << bundle.coordinator_incarnations << '\n';
 
   write_assignment(out, "initial", bundle.initial);
   write_assignment(out, "planted", bundle.planted);
@@ -296,6 +297,11 @@ ReproBundle read_bundle(std::istream& in) {
     } else if (keyword == "deadline-ms") {
       read_i64(bundle.deadline_ms);
       if (bundle.deadline_ms < 0) fail(lineno, "deadline-ms must be >= 0");
+    } else if (keyword == "coordinator-incarnations") {
+      read_int(bundle.coordinator_incarnations);
+      if (bundle.coordinator_incarnations < 1) {
+        fail(lineno, "coordinator-incarnations must be >= 1");
+      }
     } else if (keyword == "initial") {
       bundle.initial = parse_assignment(body, lineno);
     } else if (keyword == "planted") {

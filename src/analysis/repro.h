@@ -72,6 +72,10 @@ struct ReproBundle {
   /// Wall-clock deadline of the emitting run in ms (net/clock.h); 0 = none.
   /// Informational: the async replay is bounded by max_activations instead.
   std::int64_t deadline_ms = 0;
+  /// Coordinator incarnations the emitting run spanned (> 1 means the run
+  /// survived a coordinator crash + journal resume; see docs/FAULT_MODEL.md).
+  /// Informational provenance like `transport` — replays are single-process.
+  int coordinator_incarnations = 1;
 
   /// Why this bundle was emitted (one line; e.g. "monitor violation" or
   /// "cell 0.20/0.10 solved 17/20 < 95%").

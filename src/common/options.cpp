@@ -203,6 +203,20 @@ NetConfig net_config_from(const Options& opts) {
       opts.get_int("report-interval-ms", cfg.report_interval_ms);
   cfg.dead_after_ms = opts.get_int("dead-after-ms", cfg.dead_after_ms);
   cfg.emit_dir = opts.get_string("emit-dir", cfg.emit_dir);
+  cfg.coordinator_journal =
+      opts.get_string("coordinator-journal", cfg.coordinator_journal);
+  cfg.resume = opts.get_bool("resume", cfg.resume);
+  cfg.halt_after_ms = opts.get_int("halt-after-ms", cfg.halt_after_ms);
+  cfg.max_connect_attempts =
+      opts.get_int("max-connect-attempts", cfg.max_connect_attempts);
+  cfg.host = opts.get_string("host", cfg.host);
+  cfg.detector = opts.get_string("detector", cfg.detector);
+  cfg.phi_suspect = opts.get_double("phi-suspect", cfg.phi_suspect);
+  cfg.phi_dead = opts.get_double("phi-dead", cfg.phi_dead);
+  cfg.phi_window = opts.get_int("phi-window", cfg.phi_window);
+  cfg.phi_min_samples = opts.get_int("phi-min-samples", cfg.phi_min_samples);
+  cfg.phi_min_std_ms = opts.get_double("phi-min-std-ms", cfg.phi_min_std_ms);
+  cfg.ping_burst = opts.get_int("ping-burst", cfg.ping_burst);
 
   if (!cfg.listen.empty()) check_endpoint(cfg.listen, "--listen");
   if (!cfg.connect.empty()) check_endpoint(cfg.connect, "--connect");
@@ -224,6 +238,37 @@ NetConfig net_config_from(const Options& opts) {
   }
   if (cfg.dead_after_ms < 1) {
     throw std::invalid_argument("--dead-after-ms must be >= 1");
+  }
+  if (cfg.resume && cfg.coordinator_journal.empty()) {
+    throw std::invalid_argument("--resume requires --coordinator-journal");
+  }
+  if (cfg.halt_after_ms < 0) {
+    throw std::invalid_argument("--halt-after-ms must be >= 0");
+  }
+  if (cfg.max_connect_attempts < 1) {
+    throw std::invalid_argument("--max-connect-attempts must be >= 1");
+  }
+  if (cfg.detector != "fixed" && cfg.detector != "phi") {
+    throw std::invalid_argument("--detector must be fixed or phi");
+  }
+  if (cfg.detector == "phi") {
+    if (!(cfg.phi_suspect > 0.0) || !(cfg.phi_dead > cfg.phi_suspect)) {
+      throw std::invalid_argument(
+          "--phi-suspect must be > 0 and --phi-dead greater still");
+    }
+    if (cfg.phi_window < 2) {
+      throw std::invalid_argument("--phi-window must be >= 2");
+    }
+    if (cfg.phi_min_samples < 2 || cfg.phi_min_samples > cfg.phi_window) {
+      throw std::invalid_argument(
+          "--phi-min-samples must lie in [2, --phi-window]");
+    }
+    if (!(cfg.phi_min_std_ms > 0.0)) {
+      throw std::invalid_argument("--phi-min-std-ms must be > 0");
+    }
+  }
+  if (cfg.ping_burst < 0) {
+    throw std::invalid_argument("--ping-burst must be >= 0");
   }
   return cfg;
 }

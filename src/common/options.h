@@ -134,14 +134,46 @@ struct NetConfig {
   std::int64_t dead_after_ms = 2000;
   /// Directory for repro bundles on monitor violations ("" = disabled).
   std::string emit_dir;
+
+  // Coordinator failover (docs/FAULT_MODEL.md, "coordinator recovery").
+  /// Control-plane write-ahead journal path ("" = no crash survival).
+  std::string coordinator_journal;
+  /// Rebuild from the journal and resume instead of starting fresh.
+  bool resume = false;
+  /// Chaos knob: abrupt coordinator death (no STOP/drain/checkpoint) this
+  /// many ms into serve(); 0 = off. Pairs with --resume for failover drills.
+  std::int64_t halt_after_ms = 0;
+  /// Worker: connect attempts (initial + reconnects) before giving up.
+  /// The default keeps a worker that outlives its run from lingering in
+  /// backoff for minutes; raise it (e.g. 200) for coordinator-failover
+  /// setups where the outage must be outwaited.
+  std::int64_t max_connect_attempts = 10;
+  /// Worker: host to pair with a --port-file port (re-rendezvous).
+  std::string host = "127.0.0.1";
+
+  // Failure detection (net/supervisor.h). "fixed" = silence windows only;
+  // "phi" = phi-accrual over observed inter-arrival times, with
+  // dead_after_ms kept as the hard cap.
+  std::string detector = "fixed";
+  double phi_suspect = 1.0;   ///< suspicion threshold (phi)
+  double phi_dead = 4.0;      ///< death threshold (phi)
+  std::int64_t phi_window = 64;       ///< inter-arrival samples retained
+  std::int64_t phi_min_samples = 8;   ///< warmup floor before phi applies
+  double phi_min_std_ms = 10.0;       ///< sigma floor in ms
+  std::int64_t ping_burst = 0;        ///< pings per interval window; 0 = unbounded
 };
 
 /// Build a NetConfig from --listen, --connect, --workers, --deadline-ms,
 /// --shard, --exit-after-ms, --port-file, --report-interval-ms,
-/// --dead-after-ms and --emit-dir. Endpoints must look like "host:port" with
-/// a numeric port in [0, 65535]; --workers must lie in [1, 4096]; every
-/// duration must be non-negative. Violations throw std::invalid_argument
-/// naming the offending flag.
+/// --dead-after-ms, --emit-dir, the failover knobs --coordinator-journal,
+/// --resume, --halt-after-ms, --max-connect-attempts, --host, and the
+/// failure-detection knobs --detector fixed|phi, --phi-suspect, --phi-dead,
+/// --phi-window, --phi-min-samples, --phi-min-std-ms, --ping-burst.
+/// Endpoints must look like "host:port" with a numeric port in [0, 65535];
+/// --workers must lie in [1, 4096]; every duration must be non-negative;
+/// the phi thresholds must satisfy 0 < suspect < dead with a window of at
+/// least 2 samples. Violations throw std::invalid_argument naming the
+/// offending flag.
 NetConfig net_config_from(const Options& opts);
 
 }  // namespace discsp

@@ -11,6 +11,7 @@
 
 #include "analysis/repro.h"
 #include "net/clock.h"
+#include "net/coord_journal.h"
 #include "sim/monitor.h"
 
 namespace discsp::net {
@@ -51,6 +52,7 @@ void merge_metrics(sim::RunMetrics& into, const sim::RunMetrics& add) {
   into.faults.amnesia += add.faults.amnesia;
   into.faults.partition_drops += add.faults.partition_drops;
   into.faults.corrupted += add.faults.corrupted;
+  into.backpressure_drops += add.backpressure_drops;
 }
 
 sim::MonitorConfig monitor_config_for(const analysis::ReproBundle& bundle) {
@@ -82,13 +84,29 @@ class Coordinator {
   }
 
   ServeResult run() {
+    if (!init_journal()) {
+      result_.coordinator_incarnation = coord_incarnation_;
+      return result_;  // error already set
+    }
+    // A journaled insolubility verdict is final: no worker input can change
+    // it, so a resumed coordinator just re-announces it.
+    if (insoluble_) request_stop(StopReason::kInsoluble);
     while (!stopping_) {
       const std::int64_t now = elapsed();
+      if (config_.halt_after_ms > 0 && now >= config_.halt_after_ms) {
+        // Simulated SIGKILL: drop everything on the floor mid-run. The
+        // journal holds whatever was flushed; workers find out from the
+        // closed sockets.
+        halted_ = true;
+        result_.halted = true;
+        return finish();
+      }
       accept_connections(now);
       handshake_pending(now);
       const bool activity = pump_slots(now);
       if (!stopping_) supervise(now);
       if (!stopping_) evaluate(now);
+      if (journal_ && journal_->should_checkpoint()) checkpoint_journal();
       if (stopping_) break;
       if (budget_.limited() && budget_.expired()) {
         request_stop(StopReason::kDeadline);
@@ -124,6 +142,131 @@ class Coordinator {
     std::unique_ptr<Connection> conn;
     std::int64_t deadline_ms = 0;
   };
+
+  // ----- control-plane journal -------------------------------------------
+
+  /// Open (and on --resume, replay) the write-ahead journal. False puts the
+  /// failure in result_.error; a coordinator that cannot journal must not
+  /// pretend to be crash-survivable.
+  bool init_journal() {
+    if (config_.resume && config_.journal_path.empty()) {
+      result_.error = "resume requires a coordinator journal path";
+      return false;
+    }
+    if (config_.resume) {
+      std::string error;
+      const auto loaded = CoordJournal::load(config_.journal_path, &error);
+      if (!loaded) {
+        result_.error = "coordinator journal: " + error;
+        return false;
+      }
+      if (loaded->digest != digest_) {
+        result_.error = "coordinator journal records digest " +
+                        std::to_string(loaded->digest) +
+                        " but this job has " + std::to_string(digest_);
+        return false;
+      }
+      restore(*loaded);
+      coord_incarnation_ = loaded->incarnation + 1;
+      resumed_ = true;
+      result_.resumed = true;
+    }
+    result_.coordinator_incarnation = coord_incarnation_;
+    if (config_.journal_path.empty()) return true;
+    CoordJournalConfig journal_config;
+    journal_config.path = config_.journal_path;
+    journal_config.checkpoint_interval = config_.journal_checkpoint_interval;
+    journal_ = std::make_unique<CoordJournal>(journal_config);
+    std::string error;
+    // The opening snapshot doubles as the resume compaction: the new
+    // incarnation immediately rewrites what it inherited.
+    if (!journal_->start(snapshot(), &error)) {
+      result_.error = "coordinator journal: " + error;
+      journal_.reset();
+      return false;
+    }
+    return true;
+  }
+
+  /// Fold a replayed journal into the live control-plane structures. Slot
+  /// incarnations survive so a worker that outlived the coordinator
+  /// re-attaches as a continuation, not a replacement.
+  void restore(const CoordState& state) {
+    restarts_ = static_cast<int>(state.restarts);
+    for (const auto& [agent, seq] : state.seq_floors) {
+      if (agent >= 0 && agent < num_vars_) {
+        max_seq_[static_cast<std::size_t>(agent)] = seq;
+      }
+    }
+    for (const auto& [agent, value] : state.values) {
+      if (agent >= 0 && agent < num_vars_) {
+        values_[static_cast<std::size_t>(agent)] = value;
+      }
+    }
+    if (state.have_best) {
+      best_.assign(static_cast<std::size_t>(num_vars_), kNoValue);
+      for (const auto& [agent, value] : state.best) {
+        if (agent >= 0 && agent < num_vars_) {
+          best_[static_cast<std::size_t>(agent)] = value;
+        }
+      }
+      best_violations_ = static_cast<std::size_t>(state.best_violations);
+      have_best_ = true;
+    }
+    if (state.insoluble) {
+      insoluble_ = true;
+      insoluble_agent_ = state.insoluble_agent;
+      monitor_.on_insoluble(
+          state.insoluble_agent >= 0 ? state.insoluble_agent : AgentId{0}, 0);
+    }
+    const std::size_t count = std::min(state.slots.size(), slots_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      Slot& slot = slots_[i];
+      slot.incarnation = state.slots[i].incarnation;
+      slot.prior_processed = state.slots[i].prior_processed;
+      decode_metrics_words(state.slots[i].prior_words, slot.prior);
+    }
+    all_attached_once_ =
+        std::all_of(slots_.begin(), slots_.end(),
+                    [](const Slot& s) { return s.incarnation > 0; });
+  }
+
+  /// The complete journalable control-plane state, from the live members.
+  CoordState snapshot() const {
+    CoordState state;
+    state.digest = digest_;
+    state.incarnation = coord_incarnation_;
+    state.restarts = static_cast<std::uint64_t>(restarts_);
+    for (AgentId a = 0; a < num_vars_; ++a) {
+      const auto i = static_cast<std::size_t>(a);
+      if (max_seq_[i] > 0) state.seq_floors.emplace_back(a, max_seq_[i]);
+      if (values_[i] != kNoValue) state.values.emplace_back(a, values_[i]);
+    }
+    if (have_best_) {
+      state.have_best = true;
+      state.best_violations = static_cast<int>(best_violations_);
+      for (AgentId a = 0; a < num_vars_; ++a) {
+        const auto i = static_cast<std::size_t>(a);
+        if (best_[i] != kNoValue) state.best.emplace_back(a, best_[i]);
+      }
+    }
+    state.insoluble = insoluble_;
+    state.insoluble_agent = insoluble_agent_;
+    state.slots.resize(slots_.size());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      state.slots[i].incarnation = slots_[i].incarnation;
+      state.slots[i].prior_processed = slots_[i].prior_processed;
+      state.slots[i].prior_words = encode_metrics_words(slots_[i].prior);
+    }
+    return state;
+  }
+
+  void checkpoint_journal() {
+    // A failed compaction leaves the previous journal file intact — worse
+    // replay time, same durability — so it is not a run-fatal condition.
+    std::string error;
+    journal_->checkpoint(snapshot(), &error);
+  }
 
   // ----- attach path -----------------------------------------------------
 
@@ -167,6 +310,13 @@ class Coordinator {
       refuse(std::move(conn), NetErrorCode::kVersionMismatch);
       return;
     }
+    // The worker has been WELCOMEd by a newer coordinator than this one:
+    // we are a zombie predecessor (still bound while a resumed coordinator
+    // owns the run). Refusing keeps the run single-driver.
+    if (hello.coord_incarnation > coord_incarnation_) {
+      refuse(std::move(conn), NetErrorCode::kStaleCoordinator);
+      return;
+    }
     if (hello.digest != 0 && hello.digest != digest_) {
       refuse(std::move(conn), NetErrorCode::kDigestMismatch);
       return;
@@ -197,6 +347,10 @@ class Coordinator {
     if (replacement) {
       fold_slot(slot);
       ++restarts_;
+      if (journal_) {
+        journal_->record_fold(idx, slot.prior_processed,
+                              encode_metrics_words(slot.prior));
+      }
     }
     ++slot.incarnation;
     slot.conn = std::move(conn);
@@ -204,6 +358,7 @@ class Coordinator {
     slot.idle = false;
     slot.final_seen = false;
     supervisor_.note_attached(idx, now);
+    if (journal_) journal_->record_attach(idx, slot.incarnation, replacement);
 
     NetWelcome welcome;
     welcome.shard = static_cast<std::uint64_t>(idx);
@@ -211,6 +366,7 @@ class Coordinator {
     welcome.digest = digest_;
     welcome.incarnation = slot.incarnation;
     welcome.restart = replacement;
+    welcome.coord_incarnation = coord_incarnation_;
     slot.conn->send(encode_net_frame(NetFrame{welcome}));
 
     JobSpec spec = config_.job;
@@ -302,9 +458,11 @@ class Coordinator {
     const auto slot = static_cast<std::size_t>(from);
     if (const auto* ok = std::get_if<sim::OkMessage>(&payload)) {
       max_seq_[slot] = std::max(max_seq_[slot], ok->seq);
+      if (journal_) journal_->ensure_seq(from, ok->seq);
       observe_value(ok->var, ok->value, now);
     } else if (const auto* improve = std::get_if<sim::ImproveMessage>(&payload)) {
       max_seq_[slot] = std::max(max_seq_[slot], improve->seq);
+      if (journal_) journal_->ensure_seq(from, improve->seq);
     }
   }
 
@@ -313,6 +471,7 @@ class Coordinator {
     Value& current = values_[static_cast<std::size_t>(var)];
     if (current == value) return;
     current = value;
+    if (journal_) journal_->record_value(var, value);
     monitor_.on_progress(now);
   }
 
@@ -329,6 +488,8 @@ class Coordinator {
     }
     if (stats.insoluble && !insoluble_) {
       insoluble_ = true;
+      insoluble_agent_ = stats.insoluble_agent;
+      if (journal_) journal_->record_insoluble(stats.insoluble_agent);
       monitor_.on_insoluble(stats.insoluble_agent >= 0 ? stats.insoluble_agent
                                                        : AgentId{0},
                             now);
@@ -361,6 +522,7 @@ class Coordinator {
 
   void detach(int i) {
     Slot& slot = slots_[static_cast<std::size_t>(i)];
+    if (slot.conn != nullptr) coord_drops_ += slot.conn->dropped_frames();
     slot.conn.reset();
     slot.attached = false;
     slot.idle = false;
@@ -388,6 +550,13 @@ class Coordinator {
         best_ = values_;
         best_violations_ = violated;
         have_best_ = true;
+        if (journal_) {
+          std::vector<std::pair<AgentId, Value>> pairs;
+          for (AgentId a = 0; a < num_vars_; ++a) {
+            pairs.emplace_back(a, best_[static_cast<std::size_t>(a)]);
+          }
+          journal_->record_best(static_cast<int>(violated), pairs);
+        }
       }
     }
     if (now - last_quiesce_eval_ >= config_.job.report_interval_ms) {
@@ -408,7 +577,11 @@ class Coordinator {
   /// traffic makes "quiet" unknowable from here, so the deadline owns
   /// termination instead.
   bool quiescent() {
-    if (config_.job.bundle.faults.enabled() || restarts_ > 0) return false;
+    // A resumed run has unknowable in-flight repair traffic for the same
+    // reason a restarted worker does: the deadline owns termination.
+    if (config_.job.bundle.faults.enabled() || restarts_ > 0 || resumed_) {
+      return false;
+    }
     std::uint64_t sent = 0;
     std::uint64_t processed = 0;
     for (const Slot& slot : slots_) {
@@ -467,14 +640,23 @@ class Coordinator {
   ServeResult finish() {
     result_.reason = reason_;
     result_.worker_restarts = restarts_;
+    result_.coordinator_incarnation = coord_incarnation_;
     sim::RunMetrics total;
     std::uint64_t processed = 0;
     for (Slot& slot : slots_) {
+      if (slot.conn != nullptr) coord_drops_ += slot.conn->dropped_frames();
       fold_slot(slot);
       merge_metrics(total, slot.prior);
       processed += slot.prior_processed;
     }
+    // Frames the coordinator itself shed under send backpressure.
+    total.backpressure_drops += coord_drops_;
     total.monitor = monitor_.summary();
+    if (journal_ != nullptr) {
+      total.journal_appends += journal_->appends();
+      total.journal_checkpoints += journal_->checkpoints();
+    }
+    if (resumed_) ++total.journal_replays;
     total.solved = solved_;
     total.insoluble = insoluble_;
     total.timed_out = reason_ == StopReason::kDeadline;
@@ -491,6 +673,7 @@ class Coordinator {
       analysis::ReproBundle bundle = config_.job.bundle;
       bundle.transport = config_.transport;
       bundle.deadline_ms = config_.deadline_ms;
+      bundle.coordinator_incarnations = static_cast<int>(coord_incarnation_);
       bundle.reason = "monitor violation (" + config_.transport + " transport)";
       bundle.observed.reset();  // async replay cannot match a wall-clock run
       result_.bundle_path = analysis::emit_bundle(config_.emit_dir, bundle);
@@ -523,6 +706,12 @@ class Coordinator {
   /// The snapshot that won (frozen at declaration; see evaluate()).
   FullAssignment solution_;
 
+  std::unique_ptr<CoordJournal> journal_;
+  std::uint64_t coord_incarnation_ = 1;
+  bool resumed_ = false;
+  bool halted_ = false;
+  AgentId insoluble_agent_ = kNoAgent;
+
   ServeResult result_;
   StopReason reason_ = StopReason::kShutdown;
   bool stopping_ = false;
@@ -536,6 +725,9 @@ class Coordinator {
   std::int64_t last_quiesce_eval_ = 0;
   std::uint64_t nonce_ = 1;
   std::int64_t start_ms_ = 0;
+  /// Frames shed by coordinator-side send backpressure (retired + live
+  /// connections; see Connection::dropped_frames).
+  std::uint64_t coord_drops_ = 0;
 };
 
 }  // namespace

@@ -55,6 +55,23 @@ struct ServeConfig {
   std::string emit_dir;
   /// Provenance recorded in emitted bundles: "inproc" or "tcp".
   std::string transport = "inproc";
+
+  // Coordinator failover (docs/FAULT_MODEL.md, "coordinator recovery").
+  /// Control-plane write-ahead journal path ("" = coordinator state is not
+  /// crash-survivable; a coordinator death loses the run).
+  std::string journal_path;
+  /// Rebuild from an existing journal at `journal_path` + this JobSpec and
+  /// resume the run (coordinator incarnation = journaled + 1) instead of
+  /// starting fresh. The journaled digest must match the spec's.
+  bool resume = false;
+  /// Journal records appended between checkpoint compactions.
+  int journal_checkpoint_interval = 256;
+  /// Abrupt-death injection for tests and chaos sweeps: return from serve()
+  /// this many ms in (0 = never) WITHOUT stopping workers, draining, or
+  /// checkpointing — exactly what a SIGKILL leaves behind. Workers see the
+  /// connection drop and park orphaned; a follow-up serve() with `resume`
+  /// picks the run back up.
+  std::int64_t halt_after_ms = 0;
 };
 
 struct ServeResult {
@@ -66,6 +83,12 @@ struct ServeResult {
   std::string bundle_path;
   /// Nonempty on an aborted run (e.g. workers never attached).
   std::string error;
+  /// This coordinator's incarnation (1 fresh, journaled + 1 on resume).
+  std::uint64_t coordinator_incarnation = 1;
+  /// The run was rebuilt from a journal (config.resume).
+  bool resumed = false;
+  /// halt_after_ms fired: the run is NOT over, the coordinator just died.
+  bool halted = false;
 };
 
 /// Run one distributed solve over `listener` until a stop condition fires.

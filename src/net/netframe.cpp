@@ -75,11 +75,11 @@ WireFrame encode_net_frame(const NetFrame& frame) {
       [&](const auto& f) {
         using T = std::decay_t<decltype(f)>;
         if constexpr (std::is_same_v<T, NetHello>) {
-          out = {kKindHello, f.proto, f.shard, f.digest};
+          out = {kKindHello, f.proto, f.shard, f.digest, f.coord_incarnation};
         } else if constexpr (std::is_same_v<T, NetWelcome>) {
           out = {kKindWelcome, f.proto,  f.shard,
                  f.num_workers, f.digest, f.incarnation,
-                 f.restart ? 1ULL : 0ULL};
+                 f.restart ? 1ULL : 0ULL, f.coord_incarnation};
         } else if constexpr (std::is_same_v<T, NetJob>) {
           out = {kKindJob};
           pack_bytes(out, f.text);
@@ -136,18 +136,19 @@ NetDecodeResult decode_net_frame(const WireFrame& frame) {
 
   switch (kind) {
     case kKindHello: {
-      if (count != 4) return fail(NetDecodeError::kTruncated);
+      if (count != 5) return fail(NetDecodeError::kTruncated);
       NetHello f;
       f.proto = frame[1];
       f.shard = frame[2];
       f.digest = frame[3];
+      f.coord_incarnation = frame[4];
       if (f.shard != kAnyShard && f.shard >= kMaxWorkers) {
         return fail(NetDecodeError::kBadBounds);
       }
       return {NetFrame{f}, NetDecodeError::kNone};
     }
     case kKindWelcome: {
-      if (count != 7) return fail(NetDecodeError::kTruncated);
+      if (count != 8) return fail(NetDecodeError::kTruncated);
       NetWelcome f;
       f.proto = frame[1];
       f.shard = frame[2];
@@ -156,8 +157,9 @@ NetDecodeResult decode_net_frame(const WireFrame& frame) {
       f.incarnation = frame[5];
       if (frame[6] > 1) return fail(NetDecodeError::kBadBounds);
       f.restart = frame[6] == 1;
+      f.coord_incarnation = frame[7];
       if (f.num_workers == 0 || f.num_workers > kMaxWorkers ||
-          f.shard >= f.num_workers) {
+          f.shard >= f.num_workers || f.coord_incarnation == 0) {
         return fail(NetDecodeError::kBadBounds);
       }
       return {NetFrame{std::move(f)}, NetDecodeError::kNone};
@@ -266,7 +268,7 @@ NetDecodeResult decode_net_frame(const WireFrame& frame) {
     }
     case kKindError: {
       if (count != 2) return fail(NetDecodeError::kTruncated);
-      if (frame[1] > static_cast<std::uint64_t>(NetErrorCode::kProtocol)) {
+      if (frame[1] > static_cast<std::uint64_t>(NetErrorCode::kStaleCoordinator)) {
         return fail(NetDecodeError::kBadBounds);
       }
       return {NetFrame{NetError{static_cast<NetErrorCode>(frame[1])}},
@@ -309,6 +311,7 @@ std::vector<std::uint64_t> encode_metrics_words(const sim::RunMetrics& m) {
       m.monitor.violations,
       m.monitor.checks,
       m.monitor.seq_regressions,
+      m.backpressure_drops,
   };
 }
 
@@ -343,6 +346,7 @@ void decode_metrics_words(const std::vector<std::uint64_t>& words,
       &m.monitor.violations,
       &m.monitor.checks,
       &m.monitor.seq_regressions,
+      &m.backpressure_drops,
   };
   const std::size_t n = std::min(words.size(), std::size(slots));
   for (std::size_t i = 0; i < n; ++i) *slots[i] = words[i];

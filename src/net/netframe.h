@@ -32,8 +32,9 @@ namespace discsp::net {
 using sim::WireFrame;
 
 /// Protocol version carried by every HELLO/WELCOME; bumped on any frame
-/// layout change.
-inline constexpr std::uint64_t kNetProtoVersion = 1;
+/// layout change. v2 added the coordinator incarnation to both handshake
+/// frames (coordinator failover, docs/NETWORK.md).
+inline constexpr std::uint64_t kNetProtoVersion = 2;
 
 /// HELLO `shard` value meaning "assign me any shard".
 inline constexpr std::uint64_t kAnyShard = 0xffffffffULL;
@@ -48,6 +49,11 @@ struct NetHello {
   std::uint64_t proto = kNetProtoVersion;
   std::uint64_t shard = kAnyShard;  ///< requested worker index or kAnyShard
   std::uint64_t digest = 0;         ///< instance digest held, 0 = none yet
+  /// Highest coordinator incarnation this worker has been WELCOMEd by
+  /// (0 = never attached). A coordinator with a *lower* incarnation than the
+  /// worker has already seen is stale — a zombie predecessor still bound to
+  /// the old endpoint — and must refuse the HELLO (kStaleCoordinator).
+  std::uint64_t coord_incarnation = 0;
 };
 
 /// Coordinator -> worker: shard assignment + run identity.
@@ -58,6 +64,10 @@ struct NetWelcome {
   std::uint64_t digest = 0;       ///< distributed_digest of the instance
   std::uint64_t incarnation = 1;  ///< attach count for this shard slot
   bool restart = false;           ///< a previous incarnation died mid-run
+  /// The coordinator's own incarnation: 1 for a fresh run, loaded+1 after a
+  /// journaled --resume. Workers remember the highest value seen and refuse
+  /// a WELCOME that regresses (stale coordinator).
+  std::uint64_t coord_incarnation = 1;
 };
 
 /// Coordinator -> worker: the job spec text (net/jobspec.h), as a byte blob.
@@ -129,6 +139,10 @@ enum class NetErrorCode : std::uint64_t {
   kDigestMismatch = 1,
   kNoShard = 2,
   kProtocol = 3,
+  /// The worker has been WELCOMEd by a newer coordinator incarnation than
+  /// this one — the coordinator is a zombie predecessor and refuses to
+  /// double-drive the run.
+  kStaleCoordinator = 4,
 };
 struct NetError {
   NetErrorCode code = NetErrorCode::kProtocol;

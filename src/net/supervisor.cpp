@@ -1,5 +1,6 @@
 #include "net/supervisor.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -29,6 +30,25 @@ void SupervisorConfig::validate() const {
   if (quarantine_ms <= 0) {
     throw std::invalid_argument("supervisor: quarantine_ms must be > 0");
   }
+  if (adaptive) {
+    if (!(phi_suspect > 0.0) || !(phi_dead > phi_suspect)) {
+      throw std::invalid_argument(
+          "supervisor: need 0 < phi_suspect < phi_dead");
+    }
+    if (phi_window < 2) {
+      throw std::invalid_argument("supervisor: phi_window must be >= 2");
+    }
+    if (phi_min_samples < 2 || phi_min_samples > phi_window) {
+      throw std::invalid_argument(
+          "supervisor: need 2 <= phi_min_samples <= phi_window");
+    }
+    if (!(phi_min_std_ms > 0.0)) {
+      throw std::invalid_argument("supervisor: phi_min_std_ms must be > 0");
+    }
+  }
+  if (ping_burst < 0) {
+    throw std::invalid_argument("supervisor: ping_burst must be >= 0");
+  }
 }
 
 PeerSupervisor::PeerSupervisor(const SupervisorConfig& config, int num_peers)
@@ -40,6 +60,19 @@ PeerSupervisor::PeerSupervisor(const SupervisorConfig& config, int num_peers)
 
 void PeerSupervisor::note_alive(int peer, std::int64_t now) {
   auto& p = peers_[static_cast<std::size_t>(peer)];
+  // Feed the accrual window. Same-timestamp frames (one pump draining a
+  // burst) are one arrival, not a flood of zero gaps.
+  if (config_.adaptive && p.seen_arrival && now > p.last_alive) {
+    const auto window = static_cast<std::size_t>(config_.phi_window);
+    if (p.gaps.size() < window) {
+      p.gaps.push_back(static_cast<double>(now - p.last_alive));
+    } else {
+      p.gaps[p.gap_next] = static_cast<double>(now - p.last_alive);
+    }
+    p.gap_next = (p.gap_next + 1) % window;
+    p.gap_count = p.gaps.size();
+  }
+  p.seen_arrival = true;
   p.last_alive = now;
 }
 
@@ -57,6 +90,38 @@ void PeerSupervisor::note_attached(int peer, std::int64_t now) {
   p.attached = true;
   p.last_alive = now;
   p.last_ping = -1;
+  // A (re)attach is a new statistical identity — a replacement process on a
+  // possibly different host. Start its accrual history fresh.
+  p.gaps.clear();
+  p.gap_next = 0;
+  p.gap_count = 0;
+  p.seen_arrival = false;
+}
+
+double PeerSupervisor::phi(int peer, std::int64_t now) const {
+  const auto& p = peers_[static_cast<std::size_t>(peer)];
+  if (!config_.adaptive || !p.attached ||
+      p.gap_count < static_cast<std::size_t>(config_.phi_min_samples)) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.gap_count; ++i) sum += p.gaps[i];
+  const double mean = sum / static_cast<double>(p.gap_count);
+  double var = 0.0;
+  for (std::size_t i = 0; i < p.gap_count; ++i) {
+    const double d = p.gaps[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(p.gap_count);
+  const double std_dev = std::max(std::sqrt(var), config_.phi_min_std_ms);
+  const double silent = static_cast<double>(now - p.last_alive);
+  // Tail probability of a silence this long under N(mean, std_dev);
+  // phi = -log10 of it. erfc underflows to 0 around phi ~ 170, far past any
+  // sane threshold — clamp so the return value stays finite.
+  const double tail =
+      0.5 * std::erfc((silent - mean) / (std_dev * std::sqrt(2.0)));
+  if (tail <= 1e-150) return 150.0;
+  return -std::log10(tail);
 }
 
 PeerHealth PeerSupervisor::health(int peer, std::int64_t now) {
@@ -66,6 +131,13 @@ PeerHealth PeerSupervisor::health(int peer, std::int64_t now) {
   if (guard_.is_quarantined(id, id, now)) return PeerHealth::kQuarantined;
   const std::int64_t silent = now - p.last_alive;
   if (silent >= config_.dead_after_ms) return PeerHealth::kDead;
+  if (config_.adaptive &&
+      p.gap_count >= static_cast<std::size_t>(config_.phi_min_samples)) {
+    const double score = phi(peer, now);
+    if (score >= config_.phi_dead) return PeerHealth::kDead;
+    if (score >= config_.phi_suspect) return PeerHealth::kSuspect;
+    return PeerHealth::kHealthy;
+  }
   if (silent >= config_.suspect_after_ms) return PeerHealth::kSuspect;
   return PeerHealth::kHealthy;
 }
@@ -75,6 +147,33 @@ bool PeerSupervisor::ping_due(int peer, std::int64_t now) {
   if (!p.attached) return false;
   if (p.last_ping >= 0 && now - p.last_ping < config_.ping_interval_ms) {
     return false;
+  }
+  if (config_.ping_burst > 0) {
+    if (ping_window_start_ < 0 ||
+        now - ping_window_start_ >= config_.ping_interval_ms) {
+      ping_window_start_ = now;
+      pings_in_window_ = 0;
+    }
+    if (pings_in_window_ >= config_.ping_burst) return false;
+    // Fairness: the window's budget goes to the most-overdue due peers
+    // (never-pinged first). A suppressed peer's ping clock is untouched, so
+    // it outranks freshly-pinged peers in later windows instead of being
+    // starved by them re-becoming due every interval.
+    int more_overdue = 0;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (static_cast<int>(i) == peer) continue;
+      const Peer& q = peers_[i];
+      if (!q.attached) continue;
+      if (q.last_ping >= 0 && now - q.last_ping < config_.ping_interval_ms) {
+        continue;  // not due this window
+      }
+      if (q.last_ping < p.last_ping ||
+          (q.last_ping == p.last_ping && static_cast<int>(i) < peer)) {
+        ++more_overdue;
+      }
+    }
+    if (more_overdue >= config_.ping_burst - pings_in_window_) return false;
+    ++pings_in_window_;
   }
   p.last_ping = now;
   return true;

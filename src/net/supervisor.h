@@ -43,8 +43,32 @@ struct SupervisorConfig {
   int malformed_budget = 8;
   std::int64_t quarantine_ms = 500;
 
-  /// Throws std::invalid_argument on non-positive windows or a suspect
-  /// window not below the dead window.
+  // Adaptive (phi-accrual) liveness. When on, the suspect/dead verdicts for
+  // a peer with enough history come from phi(silence) — the improbability of
+  // the current silence under a normal model of that peer's observed
+  // inter-arrival gaps (phi = -log10 of the tail probability, the
+  // Hayashibara et al. accrual detector) — so a chatty peer is suspected
+  // after a few tens of ms while a naturally slow link earns a wide window,
+  // with no hand-tuned constant. The fixed windows above remain the warmup
+  // fallback (fewer than phi_min_samples gaps seen) and `dead_after_ms`
+  // stays a hard upper cap in both modes. phi is a pure function of the
+  // arrival timestamps: identical traffic gives bit-identical transitions.
+  bool adaptive = false;
+  double phi_suspect = 1.0;  ///< phi >= this => suspect (P(alive) <= 10%)
+  double phi_dead = 4.0;     ///< phi >= this => dead (P(alive) <= 0.01%)
+  int phi_window = 64;       ///< inter-arrival samples kept per peer
+  int phi_min_samples = 8;   ///< history needed before phi replaces the windows
+  double phi_min_std_ms = 10.0;  ///< sigma floor: metronomic heartbeats must
+                                 ///< not collapse the model to zero variance
+
+  /// Pings granted per ping interval across ALL peers (0 = unlimited).
+  /// When a whole fleet goes suspect in one tick — a coordinator stall, not
+  /// N independent failures — this bounds the probe storm; suppressed peers
+  /// are picked up in later windows because their ping clock is untouched.
+  int ping_burst = 0;
+
+  /// Throws std::invalid_argument on non-positive windows, a suspect window
+  /// not below the dead window, or inconsistent phi knobs.
   void validate() const;
 };
 
@@ -76,6 +100,11 @@ class PeerSupervisor {
   /// True when `peer` has been silent past the dead window.
   bool dead(int peer, std::int64_t now);
 
+  /// Current phi for `peer` (0 while the detector is in fixed-window mode:
+  /// adaptive off, or not enough inter-arrival history yet). Exposed for
+  /// tests and verdict logging.
+  double phi(int peer, std::int64_t now) const;
+
   std::uint64_t quarantines() const { return guard_.quarantines(); }
   std::uint64_t malformed_frames() const { return guard_.malformed_frames(); }
 
@@ -84,6 +113,11 @@ class PeerSupervisor {
     std::int64_t last_alive = 0;
     std::int64_t last_ping = -1;
     bool attached = false;
+    // Phi-accrual state: ring buffer of inter-arrival gaps (ms).
+    std::vector<double> gaps;
+    std::size_t gap_next = 0;
+    std::size_t gap_count = 0;
+    bool seen_arrival = false;
   };
 
   SupervisorConfig config_;
@@ -91,6 +125,9 @@ class PeerSupervisor {
   /// Peer-granularity reuse of the wire defense guard: peer p's budget is
   /// channel (p, p).
   sim::ChannelGuard guard_;
+  // Global ping budget window (ping_burst > 0 only).
+  std::int64_t ping_window_start_ = -1;
+  int pings_in_window_ = 0;
 };
 
 /// Worker-side reconnection backoff. attempt 0 retries after

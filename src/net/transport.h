@@ -16,6 +16,7 @@
 // thread at a time; distinct Connections of one transport are independent.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -43,6 +44,10 @@ class Connection {
 
   virtual bool open() const = 0;
   virtual void close() = 0;
+
+  /// Frames this connection refused to buffer (send-side high-water bound;
+  /// see TcpConnection). 0 for transports without backpressure limits.
+  virtual std::uint64_t dropped_frames() const { return 0; }
 };
 
 class Listener {

@@ -1,6 +1,8 @@
 #include "net/worker.h"
 
 #include <algorithm>
+#include <cctype>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <queue>
@@ -46,7 +48,7 @@ class Worker {
         reconnect_(config.reconnect, config.reconnect_seed) {}
 
   WorkerResult run() {
-    if (!connect_and_handshake(/*initial=*/true)) return finish();
+    if (!connect_and_handshake()) return finish();
     while (true) {
       const std::int64_t now = now_ms();
       if (config_.exit_after_ms > 0 && attach_ms_ >= 0 &&
@@ -56,11 +58,16 @@ class Worker {
         result_.killed = true;
         return finish();
       }
-      conn_->pump(static_cast<int>(wait_ms(now)));
-      drain_frames();
-      if (stopping_) return finish();
+      if (conn_ != nullptr && conn_->open()) {
+        conn_->pump(static_cast<int>(wait_ms(now)));
+        drain_frames();
+        if (stopping_) return finish();
+      }
       if (conn_ == nullptr || !conn_->open()) {
-        if (!connect_and_handshake(/*initial=*/false)) return finish();
+        // Orphaned: the coordinator is gone. Local search state stays warm
+        // (tick() below keeps every timer running) while re-rendezvous
+        // proceeds on the backoff schedule.
+        if (!orphan_step()) return finish();
       }
       tick(now_ms());
     }
@@ -69,27 +76,131 @@ class Worker {
  private:
   // ----- connection management ------------------------------------------
 
-  bool connect_and_handshake(bool initial) {
+  /// Where to dial right now: the fixed endpoint, or host:<port file> —
+  /// re-read every attempt so a restarted coordinator on a fresh ephemeral
+  /// port is found. "" = no endpoint available this attempt (file missing
+  /// or torn mid-write; the backoff retries).
+  std::string resolve_endpoint() const {
+    if (config_.port_file.empty()) return config_.endpoint;
+    std::ifstream in(config_.port_file);
+    if (!in) return "";
+    std::string token;
+    in >> token;
+    if (token.empty() ||
+        !std::all_of(token.begin(), token.end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      return "";  // truncated/garbled write in progress
+    }
+    return config_.host + ":" + token;
+  }
+
+  std::string endpoint_label() const {
+    return config_.port_file.empty() ? config_.endpoint
+                                     : "port file " + config_.port_file;
+  }
+
+  /// Blocking initial rendezvous (nothing to keep warm before the job).
+  bool connect_and_handshake() {
     while (attempts_ < config_.max_connect_attempts) {
-      if (!initial || attempts_ > 0) {
+      if (attempts_ > 0) {
         const std::int64_t delay = reconnect_.next_delay_ms();
         std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       }
       ++attempts_;
-      conn_ = transport_.connect(config_.endpoint, config_.connect_timeout_ms);
-      if (conn_ == nullptr) continue;
-      if (handshake()) {
-        reconnect_.reset();
-        attempts_ = 0;
-        if (!initial) ++result_.reconnects;
-        return true;
-      }
+      if (try_attach()) return true;
       if (!result_.error.empty()) return false;  // fatal protocol answer
+    }
+    give_up();
+    return false;
+  }
+
+  /// One connect + handshake attempt; resets the backoff on success.
+  bool try_attach() {
+    const std::string endpoint = resolve_endpoint();
+    if (endpoint.empty()) return false;
+    conn_ = transport_.connect(endpoint, config_.connect_timeout_ms);
+    if (conn_ == nullptr) return false;
+    if (handshake()) {
+      reconnect_.reset();
+      attempts_ = 0;
+      if (orphaned_) {
+        ++result_.reconnects;
+        orphaned_ = false;
+        drain_parked();
+      }
+      return true;
+    }
+    drop_connection();
+    return false;
+  }
+
+  /// One non-blocking slice of orphaned life: schedule/execute reconnect
+  /// attempts between ticks. False = the worker is done (budget exhausted
+  /// or a fatal refusal).
+  bool orphan_step() {
+    const std::int64_t now = now_ms();
+    if (!orphaned_) {
+      orphaned_ = true;
+      orphan_since_ = now;
+      drop_connection();
+      next_attempt_ms_ = now + reconnect_.next_delay_ms();
+    }
+    if (now < next_attempt_ms_) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return true;
+    }
+    if (attempts_ >= config_.max_connect_attempts) {
+      give_up();
+      return false;
+    }
+    ++attempts_;
+    if (try_attach()) return true;
+    if (!result_.error.empty()) return false;  // fatal protocol answer
+    next_attempt_ms_ = now_ms() + reconnect_.next_delay_ms();
+    return true;
+  }
+
+  void give_up() {
+    result_.gave_up = true;
+    const std::int64_t orphaned_for =
+        orphaned_ ? now_ms() - orphan_since_ : 0;
+    result_.verdict = "coordinator presumed dead: " +
+                      std::to_string(attempts_) + " attempts" +
+                      (orphaned_ ? " over " + std::to_string(orphaned_for) +
+                                       " ms orphaned"
+                                 : "") +
+                      " via " + endpoint_label();
+    result_.error = "could not reach coordinator (" + result_.verdict + ")";
+  }
+
+  /// Retire the connection, folding its backpressure drops into the
+  /// lifetime counters first.
+  void drop_connection() {
+    if (conn_ != nullptr) {
+      metrics_.backpressure_drops += conn_->dropped_frames();
       conn_.reset();
     }
-    result_.error = "could not reach coordinator at " + config_.endpoint +
-                    " after " + std::to_string(attempts_) + " attempts";
-    return false;
+  }
+
+  /// Send on the live connection, or park while orphaned. The parked buffer
+  /// is bounded: overflow is dropped and counted — tracked frames are
+  /// repaired by retransmission once reattached.
+  void send_net(WireFrame frame) {
+    if (conn_ != nullptr && conn_->open()) {
+      conn_->send(frame);
+      return;
+    }
+    if (parked_.size() < static_cast<std::size_t>(
+                             std::max(config_.orphan_capacity, 0))) {
+      parked_.push_back(std::move(frame));
+    } else {
+      ++metrics_.backpressure_drops;
+    }
+  }
+
+  void drain_parked() {
+    for (WireFrame& frame : parked_) conn_->send(frame);
+    parked_.clear();
   }
 
   /// HELLO -> WELCOME -> JOB. Returns false on timeout (retry) and sets
@@ -98,6 +209,7 @@ class Worker {
     NetHello hello;
     hello.shard = shard_ == kAnyShard ? config_.shard : shard_;
     hello.digest = digest_;
+    hello.coord_incarnation = coord_incarnation_;
     conn_->send(encode_net_frame(NetFrame{hello}));
 
     const std::int64_t deadline = now_ms() + config_.handshake_timeout_ms;
@@ -116,6 +228,12 @@ class Worker {
             // replacing. Retry with backoff instead of giving up.
             return false;
           }
+          if (err->code == NetErrorCode::kStaleCoordinator) {
+            // We answered a *newer* coordinator than this one — it is the
+            // zombie, not us. Keep retrying; the port file will lead back
+            // to the live incarnation.
+            return false;
+          }
           result_.error = std::string("coordinator refused: code ") +
                           std::to_string(static_cast<int>(err->code));
           return false;
@@ -123,6 +241,12 @@ class Worker {
         if (const auto* w = std::get_if<NetWelcome>(&*decoded.frame)) {
           if (w->proto != kNetProtoVersion) {
             result_.error = "protocol version mismatch";
+            return false;
+          }
+          if (w->coord_incarnation < coord_incarnation_) {
+            // A WELCOME from a coordinator incarnation older than one this
+            // worker already served: a zombie predecessor still answering
+            // its old socket. Refuse and retry toward the live one.
             return false;
           }
           welcome = *w;
@@ -156,6 +280,7 @@ class Worker {
 
     shard_ = welcome.shard;
     incarnation_ = welcome.incarnation;
+    coord_incarnation_ = welcome.coord_incarnation;
     const bool rebuild = local_.empty() || digest != digest_;
     digest_ = digest;
     spec_ = std::move(spec);
@@ -181,6 +306,7 @@ class Worker {
 
   void build_shard(bool restart) {
     local_.clear();
+    parked_.clear();  // frames parked for a job that no longer exists
     auto population = make_job_agents(spec_.bundle);
     for (auto& agent : population) {
       if (spec_.shard_of(agent->id()) == static_cast<int>(shard_)) {
@@ -297,7 +423,7 @@ class Worker {
         route.to = unit.to;
         route.track_seq = unit.track_seq;
         route.frame = std::move(unit.frame);
-        if (conn_ != nullptr) conn_->send(encode_net_frame(NetFrame{route}));
+        send_net(encode_net_frame(NetFrame{route}));
       }
     }
   }
@@ -414,7 +540,7 @@ class Worker {
       return;
     }
     NetAck ack{from, to, seq};
-    if (conn_ != nullptr) conn_->send(encode_net_frame(NetFrame{ack}));
+    send_net(encode_net_frame(NetFrame{ack}));
   }
 
   // ----- timers ----------------------------------------------------------
@@ -474,6 +600,8 @@ class Worker {
 
   sim::RunMetrics snapshot_metrics() {
     sim::RunMetrics m = metrics_;
+    // Lifetime counter folds drops of *retired* connections; add the live one.
+    if (conn_ != nullptr) m.backpressure_drops += conn_->dropped_frames();
     if (plan_ != nullptr) m.faults = plan_->summary();
     if (retransmit_ != nullptr) {
       m.retransmissions = retransmit_->retransmissions();
@@ -566,6 +694,14 @@ class Worker {
   int attempts_ = 0;
   std::int64_t epoch_ms_ = 0;
   std::int64_t attach_ms_ = -1;
+  // Orphan state: set while the coordinator connection is down.
+  bool orphaned_ = false;
+  std::int64_t orphan_since_ = 0;
+  std::int64_t next_attempt_ms_ = 0;
+  std::vector<WireFrame> parked_;
+  /// Highest coordinator incarnation that ever WELCOMEd this worker
+  /// (0 = none yet); older incarnations are refused as zombies.
+  std::uint64_t coord_incarnation_ = 0;
   std::int64_t next_heartbeat_ms_ = -1;
   std::int64_t next_report_ms_ = 0;
 

@@ -15,9 +15,17 @@
 // corruption must be caught by the receiving worker's decode_frame exactly
 // like in AsyncEngine.
 //
-// A lost connection triggers reconnection with the ReconnectPolicy backoff;
-// agents and their state survive (only in-flight traffic dies, and the
-// retransmit layer plus heartbeats repair it). A worker *process* death is
+// A lost connection parks the worker in an "orphaned" state instead of
+// killing it: local agents and their search state stay warm (timers,
+// retransmit deadlines and heartbeats keep running), outbound remote frames
+// collect in a bounded buffer (overflow is counted as backpressure_drops and
+// repaired by retransmission), and the worker re-rendezvouses through the
+// ReconnectPolicy backoff — re-reading the coordinator's port file before
+// every attempt when one is configured, so it finds a *restarted*
+// coordinator on a fresh port. The re-handshake is the ordinary
+// continuation attach (the HELLO's digest proves the worker still holds the
+// job); a WELCOME from a coordinator incarnation older than one this worker
+// has already seen is refused as a stale zombie. A worker *process* death is
 // the coordinator's problem: the replacement attaches, receives
 // restart=true plus seq floors, rebuilds its shard and recovers via
 // crash_restart.
@@ -53,6 +61,17 @@ struct WorkerConfig {
   /// STOP handshake, no final stats, exactly like a SIGKILL — this many ms
   /// after the first successful attach. 0 = off.
   std::int64_t exit_after_ms = 0;
+
+  /// When nonempty: re-read this file before every (re)connect attempt and
+  /// dial `host`:<its contents> instead of `endpoint` — the re-rendezvous
+  /// point with a restarted coordinator. A missing or truncated file (the
+  /// coordinator is down, or mid-write) is one failed attempt, retried on
+  /// the backoff schedule.
+  std::string port_file;
+  std::string host = "127.0.0.1";
+  /// Outbound remote frames parked while orphaned; overflow beyond this is
+  /// dropped (counted in backpressure_drops, repaired by retransmission).
+  int orphan_capacity = 1024;
 };
 
 struct WorkerResult {
@@ -64,6 +83,12 @@ struct WorkerResult {
   /// Nonempty on connect/handshake/protocol failure.
   std::string error;
   int reconnects = 0;
+  /// The worker exhausted its reconnect budget (orphaned, coordinator never
+  /// came back). CLI callers exit with a distinct code on this.
+  bool gave_up = false;
+  /// Human-readable final re-rendezvous verdict when gave_up is set
+  /// (attempts, orphaned duration, last endpoint tried).
+  std::string verdict;
   /// This worker's local lifetime counters (the same numbers its final
   /// NetStats reported).
   sim::RunMetrics metrics;

@@ -61,6 +61,11 @@ struct RunMetrics {
   std::uint64_t quarantines = 0;        ///< channels pushed into quarantine
   std::uint64_t quarantine_drops = 0;   ///< frames refused while quarantined
 
+  /// Frames dropped at a send-side high-water bound instead of buffered
+  /// unboundedly (TCP backpressure + worker orphan-buffer overflow; the
+  /// retransmit layer repairs tracked drops). Zero in-process.
+  std::uint64_t backpressure_drops = 0;
+
   /// Online invariant-monitor result (all zero when the monitor is off; see
   /// sim/monitor.h). `monitor.violations` must be zero on every healthy run.
   MonitorSummary monitor;

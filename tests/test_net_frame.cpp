@@ -49,12 +49,14 @@ TEST(NetFrame, HelloRoundTrip) {
   NetHello hello;
   hello.shard = 2;
   hello.digest = 0xfeedULL;
+  hello.coord_incarnation = 3;
   auto decoded = decode_net_frame(encode_net_frame(hello));
   ASSERT_TRUE(decoded.ok());
   const auto& got = std::get<NetHello>(*decoded.frame);
   EXPECT_EQ(got.proto, net::kNetProtoVersion);
   EXPECT_EQ(got.shard, 2u);
   EXPECT_EQ(got.digest, 0xfeedULL);
+  EXPECT_EQ(got.coord_incarnation, 3u);
 }
 
 TEST(NetFrame, WelcomeRoundTrip) {
@@ -64,6 +66,7 @@ TEST(NetFrame, WelcomeRoundTrip) {
   welcome.digest = 42;
   welcome.incarnation = 4;
   welcome.restart = true;
+  welcome.coord_incarnation = 2;
   auto decoded = decode_net_frame(encode_net_frame(welcome));
   ASSERT_TRUE(decoded.ok());
   const auto& got = std::get<NetWelcome>(*decoded.frame);
@@ -72,6 +75,7 @@ TEST(NetFrame, WelcomeRoundTrip) {
   EXPECT_EQ(got.digest, 42u);
   EXPECT_EQ(got.incarnation, 4u);
   EXPECT_TRUE(got.restart);
+  EXPECT_EQ(got.coord_incarnation, 2u);
 }
 
 TEST(NetFrame, JobRoundTripIncludingNulBytes) {
@@ -172,6 +176,14 @@ TEST(NetFrame, StopPingPongErrorRoundTrip) {
     EXPECT_EQ(std::get<NetError>(*decoded.frame).code,
               NetErrorCode::kDigestMismatch);
   }
+  {
+    // The failover refusal code added with protocol v2.
+    auto decoded = decode_net_frame(
+        encode_net_frame(NetError{NetErrorCode::kStaleCoordinator}));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<NetError>(*decoded.frame).code,
+              NetErrorCode::kStaleCoordinator);
+  }
 }
 
 TEST(NetFrame, RejectsTruncation) {
@@ -218,6 +230,13 @@ TEST(NetFrame, RejectsOutOfBoundsFields) {
               NetDecodeError::kBadBounds);
   }
   {
+    // Coordinator incarnations count from 1; a zero on the wire is bogus.
+    NetWelcome welcome;
+    welcome.coord_incarnation = 0;
+    EXPECT_EQ(decode_net_frame(encode_net_frame(welcome)).error,
+              NetDecodeError::kBadBounds);
+  }
+  {
     NetStop stop;
     stop.reason = static_cast<StopReason>(99);
     EXPECT_EQ(decode_net_frame(encode_net_frame(stop)).error,
@@ -240,6 +259,90 @@ TEST(NetFrame, FuzzTruncatedPrefixesNeverDecode) {
   for (std::size_t len = 0; len < frame.size(); ++len) {
     WireFrame prefix(frame.begin(), frame.begin() + len);
     EXPECT_FALSE(decode_net_frame(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+/// One encoding of every control frame, incarnation fields populated —
+/// the corpus the mutation fuzz below walks.
+std::vector<WireFrame> fuzz_corpus() {
+  NetHello hello;
+  hello.shard = 1;
+  hello.digest = 0xabcULL;
+  hello.coord_incarnation = 5;
+  NetWelcome welcome;
+  welcome.shard = 2;
+  welcome.num_workers = 4;
+  welcome.digest = 0xabcULL;
+  welcome.incarnation = 3;
+  welcome.restart = true;
+  welcome.coord_incarnation = 2;
+  NetRoute route;
+  route.from = 1;
+  route.to = 2;
+  route.track_seq = 9;
+  route.frame = sealed_payload();
+  NetStats stats;
+  stats.shard = 1;
+  stats.incarnation = 2;
+  stats.metrics_words = {1, 2, 3};
+  stats.values = {{0, 1}, {2, -1}};
+  return {encode_net_frame(hello),
+          encode_net_frame(welcome),
+          encode_net_frame(NetJob{"job 1\n"}),
+          encode_net_frame(route),
+          encode_net_frame(NetAck{1, 2, 3}),
+          encode_net_frame(stats),
+          encode_net_frame(NetStop{StopReason::kSolved}),
+          encode_net_frame(NetPing{7, 8}),
+          encode_net_frame(NetPong{7, 8}),
+          encode_net_frame(NetError{NetErrorCode::kStaleCoordinator})};
+}
+
+TEST(NetFrame, FuzzTruncatedPrefixesOfEveryKindNeverDecode) {
+  for (const WireFrame& frame : fuzz_corpus()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      WireFrame prefix(frame.begin(), frame.begin() + len);
+      EXPECT_FALSE(decode_net_frame(prefix).ok())
+          << "kind " << frame[0] << " prefix length " << len;
+    }
+  }
+}
+
+TEST(NetFrame, FuzzBitFlipsNeverDecodeOrCrash) {
+  // Single bit flips across every word of every control frame: the seal
+  // catches them all (decode may also reject on length/bounds first, but a
+  // flipped frame must never decode as valid).
+  for (const WireFrame& frame : fuzz_corpus()) {
+    for (std::size_t w = 0; w < frame.size(); ++w) {
+      for (int bit = 0; bit < 64; bit += 7) {
+        WireFrame mutated = frame;
+        mutated[w] ^= 1ULL << bit;
+        EXPECT_FALSE(decode_net_frame(mutated).ok())
+            << "kind " << frame[0] << " word " << w << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(NetFrame, FuzzRandomWordsNeverCrash) {
+  // Hostile streams: seeded random word salads, some resealed so they pass
+  // the checksum and exercise the semantic validators. Nothing may throw.
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    WireFrame frame(static_cast<std::size_t>(next() % 24), 0);
+    for (auto& word : frame) word = next();
+    if (!frame.empty()) {
+      // Half the trials target real control kinds with garbage fields.
+      if (trial % 2 == 0) frame[0] = 100 + next() % 10;
+      if (trial % 4 < 2 && frame.size() >= 2) sim::seal_frame(frame);
+    }
+    (void)decode_net_frame(frame);  // must not crash; result irrelevant
   }
 }
 
@@ -266,6 +369,7 @@ TEST(NetFrame, MetricsWordsRoundTrip) {
   metrics.faults.duplicated = 190;
   metrics.monitor.violations = 200;
   metrics.monitor.checks = 210;
+  metrics.backpressure_drops = 220;
 
   sim::RunMetrics out;
   net::decode_metrics_words(net::encode_metrics_words(metrics), out);
@@ -290,6 +394,7 @@ TEST(NetFrame, MetricsWordsRoundTrip) {
   EXPECT_EQ(out.faults.duplicated, 190u);
   EXPECT_EQ(out.monitor.violations, 200u);
   EXPECT_EQ(out.monitor.checks, 210u);
+  EXPECT_EQ(out.backpressure_drops, 220u);
 }
 
 TEST(NetFrame, ShortMetricsWordsLeaveTrailingCountersUntouched) {

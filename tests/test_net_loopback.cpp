@@ -9,10 +9,18 @@
 //  - chaos: under drop + duplication the run still solves and validates
 //    with zero monitor violations (ISSUE acceptance bar);
 //  - a worker killed mid-solve (exit_after_ms, the SIGKILL analogue) is
-//    replaced by a fresh attach, and the run still solves.
+//    replaced by a fresh attach, and the run still solves;
+//  - a *coordinator* killed mid-solve (halt_after_ms) is restarted with
+//    --resume semantics: the journaled control plane is rebuilt, orphaned
+//    workers re-rendezvous and continue, and the run solves under
+//    incarnation 2 with zero monitor violations;
+//  - a worker whose coordinator never returns exhausts its reconnect budget
+//    and reports gave_up with a human-readable verdict.
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -240,6 +248,111 @@ TEST(NetLoopbackChaos, KilledWorkerIsReplacedAndRunSolves) {
   // Remaining case (killed, replacement found the run already over): the
   // STOP raced the kill timer — benign, already covered by the solved
   // assertions above.
+}
+
+TEST(NetLoopbackChaos, HaltedCoordinatorIsResumedAndRunSolves) {
+  // The coordinator dies abruptly mid-solve (halt_after_ms: no STOP, no
+  // drain, no checkpoint — the in-proc SIGKILL analogue) and is restarted
+  // with resume=true against the same journal. The workers park orphaned,
+  // re-rendezvous with incarnation 2, and the run completes.
+  const std::string journal =
+      (std::filesystem::temp_directory_path() / "discsp_halt_resume.journal")
+          .string();
+  std::remove(journal.c_str());
+
+  net::InProcTransport transport;
+  ServeConfig config;
+  config.job = make_job(48, 61, 3);
+  // Heavy drops force repair round-trips, so the solve reliably outlasts
+  // the halt timer.
+  config.job.bundle.faults.drop_rate = 0.30;
+  config.job.bundle.faults.refresh_interval = 25;
+  config.deadline_ms = 120000;
+  config.journal_path = journal;
+  config.halt_after_ms = 200;
+
+  std::vector<WorkerResult> results(3);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    WorkerConfig wc = worker_config("failover", i);
+    // The outage spans the restart gap; keep retrying well past it.
+    wc.max_connect_attempts = 100;
+    wc.connect_timeout_ms = 500;
+    threads.emplace_back([&transport, &results, wc, i] {
+      results[static_cast<std::size_t>(i)] = net::run_worker(transport, wc);
+    });
+  }
+
+  ServeResult first;
+  {
+    auto listener = transport.listen("failover");
+    first = net::serve(*listener, config);
+    // The listener dies with this scope — exactly like the process.
+  }
+  if (!first.halted) {
+    // The solve won the race against the halt timer; nothing to resume.
+    for (auto& t : threads) t.join();
+    GTEST_SKIP() << "instance solved before the halt fired";
+  }
+  EXPECT_EQ(first.coordinator_incarnation, 1u);
+
+  ServeConfig resume = config;
+  resume.halt_after_ms = 0;
+  resume.resume = true;
+  auto listener = transport.listen("failover");
+  const ServeResult second = net::serve(*listener, resume);
+  for (auto& t : threads) t.join();
+
+  ASSERT_TRUE(second.error.empty()) << second.error;
+  EXPECT_TRUE(second.resumed);
+  EXPECT_EQ(second.coordinator_incarnation, 2u);
+  EXPECT_EQ(second.reason, StopReason::kSolved);
+  EXPECT_TRUE(config.job.bundle.instance.problem().is_solution(
+      second.run.assignment));
+  EXPECT_EQ(second.run.metrics.monitor.violations, 0u);
+  int reconnects = 0;
+  for (const auto& wr : results) {
+    EXPECT_TRUE(wr.completed) << wr.error;
+    EXPECT_EQ(wr.stop, StopReason::kSolved);
+    reconnects += wr.reconnects;
+  }
+  // Every worker survived the outage by re-rendezvousing (continuation
+  // attach), so the coordinator saw no worker *restarts*.
+  EXPECT_GE(reconnects, 3);
+  std::remove(journal.c_str());
+}
+
+TEST(NetLoopback, WorkerGivesUpWithVerdictWhenCoordinatorNeverReturns) {
+  net::InProcTransport transport;
+  WorkerConfig config = worker_config("nobody-home", 0);
+  config.max_connect_attempts = 3;
+  config.connect_timeout_ms = 10;
+  config.reconnect.ack_timeout = 1;  // fast backoff: keep the test quick
+
+  const WorkerResult result = net::run_worker(transport, config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_NE(result.verdict.find("3 attempts"), std::string::npos)
+      << result.verdict;
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(NetLoopback, MissingPortFileIsRetriedThenReportedInTheVerdict) {
+  // A port-file worker whose file never appears burns its attempts without
+  // ever dialing, and the verdict names the file it was watching.
+  net::InProcTransport transport;
+  WorkerConfig config = worker_config("unused", 0);
+  config.port_file =
+      (std::filesystem::temp_directory_path() / "discsp_no_such_port_file")
+          .string();
+  std::remove(config.port_file.c_str());
+  config.max_connect_attempts = 4;
+  config.reconnect.ack_timeout = 1;
+
+  const WorkerResult result = net::run_worker(transport, config);
+  EXPECT_TRUE(result.gave_up);
+  EXPECT_NE(result.verdict.find("port file"), std::string::npos)
+      << result.verdict;
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 // malformed-frame budget), the ping cadence, and config validation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
 
 #include "net/supervisor.h"
 
@@ -96,6 +98,160 @@ TEST(NetSupervisor, PingCadenceFollowsTheInterval) {
   // Dead peers are not pinged.
   sup.note_detached(0);
   EXPECT_FALSE(sup.ping_due(0, 100));
+}
+
+SupervisorConfig phi_config() {
+  SupervisorConfig config = fast_config();
+  config.adaptive = true;
+  config.suspect_after_ms = 250;  // the hand-tuned constant phi replaces
+  config.dead_after_ms = 2000;
+  config.phi_min_samples = 8;
+  return config;
+}
+
+TEST(NetSupervisor, PhiFlagsAStragglerTheFixedWindowMisses) {
+  // A chatty worker heartbeats every 20 ms, then stalls. At 150 ms of
+  // silence the fixed 250 ms window still says healthy; the accrual model
+  // built from the 20 ms gaps knows this silence is wildly improbable.
+  SupervisorConfig base = fast_config();
+  base.suspect_after_ms = 250;
+  base.dead_after_ms = 2000;
+  PeerSupervisor fixed(base, 1);
+  PeerSupervisor phi(phi_config(), 1);
+  for (PeerSupervisor* sup : {&fixed, &phi}) {
+    sup->note_attached(0, 0);
+    for (std::int64_t now = 20; now <= 400; now += 20) {
+      sup->note_alive(0, now);
+    }
+  }
+  // 150 ms into the stall (t = 550): fixed window sleeps on it...
+  EXPECT_EQ(fixed.health(0, 550), PeerHealth::kHealthy);
+  // ...while phi has long since crossed both thresholds.
+  EXPECT_GT(phi.phi(0, 550), phi_config().phi_dead);
+  EXPECT_EQ(phi.health(0, 550), PeerHealth::kDead);
+
+  // And a naturally slow peer (300 ms cadence) is NOT suspected at a
+  // silence that is normal for it — adaptivity cuts both ways.
+  PeerSupervisor slow(phi_config(), 1);
+  slow.note_attached(0, 0);
+  for (std::int64_t now = 300; now <= 3000; now += 300) {
+    slow.note_alive(0, now);
+  }
+  EXPECT_EQ(slow.health(0, 3250), PeerHealth::kHealthy);  // silent 250 ms
+}
+
+TEST(NetSupervisor, PhiNeedsHistoryBeforeReplacingTheFixedWindows) {
+  PeerSupervisor sup(phi_config(), 1);
+  sup.note_attached(0, 0);
+  sup.note_alive(0, 20);
+  sup.note_alive(0, 40);  // 2 gaps < phi_min_samples: still fixed windows
+  EXPECT_EQ(sup.phi(0, 200), 0.0);
+  EXPECT_EQ(sup.health(0, 289), PeerHealth::kHealthy);
+  EXPECT_EQ(sup.health(0, 290), PeerHealth::kSuspect);  // 40 + 250
+}
+
+TEST(NetSupervisor, PhiTransitionsAreDeterministic) {
+  // Same arrival schedule twice => bit-identical health at every ms. The
+  // detector is a pure function of timestamps; this pins that no hidden
+  // clock or randomness leaks in.
+  const auto run = [] {
+    PeerSupervisor sup(phi_config(), 1);
+    sup.note_attached(0, 0);
+    std::vector<PeerHealth> transitions;
+    std::int64_t next_beat = 17;
+    for (std::int64_t now = 1; now <= 2500; ++now) {
+      if (now == next_beat && now <= 900) {
+        sup.note_alive(0, now);
+        next_beat += 17 + (now % 7);  // jittered but deterministic cadence
+      }
+      transitions.push_back(sup.health(0, now));
+    }
+    return transitions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(NetSupervisor, PhiRespectsTheHardDeadCap) {
+  // Huge observed variance would stretch phi's window far out; the fixed
+  // dead_after_ms stays a hard cap regardless.
+  SupervisorConfig config = phi_config();
+  config.phi_dead = 1e9;  // phi alone would never kill
+  PeerSupervisor sup(config, 1);
+  sup.note_attached(0, 0);
+  for (std::int64_t now = 100; now <= 1000; now += 100) {
+    sup.note_alive(0, now);
+  }
+  EXPECT_TRUE(sup.dead(0, 1000 + config.dead_after_ms));
+}
+
+TEST(NetSupervisor, PingStormIsSuppressedByTheGlobalBudget) {
+  // 8 peers all due in the same tick (a coordinator stall just ended, every
+  // peer looks suspect at once): the budget grants 3 pings per interval and
+  // the rest wait — suppressed peers keep their place in line because their
+  // ping clock is untouched.
+  SupervisorConfig config = fast_config();
+  config.ping_burst = 3;
+  PeerSupervisor sup(config, 8);
+  for (int peer = 0; peer < 8; ++peer) sup.note_attached(peer, 0);
+
+  std::vector<std::int64_t> first_ping(8, -1);
+  const auto sweep = [&](std::int64_t now) {
+    int granted = 0;
+    for (int peer = 0; peer < 8; ++peer) {
+      if (sup.ping_due(peer, now)) {
+        ++granted;
+        if (first_ping[peer] < 0) first_ping[peer] = now;
+      }
+    }
+    return granted;
+  };
+
+  EXPECT_EQ(sweep(100), 3);
+  // Same window: budget exhausted for everyone.
+  EXPECT_EQ(sweep(105), 0);
+  // Later windows grant 3 each, most-overdue first — the suppressed peers
+  // are served before the already-pinged ones re-enter the line.
+  EXPECT_EQ(sweep(110), 3);
+  EXPECT_EQ(sweep(120), 3);
+  for (int peer = 0; peer < 8; ++peer) {
+    EXPECT_GE(first_ping[peer], 0) << "peer " << peer << " was starved";
+    EXPECT_LE(first_ping[peer], 120);
+  }
+
+  // With no budget configured the storm goes out unthrottled (default).
+  PeerSupervisor unbounded(fast_config(), 8);
+  for (int peer = 0; peer < 8; ++peer) unbounded.note_attached(peer, 0);
+  int granted = 0;
+  for (int peer = 0; peer < 8; ++peer) granted += unbounded.ping_due(peer, 100);
+  EXPECT_EQ(granted, 8);
+}
+
+TEST(NetSupervisor, ConfigValidationRejectsBadPhiKnobs) {
+  SupervisorConfig config = phi_config();
+  config.phi_dead = config.phi_suspect;  // must be strictly above
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = phi_config();
+  config.phi_window = 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = phi_config();
+  config.phi_min_samples = config.phi_window + 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = phi_config();
+  config.phi_min_std_ms = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  config = phi_config();
+  config.ping_burst = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(phi_config().validate());
+  // The phi knobs are ignored (not validated) while adaptive is off.
+  config = fast_config();
+  config.phi_window = 0;
+  EXPECT_NO_THROW(config.validate());
 }
 
 TEST(NetSupervisor, ConfigValidationRejectsBadWindows) {

@@ -6,12 +6,18 @@
 #      drop + 5% duplication; one worker is SIGKILLed mid-solve and a
 #      replacement started. >= 95% of trials must end SOLVED with a
 #      validated assignment and zero monitor violations.
-#   2. Deadline trial: a large instance under a tiny wall-clock budget must
+#   2. Coordinator-failover trials: a harsher channel (25% drop + 5% dup)
+#      keeps the solve slow while the *coordinator* is SIGKILLed mid-solve
+#      and restarted with --resume against its control-plane journal; the
+#      port-file workers park orphaned and re-rendezvous with incarnation 2.
+#      >= 95% must end SOLVED with zero monitor violations and metrics
+#      folding both incarnations.
+#   3. Deadline trial: a large instance under a tiny wall-clock budget must
 #      degrade gracefully — exit code 3 and a well-formed partial report.
 #
 # Usage: tools/net_smoke.sh [build-dir]
 #   CLI=path        override the discsp_cli binary
-#   TRIALS=n        chaos trials (default 20)
+#   TRIALS=n        chaos trials per leg (default 20)
 #   NET_SMOKE_N=n   chaos instance size (default 36)
 set -euo pipefail
 
@@ -95,6 +101,74 @@ run_trial() {
   return 0
 }
 
+run_failover_trial() {
+  local seed="$1" log="$2"
+  local port_file="${work}/fport.${seed}"
+  local journal="${work}/journal.${seed}"
+  rm -f "${port_file}" "${journal}"
+
+  # First incarnation. Run bare so the SIGKILL below reaches the coordinator
+  # itself, not a `timeout` wrapper.
+  "${cli}" serve "${work}/chaos.dcsp" \
+    --listen 127.0.0.1:0 --port-file "${port_file}" \
+    --coordinator-journal "${journal}" \
+    --workers 3 --deadline-ms 90000 --seed "${seed}" \
+    --fault-drop 0.25 --fault-duplicate 0.05 >"${log}" 2>&1 &
+  local serve_pid=$!
+
+  if ! wait_port_file "${port_file}"; then
+    echo "trial ${seed}: coordinator never bound" >&2
+    kill -9 "${serve_pid}" 2>/dev/null || true
+    wait "${serve_pid}" 2>/dev/null || true
+    return 1
+  fi
+
+  # Workers rendezvous through the port file (not a pinned endpoint) so they
+  # can find incarnation 2 after the kill; generous attempts span the
+  # restart gap.
+  for _ in 1 2 3; do
+    timeout 120 "${cli}" worker --port-file "${port_file}" \
+      --max-connect-attempts 200 >/dev/null 2>&1 &
+  done
+
+  # A real SIGKILL mid-solve: no STOP, no drain, no final checkpoint. The
+  # 25% drop rate keeps the solve slow enough that the kill reliably lands
+  # mid-run; if the solve finishes first anyway, the resume below
+  # reconstructs the solved run from the journal and exits SOLVED — benign.
+  sleep 0.15
+  kill -9 "${serve_pid}" 2>/dev/null || true
+  wait "${serve_pid}" 2>/dev/null || true
+  # Remove the stale port file so orphaned workers retry against the missing
+  # file instead of dialing the dead port.
+  rm -f "${port_file}"
+
+  local status=0
+  timeout 120 "${cli}" serve "${work}/chaos.dcsp" \
+    --listen 127.0.0.1:0 --port-file "${port_file}" \
+    --coordinator-journal "${journal}" --resume \
+    --workers 3 --deadline-ms 90000 --seed "${seed}" \
+    --fault-drop 0.25 --fault-duplicate 0.05 >>"${log}" 2>&1 || status=$?
+  wait 2>/dev/null || true
+
+  if [[ "${status}" -ne 0 ]]; then
+    echo "trial ${seed}: resumed serve exited ${status}" >&2
+    return 1
+  fi
+  if ! grep -q "SOLVED; validated: yes" "${log}"; then
+    echo "trial ${seed}: no validated solution after resume" >&2
+    return 1
+  fi
+  if ! grep -q "monitor: violations 0," "${log}"; then
+    echo "trial ${seed}: monitor violations reported" >&2
+    return 1
+  fi
+  if ! grep -q "coordinator incarnation 2 (resumed from journal)" "${log}"; then
+    echo "trial ${seed}: resumed run did not report incarnation 2" >&2
+    return 1
+  fi
+  return 0
+}
+
 echo "=== chaos trials: ${trials} x (3 workers, 1 SIGKILLed, 10% drop + 5% dup) ==="
 solved=0
 for t in $(seq 1 "${trials}"); do
@@ -108,6 +182,21 @@ need=$(( (trials * 95 + 99) / 100 ))  # ceil(95%)
 echo "solved ${solved}/${trials} (need >= ${need})"
 if [[ "${solved}" -lt "${need}" ]]; then
   echo "net_smoke: chaos solve rate below 95%" >&2
+  exit 1
+fi
+
+echo "=== coordinator-failover trials: ${trials} x (SIGKILL coordinator, restart --resume) ==="
+fsolved=0
+for t in $(seq 1 "${trials}"); do
+  if run_failover_trial "$((300 + t))" "${work}/failover.${t}.log"; then
+    fsolved=$((fsolved + 1))
+  else
+    sed -n '1,16p' "${work}/failover.${t}.log" >&2 || true
+  fi
+done
+echo "solved ${fsolved}/${trials} (need >= ${need})"
+if [[ "${fsolved}" -lt "${need}" ]]; then
+  echo "net_smoke: coordinator-failover solve rate below 95%" >&2
   exit 1
 fi
 
