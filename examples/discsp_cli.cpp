@@ -516,6 +516,14 @@ int report_serve(const net::ServeResult& res, const DistributedProblem& dp,
   return 1;
 }
 
+net::BatchConfig batch_config_from(const NetConfig& cfg) {
+  net::BatchConfig batch;
+  batch.max_frames = static_cast<int>(cfg.batch_max_frames);
+  batch.max_bytes = static_cast<std::size_t>(cfg.batch_max_bytes);
+  batch.flush_us = cfg.batch_flush_us;
+  return batch;
+}
+
 int cmd_serve(const Options& opts) {
   if (opts.positional().size() < 2) {
     std::cerr << "usage: discsp_cli serve FILE [--workers N] [--listen host:port] "
@@ -525,7 +533,8 @@ int cmd_serve(const Options& opts) {
                  "[--coordinator-journal F] [--resume] [--halt-after-ms N] "
                  "[--detector fixed|phi] [--phi-suspect X] [--phi-dead X] "
                  "[--phi-window N] [--phi-min-samples N] [--phi-min-std-ms X] "
-                 "[--ping-burst N] "
+                 "[--ping-burst N] [--batch-max-frames N] [--batch-max-bytes N] "
+                 "[--batch-flush-us N] "
                  "[+ the --fault-* / --partition-* / --quarantine-* knobs of solve]\n";
     return 2;
   }
@@ -537,7 +546,7 @@ int cmd_serve(const Options& opts) {
   if (net_cfg.listen.empty()) {
     // In-process distributed mode: the same protocol, frames and supervisor,
     // with worker threads instead of worker processes.
-    net::InProcTransport transport;
+    net::InProcTransport transport(batch_config_from(net_cfg));
     auto listener = transport.listen("coordinator");
     std::vector<net::WorkerResult> results(
         static_cast<std::size_t>(net_cfg.workers));
@@ -563,7 +572,7 @@ int cmd_serve(const Options& opts) {
     return report_serve(res, dp, cfg);
   }
 
-  net::TcpTransport transport;
+  net::TcpTransport transport(batch_config_from(net_cfg));
   auto listener = transport.listen(net_cfg.listen);
   if (!net_cfg.port_file.empty()) {
     write_port_file(net_cfg.port_file, listener->port());
@@ -581,10 +590,11 @@ int cmd_worker(const Options& opts) {
   if (net_cfg.connect.empty() && net_cfg.port_file.empty()) {
     std::cerr << "usage: discsp_cli worker --connect host:port [--shard K] "
                  "[--exit-after-ms N] [--port-file F [--host H]] "
-                 "[--max-connect-attempts N]\n";
+                 "[--max-connect-attempts N] [--batch-max-frames N] "
+                 "[--batch-max-bytes N] [--batch-flush-us N]\n";
     return 2;
   }
-  net::TcpTransport transport;
+  net::TcpTransport transport(batch_config_from(net_cfg));
   net::WorkerConfig wc;
   wc.endpoint = net_cfg.connect;
   wc.port_file = net_cfg.port_file;

@@ -1,0 +1,161 @@
+// Lock-free queues of the hot-path delivery layer.
+//
+// SpscRing — a fixed-capacity single-producer/single-consumer ring with
+// acquire/release indices. One side writes, the other reads; neither ever
+// takes a lock. The in-proc transport uses one ring per pipe direction
+// (each Connection is driven by exactly one thread, per the transport
+// contract), falling back to a mutexed overflow queue only when a burst
+// outruns the ring.
+//
+// MpscQueue — a Vyukov-style multi-producer/single-consumer linked queue:
+// wait-free push (one exchange + one store), lock-free pop. Per-producer
+// FIFO is preserved, which is the only ordering the thread runtime's
+// mailboxes relied on from the mutexed deque they replace (cross-producer
+// interleaving was always scheduler-dependent).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace discsp {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (index masking).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. False when the ring is full (caller overflows elsewhere).
+  bool try_push(T&& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side, copying. For vector-like T the copy-assignment reuses
+  /// the slot's previous heap buffer, so a warmed ring moves frames with
+  /// zero allocation — the whole point of the ring over a mutexed deque of
+  /// freshly-constructed elements (pair with try_pop_copy).
+  bool try_push(const T& value) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side, copy-assigning into `out` so the slot keeps its buffer
+  /// for the producer's next try_push(const T&) and the caller's `out`
+  /// keeps its own capacity across calls (zero-alloc steady state).
+  bool try_pop_copy(T& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy by nature; callers use it as a hint (empty-before-sleep checks
+  /// re-validate under their wait protocol).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer index
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer index
+};
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node;
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Any thread. Wait-free: one exchange publishes the node.
+  void push(T value) {
+    Node* node = new Node;
+    node->value = std::move(value);
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumer thread only. False when empty (or when a producer is mid-push
+  /// between its exchange and next-link — the caller's wait loop retries).
+  bool try_pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+  /// Consumer thread only (or after every producer has quiesced).
+  bool consumer_empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Walk the unconsumed entries. Only safe once no thread pushes or pops
+  /// (the thread runtime calls this after joining its agent threads).
+  template <typename Fn>
+  void for_each_unconsumed(Fn&& fn) const {
+    for (Node* node = tail_->next.load(std::memory_order_acquire);
+         node != nullptr; node = node->next.load(std::memory_order_acquire)) {
+      fn(node->value);
+    }
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  alignas(64) std::atomic<Node*> head_;  // producers exchange here
+  alignas(64) Node* tail_;               // consumer-private
+};
+
+}  // namespace discsp

@@ -501,7 +501,10 @@ class Coordinator {
     Slot& slot = slots_[static_cast<std::size_t>(shard)];
     // A detached destination drops the frame; the sending agent's retransmit
     // layer re-offers it once a replacement worker holds the shard.
-    if (slot.attached) slot.conn->send(encode_net_frame(frame));
+    if (slot.attached) {
+      encode_net_frame_into(frame, net_scratch_);
+      slot.conn->send(net_scratch_);
+    }
   }
 
   // ----- supervision & termination ---------------------------------------
@@ -515,7 +518,8 @@ class Coordinator {
         continue;
       }
       if (supervisor_.ping_due(i, now)) {
-        slot.conn->send(encode_net_frame(NetFrame{NetPing{nonce_++, now}}));
+        encode_net_frame_into(NetFrame{NetPing{nonce_++, now}}, net_scratch_);
+        slot.conn->send(net_scratch_);
       }
     }
   }
@@ -728,6 +732,9 @@ class Coordinator {
   /// Frames shed by coordinator-side send backpressure (retired + live
   /// connections; see Connection::dropped_frames).
   std::uint64_t coord_drops_ = 0;
+  /// Reusable encode scratch for the forwarding hot path (capacity
+  /// persists, so steady-state routing allocates nothing).
+  WireFrame net_scratch_;
 };
 
 }  // namespace

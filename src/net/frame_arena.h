@@ -1,0 +1,51 @@
+// Pooled byte buffers for the batched TCP send path.
+//
+// Every outbound frame is encoded in place into a pooled buffer (length
+// prefix + little-endian words) and queued for a scatter-gather flush;
+// once the kernel has consumed a buffer it returns to the free list instead
+// of being freed. Steady-state sends therefore allocate nothing: the pool
+// warms up to the connection's burst depth and recycles from there.
+//
+// An arena belongs to one connection and is driven by one thread (the
+// transport contract), so it needs no synchronization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace discsp::net {
+
+class FrameArena {
+ public:
+  using Buffer = std::vector<unsigned char>;
+
+  /// Take a buffer (empty, capacity retained from its previous life).
+  Buffer acquire() {
+    ++acquired_;
+    if (free_.empty()) return Buffer{};
+    ++reused_;
+    Buffer buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    return buf;
+  }
+
+  /// Return a buffer to the free list. The pool is bounded so a one-off
+  /// burst cannot pin its high-water memory forever.
+  void release(Buffer buf) {
+    if (free_.size() < kMaxFree) free_.push_back(std::move(buf));
+  }
+
+  std::uint64_t acquired() const { return acquired_; }
+  std::uint64_t reused() const { return reused_; }
+
+ private:
+  static constexpr std::size_t kMaxFree = 256;
+
+  std::vector<Buffer> free_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+}  // namespace discsp::net

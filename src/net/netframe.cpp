@@ -71,6 +71,11 @@ const char* to_string(NetDecodeError error) {
 
 WireFrame encode_net_frame(const NetFrame& frame) {
   WireFrame out;
+  encode_net_frame_into(frame, out);
+  return out;
+}
+
+void encode_net_frame_into(const NetFrame& frame, WireFrame& out) {
   std::visit(
       [&](const auto& f) {
         using T = std::decay_t<decltype(f)>;
@@ -116,7 +121,6 @@ WireFrame encode_net_frame(const NetFrame& frame) {
       },
       frame);
   sim::seal_frame(out);
-  return out;
 }
 
 NetDecodeResult decode_net_frame(const WireFrame& frame) {

@@ -153,6 +153,11 @@ using NetFrame = std::variant<NetHello, NetWelcome, NetJob, NetRoute, NetAck,
 
 WireFrame encode_net_frame(const NetFrame& frame);
 
+/// Encode into a caller-provided frame (cleared first, capacity reused).
+/// Hot paths hold one scratch WireFrame and encode every outbound control
+/// frame into it — zero steady-state allocation.
+void encode_net_frame_into(const NetFrame& frame, WireFrame& out);
+
 /// Why a net frame was rejected. Malformed frames feed the peer supervisor's
 /// ChannelGuard budget, exactly like malformed payload frames feed the
 /// agent-level guard.

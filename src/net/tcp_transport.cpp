@@ -6,15 +6,20 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "net/frame_arena.h"
 #include "net/netframe.h"  // kMaxFrameWords
 
 namespace discsp::net {
@@ -41,6 +46,12 @@ int poll_eintr(pollfd* pfd, int timeout_ms) {
   }
 }
 
+std::int64_t mono_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Send-side high-water mark: when a dead-slow (or dead) peer leaves more
 /// than this many bytes unflushed, new frames are dropped and counted
 /// instead of growing the buffer without bound. Tracked protocol payloads
@@ -52,6 +63,22 @@ int poll_eintr(pollfd* pfd, int timeout_ms) {
 /// the very retransmit storm it is trying to relieve (measured: a 4 MB
 /// mark stalls n=64 chaos solves that converge untouched at this one).
 constexpr std::size_t kSendHighWaterBytes = 64u << 20;
+
+/// Buffers gathered per sendmsg call; well under IOV_MAX everywhere. The
+/// flush loop keeps going, so deeper queues just take multiple syscalls.
+constexpr int kMaxIov = 64;
+
+/// Budget for the best-effort final flush in close(). The protocol's
+/// terminal frames (ERROR on refuse, STOP on shutdown) are sent immediately
+/// before the connection drops; without this drain a batched carrier could
+/// strand them in the queue.
+constexpr std::int64_t kCloseFlushBudgetUs = 50'000;
+
+void store_le(unsigned char* dst, std::uint64_t value, int bytes) {
+  for (int b = 0; b < bytes; ++b) {
+    dst[b] = static_cast<unsigned char>((value >> (8 * b)) & 0xff);
+  }
+}
 
 /// Parse "host:port" into a sockaddr. Throws std::invalid_argument on a
 /// malformed endpoint.
@@ -86,7 +113,7 @@ sockaddr_in parse_endpoint(const std::string& endpoint) {
 
 class TcpConnection final : public Connection {
  public:
-  explicit TcpConnection(int fd) : fd_(fd) {
+  TcpConnection(int fd, BatchConfig batch) : fd_(fd), batch_(batch) {
     set_nonblocking(fd_);
     set_nodelay(fd_);
   }
@@ -95,80 +122,163 @@ class TcpConnection final : public Connection {
 
   bool send(const WireFrame& frame) override {
     if (fd_ < 0) return false;
-    if (out_.size() - write_pos_ > kSendHighWaterBytes) {
+    if (out_bytes_ > kSendHighWaterBytes) {
       // Over the high-water mark: give the socket one more chance to move,
       // then shed this frame rather than buffer without bound.
       flush_writes();
-      if (fd_ < 0 || out_.size() - write_pos_ > kSendHighWaterBytes) {
+      if (fd_ < 0 || out_bytes_ > kSendHighWaterBytes) {
         ++dropped_frames_;
         return false;
       }
     }
-    // 4-byte LE word count + 8-byte LE words.
-    const auto count = static_cast<std::uint32_t>(frame.size());
-    append_le(count, 4);
-    for (const std::uint64_t word : frame) append_le(word, 8);
-    flush_writes();
+    // Encode in place into a pooled buffer: 4-byte LE word count followed
+    // by 8-byte LE words. Steady state allocates nothing.
+    FrameArena::Buffer buf = arena_.acquire();
+    const std::size_t bytes = 4 + 8 * frame.size();
+    buf.resize(bytes);
+    store_le(buf.data(), static_cast<std::uint32_t>(frame.size()), 4);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(buf.data() + 4, frame.data(), 8 * frame.size());
+    } else {
+      for (std::size_t i = 0; i < frame.size(); ++i) {
+        store_le(buf.data() + 4 + 8 * i, frame[i], 8);
+      }
+    }
+    out_bytes_ += bytes;
+    outq_.push_back(std::move(buf));
+    ++unflushed_frames_;
+    unflushed_bytes_ += bytes;
+    if (unflushed_frames_ >= batch_.max_frames ||
+        unflushed_bytes_ >= batch_.max_bytes) {
+      flush_writes();
+    } else if (unflushed_frames_ == 1) {
+      // First deferred frame arms the latency bound; pump() flushes when
+      // the deadline lapses even if neither budget fills.
+      flush_deadline_us_ = mono_us() + batch_.flush_us;
+    }
     return fd_ >= 0;
   }
 
-  bool recv(WireFrame& frame) override {
-    if (!parse_one(frame)) return false;
-    return true;
-  }
+  bool recv(WireFrame& frame) override { return parse_one(frame); }
 
   void pump(int timeout_ms) override {
     if (fd_ < 0) return;
+    if (unflushed_frames_ > 0 && mono_us() >= flush_deadline_us_) {
+      flush_writes();
+    }
     pollfd pfd{};
     pfd.fd = fd_;
     pfd.events = POLLIN;
-    if (!out_.empty()) pfd.events |= POLLOUT;
+    // POLLOUT only when a previous flush hit kernel backpressure; frames
+    // still inside their coalescing window wait for the deadline instead.
+    if (kernel_blocked_ && !outq_.empty()) pfd.events |= POLLOUT;
+    int wait_ms = timeout_ms;
+    if (unflushed_frames_ > 0) {
+      // Cap the wait so the flush deadline is honoured even when no
+      // inbound traffic arrives.
+      const std::int64_t remain_us = flush_deadline_us_ - mono_us();
+      const int remain_ms =
+          remain_us <= 0 ? 0 : static_cast<int>((remain_us + 999) / 1000);
+      if (remain_ms < wait_ms) wait_ms = remain_ms;
+    }
     // A frame may already be buffered; never block on the socket then.
-    const bool buffered = in_.size() >= 4;
-    const int rc = poll_eintr(&pfd, buffered ? 0 : timeout_ms);
+    const bool buffered = in_.size() - read_pos_ >= 4;
+    const int rc = poll_eintr(&pfd, buffered ? 0 : wait_ms);
+    if (unflushed_frames_ > 0 && mono_us() >= flush_deadline_us_) {
+      flush_writes();
+    }
     if (rc <= 0) return;
     if ((pfd.revents & POLLOUT) != 0) flush_writes();
     if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) drain_reads();
   }
 
-  bool open() const override { return fd_ >= 0 || in_.size() >= 4; }
+  bool open() const override { return fd_ >= 0 || in_.size() - read_pos_ >= 4; }
 
   std::uint64_t dropped_frames() const override { return dropped_frames_; }
 
   void close() override {
+    if (fd_ >= 0 && !outq_.empty()) {
+      // Best-effort final drain so terminal frames queued just before the
+      // close (ERROR, STOP) still reach the peer. Bounded: a wedged peer
+      // costs at most the budget, then the remainder is dropped with the
+      // socket.
+      flush_writes();
+      const std::int64_t deadline = mono_us() + kCloseFlushBudgetUs;
+      while (fd_ >= 0 && !outq_.empty() && mono_us() < deadline) {
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLOUT;
+        if (poll_eintr(&pfd, 5) > 0) flush_writes();
+      }
+    }
+    drop_fd();
+    outq_.clear();
+    out_bytes_ = 0;
+    head_off_ = 0;
+    unflushed_frames_ = 0;
+    unflushed_bytes_ = 0;
+  }
+
+ private:
+  /// Close the descriptor without the final-flush courtesy (hard errors).
+  void drop_fd() {
     if (fd_ >= 0) {
       ::close(fd_);
       fd_ = -1;
     }
   }
 
- private:
-  void append_le(std::uint64_t value, int bytes) {
-    for (int b = 0; b < bytes; ++b) {
-      out_.push_back(static_cast<unsigned char>((value >> (8 * b)) & 0xff));
-    }
-  }
-
+  /// One scatter-gather write over everything queued. Resets the coalescing
+  /// window: once a flush is decided the frames belong to the kernel, and
+  /// anything it refuses waits under POLLOUT, not under a new deadline.
   void flush_writes() {
-    while (fd_ >= 0 && write_pos_ < out_.size()) {
-      const ssize_t n = ::send(fd_, out_.data() + write_pos_,
-                               out_.size() - write_pos_, MSG_NOSIGNAL);
+    unflushed_frames_ = 0;
+    unflushed_bytes_ = 0;
+    while (fd_ >= 0 && !outq_.empty()) {
+      iovec iov[kMaxIov];
+      int n_iov = 0;
+      std::size_t skip = head_off_;
+      for (auto it = outq_.begin(); it != outq_.end() && n_iov < kMaxIov;
+           ++it) {
+        iov[n_iov].iov_base = it->data() + skip;
+        iov[n_iov].iov_len = it->size() - skip;
+        skip = 0;
+        ++n_iov;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(n_iov);
+      const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
       if (n > 0) {
-        write_pos_ += static_cast<std::size_t>(n);
+        advance_out(static_cast<std::size_t>(n));
         continue;
       }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        kernel_blocked_ = true;
+        return;
+      }
       if (n < 0 && errno == EINTR) continue;
-      close();
+      drop_fd();
       return;
     }
-    if (write_pos_ == out_.size()) {
-      out_.clear();
-      write_pos_ = 0;
-    } else if (write_pos_ > (1u << 20)) {
-      out_.erase(out_.begin(),
-                 out_.begin() + static_cast<std::ptrdiff_t>(write_pos_));
-      write_pos_ = 0;
+    kernel_blocked_ = false;
+  }
+
+  /// Retire `n` written bytes: pop completed buffers back into the arena,
+  /// remember the partial offset into the new head.
+  void advance_out(std::size_t n) {
+    out_bytes_ -= n;
+    while (n > 0) {
+      FrameArena::Buffer& head = outq_.front();
+      const std::size_t remain = head.size() - head_off_;
+      if (n < remain) {
+        head_off_ += n;
+        return;
+      }
+      n -= remain;
+      head_off_ = 0;
+      arena_.release(std::move(head));
+      outq_.pop_front();
     }
   }
 
@@ -182,12 +292,12 @@ class TcpConnection final : public Connection {
         break;
       }
       if (n == 0) {  // orderly shutdown by the peer
-        close();
+        drop_fd();
         break;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      close();
+      drop_fd();
       break;
     }
   }
@@ -201,36 +311,75 @@ class TcpConnection final : public Connection {
     return value;
   }
 
+  /// Demux one frame from the inbound byte stream. A cursor into `in_`
+  /// replaces the old erase-per-frame: a 64-frame carrier read costs one
+  /// compaction instead of 64 shifts of the tail.
   bool parse_one(WireFrame& frame) {
-    if (in_.size() < 4) return false;
-    const std::uint64_t count = read_le(0, 4);
+    const std::size_t avail = in_.size() - read_pos_;
+    if (avail < 4) {
+      maybe_compact();
+      return false;
+    }
+    const std::uint64_t count = read_le(read_pos_, 4);
     if (count > kMaxFrameWords) {
       // The stream is desynchronized or hostile; no way to resync framing.
-      close();
+      drop_fd();
       in_.clear();
+      read_pos_ = 0;
       return false;
     }
     const std::size_t need = 4 + 8 * static_cast<std::size_t>(count);
-    if (in_.size() < need) return false;
-    frame.clear();
-    frame.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = 0; i < count; ++i) {
-      frame.push_back(read_le(4 + 8 * static_cast<std::size_t>(i), 8));
+    if (avail < need) {
+      maybe_compact();
+      return false;
     }
-    in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(need));
+    frame.resize(static_cast<std::size_t>(count));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(frame.data(), in_.data() + read_pos_ + 4, 8 * frame.size());
+    } else {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        frame[static_cast<std::size_t>(i)] =
+            read_le(read_pos_ + 4 + 8 * static_cast<std::size_t>(i), 8);
+      }
+    }
+    read_pos_ += need;
+    if (read_pos_ == in_.size()) {
+      in_.clear();
+      read_pos_ = 0;
+    }
     return true;
   }
 
+  void maybe_compact() {
+    if (read_pos_ == 0) return;
+    if (read_pos_ == in_.size()) {
+      in_.clear();
+      read_pos_ = 0;
+    } else if (read_pos_ > (1u << 20)) {
+      in_.erase(in_.begin(), in_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+      read_pos_ = 0;
+    }
+  }
+
   int fd_;
-  std::vector<unsigned char> out_;
-  std::size_t write_pos_ = 0;
+  BatchConfig batch_;
+  FrameArena arena_;
+  std::deque<FrameArena::Buffer> outq_;  // encoded, not yet kernel-accepted
+  std::size_t out_bytes_ = 0;            // total bytes across outq_
+  std::size_t head_off_ = 0;             // partially written head prefix
+  int unflushed_frames_ = 0;             // frames since the last flush call
+  std::size_t unflushed_bytes_ = 0;
+  std::int64_t flush_deadline_us_ = 0;
+  bool kernel_blocked_ = false;  // last flush ended in EAGAIN
   std::vector<unsigned char> in_;
+  std::size_t read_pos_ = 0;
   std::uint64_t dropped_frames_ = 0;
 };
 
 class TcpListener final : public Listener {
  public:
-  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+  TcpListener(int fd, int port, BatchConfig batch)
+      : fd_(fd), port_(port), batch_(batch) {}
 
   ~TcpListener() override {
     if (fd_ >= 0) ::close(fd_);
@@ -239,7 +388,7 @@ class TcpListener final : public Listener {
   std::unique_ptr<Connection> accept() override {
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client < 0) return nullptr;
-    return std::make_unique<TcpConnection>(client);
+    return std::make_unique<TcpConnection>(client, batch_);
   }
 
   int port() const override { return port_; }
@@ -247,9 +396,12 @@ class TcpListener final : public Listener {
  private:
   int fd_;
   int port_;
+  BatchConfig batch_;
 };
 
 }  // namespace
+
+TcpTransport::TcpTransport(BatchConfig batch) : batch_(batch) {}
 
 std::unique_ptr<Listener> TcpTransport::listen(const std::string& endpoint) {
   const sockaddr_in addr = parse_endpoint(endpoint);
@@ -273,7 +425,7 @@ std::unique_ptr<Listener> TcpTransport::listen(const std::string& endpoint) {
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
     port = ntohs(bound.sin_port);
   }
-  return std::make_unique<TcpListener>(fd, port);
+  return std::make_unique<TcpListener>(fd, port, batch_);
 }
 
 std::unique_ptr<Connection> TcpTransport::connect(const std::string& endpoint,
@@ -308,7 +460,7 @@ std::unique_ptr<Connection> TcpTransport::connect(const std::string& endpoint,
       return nullptr;
     }
   }
-  return std::make_unique<TcpConnection>(fd);
+  return std::make_unique<TcpConnection>(fd, batch_);
 }
 
 }  // namespace discsp::net

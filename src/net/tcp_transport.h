@@ -12,6 +12,11 @@
 // sanity cap, which closes the connection) or delivers a frame that fails
 // its seal. TCP_NODELAY is set: the protocol is request/response-heavy and
 // latency-bound, not throughput-bound.
+//
+// Send path: each frame is encoded in place into a pooled buffer
+// (net/frame_arena.h) and coalesced with its neighbours per BatchConfig —
+// a flush is one scatter-gather sendmsg over every queued buffer. With
+// max_frames == 1 every send flushes immediately (the seed behaviour).
 #pragma once
 
 #include "net/transport.h"
@@ -20,9 +25,14 @@ namespace discsp::net {
 
 class TcpTransport final : public Transport {
  public:
+  explicit TcpTransport(BatchConfig batch = {});
+
   std::unique_ptr<Listener> listen(const std::string& endpoint) override;
   std::unique_ptr<Connection> connect(const std::string& endpoint,
                                       int timeout_ms) override;
+
+ private:
+  BatchConfig batch_;
 };
 
 }  // namespace discsp::net

@@ -26,6 +26,28 @@ namespace discsp::net {
 
 using sim::WireFrame;
 
+/// Carrier-level batching knobs shared by both transports. Batching is
+/// invisible to the logical frame stream: frame boundaries, ordering,
+/// checksums, fault injection and quarantine all operate per frame exactly
+/// as before — only the cost of moving frames changes (one writev for many
+/// frames on TCP, lock-free rings in-proc). `max_frames == 1` selects the
+/// seed-equivalent unbatched path: flush-per-send on TCP, the legacy
+/// mutex+condvar pipe in-proc (the bench's comparison baseline).
+struct BatchConfig {
+  /// Frames coalesced per flush (>= 1; 1 = unbatched). 64 amortizes one
+  /// sendmsg + one receiver wakeup over a full scheduling quantum of
+  /// steady-state traffic while staying well inside max_bytes.
+  int max_frames = 64;
+  /// Byte budget per coalesced flush; reaching it forces a flush early.
+  std::size_t max_bytes = 64 * 1024;
+  /// Deadline in microseconds after the first deferred frame by which a
+  /// flush must happen even if neither budget fills (bounded latency).
+  std::int64_t flush_us = 200;
+
+  bool batching() const { return max_frames > 1; }
+  static BatchConfig unbatched() { return BatchConfig{1, 0, 0}; }
+};
+
 class Connection {
  public:
   virtual ~Connection() = default;
@@ -83,7 +105,7 @@ class Transport {
 /// before the coordinator binds).
 class InProcTransport final : public Transport {
  public:
-  InProcTransport();
+  explicit InProcTransport(BatchConfig batch = {});
 
   std::unique_ptr<Listener> listen(const std::string& endpoint) override;
   std::unique_ptr<Connection> connect(const std::string& endpoint,
@@ -95,6 +117,7 @@ class InProcTransport final : public Transport {
 
  private:
   std::shared_ptr<State> state_;
+  BatchConfig batch_;
 };
 
 }  // namespace discsp::net

@@ -185,14 +185,14 @@ class Worker {
   /// Send on the live connection, or park while orphaned. The parked buffer
   /// is bounded: overflow is dropped and counted — tracked frames are
   /// repaired by retransmission once reattached.
-  void send_net(WireFrame frame) {
+  void send_net(const WireFrame& frame) {
     if (conn_ != nullptr && conn_->open()) {
       conn_->send(frame);
       return;
     }
     if (parked_.size() < static_cast<std::size_t>(
                              std::max(config_.orphan_capacity, 0))) {
-      parked_.push_back(std::move(frame));
+      parked_.push_back(frame);  // copy: only the rare orphaned path pays
     } else {
       ++metrics_.backpressure_drops;
     }
@@ -389,12 +389,16 @@ class Worker {
     sim::ChannelVerdict verdict;  // default: one clean copy
     if (plan_ != nullptr) verdict = plan_->on_send(from, to, elapsed());
     if (verdict.copies == 0) return;
-    WireFrame frame;
     // Remote payloads always travel as sealed frames; local ones only when
     // corruption is in play (mirroring AsyncEngine's wire_ activation).
-    if (remote || (plan_ != nullptr && plan_->config().corrupt_rate > 0)) {
-      frame = sim::encode_frame(payload);
-      if (verdict.corrupt) sim::corrupt_frame(frame, verdict.corrupt_seed);
+    // Encoded into the reusable scratch: steady state allocates nothing.
+    const bool framed =
+        remote || (plan_ != nullptr && plan_->config().corrupt_rate > 0);
+    if (framed) {
+      sim::encode_frame_into(payload, payload_scratch_);
+      if (verdict.corrupt) {
+        sim::corrupt_frame(payload_scratch_, verdict.corrupt_seed);
+      }
     }
     for (int copy = 0; copy < verdict.copies; ++copy) {
       Unit unit;
@@ -405,7 +409,7 @@ class Worker {
       unit.from = from;
       unit.to = to;
       unit.payload = payload;
-      unit.frame = frame;
+      if (framed) unit.frame = payload_scratch_;
       unit.track_seq = track_seq;
       egress_.push(std::move(unit));
     }
@@ -423,7 +427,8 @@ class Worker {
         route.to = unit.to;
         route.track_seq = unit.track_seq;
         route.frame = std::move(unit.frame);
-        send_net(encode_net_frame(NetFrame{route}));
+        encode_net_frame_into(NetFrame{std::move(route)}, net_scratch_);
+        send_net(net_scratch_);
       }
     }
   }
@@ -459,7 +464,8 @@ class Worker {
       }
     } else if (const auto* ping = std::get_if<NetPing>(&frame)) {
       NetPong pong{ping->nonce, ping->sent_ms};
-      conn_->send(encode_net_frame(NetFrame{pong}));
+      encode_net_frame_into(NetFrame{pong}, net_scratch_);
+      conn_->send(net_scratch_);
     } else if (const auto* stop = std::get_if<NetStop>(&frame)) {
       send_stats(/*final_report=*/true);
       result_.completed = true;
@@ -540,7 +546,8 @@ class Worker {
       return;
     }
     NetAck ack{from, to, seq};
-    send_net(encode_net_frame(NetFrame{ack}));
+    encode_net_frame_into(NetFrame{ack}, net_scratch_);
+    send_net(net_scratch_);
   }
 
   // ----- timers ----------------------------------------------------------
@@ -557,7 +564,7 @@ class Worker {
              retransmit_->collect_due(now)) {
           // Re-dispatch from the clean tracked payload: a corrupted original
           // cannot poison its own repair.
-          dispatch(d.from, d.to, d.payload, d.seq);
+          dispatch(d.from, d.to, *d.payload, d.seq);
         }
         flush_egress(now);
       }
@@ -645,7 +652,8 @@ class Worker {
     for (const auto& [id, agent] : local_) {
       stats.values.emplace_back(agent->variable(), agent->current_value());
     }
-    conn_->send(encode_net_frame(NetFrame{stats}));
+    encode_net_frame_into(NetFrame{std::move(stats)}, net_scratch_);
+    conn_->send(net_scratch_);
     last_reported_processed_ = processed_;
   }
 
@@ -699,6 +707,10 @@ class Worker {
   std::int64_t orphan_since_ = 0;
   std::int64_t next_attempt_ms_ = 0;
   std::vector<WireFrame> parked_;
+  /// Reusable encode scratch for outbound frames (capacity persists, so the
+  /// steady-state hot path allocates nothing).
+  WireFrame net_scratch_;
+  WireFrame payload_scratch_;
   /// Highest coordinator incarnation that ever WELCOMEd this worker
   /// (0 = none yet); older incarnations are refused as zombies.
   std::uint64_t coord_incarnation_ = 0;

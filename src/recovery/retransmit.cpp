@@ -69,7 +69,7 @@ std::uint64_t RetransmitBuffer::track(AgentId from, AgentId to,
   Channel& ch = channel(from, to);
   const std::uint64_t seq = ch.next_seq++;
   Pending pending;
-  pending.payload = payload;
+  pending.payload = std::make_shared<const sim::MessagePayload>(payload);
   pending.deadline = now + config_.timeout_for(0, ch.jitter);
   ch.pending.emplace(seq, std::move(pending));
   return seq;

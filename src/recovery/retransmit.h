@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -83,7 +84,10 @@ class RetransmitBuffer {
     AgentId from = kNoAgent;
     AgentId to = kNoAgent;
     std::uint64_t seq = 0;
-    sim::MessagePayload payload;
+    /// Shared handle to the tracked payload (never null). The buffer keeps
+    /// one copy per tracked send; retries hand out references to it instead
+    /// of duplicating the payload on every backoff round.
+    std::shared_ptr<const sim::MessagePayload> payload;
     /// Retry number (1 = first retransmission).
     int attempt = 0;
     /// The receiver already had the message when we suspected it lost: the
@@ -108,7 +112,7 @@ class RetransmitBuffer {
 
  private:
   struct Pending {
-    sim::MessagePayload payload;
+    std::shared_ptr<const sim::MessagePayload> payload;
     std::int64_t deadline = 0;
     int attempts = 0;  // retransmissions so far
   };

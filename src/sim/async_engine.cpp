@@ -113,14 +113,16 @@ RunResult AsyncEngine::run() {
       }
       const ChannelVerdict verdict =
           engine_.plan_->on_send(sender_, to, engine_.now_);
-      WireFrame frame;
-      if (engine_.wire_ != nullptr && verdict.copies > 0) {
-        frame = encode_frame(payload);
-        if (verdict.corrupt) corrupt_frame(frame, verdict.corrupt_seed);
+      // Encoded into the reusable scratch: the sink lives for the whole run,
+      // so steady-state sends reuse its capacity instead of allocating.
+      const bool framed = engine_.wire_ != nullptr && verdict.copies > 0;
+      if (framed) {
+        encode_frame_into(payload, frame_scratch_);
+        if (verdict.corrupt) corrupt_frame(frame_scratch_, verdict.corrupt_seed);
       }
       for (int copy = 0; copy < verdict.copies; ++copy) {
         schedule(sender_, to, payload, verdict.reorder, verdict.extra_delay,
-                 track_seq, /*ack_of=*/0, frame);
+                 track_seq, /*ack_of=*/0, framed ? frame_scratch_ : WireFrame{});
       }
     }
 
@@ -155,6 +157,7 @@ RunResult AsyncEngine::run() {
     const AgentId& sender_;
     const bool& tracking_;
     std::uint64_t& messages_;
+    WireFrame frame_scratch_;
   };
 
   QueueSink sink(*this, queue, seq, channel_floor, current_sender, tracking,
@@ -221,11 +224,11 @@ RunResult AsyncEngine::run() {
         // corrupted original cannot poison its own repair.
         WireFrame frame;
         if (wire_ != nullptr && verdict.copies > 0) {
-          frame = encode_frame(d.payload);
+          frame = encode_frame(*d.payload);
           if (verdict.corrupt) corrupt_frame(frame, verdict.corrupt_seed);
         }
         for (int copy = 0; copy < verdict.copies; ++copy) {
-          sink.schedule(d.from, d.to, d.payload, verdict.reorder,
+          sink.schedule(d.from, d.to, *d.payload, verdict.reorder,
                         verdict.extra_delay, d.seq, /*ack_of=*/0, frame);
         }
       }

@@ -62,7 +62,8 @@ std::int64_t zz_dec(std::uint64_t u) {
 
 /// Checksum of frame[0 .. count). Folding the count first makes truncation
 /// detectable even when the chopped frame happens to end in a plausible word.
-std::uint64_t frame_checksum(const WireFrame& frame, std::size_t count) {
+std::uint64_t frame_checksum(std::span<const std::uint64_t> frame,
+                             std::size_t count) {
   std::uint64_t h = fnv1a64_word(kFnvOffsetBasis,
                                  static_cast<std::uint64_t>(count));
   for (std::size_t i = 0; i < count; ++i) h = fnv1a64_word(h, frame[i]);
@@ -92,38 +93,47 @@ WireLimits wire_limits_for(const Problem& problem, int num_agents) {
 
 void seal_frame(WireFrame& frame) { seal(frame); }
 
-bool verify_sealed_frame(const WireFrame& frame) {
+bool verify_sealed_frame(std::span<const std::uint64_t> frame) {
   if (frame.size() < 2) return false;
   return frame_checksum(frame, frame.size() - 1) == frame.back();
 }
 
-WireFrame encode_frame(const MessagePayload& payload) {
-  WireFrame frame;
+void encode_frame_into(const MessagePayload& payload, WireFrame& frame) {
+  frame.clear();
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, OkMessage>) {
-          frame = {kKindOk, static_cast<std::uint64_t>(m.sender),
-                   static_cast<std::uint64_t>(m.var), zz_enc(m.value),
-                   zz_enc(m.priority), m.seq};
+          frame.insert(frame.end(),
+                       {kKindOk, static_cast<std::uint64_t>(m.sender),
+                        static_cast<std::uint64_t>(m.var), zz_enc(m.value),
+                        zz_enc(m.priority), m.seq});
         } else if constexpr (std::is_same_v<T, NogoodMessage>) {
-          frame = {kKindNogood, static_cast<std::uint64_t>(m.sender),
-                   static_cast<std::uint64_t>(m.nogood.size())};
+          frame.insert(frame.end(),
+                       {kKindNogood, static_cast<std::uint64_t>(m.sender),
+                        static_cast<std::uint64_t>(m.nogood.size())});
           for (const Assignment& a : m.nogood) {
             frame.push_back(static_cast<std::uint64_t>(a.var));
             frame.push_back(zz_enc(a.value));
           }
         } else if constexpr (std::is_same_v<T, AddLinkMessage>) {
-          frame = {kKindAddLink, static_cast<std::uint64_t>(m.sender),
-                   zz_enc(m.var)};
+          frame.insert(frame.end(),
+                       {kKindAddLink, static_cast<std::uint64_t>(m.sender),
+                        zz_enc(m.var)});
         } else if constexpr (std::is_same_v<T, ImproveMessage>) {
-          frame = {kKindImprove, static_cast<std::uint64_t>(m.sender),
-                   static_cast<std::uint64_t>(m.var), zz_enc(m.improve),
-                   zz_enc(m.eval), m.seq};
+          frame.insert(frame.end(),
+                       {kKindImprove, static_cast<std::uint64_t>(m.sender),
+                        static_cast<std::uint64_t>(m.var), zz_enc(m.improve),
+                        zz_enc(m.eval), m.seq});
         }
       },
       payload);
   seal(frame);
+}
+
+WireFrame encode_frame(const MessagePayload& payload) {
+  WireFrame frame;
+  encode_frame_into(payload, frame);
   return frame;
 }
 
@@ -141,7 +151,8 @@ const char* to_string(DecodeError error) {
   return "unknown";
 }
 
-DecodeResult decode_frame(const WireFrame& frame, const WireLimits& limits) {
+DecodeResult decode_frame(std::span<const std::uint64_t> frame,
+                          const WireLimits& limits) {
   const auto fail = [](DecodeError e) { return DecodeResult{std::nullopt, e}; };
   // Smallest legal frame is add_link: kind + sender + var + checksum.
   if (frame.size() < 4) return fail(DecodeError::kTruncated);

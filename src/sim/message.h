@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -117,12 +118,17 @@ WireLimits wire_limits_for(const Problem& problem, int num_agents);
 /// Serialize a payload into a checksummed frame.
 WireFrame encode_frame(const MessagePayload& payload);
 
+/// Serialize into a caller-provided scratch frame, reusing its capacity.
+/// The hot-path form: a sender encoding thousands of frames keeps one
+/// scratch vector alive instead of allocating per frame.
+void encode_frame_into(const MessagePayload& payload, WireFrame& frame);
+
 /// Append the FNV-1a checksum word to `frame` (the same sealing scheme
 /// decode_frame verifies). Exposed so the net layer's control frames share
 /// one checksum definition with the payload wire format.
 void seal_frame(WireFrame& frame);
 /// True when `frame` ends in a checksum word matching its preceding words.
-bool verify_sealed_frame(const WireFrame& frame);
+bool verify_sealed_frame(std::span<const std::uint64_t> frame);
 
 /// Why a frame was rejected.
 enum class DecodeError {
@@ -145,7 +151,15 @@ struct DecodeResult {
 
 /// Verify the checksum, then semantically validate every field against
 /// `limits`. Never throws on hostile input; any anomaly yields an error.
-DecodeResult decode_frame(const WireFrame& frame, const WireLimits& limits);
+/// The span form decodes straight out of a larger buffer (a batched carrier
+/// or a transport read buffer) without copying the words into a WireFrame.
+DecodeResult decode_frame(std::span<const std::uint64_t> frame,
+                          const WireLimits& limits);
+inline DecodeResult decode_frame(const WireFrame& frame,
+                                 const WireLimits& limits) {
+  return decode_frame(std::span<const std::uint64_t>(frame.data(), frame.size()),
+                      limits);
+}
 
 /// The corruption model's mutation modes (FaultConfig::corrupt_rate).
 enum class CorruptMode {

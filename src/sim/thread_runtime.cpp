@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/lockfree.h"
 #include "sim/termination.h"
 
 namespace discsp::sim {
@@ -36,60 +37,128 @@ struct Letter {
   WireFrame frame = {};
 };
 
-/// Unbounded MPSC mailbox with blocking pop.
+/// Unbounded MPSC mailbox with blocking pop. The common path is lock-free:
+/// push lands on a Vyukov MPSC queue (one exchange), pop consumes it without
+/// a lock. Two slow paths keep their locks, off the hot path by design:
+///
+///   * push_front — the fault layer's reordering primitive (a letter
+///     overtaking the channel's FIFO order). Overtakers go to a small
+///     mutexed stack consulted before the queue, so they still beat
+///     everything already enqueued; among themselves the newest wins,
+///     matching the old deque's push_front.
+///   * blocking — a consumer that finds nothing parks on a condvar behind
+///     an eventcount-style waiting flag; producers only touch the lock when
+///     someone is actually parked.
+///
+/// `size_` counts letters from *before* they are published until after they
+/// are consumed, so empty() can never report an in-flight letter as absent —
+/// the quiescence detector (sent == processed && all idle && all empty)
+/// stays sound.
 class Mailbox {
  public:
   void push(Letter letter) {
-    {
-      std::lock_guard lock(mutex_);
-      queue_.push_back(std::move(letter));
-    }
-    cv_.notify_one();
+    size_.fetch_add(1, std::memory_order_acq_rel);
+    queue_.push(std::move(letter));
+    notify_if_waiting();
   }
 
-  /// Deliver ahead of everything already queued — the fault layer's
-  /// reordering primitive (a letter overtaking the channel's FIFO order).
+  /// Deliver ahead of everything already queued.
   void push_front(Letter letter) {
+    size_.fetch_add(1, std::memory_order_acq_rel);
     {
-      std::lock_guard lock(mutex_);
-      queue_.push_front(std::move(letter));
+      std::lock_guard lock(front_mutex_);
+      front_.push_back(std::move(letter));
+      front_count_.fetch_add(1, std::memory_order_release);
     }
-    cv_.notify_one();
+    notify_if_waiting();
   }
 
   /// Pop one letter; returns false when woken by shutdown with an empty
-  /// queue.
+  /// queue (letters already accepted are still drained first).
   bool pop(Letter& out, const std::atomic<bool>& stop) {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty() || stop.load(); });
-    if (queue_.empty()) return false;
-    out = std::move(queue_.front());
-    queue_.pop_front();
-    return true;
+    while (true) {
+      if (try_take(out)) return true;
+      if (size_.load(std::memory_order_acquire) > 0) {
+        // A producer is between its size bump and the node link; the
+        // letter lands momentarily.
+        std::this_thread::yield();
+        continue;
+      }
+      if (stop.load(std::memory_order_acquire)) return false;
+      std::unique_lock lock(wait_mutex_);
+      waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (size_.load(std::memory_order_acquire) == 0 &&
+          !stop.load(std::memory_order_acquire)) {
+        // Bounded wait: a lost race with notify_if_waiting costs one
+        // period, never a hang.
+        cv_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      waiting_.store(false, std::memory_order_relaxed);
+    }
   }
 
-  bool empty() const {
-    std::lock_guard lock(mutex_);
-    return queue_.empty();
-  }
+  bool empty() const { return size_.load(std::memory_order_acquire) == 0; }
 
   /// Letters still queued that carry credit (for the monitor's run-end
   /// credit-conservation check; only meaningful once the threads stopped).
   std::size_t credited_pending() const {
-    std::lock_guard lock(mutex_);
     std::size_t n = 0;
-    for (const Letter& letter : queue_) {
+    queue_.for_each_unconsumed([&](const Letter& letter) {
+      if (!letter.credit.empty()) ++n;
+    });
+    std::lock_guard lock(front_mutex_);
+    for (const Letter& letter : front_) {
       if (!letter.credit.empty()) ++n;
     }
     return n;
   }
 
-  void wake() { cv_.notify_all(); }
+  void wake() {
+    std::lock_guard lock(wait_mutex_);
+    cv_.notify_all();
+  }
 
  private:
-  mutable std::mutex mutex_;
+  bool try_take(Letter& out) {
+    if (front_count_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard lock(front_mutex_);
+      if (!front_.empty()) {
+        out = std::move(front_.back());
+        front_.pop_back();
+        front_count_.fetch_sub(1, std::memory_order_acq_rel);
+        size_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    if (queue_.try_pop(out)) {
+      size_.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    return false;
+  }
+
+  void notify_if_waiting() {
+    // Fence pairs with the store-then-check in pop(): either the consumer
+    // sees the new size and skips the wait, or we see its waiting flag and
+    // take the lock to notify.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting_.load(std::memory_order_relaxed)) {
+      std::lock_guard lock(wait_mutex_);
+      cv_.notify_all();
+    }
+  }
+
+  MpscQueue<Letter> queue_;
+  std::atomic<std::size_t> size_{0};
+
+  mutable std::mutex front_mutex_;
+  std::vector<Letter> front_;  // overtakers; newest delivered first
+  std::atomic<std::size_t> front_count_{0};
+
+  std::atomic<bool> waiting_{false};
+  std::mutex wait_mutex_;
   std::condition_variable cv_;
-  std::deque<Letter> queue_;
 };
 
 }  // namespace
@@ -166,7 +235,7 @@ struct ThreadRuntime::Impl {
     if (letter.ack_of == 0 && wire != nullptr && verdict.copies > 0) {
       // Retransmissions re-encode from the tracked (clean) payload; a
       // corrupted original cannot poison its own repair.
-      letter.frame = encode_frame(letter.payload);
+      encode_frame_into(letter.payload, letter.frame);
       if (verdict.corrupt) corrupt_frame(letter.frame, verdict.corrupt_seed);
     } else if (verdict.corrupt) {
       // A corrupted ack is unparseable garbage to its receiver: model it as
@@ -217,16 +286,18 @@ struct ThreadRuntime::Impl {
       }
       const ChannelVerdict verdict =
           impl_.plan->on_send(self_, to, impl_.now_us());
-      WireFrame frame;
-      if (impl_.wire != nullptr && verdict.copies > 0) {
-        frame = encode_frame(payload);
-        if (verdict.corrupt) corrupt_frame(frame, verdict.corrupt_seed);
+      // Encoded into the reusable scratch: the sink lives for the agent
+      // thread's whole run, so steady-state sends reuse its capacity.
+      const bool framed = impl_.wire != nullptr && verdict.copies > 0;
+      if (framed) {
+        encode_frame_into(payload, frame_scratch_);
+        if (verdict.corrupt) corrupt_frame(frame_scratch_, verdict.corrupt_seed);
       }
       // copies == 0: the message vanishes. Its credit was never detached,
       // so conservation holds — the pool returns it at activation end.
       for (int copy = 0; copy < verdict.copies; ++copy) {
         deliver(to, payload, verdict.reorder, verdict.extra_delay, track_seq,
-                frame);
+                framed ? frame_scratch_ : WireFrame{});
       }
     }
 
@@ -262,6 +333,7 @@ struct ThreadRuntime::Impl {
     Impl& impl_;
     AgentId self_;
     CreditPool& pool_;
+    WireFrame frame_scratch_;
   };
 
   void agent_loop(std::size_t i) {
@@ -480,7 +552,7 @@ RunResult ThreadRuntime::run() {
       for (const recovery::RetransmitBuffer::Due& d :
            impl.retransmit->collect_due(impl.now_us())) {
         impl.push_transport(d.from, d.to,
-                            Letter{d.payload, {}, /*heartbeat=*/false, d.from,
+                            Letter{*d.payload, {}, /*heartbeat=*/false, d.from,
                                    d.seq, /*ack_of=*/0, /*counted=*/false});
       }
     }

@@ -13,7 +13,9 @@
 # Produces:
 #   BENCH_core.json    consistency-kernel probe (work-op ratio, ns/check)
 #   BENCH_table2.json  Table-2 slice wall time + per-row checks/cycle
-# and gates both against tools/bench_baseline.json via tools/bench_check.py.
+#   BENCH_net.json     carrier-throughput probe (ns/frame, batched speedup)
+# and gates them against tools/bench_baseline.json and
+# tools/bench_net_baseline.json via tools/bench_check.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,11 +26,13 @@ OUT=${OUT:-BENCH_core.json}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_micro_core bench_table2_learning_3sat
+  --target bench_micro_core bench_table2_learning_3sat bench_net_throughput
 
 "$BUILD_DIR/bench/bench_micro_core" --core-json="$OUT" \
   --benchmark_filter='BM_Store|BM_NogoodViolationCheck'
 "$BUILD_DIR/bench/bench_table2_learning_3sat" \
   --trials "$TRIALS" --threads "$THREADS" --json BENCH_table2.json
+"$BUILD_DIR/bench/bench_net_throughput" --json BENCH_net.json
 
 python3 tools/bench_check.py "$OUT" tools/bench_baseline.json
+python3 tools/bench_check.py BENCH_net.json tools/bench_net_baseline.json

@@ -1,34 +1,37 @@
 #!/usr/bin/env python3
-"""Gate the consistency-engine probe against the committed baseline.
+"""Gate a bench probe JSON against its committed baseline.
 
-Usage: bench_check.py BENCH_core.json [tools/bench_baseline.json]
+Usage: bench_check.py BENCH_x.json [tools/bench_x_baseline.json]
 
-Fails (exit 1) when:
+Dispatches on the probe's "probe" field:
+
+table2_3sat_consistency_kernel (BENCH_core.json) fails when:
   - the counter path saves fewer than MIN_WORK_RATIO x constraint-check
-    operations over the flat scan (the PR's core claim), or
-  - incremental ns/check regressed more than MAX_NS_REGRESSION x against the
-    baseline. ns/check is machine-dependent, so the bound is deliberately
-    loose (3x): it catches accidental de-optimization (a dropped counter, a
-    reintroduced scan), not CPU scatter.
+    operations over the flat scan (the consistency engine's core claim), or
+  - incremental ns/check regressed more than MAX_NS_REGRESSION x against
+    the baseline.
+
+net_carrier_throughput (BENCH_net.json) fails when:
+  - the batched carrier is less than MIN_TCP_SPEEDUP x faster than the
+    seed-equivalent unbatched path on TCP loopback, or less than
+    MIN_INPROC_SPEEDUP x in-proc (the comms-overhaul acceptance bar), or
+  - batched ns/frame regressed more than MAX_NS_REGRESSION x against the
+    baseline on either carrier.
+
+ns/check and ns/frame are machine-dependent, so the regression bound is
+deliberately loose (3x): it catches accidental de-optimization (a dropped
+counter, a reintroduced per-frame syscall or allocation), not CPU scatter.
 """
 import json
 import sys
 
 MIN_WORK_RATIO = 5.0
 MAX_NS_REGRESSION = 3.0
+MIN_TCP_SPEEDUP = 3.0
+MIN_INPROC_SPEEDUP = 2.0
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__.strip())
-        return 2
-    with open(sys.argv[1]) as f:
-        probe = json.load(f)
-    baseline = None
-    if len(sys.argv) > 2:
-        with open(sys.argv[2]) as f:
-            baseline = json.load(f)
-
+def check_core(probe, baseline) -> bool:
     ok = True
     ratio = probe["work_ops_ratio"]
     print(f"work_ops_ratio: {ratio:.1f}x (scan {probe['scan_work_ops']} vs "
@@ -49,6 +52,52 @@ def main() -> int:
             ok = False
         else:
             print(f"ns/check within {MAX_NS_REGRESSION}x of baseline {base_ns:.4f}")
+    return ok
+
+
+def check_net(probe, baseline) -> bool:
+    ok = True
+    for carrier, floor in (("tcp", MIN_TCP_SPEEDUP),
+                           ("inproc", MIN_INPROC_SPEEDUP)):
+        speedup = probe[f"{carrier}_speedup"]
+        un = probe[f"{carrier}_unbatched_ns_per_frame"]
+        ba = probe[f"{carrier}_batched_ns_per_frame"]
+        print(f"{carrier}: {un:.1f} -> {ba:.1f} ns/frame ({speedup:.2f}x)")
+        if speedup < floor:
+            print(f"FAIL: {carrier} batched speedup {speedup:.2f} < {floor}")
+            ok = False
+        if baseline is not None:
+            base_ns = baseline[f"{carrier}_batched_ns_per_frame"]
+            if ba > MAX_NS_REGRESSION * base_ns:
+                print(f"FAIL: {carrier} ns/frame {ba:.1f} > "
+                      f"{MAX_NS_REGRESSION}x baseline {base_ns:.1f}")
+                ok = False
+            else:
+                print(f"{carrier} ns/frame within {MAX_NS_REGRESSION}x of "
+                      f"baseline {base_ns:.1f}")
+    return ok
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        return 2
+    with open(sys.argv[1]) as f:
+        probe = json.load(f)
+    baseline = None
+    if len(sys.argv) > 2:
+        with open(sys.argv[2]) as f:
+            baseline = json.load(f)
+
+    kind = probe.get("probe", "table2_3sat_consistency_kernel")
+    if baseline is not None and baseline.get("probe", kind) != kind:
+        print(f"FAIL: baseline probe {baseline.get('probe')!r} does not "
+              f"match {kind!r}")
+        return 1
+    if kind == "net_carrier_throughput":
+        ok = check_net(probe, baseline)
+    else:
+        ok = check_core(probe, baseline)
 
     print("bench check:", "OK" if ok else "FAILED")
     return 0 if ok else 1

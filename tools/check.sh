@@ -31,9 +31,11 @@ echo "--- TSan: thread runtime + fault layer + net transport tests ---"
 # on any sanitizer report or test failure. PartitionChaos/CorruptionChaos
 # include ThreadRuntime legs that exercise the monitor's concurrent mode;
 # NetLoopback* runs coordinator + worker threads over the in-proc and TCP
-# transports (the multi-process runtime's real concurrency surface).
+# transports (the multi-process runtime's real concurrency surface);
+# NetBatching* drives the lock-free ring and coalesced-TCP carrier paths at
+# batch 1 and 64 (SPSC ring + overflow handoff, eventcount park/wake).
 if ! "${prefix}-tsan/tests/discsp_tests" \
-    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:AmnesiaChaos*:PartitionChaos*:CorruptionChaos*:*Credit*:NetLoopback*:NetSupervisor*'; then
+    --gtest_filter='ThreadRuntime*:FaultPlan*:FaultChaos*:AmnesiaChaos*:PartitionChaos*:CorruptionChaos*:*Credit*:NetLoopback*:NetSupervisor*:NetBatching*'; then
   echo "TSan leg failed." >&2
   exit 1
 fi
