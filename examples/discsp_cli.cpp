@@ -449,6 +449,8 @@ net::ServeConfig build_serve_config(net::JobSpec job, const NetConfig& net_cfg) 
   cfg.journal_path = net_cfg.coordinator_journal;
   cfg.resume = net_cfg.resume;
   cfg.halt_after_ms = net_cfg.halt_after_ms;
+  cfg.migrate_after_dead = net_cfg.migrate_after_dead;
+  cfg.migration_max_batch = static_cast<int>(net_cfg.migration_max_batch);
   return cfg;
 }
 
@@ -478,6 +480,16 @@ int report_serve(const net::ServeResult& res, const DistributedProblem& dp,
             << m.messages << ")\n";
   std::cout << "coordinator incarnation " << res.coordinator_incarnation
             << (res.resumed ? " (resumed from journal)" : "") << '\n';
+  // Supervision and migration health, visible without digging into metrics:
+  // how many channels were quarantined (and came back), and how much agent
+  // state moved between shards.
+  std::cout << "supervision: quarantines " << m.quarantines
+            << " (readmitted " << m.quarantine_readmissions << "), malformed "
+            << m.malformed_frames << '\n';
+  if (cfg.migrate_after_dead) {
+    std::cout << "migration: agents adopted " << res.agent_migrations
+              << ", stale frames fenced " << m.migration_fenced << '\n';
+  }
   if (cfg.job.bundle.faults.enabled()) print_chaos_counters(m);
   if (cfg.job.bundle.monitor) print_monitor_summary(m.monitor);
   if (!res.bundle_path.empty()) {
@@ -521,6 +533,7 @@ net::BatchConfig batch_config_from(const NetConfig& cfg) {
   batch.max_frames = static_cast<int>(cfg.batch_max_frames);
   batch.max_bytes = static_cast<std::size_t>(cfg.batch_max_bytes);
   batch.flush_us = cfg.batch_flush_us;
+  batch.close_flush_ms = cfg.batch_close_flush_ms;
   return batch;
 }
 
@@ -534,7 +547,8 @@ int cmd_serve(const Options& opts) {
                  "[--detector fixed|phi] [--phi-suspect X] [--phi-dead X] "
                  "[--phi-window N] [--phi-min-samples N] [--phi-min-std-ms X] "
                  "[--ping-burst N] [--batch-max-frames N] [--batch-max-bytes N] "
-                 "[--batch-flush-us N] "
+                 "[--batch-flush-us N] [--batch-close-flush-ms N] "
+                 "[--migrate-after-dead] [--migration-max-batch N] "
                  "[+ the --fault-* / --partition-* / --quarantine-* knobs of solve]\n";
     return 2;
   }
@@ -591,7 +605,8 @@ int cmd_worker(const Options& opts) {
     std::cerr << "usage: discsp_cli worker --connect host:port [--shard K] "
                  "[--exit-after-ms N] [--port-file F [--host H]] "
                  "[--max-connect-attempts N] [--batch-max-frames N] "
-                 "[--batch-max-bytes N] [--batch-flush-us N]\n";
+                 "[--batch-max-bytes N] [--batch-flush-us N] "
+                 "[--batch-close-flush-ms N]\n";
     return 2;
   }
   net::TcpTransport transport(batch_config_from(net_cfg));

@@ -90,8 +90,7 @@ void AwcAgent::journal(recovery::JournalRecord record) {
   maybe_checkpoint();
 }
 
-void AwcAgent::maybe_checkpoint() {
-  if (!wal_.should_checkpoint()) return;
+recovery::Checkpoint AwcAgent::make_checkpoint() const {
   recovery::Checkpoint cp;
   cp.has_value = true;
   cp.value = value_;
@@ -106,7 +105,60 @@ void AwcAgent::maybe_checkpoint() {
   for (std::size_t idx = store_.initial_count(); idx < store_.size(); ++idx) {
     cp.learned.push_back(store_.at(idx));
   }
-  wal_.write_checkpoint(std::move(cp));
+  return cp;
+}
+
+void AwcAgent::maybe_checkpoint() {
+  if (!wal_.should_checkpoint()) return;
+  wal_.write_checkpoint(make_checkpoint());
+}
+
+bool AwcAgent::export_capsule(recovery::Checkpoint& out) const {
+  out = make_checkpoint();
+  return true;
+}
+
+void AwcAgent::import_capsule(const recovery::Checkpoint& state,
+                              sim::MessageSink& out) {
+  // The adopting worker just built this agent from static configuration
+  // (initial nogoods, initial links are already in place), so only the
+  // capsule's dynamic layer needs applying — the amnesia path's checkpoint
+  // stage without the record replay.
+  pending_value_requests_.clear();
+  pending_link_replies_.clear();
+  last_generated_.reset();
+  clear_agent_view();
+  insoluble_ = insoluble_ || state.insoluble;
+  for (int link : state.extra_links) {
+    if (link_set_.insert(link).second) links_.push_back(link);
+  }
+  // Re-admit the learned suffix un-evicted (as replay does), then restore
+  // the bound: the exporter obeyed the same capacity, so this cannot grow
+  // past it.
+  store_.set_capacity(0);
+  for (const Nogood& ng : state.learned) {
+    if (ng.empty()) {
+      insoluble_ = true;
+      continue;
+    }
+    store_.add(ng);
+  }
+  store_.set_capacity(config_.nogood_capacity);
+  if (state.has_value && state.value >= 0 && state.value < domain_size_) {
+    value_ = static_cast<Value>(state.value);
+    priority_ = static_cast<Priority>(state.priority);
+  }
+  store_.set_own_value(value_);
+  // Fold the imported state into this incarnation's journal so a later
+  // amnesia crash recovers the migrated learning too.
+  if (config_.journal) wal_.write_checkpoint(make_checkpoint());
+  dirty_ = true;
+  // Re-announce (the caller raised the seq floor first, so this clears the
+  // coordinator's fence) and re-request every neighbor's current state.
+  broadcast_ok(out);
+  for (AgentId neighbor : links_) {
+    out.send(neighbor, sim::AddLinkMessage{.sender = id_, .var = kNoVar});
+  }
 }
 
 void AwcAgent::set_value(Value v) {

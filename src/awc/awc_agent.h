@@ -108,6 +108,13 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   std::uint64_t redundant_generations() const override { return redundant_generations_; }
   std::uint64_t work_ops() const override { return store_.work_ops(); }
   RecoveryStats recovery_stats() const override;
+  bool export_capsule(recovery::Checkpoint& out) const override;
+  void import_capsule(const recovery::Checkpoint& state,
+                      sim::MessageSink& out) override;
+  std::uint64_t learned_count() const override {
+    return store_.size() - store_.initial_count();
+  }
+  std::uint64_t announce_seq() const override { return ok_seq_; }
 
   // Introspection (tests, metrics).
   Priority priority() const { return priority_; }
@@ -139,6 +146,9 @@ class AwcAgent final : public sim::Agent, private learning::PriorityOrder {
   /// into a checkpoint when it has grown past the configured interval.
   void journal(recovery::JournalRecord record);
   void maybe_checkpoint();
+  /// Snapshot the dynamic state (value, priority, extra links, learned
+  /// suffix) — shared by journal checkpoints and migration capsules.
+  recovery::Checkpoint make_checkpoint() const;
   /// Record a new value / priority and journal the transition.
   void set_value(Value v);
   void set_priority(Priority p);

@@ -220,6 +220,12 @@ NetConfig net_config_from(const Options& opts) {
   cfg.batch_max_frames = opts.get_int("batch-max-frames", cfg.batch_max_frames);
   cfg.batch_max_bytes = opts.get_int("batch-max-bytes", cfg.batch_max_bytes);
   cfg.batch_flush_us = opts.get_int("batch-flush-us", cfg.batch_flush_us);
+  cfg.batch_close_flush_ms =
+      opts.get_int("batch-close-flush-ms", cfg.batch_close_flush_ms);
+  cfg.migrate_after_dead =
+      opts.get_bool("migrate-after-dead", cfg.migrate_after_dead);
+  cfg.migration_max_batch =
+      opts.get_int("migration-max-batch", cfg.migration_max_batch);
 
   if (!cfg.listen.empty()) check_endpoint(cfg.listen, "--listen");
   if (!cfg.connect.empty()) check_endpoint(cfg.connect, "--connect");
@@ -281,6 +287,12 @@ NetConfig net_config_from(const Options& opts) {
   }
   if (cfg.batch_flush_us < 0) {
     throw std::invalid_argument("--batch-flush-us must be >= 0");
+  }
+  if (cfg.batch_close_flush_ms < 0) {
+    throw std::invalid_argument("--batch-close-flush-ms must be >= 0");
+  }
+  if (cfg.migration_max_batch < 1) {
+    throw std::invalid_argument("--migration-max-batch must be >= 1");
   }
   return cfg;
 }

@@ -168,6 +168,16 @@ struct NetConfig {
   std::int64_t batch_max_frames = 64;   ///< frames coalesced per flush
   std::int64_t batch_max_bytes = 65536; ///< byte budget per coalesced flush
   std::int64_t batch_flush_us = 200;    ///< deadline for a deferred flush
+  /// Final-flush budget when closing a connection, in ms (0 = close
+  /// immediately, shedding whatever is still queued).
+  std::int64_t batch_close_flush_ms = 50;
+
+  // Live shard migration (docs/NETWORK.md §shard migration).
+  /// Coordinator: when a worker is declared permanently dead, re-shard its
+  /// agents onto survivors instead of waiting for a replacement.
+  bool migrate_after_dead = false;
+  /// Coordinator: adoptions shipped per loop iteration (>= 1).
+  std::int64_t migration_max_batch = 8;
 };
 
 /// Build a NetConfig from --listen, --connect, --workers, --deadline-ms,
@@ -177,7 +187,9 @@ struct NetConfig {
 /// failure-detection knobs --detector fixed|phi, --phi-suspect, --phi-dead,
 /// --phi-window, --phi-min-samples, --phi-min-std-ms, --ping-burst, and the
 /// transport batching knobs --batch-max-frames (in [1, 4096]; 1 = unbatched),
-/// --batch-max-bytes (>= 1), --batch-flush-us (>= 0).
+/// --batch-max-bytes (>= 1), --batch-flush-us (>= 0),
+/// --batch-close-flush-ms (>= 0), and the shard-migration knobs
+/// --migrate-after-dead, --migration-max-batch (>= 1).
 /// Endpoints must look like "host:port" with a numeric port in [0, 65535];
 /// --workers must lie in [1, 4096]; every duration must be non-negative;
 /// the phi thresholds must satisfy 0 < suspect < dead with a window of at

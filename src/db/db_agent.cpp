@@ -401,6 +401,53 @@ sim::Agent::RecoveryStats DbAgent::recovery_stats() const {
   return {wal_.appends(), wal_.checkpoints(), wal_.replays(), 0, 0};
 }
 
+bool DbAgent::export_capsule(recovery::Checkpoint& out) const {
+  out = recovery::Checkpoint{};
+  out.has_value = true;
+  out.value = value_;
+  out.weights = weights_;
+  return true;
+}
+
+void DbAgent::import_capsule(const recovery::Checkpoint& state,
+                             sim::MessageSink& out) {
+  if (neighbors_.empty()) return;
+  // Freshly built agent: weights are all 1, view empty. Apply the capsule's
+  // dynamic layer — the amnesia path without the record replay.
+  if (state.has_value && state.value >= 0 && state.value < domain_size_) {
+    value_ = static_cast<Value>(state.value);
+  }
+  if (state.weights.size() == nogoods_.size()) weights_ = state.weights;
+  if (config_.journal) {
+    recovery::Checkpoint cp;
+    cp.has_value = true;
+    cp.value = value_;
+    cp.weights = weights_;
+    wal_.write_checkpoint(std::move(cp));
+  }
+  clear_view();  // folds the restored weights into the cost sums
+  awaiting_improves_ = false;
+  last_improve_round_ = 0;
+  for (AgentId n : neighbors_) {
+    ok_seen_[n] = 0;
+    improve_seen_[n] = 0;
+    improve_of_[n] = NeighborImprove{};
+  }
+  // Same liveness trick as amnesia recovery: our round was fenced past the
+  // neighbors', so announce and send one inflated-round improve to keep the
+  // neighborhood's wave B from starving while it catches up.
+  broadcast_ok(out);
+  send_improve(out);
+}
+
+std::uint64_t DbAgent::learned_count() const {
+  std::uint64_t raised = 0;
+  for (std::int64_t w : weights_) {
+    if (w != 1) ++raised;
+  }
+  return raised;
+}
+
 void DbAgent::on_heartbeat(sim::MessageSink& out) {
   if (neighbors_.empty()) return;
   // Re-send the current round's announcements. Receivers already past them

@@ -74,6 +74,12 @@ class DbAgent final : public sim::Agent {
   }
   std::uint64_t work_ops() const override { return work_ops_; }
   RecoveryStats recovery_stats() const override;
+  bool export_capsule(recovery::Checkpoint& out) const override;
+  void import_capsule(const recovery::Checkpoint& state,
+                      sim::MessageSink& out) override;
+  /// DB's learned state is its raised weights (no nogood store).
+  std::uint64_t learned_count() const override;
+  std::uint64_t announce_seq() const override { return round_; }
 
   // Introspection for tests.
   std::int64_t weight_of(std::size_t nogood_idx) const { return weights_[nogood_idx]; }

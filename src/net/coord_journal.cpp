@@ -148,6 +148,13 @@ bool replay_record(const std::string& body, CoordState& state) {
     state.insoluble_agent = agent;
     return true;
   }
+  if (tag == "r-assign") {
+    AgentId agent = kNoAgent;
+    int shard = -1;
+    if (!(in >> agent >> shard) || shard < 0) return false;
+    upsert(state.owners, agent, shard);
+    return true;
+  }
   return false;
 }
 
@@ -207,6 +214,9 @@ bool CoordJournal::write_snapshot(const std::string& path,
   }
   if (state.insoluble) {
     emit("insoluble " + std::to_string(state.insoluble_agent));
+  }
+  for (const auto& [agent, shard] : state.owners) {
+    emit("owner " + std::to_string(agent) + ' ' + std::to_string(shard));
   }
   emit("checkpoint-end");
 
@@ -290,6 +300,11 @@ void CoordJournal::record_best(
 
 void CoordJournal::record_insoluble(AgentId agent) {
   append_line("r-insoluble " + std::to_string(agent));
+}
+
+void CoordJournal::record_assign(AgentId agent, int shard) {
+  append_line("r-assign " + std::to_string(agent) + ' ' +
+              std::to_string(shard));
 }
 
 void CoordJournal::ensure_seq(AgentId agent, std::uint64_t seq) {
@@ -400,6 +415,11 @@ std::optional<CoordState> CoordJournal::load(const std::string& path,
       if (!(fields >> agent)) return fail("bad insoluble line");
       state.insoluble = true;
       state.insoluble_agent = agent;
+    } else if (tag == "owner") {
+      AgentId agent = kNoAgent;
+      int shard = -1;
+      if (!(fields >> agent >> shard) || shard < 0) return fail("bad owner line");
+      state.owners.emplace_back(agent, shard);
     } else {
       return fail("unknown checkpoint line: " + *body);
     }

@@ -73,6 +73,11 @@ struct CoordState {
   bool insoluble = false;
   AgentId insoluble_agent = kNoAgent;
   std::vector<CoordSlotState> slots;
+  /// Shard-migration ownership overrides (agent, current shard), only where
+  /// ownership differs from the home shard. Journaling these is what makes
+  /// coordinator failover and migration compose: --resume replays the exact
+  /// reassignment instead of re-deriving it from scratch.
+  std::vector<std::pair<AgentId, int>> owners;
 };
 
 class CoordJournal {
@@ -103,6 +108,10 @@ class CoordJournal {
   void record_best(int violations,
                    const std::vector<std::pair<AgentId, Value>>& best);
   void record_insoluble(AgentId agent);
+  /// Journal a shard-migration ownership flip: `agent` is now owned by
+  /// `shard`. Written immediately before the ADOPT ships, so a journal that
+  /// survives the coordinator always covers every adoption in flight.
+  void record_assign(AgentId agent, int shard);
   /// Ensure the journaled floor for `agent` covers `seq`, reserving a new
   /// block when needed. Call before acting on every routed tracked seq.
   void ensure_seq(AgentId agent, std::uint64_t seq);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <climits>
+#include <deque>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "analysis/repro.h"
 #include "net/clock.h"
 #include "net/coord_journal.h"
+#include "recovery/capsule.h"
 #include "sim/monitor.h"
 
 namespace discsp::net {
@@ -53,6 +55,9 @@ void merge_metrics(sim::RunMetrics& into, const sim::RunMetrics& add) {
   into.faults.partition_drops += add.faults.partition_drops;
   into.faults.corrupted += add.faults.corrupted;
   into.backpressure_drops += add.backpressure_drops;
+  into.agent_migrations += add.agent_migrations;
+  into.migration_fenced += add.migration_fenced;
+  into.quarantine_readmissions += add.quarantine_readmissions;
 }
 
 sim::MonitorConfig monitor_config_for(const analysis::ReproBundle& bundle) {
@@ -79,7 +84,17 @@ class Coordinator {
         budget_(config.deadline_ms),
         slots_(static_cast<std::size_t>(config.job.num_workers)),
         values_(static_cast<std::size_t>(num_vars_), kNoValue),
-        max_seq_(static_cast<std::size_t>(num_vars_), 0) {
+        max_seq_(static_cast<std::size_t>(num_vars_), 0),
+        owner_(static_cast<std::size_t>(num_vars_), 0),
+        capsules_(static_cast<std::size_t>(num_vars_)),
+        queued_(static_cast<std::size_t>(num_vars_), false) {
+    // Every serialized JobSpec must carry the migration flag so workers know
+    // to upload capsules and honor adopt/release traffic.
+    config_.job.migrate = config_.migrate_after_dead;
+    for (AgentId a = 0; a < num_vars_; ++a) {
+      owner_[static_cast<std::size_t>(a)] = config_.job.shard_of(a);
+    }
+    detached_since_.assign(static_cast<std::size_t>(num_workers_), -1);
     start_ms_ = steady_now_ms();
   }
 
@@ -105,6 +120,7 @@ class Coordinator {
       handshake_pending(now);
       const bool activity = pump_slots(now);
       if (!stopping_) supervise(now);
+      if (!stopping_) migrate_step(now);
       if (!stopping_) evaluate(now);
       if (journal_ && journal_->should_checkpoint()) checkpoint_journal();
       if (stopping_) break;
@@ -141,6 +157,19 @@ class Coordinator {
   struct PendingConn {
     std::unique_ptr<Connection> conn;
     std::int64_t deadline_ms = 0;
+  };
+
+  /// Last state capsule a worker uploaded for one agent (NetMigrate). The
+  /// learned count is extracted at upload time so an ADOPT's conservation
+  /// expectation needs no second decode.
+  struct CapsuleInfo {
+    std::vector<std::uint64_t> words;
+    std::uint64_t seq = 0;
+    std::uint64_t learned = 0;
+    bool valid = false;
+    /// Set while an ADOPT for this agent awaits its ADOPT_ACK.
+    bool adopt_pending = false;
+    std::uint64_t expected_learned = 0;
   };
 
   // ----- control-plane journal -------------------------------------------
@@ -219,6 +248,15 @@ class Coordinator {
       monitor_.on_insoluble(
           state.insoluble_agent >= 0 ? state.insoluble_agent : AgentId{0}, 0);
     }
+    for (const auto& [agent, shard] : state.owners) {
+      if (agent >= 0 && agent < num_vars_ && shard >= 0 &&
+          shard < num_workers_) {
+        owner_[static_cast<std::size_t>(agent)] = shard;
+        // Replaying a reassignment counts as a migration for quiescence (the
+        // run had in-flight handoff traffic when the coordinator died).
+        ++migrations_;
+      }
+    }
     const std::size_t count = std::min(state.slots.size(), slots_.size());
     for (std::size_t i = 0; i < count; ++i) {
       Slot& slot = slots_[i];
@@ -252,6 +290,10 @@ class Coordinator {
     }
     state.insoluble = insoluble_;
     state.insoluble_agent = insoluble_agent_;
+    for (AgentId a = 0; a < num_vars_; ++a) {
+      const int shard = owner_[static_cast<std::size_t>(a)];
+      if (shard != config_.job.shard_of(a)) state.owners.emplace_back(a, shard);
+    }
     state.slots.resize(slots_.size());
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       state.slots[i].incarnation = slots_[i].incarnation;
@@ -371,16 +413,40 @@ class Coordinator {
 
     JobSpec spec = config_.job;
     for (AgentId a = 0; a < num_vars_; ++a) {
-      if (spec.shard_of(a) == idx && max_seq_[static_cast<std::size_t>(a)] > 0) {
-        spec.seq_floors.emplace_back(a, max_seq_[static_cast<std::size_t>(a)]);
+      const auto ai = static_cast<std::size_t>(a);
+      if (owner_[ai] != spec.shard_of(a)) spec.owners.emplace_back(a, owner_[ai]);
+      // Floors cover the agents this worker currently OWNS (home shard plus
+      // adoptions), so every rebuilt agent announces above the fence.
+      if (owner_[ai] == idx && max_seq_[ai] > 0) {
+        spec.seq_floors.emplace_back(a, max_seq_[ai]);
       }
     }
     slot.conn->send(encode_net_frame(NetFrame{NetJob{serialize_jobspec(spec)}}));
     slot.conn->pump(0);
+    detached_since_[static_cast<std::size_t>(idx)] = -1;
+    if (config_.migrate_after_dead) rebalance(idx, now);
 
     all_attached_once_ =
         std::all_of(slots_.begin(), slots_.end(),
                     [](const Slot& s) { return s.incarnation > 0; });
+  }
+
+  /// A worker attached to slot `idx`: reclaim agents whose home is `idx` but
+  /// that currently live elsewhere. Live owners are asked to hand them back
+  /// (RELEASE -> final capsule upload -> re-adopt at home); agents stranded
+  /// on a dead owner are queued for immediate adoption.
+  void rebalance(int idx, std::int64_t now) {
+    (void)now;
+    for (AgentId a = 0; a < num_vars_; ++a) {
+      const auto ai = static_cast<std::size_t>(a);
+      if (config_.job.shard_of(a) != idx || owner_[ai] == idx) continue;
+      const Slot& holder = slots_[static_cast<std::size_t>(owner_[ai])];
+      if (holder.attached) {
+        forward(owner_[ai], NetFrame{NetRelease{a}});
+      } else {
+        queue_agent(a);
+      }
+    }
   }
 
   // ----- frame pump ------------------------------------------------------
@@ -405,7 +471,7 @@ class Coordinator {
         supervisor_.note_alive(i, now);
         handle_frame(i, *decoded.frame, now);
       }
-      if (!slot.conn->open()) detach(i);
+      if (!slot.conn->open()) detach(i, now);
     }
     return activity;
   }
@@ -418,9 +484,14 @@ class Coordinator {
         supervisor_.note_malformed(i, now);
         return;
       }
-      forward(config_.job.shard_of(ack->from), NetFrame{*ack});
+      // Acks chase the original sender wherever it lives now.
+      forward(owner_[static_cast<std::size_t>(ack->from)], NetFrame{*ack});
     } else if (const auto* stats = std::get_if<NetStats>(&frame)) {
       handle_stats(i, *stats, now);
+    } else if (const auto* migrate = std::get_if<NetMigrate>(&frame)) {
+      handle_migrate(i, *migrate, now);
+    } else if (const auto* adopted = std::get_if<NetAdoptAck>(&frame)) {
+      handle_adopt_ack(i, *adopted, now);
     }
     // NetPong carries no state beyond liveness (already noted); everything
     // else is a protocol misuse by an attached worker and is ignored.
@@ -429,6 +500,16 @@ class Coordinator {
   void handle_route(int i, const NetRoute& route, std::int64_t now) {
     if (route.to < 0 || route.to >= num_vars_) {
       supervisor_.note_malformed(i, now);
+      return;
+    }
+    // Ownership fence: a worker may only route frames for agents it owns.
+    // After a migration this drops the dead incarnation's stragglers — a
+    // falsely-suspected worker that reconnects keeps sending for agents that
+    // were adopted away until its re-attach reconciles its local set.
+    if (config_.migrate_after_dead && route.from >= 0 &&
+        route.from < num_vars_ &&
+        owner_[static_cast<std::size_t>(route.from)] != i) {
+      ++fenced_;
       return;
     }
     const sim::DecodeResult decoded = sim::decode_frame(route.frame, limits_);
@@ -445,7 +526,138 @@ class Coordinator {
     // worker's decode_frame charges it to the agent-level ChannelGuard,
     // exactly like in-process corruption.
     monitor_.on_activation(now);
-    forward(config_.job.shard_of(route.to), NetFrame{route});
+    forward(owner_[static_cast<std::size_t>(route.to)], NetFrame{route});
+  }
+
+  // ----- live shard migration --------------------------------------------
+
+  void queue_agent(AgentId agent) {
+    const auto ai = static_cast<std::size_t>(agent);
+    if (queued_[ai]) return;
+    queued_[ai] = true;
+    migrate_queue_.push_back(agent);
+  }
+
+  /// Slot `i` is permanently lost: queue everything it owns for adoption.
+  void declare_lost(int i) {
+    for (AgentId a = 0; a < num_vars_; ++a) {
+      if (owner_[static_cast<std::size_t>(a)] == i) queue_agent(a);
+    }
+  }
+
+  /// Flip ownership of `agent` to `target` and ship the ADOPT. The journal
+  /// write precedes the send, so any adoption a worker ever acts on is
+  /// covered by a journal a resumed coordinator will replay; per-connection
+  /// FIFO then guarantees the ADOPT precedes all later forwards to `target`.
+  void adopt(AgentId agent, int target, std::int64_t now) {
+    (void)now;
+    const auto ai = static_cast<std::size_t>(agent);
+    CapsuleInfo& cap = capsules_[ai];
+    if (target != config_.job.shard_of(agent)) ++migrations_;
+    owner_[ai] = target;
+    if (journal_) journal_->record_assign(agent, target);
+    NetAdopt frame;
+    frame.agent = agent;
+    frame.seq_floor = std::max(max_seq_[ai], cap.valid ? cap.seq : 0);
+    frame.have_capsule = cap.valid;
+    frame.capsule = cap.words;  // keep our copy for possible re-adoption
+    cap.adopt_pending = true;
+    cap.expected_learned = cap.valid ? cap.learned : 0;
+    forward(target, NetFrame{std::move(frame)});
+  }
+
+  /// Drain the migration queue, up to migration_max_batch adoptions per
+  /// loop. Also the place where a detached-and-silent slot crosses the dead
+  /// window into permanent loss (a SIGKILLed worker drops its connection
+  /// before the supervisor can see silence, so detachment starts the clock).
+  void migrate_step(std::int64_t now) {
+    if (!config_.migrate_after_dead) return;
+    for (int i = 0; i < num_workers_; ++i) {
+      const auto si = static_cast<std::size_t>(i);
+      if (slots_[si].attached || detached_since_[si] < 0) continue;
+      if (now - detached_since_[si] >= config_.supervisor.dead_after_ms) {
+        detached_since_[si] = -1;
+        declare_lost(i);
+      }
+    }
+    if (migrate_queue_.empty()) return;
+    std::vector<int> load(static_cast<std::size_t>(num_workers_), 0);
+    for (AgentId a = 0; a < num_vars_; ++a) {
+      ++load[static_cast<std::size_t>(owner_[static_cast<std::size_t>(a)])];
+    }
+    int moved = 0;
+    while (!migrate_queue_.empty() && moved < config_.migration_max_batch) {
+      const AgentId agent = migrate_queue_.front();
+      const int home = config_.job.shard_of(agent);
+      int target = slots_[static_cast<std::size_t>(home)].attached ? home : -1;
+      if (target < 0) {
+        for (int i = 0; i < num_workers_; ++i) {
+          const auto si = static_cast<std::size_t>(i);
+          if (!slots_[si].attached) continue;
+          if (target < 0 || load[si] < load[static_cast<std::size_t>(target)]) {
+            target = i;
+          }
+        }
+      }
+      if (target < 0) return;  // no survivor attached yet; retry next loop
+      migrate_queue_.pop_front();
+      queued_[static_cast<std::size_t>(agent)] = false;
+      ++load[static_cast<std::size_t>(target)];
+      adopt(agent, target, now);
+      ++moved;
+    }
+  }
+
+  void handle_migrate(int i, const NetMigrate& m, std::int64_t now) {
+    if (!config_.migrate_after_dead) return;
+    if (m.agent < 0 || m.agent >= num_vars_) {
+      supervisor_.note_malformed(i, now);
+      return;
+    }
+    const auto ai = static_cast<std::size_t>(m.agent);
+    if (owner_[ai] != i) {
+      ++fenced_;  // stale upload from a worker that no longer owns the agent
+      return;
+    }
+    recovery::StateCapsule decoded;
+    if (!recovery::decode_capsule(m.capsule, decoded) ||
+        decoded.agent != m.agent) {
+      supervisor_.note_malformed(i, now);
+      return;
+    }
+    CapsuleInfo& cap = capsules_[ai];
+    cap.words = m.capsule;
+    cap.seq = std::max(m.seq, decoded.seq);
+    cap.learned = recovery::capsule_learned_count(decoded.state);
+    cap.valid = true;
+    if (m.release) {
+      // Handback: the sender erased the agent; re-home it immediately when
+      // the home slot is live, else queue it like any orphan.
+      const int home = config_.job.shard_of(m.agent);
+      if (slots_[static_cast<std::size_t>(home)].attached) {
+        adopt(m.agent, home, now);
+      } else {
+        queue_agent(m.agent);
+      }
+    }
+  }
+
+  void handle_adopt_ack(int i, const NetAdoptAck& ack, std::int64_t now) {
+    if (ack.agent < 0 || ack.agent >= num_vars_) {
+      supervisor_.note_malformed(i, now);
+      return;
+    }
+    const auto ai = static_cast<std::size_t>(ack.agent);
+    if (owner_[ai] != i) {
+      ++fenced_;
+      return;
+    }
+    CapsuleInfo& cap = capsules_[ai];
+    if (!cap.adopt_pending) return;  // duplicate or post-resume ack
+    cap.adopt_pending = false;
+    // Conservation across the handoff: the adopter must hold at least what
+    // the capsule shipped (it may legitimately hold more).
+    monitor_.check_handoff(ack.agent, cap.expected_learned, ack.learned, now);
   }
 
   /// Routed ok?/improve seqs feed the per-agent floor map (what a rebuilt
@@ -514,7 +726,13 @@ class Coordinator {
       Slot& slot = slots_[static_cast<std::size_t>(i)];
       if (!slot.attached) continue;
       if (supervisor_.dead(i, now)) {
-        detach(i);
+        detach(i, now);
+        // The silence window already elapsed while attached, so the slot is
+        // permanently lost right now — no second wait on the detach clock.
+        if (config_.migrate_after_dead) {
+          detached_since_[static_cast<std::size_t>(i)] = -1;
+          declare_lost(i);
+        }
         continue;
       }
       if (supervisor_.ping_due(i, now)) {
@@ -524,13 +742,20 @@ class Coordinator {
     }
   }
 
-  void detach(int i) {
+  void detach(int i, std::int64_t now) {
     Slot& slot = slots_[static_cast<std::size_t>(i)];
     if (slot.conn != nullptr) coord_drops_ += slot.conn->dropped_frames();
     slot.conn.reset();
     slot.attached = false;
     slot.idle = false;
     supervisor_.note_detached(i);
+    // A SIGKILLed worker's socket closes before the supervisor can observe
+    // silence, so detachment (not supervisor death) starts the permanent-loss
+    // clock; a replacement attach or declare_lost resets it.
+    const auto si = static_cast<std::size_t>(i);
+    if (config_.migrate_after_dead && detached_since_[si] < 0) {
+      detached_since_[si] = now;
+    }
   }
 
   void evaluate(std::int64_t now) {
@@ -583,7 +808,8 @@ class Coordinator {
   bool quiescent() {
     // A resumed run has unknowable in-flight repair traffic for the same
     // reason a restarted worker does: the deadline owns termination.
-    if (config_.job.bundle.faults.enabled() || restarts_ > 0 || resumed_) {
+    if (config_.job.bundle.faults.enabled() || restarts_ > 0 || resumed_ ||
+        migrations_ > 0) {
       return false;
     }
     std::uint64_t sent = 0;
@@ -661,6 +887,14 @@ class Coordinator {
       total.journal_checkpoints += journal_->checkpoints();
     }
     if (resumed_) ++total.journal_replays;
+    // Coordinator-side supervision and migration counters live here, not in
+    // any worker's report.
+    total.malformed_frames += supervisor_.malformed_frames();
+    total.quarantines += supervisor_.quarantines();
+    total.quarantine_readmissions += supervisor_.readmissions();
+    total.agent_migrations += migrations_;
+    total.migration_fenced += fenced_;
+    result_.agent_migrations = migrations_;
     total.solved = solved_;
     total.insoluble = insoluble_;
     total.timed_out = reason_ == StopReason::kDeadline;
@@ -704,6 +938,19 @@ class Coordinator {
   std::vector<PendingConn> pending_;
   FullAssignment values_;
   std::vector<std::uint64_t> max_seq_;
+  /// Current shard owning each agent; equals shard_of until migration moves
+  /// it. All routing (routes, acks, seq-floor handouts) goes by owner.
+  std::vector<int> owner_;
+  std::vector<CapsuleInfo> capsules_;
+  /// Per-agent "already in migrate_queue_" dedup flag.
+  std::vector<bool> queued_;
+  std::deque<AgentId> migrate_queue_;
+  /// Per-slot wall-clock of the detach that started the permanent-loss
+  /// window (-1 = attached, or loss already declared).
+  std::vector<std::int64_t> detached_since_;
+  std::uint64_t migrations_ = 0;
+  /// Frames dropped by the ownership fence (stale incarnation traffic).
+  std::uint64_t fenced_ = 0;
   FullAssignment best_;
   std::size_t best_violations_ = 0;
   bool have_best_ = false;

@@ -72,6 +72,15 @@ struct ServeConfig {
   /// connection drop and park orphaned; a follow-up serve() with `resume`
   /// picks the run back up.
   std::int64_t halt_after_ms = 0;
+
+  // Live shard migration (docs/NETWORK.md §shard migration).
+  /// When the supervisor declares a worker dead, re-shard its agents onto
+  /// surviving workers (ADOPT frames carrying the last uploaded state
+  /// capsules) instead of waiting for a replacement process.
+  bool migrate_after_dead = false;
+  /// Agents adopted out per coordinator loop iteration (>= 1): bounds the
+  /// burst of capsule traffic a single death injects into the survivors.
+  int migration_max_batch = 8;
 };
 
 struct ServeResult {
@@ -89,6 +98,8 @@ struct ServeResult {
   bool resumed = false;
   /// halt_after_ms fired: the run is NOT over, the coordinator just died.
   bool halted = false;
+  /// Agents adopted away from their home shard (migrate_after_dead).
+  std::uint64_t agent_migrations = 0;
 };
 
 /// Run one distributed solve over `listener` until a stop condition fires.

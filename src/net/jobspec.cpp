@@ -18,6 +18,10 @@ std::string serialize_jobspec(const JobSpec& spec) {
   for (const auto& [agent, floor] : spec.seq_floors) {
     out << "seq-floor " << agent << ' ' << floor << '\n';
   }
+  if (spec.migrate) out << "migrate 1\n";
+  for (const auto& [agent, shard] : spec.owners) {
+    out << "owner " << agent << ' ' << shard << '\n';
+  }
   // The bundle block reuses the repro format verbatim (instance included).
   out << "bundle-begin\n";
   analysis::write_bundle(out, spec.bundle);
@@ -69,6 +73,19 @@ JobSpec parse_jobspec(const std::string& text) {
         fail(lineno, "bad seq-floor line");
       }
       spec.seq_floors.emplace_back(agent, floor);
+    } else if (keyword == "migrate") {
+      int flag = 0;
+      if (!(body >> flag) || flag < 0 || flag > 1) {
+        fail(lineno, "migrate must be 0 or 1");
+      }
+      spec.migrate = flag == 1;
+    } else if (keyword == "owner") {
+      AgentId agent = kNoAgent;
+      int shard = -1;
+      if (!(body >> agent >> shard) || agent < 0 || shard < 0) {
+        fail(lineno, "bad owner line");
+      }
+      spec.owners.emplace_back(agent, shard);
     } else if (keyword == "bundle-begin") {
       std::ostringstream block;
       bool closed = false;

@@ -38,10 +38,26 @@ struct JobSpec {
   /// the highest ok?/improve seq the coordinator ever routed from each
   /// agent. Empty on first attach.
   std::vector<std::pair<AgentId, std::uint64_t>> seq_floors;
+  /// Live shard migration enabled (--migrate-after-dead): a permanently
+  /// dead worker's agents are adopted by survivors instead of stranding.
+  bool migrate = false;
+  /// Ownership overrides for migrated agents: (agent, current shard) pairs,
+  /// present only where ownership differs from the home shard. A worker
+  /// attaching mid-run builds exactly the agents it currently owns.
+  std::vector<std::pair<AgentId, int>> owners;
 
-  /// Shard of `agent` under this spec's worker count.
+  /// Home shard of `agent` under this spec's worker count (the static
+  /// sharding; ownership overrides are dynamic and live on the coordinator).
   int shard_of(AgentId agent) const {
     return static_cast<int>(agent) % num_workers;
+  }
+
+  /// Current owner of `agent`: the override when one exists, else home.
+  int owner_of(AgentId agent) const {
+    for (const auto& [a, shard] : owners) {
+      if (a == agent) return shard;
+    }
+    return shard_of(agent);
   }
 };
 

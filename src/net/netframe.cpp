@@ -20,6 +20,10 @@ constexpr std::uint64_t kKindStop = 106;
 constexpr std::uint64_t kKindPing = 107;
 constexpr std::uint64_t kKindPong = 108;
 constexpr std::uint64_t kKindError = 109;
+constexpr std::uint64_t kKindMigrate = 110;
+constexpr std::uint64_t kKindAdopt = 111;
+constexpr std::uint64_t kKindAdoptAck = 112;
+constexpr std::uint64_t kKindRelease = 113;
 
 std::uint64_t zz_enc(std::int64_t v) {
   return (static_cast<std::uint64_t>(v) << 1) ^
@@ -117,6 +121,21 @@ void encode_net_frame_into(const NetFrame& frame, WireFrame& out) {
           out = {kKindPong, f.nonce, zz_enc(f.sent_ms)};
         } else if constexpr (std::is_same_v<T, NetError>) {
           out = {kKindError, static_cast<std::uint64_t>(f.code)};
+        } else if constexpr (std::is_same_v<T, NetMigrate>) {
+          out = {kKindMigrate, static_cast<std::uint64_t>(f.agent), f.seq,
+                 f.release ? 1ULL : 0ULL,
+                 static_cast<std::uint64_t>(f.capsule.size())};
+          out.insert(out.end(), f.capsule.begin(), f.capsule.end());
+        } else if constexpr (std::is_same_v<T, NetAdopt>) {
+          out = {kKindAdopt, static_cast<std::uint64_t>(f.agent), f.seq_floor,
+                 f.have_capsule ? 1ULL : 0ULL,
+                 static_cast<std::uint64_t>(f.capsule.size())};
+          out.insert(out.end(), f.capsule.begin(), f.capsule.end());
+        } else if constexpr (std::is_same_v<T, NetAdoptAck>) {
+          out = {kKindAdoptAck, static_cast<std::uint64_t>(f.agent), f.learned,
+                 f.seq_floor};
+        } else if constexpr (std::is_same_v<T, NetRelease>) {
+          out = {kKindRelease, static_cast<std::uint64_t>(f.agent)};
         }
       },
       frame);
@@ -278,6 +297,52 @@ NetDecodeResult decode_net_frame(const WireFrame& frame) {
       return {NetFrame{NetError{static_cast<NetErrorCode>(frame[1])}},
               NetDecodeError::kNone};
     }
+    case kKindMigrate:
+    case kKindAdopt: {
+      // Identical wire shape: [agent, seq word, flag, n_capsule, words...].
+      if (count < 5) return fail(NetDecodeError::kTruncated);
+      if (!agent_ok(frame[1]) || frame[3] > 1) {
+        return fail(NetDecodeError::kBadBounds);
+      }
+      const std::uint64_t n_capsule = frame[4];
+      if (n_capsule > kMaxFrameWords) return fail(NetDecodeError::kBadBounds);
+      if (count != 5 + n_capsule) return fail(NetDecodeError::kTruncated);
+      std::vector<std::uint64_t> capsule(
+          frame.begin() + 5,
+          frame.begin() + 5 + static_cast<std::ptrdiff_t>(n_capsule));
+      if (kind == kKindMigrate) {
+        NetMigrate f;
+        f.agent = static_cast<AgentId>(frame[1]);
+        f.seq = frame[2];
+        f.release = frame[3] == 1;
+        f.capsule = std::move(capsule);
+        return {NetFrame{std::move(f)}, NetDecodeError::kNone};
+      }
+      NetAdopt f;
+      f.agent = static_cast<AgentId>(frame[1]);
+      f.seq_floor = frame[2];
+      f.have_capsule = frame[3] == 1;
+      if (!f.have_capsule && n_capsule != 0) {
+        return fail(NetDecodeError::kBadBounds);
+      }
+      f.capsule = std::move(capsule);
+      return {NetFrame{std::move(f)}, NetDecodeError::kNone};
+    }
+    case kKindAdoptAck: {
+      if (count != 4) return fail(NetDecodeError::kTruncated);
+      if (!agent_ok(frame[1])) return fail(NetDecodeError::kBadBounds);
+      NetAdoptAck f;
+      f.agent = static_cast<AgentId>(frame[1]);
+      f.learned = frame[2];
+      f.seq_floor = frame[3];
+      return {NetFrame{f}, NetDecodeError::kNone};
+    }
+    case kKindRelease: {
+      if (count != 2) return fail(NetDecodeError::kTruncated);
+      if (!agent_ok(frame[1])) return fail(NetDecodeError::kBadBounds);
+      return {NetFrame{NetRelease{static_cast<AgentId>(frame[1])}},
+              NetDecodeError::kNone};
+    }
     default:
       return fail(NetDecodeError::kBadKind);
   }
@@ -316,6 +381,9 @@ std::vector<std::uint64_t> encode_metrics_words(const sim::RunMetrics& m) {
       m.monitor.checks,
       m.monitor.seq_regressions,
       m.backpressure_drops,
+      m.agent_migrations,
+      m.migration_fenced,
+      m.quarantine_readmissions,
   };
 }
 
@@ -351,6 +419,9 @@ void decode_metrics_words(const std::vector<std::uint64_t>& words,
       &m.monitor.checks,
       &m.monitor.seq_regressions,
       &m.backpressure_drops,
+      &m.agent_migrations,
+      &m.migration_fenced,
+      &m.quarantine_readmissions,
   };
   const std::size_t n = std::min(words.size(), std::size(slots));
   for (std::size_t i = 0; i < n; ++i) *slots[i] = words[i];

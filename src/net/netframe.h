@@ -33,8 +33,10 @@ using sim::WireFrame;
 
 /// Protocol version carried by every HELLO/WELCOME; bumped on any frame
 /// layout change. v2 added the coordinator incarnation to both handshake
-/// frames (coordinator failover, docs/NETWORK.md).
-inline constexpr std::uint64_t kNetProtoVersion = 2;
+/// frames (coordinator failover, docs/NETWORK.md); v3 added the live shard
+/// migration frames (MIGRATE/ADOPT/ADOPT_ACK/RELEASE) and the jobspec owner
+/// overrides they imply.
+inline constexpr std::uint64_t kNetProtoVersion = 3;
 
 /// HELLO `shard` value meaning "assign me any shard".
 inline constexpr std::uint64_t kAnyShard = 0xffffffffULL;
@@ -134,6 +136,49 @@ struct NetPong {
   std::int64_t sent_ms = 0;  ///< echoed from the ping
 };
 
+// Live shard migration (docs/NETWORK.md §shard migration). Capsule payloads
+// are recovery::encode_capsule word streams; the net layer only bounds their
+// size — recovery::decode_capsule does the semantic validation, and a capsule
+// that fails it degrades the adoption to a plain crash_restart.
+
+/// Worker -> coordinator: state capsule upload for one local agent, sent on
+/// the report cadence while migration is enabled so the coordinator holds a
+/// recent capsule when the worker dies without warning. `release = true`
+/// marks the terminal upload of a handback (NetRelease): the sender has
+/// erased the agent and the coordinator must re-home it.
+struct NetMigrate {
+  AgentId agent = kNoAgent;
+  std::uint64_t seq = 0;  ///< the agent's announce seq at export time
+  bool release = false;
+  std::vector<std::uint64_t> capsule;
+};
+
+/// Coordinator -> worker: adopt `agent` beside your own shard. The worker
+/// builds the agent from the job spec, raises its seq floor, imports the
+/// capsule when present (crash_restart otherwise), and answers ADOPT_ACK.
+struct NetAdopt {
+  AgentId agent = kNoAgent;
+  std::uint64_t seq_floor = 0;
+  bool have_capsule = false;
+  std::vector<std::uint64_t> capsule;
+};
+
+/// Worker -> coordinator: `agent` is live here. `learned` is its resident
+/// learned count right after import — the coordinator's invariant monitor
+/// compares it against the shipped capsule (learning conservation).
+struct NetAdoptAck {
+  AgentId agent = kNoAgent;
+  std::uint64_t learned = 0;
+  std::uint64_t seq_floor = 0;  ///< floor actually applied (echo)
+};
+
+/// Coordinator -> worker: stop hosting `agent` (a replacement worker for its
+/// home shard attached). The worker exports a final capsule, uploads it as a
+/// NetMigrate with release set, and erases the agent.
+struct NetRelease {
+  AgentId agent = kNoAgent;
+};
+
 enum class NetErrorCode : std::uint64_t {
   kVersionMismatch = 0,
   kDigestMismatch = 1,
@@ -149,7 +194,8 @@ struct NetError {
 };
 
 using NetFrame = std::variant<NetHello, NetWelcome, NetJob, NetRoute, NetAck,
-                              NetStats, NetStop, NetPing, NetPong, NetError>;
+                              NetStats, NetStop, NetPing, NetPong, NetError,
+                              NetMigrate, NetAdopt, NetAdoptAck, NetRelease>;
 
 WireFrame encode_net_frame(const NetFrame& frame);
 

@@ -107,6 +107,7 @@ class PeerSupervisor {
 
   std::uint64_t quarantines() const { return guard_.quarantines(); }
   std::uint64_t malformed_frames() const { return guard_.malformed_frames(); }
+  std::uint64_t readmissions() const { return guard_.readmissions(); }
 
  private:
   struct Peer {

@@ -68,12 +68,6 @@ constexpr std::size_t kSendHighWaterBytes = 64u << 20;
 /// flush loop keeps going, so deeper queues just take multiple syscalls.
 constexpr int kMaxIov = 64;
 
-/// Budget for the best-effort final flush in close(). The protocol's
-/// terminal frames (ERROR on refuse, STOP on shutdown) are sent immediately
-/// before the connection drops; without this drain a batched carrier could
-/// strand them in the queue.
-constexpr std::int64_t kCloseFlushBudgetUs = 50'000;
-
 void store_le(unsigned char* dst, std::uint64_t value, int bytes) {
   for (int b = 0; b < bytes; ++b) {
     dst[b] = static_cast<unsigned char>((value >> (8 * b)) & 0xff);
@@ -197,13 +191,13 @@ class TcpConnection final : public Connection {
   std::uint64_t dropped_frames() const override { return dropped_frames_; }
 
   void close() override {
-    if (fd_ >= 0 && !outq_.empty()) {
+    if (fd_ >= 0 && !outq_.empty() && batch_.close_flush_ms > 0) {
       // Best-effort final drain so terminal frames queued just before the
       // close (ERROR, STOP) still reach the peer. Bounded: a wedged peer
-      // costs at most the budget, then the remainder is dropped with the
-      // socket.
+      // costs at most the configured budget (BatchConfig::close_flush_ms),
+      // then the remainder is dropped with the socket.
       flush_writes();
-      const std::int64_t deadline = mono_us() + kCloseFlushBudgetUs;
+      const std::int64_t deadline = mono_us() + batch_.close_flush_ms * 1000;
       while (fd_ >= 0 && !outq_.empty() && mono_us() < deadline) {
         pollfd pfd{};
         pfd.fd = fd_;

@@ -43,9 +43,20 @@ struct BatchConfig {
   /// Deadline in microseconds after the first deferred frame by which a
   /// flush must happen even if neither budget fills (bounded latency).
   std::int64_t flush_us = 200;
+  /// Budget in milliseconds close() may spend flushing buffered writes so
+  /// terminal ERROR/STOP frames reach the peer before the FIN (TCP only;
+  /// 0 = close immediately). Applies to batched and unbatched connections
+  /// alike — slow CI machines raise it instead of racing the flush.
+  std::int64_t close_flush_ms = 50;
 
   bool batching() const { return max_frames > 1; }
-  static BatchConfig unbatched() { return BatchConfig{1, 0, 0}; }
+  static BatchConfig unbatched() {
+    BatchConfig config;
+    config.max_frames = 1;
+    config.max_bytes = 0;
+    config.flush_us = 0;
+    return config;  // close_flush_ms keeps its default: closing is not batching
+  }
 };
 
 class Connection {

@@ -11,9 +11,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "net/clock.h"
 #include "net/jobspec.h"
 #include "net/supervisor.h"
+#include "recovery/capsule.h"
 #include "sim/agent.h"
 #include "sim/fault.h"
 
@@ -281,7 +283,7 @@ class Worker {
     shard_ = welcome.shard;
     incarnation_ = welcome.incarnation;
     coord_incarnation_ = welcome.coord_incarnation;
-    const bool rebuild = local_.empty() || digest != digest_;
+    const bool rebuild = !job_loaded_ || digest != digest_;
     digest_ = digest;
     spec_ = std::move(spec);
     // The epoch anchors the fault-plan timeline and every retransmit
@@ -289,7 +291,15 @@ class Worker {
     if (rebuild) epoch_ms_ = now_ms();
     if (attach_ms_ < 0) attach_ms_ = now_ms();
 
-    if (rebuild) build_shard(welcome.restart);
+    if (rebuild) {
+      build_shard(welcome.restart);
+    } else {
+      // Socket-only reconnect of a surviving process: the job carries the
+      // *current* ownership map, which may have shifted while we were
+      // orphaned (false suspicion -> agents adopted away) or before an ADOPT
+      // reached us (lost with the connection). Reconcile to it.
+      reconcile_ownership();
+    }
     // Seq floors are monotone: applying them to intact agents is a no-op,
     // applying them to rebuilt ones lifts their announcements above every
     // seq the coordinator ever routed for them.
@@ -301,6 +311,7 @@ class Worker {
       // old connection died. One re-announcement round resyncs the peers.
       for (auto& [id, agent] : local_) announce(*agent);
     }
+    job_loaded_ = true;
     return true;
   }
 
@@ -309,11 +320,15 @@ class Worker {
     parked_.clear();  // frames parked for a job that no longer exists
     auto population = make_job_agents(spec_.bundle);
     for (auto& agent : population) {
-      if (spec_.shard_of(agent->id()) == static_cast<int>(shard_)) {
+      // Ownership, not home shard: a continuation job spec carries the
+      // migration-adjusted owner map, so a replacement builds exactly the
+      // agents the coordinator currently routes to this slot.
+      if (spec_.owner_of(agent->id()) == static_cast<int>(shard_)) {
         local_.emplace(agent->id(), std::move(agent));
       }
     }
     num_agents_ = static_cast<int>(population.size());
+    capsule_hash_.clear();
 
     const sim::FaultConfig& faults = spec_.bundle.faults;
     plan_ = faults.enabled()
@@ -353,6 +368,47 @@ class Worker {
     return it == local_.end() ? nullptr : it->second.get();
   }
 
+  bool is_local(AgentId id) const { return local_.count(id) != 0; }
+
+  /// Align the hosted agent set with the job spec's current owner map
+  /// (socket-only reconnect). Agents adopted away while we were orphaned are
+  /// erased (their frames would be fenced anyway); agents the coordinator
+  /// assigned to us whose ADOPT died with the old connection are rebuilt and
+  /// crash-restarted — worst case the migrated learning is lost, which the
+  /// handoff monitor reports, but the run stays live.
+  void reconcile_ownership() {
+    if (!spec_.migrate) return;
+    for (auto it = local_.begin(); it != local_.end();) {
+      if (spec_.owner_of(it->first) != static_cast<int>(shard_)) {
+        if (retransmit_ != nullptr) retransmit_->forget_agent(it->first);
+        capsule_hash_.erase(it->first);
+        it = local_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::vector<AgentId> missing;
+    for (AgentId a = 0; a < num_agents_; ++a) {
+      if (spec_.owner_of(a) == static_cast<int>(shard_) && !is_local(a)) {
+        missing.push_back(a);
+      }
+    }
+    if (missing.empty()) return;
+    auto population = make_job_agents(spec_.bundle);
+    for (auto& agent : population) {
+      if (agent == nullptr) continue;
+      const AgentId id = agent->id();
+      if (std::find(missing.begin(), missing.end(), id) == missing.end()) {
+        continue;
+      }
+      sim::Agent* placed =
+          local_.emplace(id, std::move(agent)).first->second.get();
+      Sink sink(*this, id, /*tracking=*/true);
+      placed->crash_restart(sink);
+      metrics_.total_checks += placed->take_checks();
+    }
+  }
+
   // ----- outbound path ---------------------------------------------------
 
   class Sink final : public sim::MessageSink {
@@ -385,7 +441,10 @@ class Worker {
   /// Fault-bridge + enqueue (shared by fresh sends and retransmissions).
   void dispatch(AgentId from, AgentId to, sim::MessagePayload payload,
                 std::uint64_t track_seq) {
-    const bool remote = spec_.shard_of(to) != static_cast<int>(shard_);
+    // Membership, not home shard: an adopted agent is local, a released one
+    // is remote — and membership can change again before the egress queue
+    // drains, so flush_egress re-checks at send time.
+    const bool remote = !is_local(to);
     sim::ChannelVerdict verdict;  // default: one clean copy
     if (plan_ != nullptr) verdict = plan_->on_send(from, to, elapsed());
     if (verdict.copies == 0) return;
@@ -419,9 +478,14 @@ class Worker {
     while (!egress_.empty() && egress_.top().due_ms <= now) {
       Unit unit = egress_.top();
       egress_.pop();
-      if (spec_.shard_of(unit.to) == static_cast<int>(shard_)) {
+      if (is_local(unit.to)) {
         deliver_local(std::move(unit));
       } else {
+        // Enqueued while the target was still local (unframed fast path) but
+        // released before the flush: seal it for the wire now.
+        if (unit.frame.empty()) {
+          sim::encode_frame_into(unit.payload, unit.frame);
+        }
         NetRoute route;
         route.from = unit.from;
         route.to = unit.to;
@@ -445,8 +509,13 @@ class Worker {
         continue;
       }
       handle(*decoded.frame);
-      if (stopping_) return;
+      if (stopping_) {
+        pending_adopts_.clear();
+        inbound_parked_.clear();
+        return;
+      }
     }
+    if (!pending_adopts_.empty()) apply_adoptions();
   }
 
   void handle(const NetFrame& frame) {
@@ -466,6 +535,12 @@ class Worker {
       NetPong pong{ping->nonce, ping->sent_ms};
       encode_net_frame_into(NetFrame{pong}, net_scratch_);
       conn_->send(net_scratch_);
+    } else if (const auto* adopt = std::get_if<NetAdopt>(&frame)) {
+      // Adoptions are applied in batch at the end of the drain: building an
+      // agent walks the whole job population, so one build serves them all.
+      if (spec_.migrate) pending_adopts_.push_back(*adopt);
+    } else if (const auto* release = std::get_if<NetRelease>(&frame)) {
+      if (spec_.migrate) release_agent(release->agent);
     } else if (const auto* stop = std::get_if<NetStop>(&frame)) {
       send_stats(/*final_report=*/true);
       result_.completed = true;
@@ -476,6 +551,115 @@ class Worker {
     // ignored: harmless duplicates or misroutes.
   }
 
+  // ----- shard migration (docs/NETWORK.md §shard migration) --------------
+
+  bool adopt_pending_for(AgentId id) const {
+    for (const NetAdopt& adopt : pending_adopts_) {
+      if (adopt.agent == id) return true;
+    }
+    return false;
+  }
+
+  /// Instantiate every batched adoption: one population build covers the
+  /// whole batch, each agent gets its seq floor raised BEFORE the capsule
+  /// import (import announces, and announcements must clear the floor), and
+  /// each answers an ADOPT_ACK carrying its resident learned count so the
+  /// coordinator can check conservation. A capsule that fails to decode
+  /// degrades to crash_restart: the run stays correct, the learning is lost,
+  /// and the monitor's handoff check reports it.
+  void apply_adoptions() {
+    std::vector<std::unique_ptr<sim::Agent>> population;
+    bool need_build = false;
+    for (const NetAdopt& adopt : pending_adopts_) {
+      if (adopt.agent >= 0 && adopt.agent < num_agents_ &&
+          !is_local(adopt.agent)) {
+        need_build = true;
+        break;
+      }
+    }
+    if (need_build) population = make_job_agents(spec_.bundle);
+    for (const NetAdopt& adopt : pending_adopts_) {
+      if (adopt.agent < 0 || adopt.agent >= num_agents_) continue;
+      sim::Agent* agent = local_agent(adopt.agent);
+      if (agent == nullptr) {
+        for (auto& candidate : population) {
+          if (candidate != nullptr && candidate->id() == adopt.agent) {
+            agent = candidate.get();
+            local_.emplace(adopt.agent, std::move(candidate));
+            break;
+          }
+        }
+      }
+      if (agent == nullptr) continue;
+      agent->set_seq_floor(adopt.seq_floor);
+      Sink sink(*this, adopt.agent, /*tracking=*/true);
+      recovery::StateCapsule capsule;
+      if (adopt.have_capsule && recovery::decode_capsule(adopt.capsule, capsule) &&
+          capsule.agent == adopt.agent) {
+        agent->import_capsule(capsule.state, sink);
+      } else {
+        agent->crash_restart(sink);
+      }
+      metrics_.total_checks += agent->take_checks();
+      capsule_hash_.erase(adopt.agent);  // force a fresh upload next round
+      NetAdoptAck ack;
+      ack.agent = adopt.agent;
+      ack.learned = agent->learned_count();
+      ack.seq_floor = adopt.seq_floor;
+      encode_net_frame_into(NetFrame{ack}, net_scratch_);
+      send_net(net_scratch_);
+    }
+    pending_adopts_.clear();
+    flush_egress(elapsed());
+    // Frames that raced their target's adoption inside this drain batch.
+    std::vector<Unit> parked;
+    parked.swap(inbound_parked_);
+    for (Unit& unit : parked) deliver_local(std::move(unit));
+  }
+
+  /// RELEASE: hand `id` back to the coordinator — final capsule out (so the
+  /// re-homed copy resumes from our latest state, not a stale upload), then
+  /// erase. Duplicate releases are no-ops.
+  void release_agent(AgentId id) {
+    // A RELEASE can land in the same drain batch as the ADOPT that gave us
+    // the agent; honor the connection order before acting on it.
+    if (adopt_pending_for(id)) apply_adoptions();
+    sim::Agent* agent = local_agent(id);
+    if (agent == nullptr) return;
+    upload_capsule(*agent, /*release=*/true);
+    if (retransmit_ != nullptr) retransmit_->forget_agent(id);
+    capsule_hash_.erase(id);
+    local_.erase(id);
+  }
+
+  /// Ship one agent's capsule to the coordinator. Routine (non-release)
+  /// uploads dedup on a digest of the encoded words, so a quiescent agent
+  /// costs one hash per report round, not one frame.
+  void upload_capsule(sim::Agent& agent, bool release) {
+    recovery::StateCapsule capsule;
+    capsule.agent = agent.id();
+    capsule.seq = agent.announce_seq();
+    const bool have = agent.export_capsule(capsule.state);
+    if (!have && !release) return;  // agent type without capsule support
+    const std::vector<std::uint64_t> words = recovery::encode_capsule(capsule);
+    std::uint64_t digest = kFnvOffsetBasis;
+    for (const std::uint64_t word : words) {
+      digest = fnv1a64_word(digest, word);
+    }
+    if (!release) {
+      const auto [it, inserted] = capsule_hash_.emplace(agent.id(), 0);
+      if (!inserted && it->second == digest) return;  // unchanged since last
+      it->second = digest;
+    }
+    NetMigrate out;
+    out.agent = agent.id();
+    out.seq = capsule.seq;
+    out.release = release;
+    out.capsule = words;
+    encode_net_frame_into(NetFrame{std::move(out)}, net_scratch_);
+    send_net(net_scratch_);
+  }
+
   /// Deliver one frame copy to a local agent — the exact AsyncEngine
   /// receive path: quarantine check, checksum + semantic validation, crash
   /// draw, dedup + ack, then receive/compute.
@@ -484,7 +668,17 @@ class Worker {
     // out-of-range sender must be refused before touching either.
     if (unit.from < 0 || unit.from >= num_agents_) return;
     sim::Agent* agent = local_agent(unit.to);
-    if (agent == nullptr) return;  // mis-sharded route; drop
+    if (agent == nullptr) {
+      // Within one drain batch a route can be handled before the deferred
+      // ADOPT that makes its target local (connection FIFO puts the ADOPT
+      // first, batching reorders the application). Park and retry after the
+      // adoptions apply; anything else is a mis-sharded route.
+      if (adopt_pending_for(unit.to) &&
+          inbound_parked_.size() < kInboundParkCap) {
+        inbound_parked_.push_back(std::move(unit));
+      }
+      return;
+    }
     const std::int64_t now = elapsed();
 
     if (!unit.frame.empty()) {
@@ -541,7 +735,7 @@ class Worker {
     sim::ChannelVerdict verdict;
     if (plan_ != nullptr) verdict = plan_->on_send(to, from, elapsed());
     if (verdict.copies == 0 || verdict.corrupt) return;
-    if (spec_.shard_of(from) == static_cast<int>(shard_)) {
+    if (is_local(from)) {
       if (retransmit_ != nullptr) retransmit_->ack(from, to, seq);
       return;
     }
@@ -578,6 +772,13 @@ class Worker {
     }
 
     if (now >= next_report_ms_) {
+      if (spec_.migrate) {
+        // Report cadence doubles as the capsule upload cadence: the
+        // coordinator's adoption source is at most one report round stale.
+        for (auto& [id, agent] : local_) {
+          upload_capsule(*agent, /*release=*/false);
+        }
+      }
       send_stats(/*final_report=*/false);
       next_report_ms_ = now + spec_.report_interval_ms;
     }
@@ -635,7 +836,10 @@ class Worker {
   }
 
   void send_stats(bool final_report) {
-    if (conn_ == nullptr || local_.empty()) return;
+    // job_loaded_, not local_.empty(): a worker whose agents were all
+    // released must keep reporting (idle) or the coordinator would wait on
+    // its silence forever.
+    if (conn_ == nullptr || !job_loaded_) return;
     NetStats stats;
     stats.shard = shard_;
     stats.incarnation = incarnation_;
@@ -658,7 +862,7 @@ class Worker {
   }
 
   WorkerResult finish() {
-    result_.metrics = local_.empty() ? metrics_ : snapshot_metrics();
+    result_.metrics = job_loaded_ ? snapshot_metrics() : metrics_;
     return result_;
   }
 
@@ -681,7 +885,15 @@ class Worker {
   std::uint64_t digest_ = 0;
   JobSpec spec_;
   int num_agents_ = 0;
+  bool job_loaded_ = false;
   std::map<AgentId, std::unique_ptr<sim::Agent>> local_;
+
+  // Shard-migration state (active only when spec_.migrate).
+  static constexpr std::size_t kInboundParkCap = 4096;
+  std::vector<NetAdopt> pending_adopts_;
+  std::vector<Unit> inbound_parked_;
+  /// Digest of the last uploaded capsule per hosted agent (dedup).
+  std::map<AgentId, std::uint64_t> capsule_hash_;
 
   std::unique_ptr<sim::FaultPlan> plan_;
   std::unique_ptr<recovery::RetransmitBuffer> retransmit_;

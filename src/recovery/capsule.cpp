@@ -1,0 +1,154 @@
+#include "recovery/capsule.h"
+
+#include <cstddef>
+
+namespace discsp::recovery {
+
+namespace {
+
+constexpr std::uint64_t kCapsuleVersion = 1;
+
+std::uint64_t zz_enc(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t zz_dec(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^ -static_cast<std::int64_t>(u & 1);
+}
+
+/// Sequential word reader with an explicit remaining-budget check before
+/// every consume — the decoder can never index past the stream.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint64_t>& words) : words_(words) {}
+
+  bool take(std::uint64_t& out) {
+    if (pos_ >= words_.size()) return false;
+    out = words_[pos_++];
+    return true;
+  }
+
+  /// Read a count and verify both the sanity cap and that at least
+  /// `words_per_item * count` words remain.
+  bool take_count(std::uint64_t cap, std::uint64_t words_per_item,
+                  std::uint64_t& out) {
+    if (!take(out)) return false;
+    if (out > cap) return false;
+    return words_.size() - pos_ >= out * words_per_item;
+  }
+
+  bool done() const { return pos_ == words_.size(); }
+
+ private:
+  const std::vector<std::uint64_t>& words_;
+  std::size_t pos_ = 0;
+};
+
+bool id_ok(std::int64_t v) { return v >= 0 && v < (1LL << 31); }
+
+}  // namespace
+
+std::vector<std::uint64_t> encode_capsule(const StateCapsule& capsule) {
+  const Checkpoint& cp = capsule.state;
+  std::vector<std::uint64_t> out;
+  out.reserve(8 + cp.extra_links.size() + cp.weights.size() +
+              cp.learned.size() * 4);
+  out.push_back(kCapsuleVersion);
+  out.push_back(static_cast<std::uint64_t>(capsule.agent));
+  out.push_back(capsule.seq);
+  out.push_back((cp.has_value ? 1ULL : 0ULL) | (cp.insoluble ? 2ULL : 0ULL));
+  out.push_back(zz_enc(cp.value));
+  out.push_back(zz_enc(cp.priority));
+  out.push_back(cp.extra_links.size());
+  for (int link : cp.extra_links) {
+    out.push_back(static_cast<std::uint64_t>(link));
+  }
+  out.push_back(cp.learned.size());
+  for (const Nogood& ng : cp.learned) {
+    out.push_back(ng.size());
+    for (const Assignment& a : ng) {
+      out.push_back(static_cast<std::uint64_t>(a.var));
+      out.push_back(zz_enc(a.value));
+    }
+  }
+  out.push_back(cp.weights.size());
+  for (std::int64_t w : cp.weights) out.push_back(zz_enc(w));
+  return out;
+}
+
+bool decode_capsule(const std::vector<std::uint64_t>& words, StateCapsule& out) {
+  Reader in(words);
+  std::uint64_t word = 0;
+  if (!in.take(word) || word != kCapsuleVersion) return false;
+  if (!in.take(word) || !id_ok(static_cast<std::int64_t>(word))) return false;
+  out.agent = static_cast<AgentId>(word);
+  if (!in.take(out.seq)) return false;
+
+  Checkpoint cp;
+  if (!in.take(word) || word > 3) return false;
+  cp.has_value = (word & 1) != 0;
+  cp.insoluble = (word & 2) != 0;
+  if (!in.take(word)) return false;
+  cp.value = zz_dec(word);
+  if (!in.take(word)) return false;
+  cp.priority = zz_dec(word);
+
+  std::uint64_t count = 0;
+  if (!in.take_count(kMaxCapsuleLinks, 1, count)) return false;
+  cp.extra_links.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    in.take(word);
+    if (!id_ok(static_cast<std::int64_t>(word))) return false;
+    cp.extra_links.push_back(static_cast<int>(word));
+  }
+
+  std::uint64_t nogoods = 0;
+  // Each nogood costs at least its count word; literal budgets are checked
+  // per nogood below.
+  if (!in.take_count(kMaxCapsuleNogoods, 1, nogoods)) return false;
+  cp.learned.reserve(static_cast<std::size_t>(nogoods));
+  for (std::uint64_t n = 0; n < nogoods; ++n) {
+    std::uint64_t literals = 0;
+    if (!in.take_count(kMaxCapsuleLiterals, 2, literals)) return false;
+    std::vector<Assignment> items;
+    items.reserve(static_cast<std::size_t>(literals));
+    VarId prev = kNoVar;
+    for (std::uint64_t i = 0; i < literals; ++i) {
+      std::uint64_t raw_var = 0;
+      std::uint64_t raw_value = 0;
+      in.take(raw_var);
+      in.take(raw_value);
+      if (!id_ok(static_cast<std::int64_t>(raw_var))) return false;
+      const VarId var = static_cast<VarId>(raw_var);
+      // Nogood construction requires sorted, duplicate-free variables; a
+      // stream violating that is corrupt (encode emits canonical order).
+      if (var <= prev) return false;
+      prev = var;
+      const std::int64_t value = zz_dec(raw_value);
+      if (value < 0 || value >= (1LL << 31)) return false;
+      items.push_back({var, static_cast<Value>(value)});
+    }
+    cp.learned.emplace_back(std::move(items));
+  }
+
+  if (!in.take_count(kMaxCapsuleWeights, 1, count)) return false;
+  cp.weights.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    in.take(word);
+    cp.weights.push_back(zz_dec(word));
+  }
+  if (!in.done()) return false;
+  out.state = std::move(cp);
+  return true;
+}
+
+std::uint64_t capsule_learned_count(const Checkpoint& state) {
+  std::uint64_t count = state.learned.size();
+  for (std::int64_t w : state.weights) {
+    if (w != 1) ++count;
+  }
+  return count;
+}
+
+}  // namespace discsp::recovery

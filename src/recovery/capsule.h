@@ -1,0 +1,59 @@
+// Portable state capsules for live shard migration (docs/NETWORK.md).
+//
+// When a worker dies permanently, its agents' search state must *move* to a
+// surviving worker instead of evaporating — the learned-nogood set is the
+// expensive part of a DCSP run to lose. A StateCapsule is the journal
+// layer's Checkpoint (recovery/journal.h) made wire-portable: the same
+// durable snapshot an amnesia recovery replays, plus the agent identity and
+// its announce-sequence high-water mark, flattened into checksummable words
+// so it can ride inside a sealed net frame.
+//
+// Encoding (word stream, zigzag for signed scalars):
+//   [version, agent, seq, flags, zz(value), zz(priority),
+//    n_links, links...,
+//    n_learned, {n_literals, {var, zz(value)}...}...,
+//    n_weights, zz(weights)...]
+//
+// decode_capsule never throws on hostile input: every count is checked
+// against a sanity cap and the remaining word budget before it is consumed,
+// exactly like decode_net_frame. A capsule that fails to decode degrades the
+// adoption to a plain crash_restart — the run stays correct, only the
+// migrated learning is lost (and the invariant monitor's handoff check
+// reports the loss).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "recovery/journal.h"
+
+namespace discsp::recovery {
+
+/// One agent's migratable state: who it is, the highest announce seq it has
+/// stamped (0 = unknown; the coordinator's routed-seq floor then stands
+/// alone), and the durable checkpoint of its search state.
+struct StateCapsule {
+  AgentId agent = kNoAgent;
+  std::uint64_t seq = 0;
+  Checkpoint state;
+};
+
+/// Sanity caps for the decoder; anything beyond these is corruption.
+inline constexpr std::uint64_t kMaxCapsuleLinks = 1ULL << 20;
+inline constexpr std::uint64_t kMaxCapsuleNogoods = 1ULL << 20;
+inline constexpr std::uint64_t kMaxCapsuleLiterals = 1ULL << 16;
+inline constexpr std::uint64_t kMaxCapsuleWeights = 1ULL << 20;
+
+std::vector<std::uint64_t> encode_capsule(const StateCapsule& capsule);
+
+/// Strict bounds-checked decode; false leaves `out` unspecified.
+bool decode_capsule(const std::vector<std::uint64_t>& words, StateCapsule& out);
+
+/// How much learned state a capsule carries: resident learned nogoods (AWC)
+/// plus breakout-raised weights (DB). The coordinator records this when it
+/// ships an ADOPT and the invariant monitor compares it against the adopting
+/// worker's ADOPT_ACK — learning must be conserved across the handoff.
+std::uint64_t capsule_learned_count(const Checkpoint& state);
+
+}  // namespace discsp::recovery

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "recovery/journal.h"
 #include "sim/message.h"
 
 namespace discsp::sim {
@@ -66,6 +67,37 @@ class Agent {
   /// Lifetime learning counters for Table-4 style reporting.
   virtual std::uint64_t nogoods_generated() const { return 0; }
   virtual std::uint64_t redundant_generations() const { return 0; }
+
+  // Live-migration hooks (docs/NETWORK.md §shard migration). A worker that
+  // outlives a dead peer adopts the peer's agents: the coordinator ships a
+  // recovery::Checkpoint capsule exported here and the adopting worker
+  // imports it into a freshly built agent. Agents without migratable state
+  // keep the defaults: export reports "nothing to ship" and import degrades
+  // to crash_restart, so the run stays correct with only the learning lost.
+
+  /// Snapshot this agent's migratable state into `out` (same shape the
+  /// journal layer checkpoints). Returns false when the agent has nothing
+  /// beyond its static configuration — the capsule is then omitted.
+  virtual bool export_capsule(recovery::Checkpoint& out) const {
+    (void)out;
+    return false;
+  }
+  /// Install a capsule exported by a prior incarnation of this agent on
+  /// another worker, then re-announce through `out`. Call set_seq_floor()
+  /// BEFORE this: the re-announcement must already clear the fence.
+  virtual void import_capsule(const recovery::Checkpoint& state,
+                              MessageSink& out) {
+    (void)state;
+    crash_restart(out);
+  }
+  /// Resident learned state right now (learned nogoods / raised weights) —
+  /// the conservation quantity the invariant monitor checks across an
+  /// ADOPT/ADOPT_ACK handoff.
+  virtual std::uint64_t learned_count() const { return 0; }
+  /// Highest announcement sequence this agent has stamped (0 = the agent
+  /// does not track one); shipped in capsules so the coordinator can fence
+  /// the dead incarnation's in-flight frames.
+  virtual std::uint64_t announce_seq() const { return 0; }
 
   /// Lifetime count of real consistency-engine operations (literal touches,
   /// occurrence walks, scan evaluations) — the machine-cost counter behind

@@ -335,6 +335,7 @@ bool ChannelGuard::is_quarantined(AgentId from, AgentId to, std::int64_t now) {
   // Window elapsed: readmit the channel with a fresh malformed budget.
   ch.quarantined_until = -1;
   ch.malformed_in_window = 0;
+  readmissions_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 

@@ -211,6 +211,11 @@ class ChannelGuard {
   std::uint64_t quarantine_drops() const {
     return quarantine_drops_.load(std::memory_order_relaxed);
   }
+  /// Channels readmitted after their quarantine window elapsed cleanly —
+  /// the recovery half of `quarantines()`.
+  std::uint64_t readmissions() const {
+    return readmissions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Channel {
@@ -226,6 +231,7 @@ class ChannelGuard {
   std::atomic<std::uint64_t> malformed_{0};
   std::atomic<std::uint64_t> quarantines_{0};
   std::atomic<std::uint64_t> quarantine_drops_{0};
+  std::atomic<std::uint64_t> readmissions_{0};
 };
 
 }  // namespace discsp::sim

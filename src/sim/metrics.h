@@ -66,6 +66,14 @@ struct RunMetrics {
   /// retransmit layer repairs tracked drops). Zero in-process.
   std::uint64_t backpressure_drops = 0;
 
+  // Live shard migration totals (all zero unless --migrate-after-dead; see
+  // docs/NETWORK.md §shard migration).
+  std::uint64_t agent_migrations = 0;  ///< agents adopted away from home
+  std::uint64_t migration_fenced = 0;  ///< stale dead-incarnation frames dropped
+  /// Quarantined channels readmitted after a clean probation window (the
+  /// recovery half of `quarantines`; previously visible only in chaos_sweep).
+  std::uint64_t quarantine_readmissions = 0;
+
   /// Online invariant-monitor result (all zero when the monitor is off; see
   /// sim/monitor.h). `monitor.violations` must be zero on every healthy run.
   MonitorSummary monitor;

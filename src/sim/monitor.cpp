@@ -13,6 +13,7 @@ const char* to_string(InvariantKind kind) {
     case InvariantKind::kCreditLoss: return "credit-loss";
     case InvariantKind::kForgedSeq: return "forged-seq";
     case InvariantKind::kStall: return "stall";
+    case InvariantKind::kMigrationLoss: return "migration-loss";
   }
   return "unknown";
 }
@@ -173,6 +174,19 @@ void InvariantMonitor::check_credit(double recovered, int expected,
     violate(InvariantKind::kCreditLoss,
             "ledger terminated while " + std::to_string(credited_backlog) +
                 " credited letters remain unprocessed",
+            now);
+  }
+}
+
+void InvariantMonitor::check_handoff(AgentId agent, std::uint64_t expected,
+                                     std::uint64_t imported, std::int64_t now) {
+  HookLock lock(mutex_, concurrent_);
+  note_check();
+  if (imported < expected) {
+    violate(InvariantKind::kMigrationLoss,
+            "agent " + std::to_string(agent) + " adopted with " +
+                std::to_string(imported) + " learned entries, capsule shipped " +
+                std::to_string(expected),
             now);
   }
 }

@@ -60,6 +60,7 @@ enum class InvariantKind {
   kCreditLoss,         ///< credit over-recovered or terminated-with-backlog
   kForgedSeq,          ///< delivered seq its sender never issued
   kStall,              ///< no value change for a full stall window
+  kMigrationLoss,      ///< learned state lost across a shard-migration handoff
 };
 const char* to_string(InvariantKind kind);
 
@@ -120,6 +121,13 @@ class InvariantMonitor {
   /// letters.
   void check_credit(double recovered, int expected, bool terminated,
                     std::uint64_t credited_backlog, std::int64_t now);
+
+  /// Shard-migration conservation identity: an adopting worker must report
+  /// at least the learned count the coordinator shipped in the capsule
+  /// (`expected`). More is legal — the agent keeps learning between export
+  /// and adoption — but less means the handoff dropped learned state.
+  void check_handoff(AgentId agent, std::uint64_t expected,
+                     std::uint64_t imported, std::int64_t now);
 
   MonitorSummary summary() const;
 

@@ -1,0 +1,259 @@
+// State capsules for live shard migration (recovery/capsule.h):
+//  - encode/decode round-trips every Checkpoint field bit-exactly;
+//  - hostile input never decodes: truncation, inflated counts,
+//    non-canonical literal order, out-of-range ids, trailing garbage;
+//  - capsule_learned_count counts resident nogoods plus raised DB weights
+//    (the conservation quantity the handoff monitor checks);
+//  - a real AWC agent round-trips its learned state through
+//    export_capsule/import_capsule with the learned count conserved and its
+//    announcements lifted past the seq floor;
+//  - a real DB agent round-trips raised weights the same way;
+//  - a capsule that fails to decode degrades adoption to crash_restart
+//    (exercised at the worker layer; here we pin the decode failure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/coloring_gen.h"
+#include "net/jobspec.h"
+#include "recovery/capsule.h"
+#include "sim/agent.h"
+
+namespace discsp {
+namespace {
+
+using recovery::capsule_learned_count;
+using recovery::decode_capsule;
+using recovery::encode_capsule;
+using recovery::StateCapsule;
+
+StateCapsule sample_capsule() {
+  StateCapsule capsule;
+  capsule.agent = 7;
+  capsule.seq = 4242;
+  capsule.state.has_value = true;
+  capsule.state.value = 2;
+  capsule.state.priority = -3;
+  capsule.state.insoluble = false;
+  capsule.state.extra_links = {1, 5, 9};
+  capsule.state.learned = {Nogood{{0, 1}, {3, 0}}, Nogood{{2, 2}}};
+  capsule.state.weights = {1, 4, 1, 2};
+  return capsule;
+}
+
+TEST(Capsule, RoundTripPreservesEveryField) {
+  const StateCapsule in = sample_capsule();
+  StateCapsule out;
+  ASSERT_TRUE(decode_capsule(encode_capsule(in), out));
+  EXPECT_EQ(out.agent, in.agent);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.state.has_value, in.state.has_value);
+  EXPECT_EQ(out.state.value, in.state.value);
+  EXPECT_EQ(out.state.priority, in.state.priority);
+  EXPECT_EQ(out.state.insoluble, in.state.insoluble);
+  EXPECT_EQ(out.state.extra_links, in.state.extra_links);
+  EXPECT_EQ(out.state.learned, in.state.learned);
+  EXPECT_EQ(out.state.weights, in.state.weights);
+}
+
+TEST(Capsule, RoundTripOfEmptyCheckpoint) {
+  StateCapsule in;
+  in.agent = 0;
+  StateCapsule out;
+  ASSERT_TRUE(decode_capsule(encode_capsule(in), out));
+  EXPECT_EQ(out.agent, 0);
+  EXPECT_FALSE(out.state.has_value);
+  EXPECT_TRUE(out.state.learned.empty());
+  EXPECT_EQ(capsule_learned_count(out.state), 0u);
+}
+
+TEST(Capsule, InsolubleFlagAndEmptyNogoodSurvive) {
+  StateCapsule in;
+  in.agent = 3;
+  in.state.insoluble = true;
+  in.state.learned = {Nogood{}};  // the empty nogood: insolubility witness
+  StateCapsule out;
+  ASSERT_TRUE(decode_capsule(encode_capsule(in), out));
+  EXPECT_TRUE(out.state.insoluble);
+  ASSERT_EQ(out.state.learned.size(), 1u);
+  EXPECT_TRUE(out.state.learned[0].empty());
+}
+
+TEST(Capsule, LearnedCountCountsNogoodsAndRaisedWeights) {
+  const StateCapsule capsule = sample_capsule();
+  // 2 learned nogoods + weights {1,4,1,2} -> 2 raised.
+  EXPECT_EQ(capsule_learned_count(capsule.state), 4u);
+}
+
+TEST(Capsule, TruncatedPrefixesNeverDecode) {
+  const std::vector<std::uint64_t> words = encode_capsule(sample_capsule());
+  for (std::size_t len = 0; len < words.size(); ++len) {
+    std::vector<std::uint64_t> prefix(words.begin(),
+                                      words.begin() + static_cast<long>(len));
+    StateCapsule out;
+    EXPECT_FALSE(decode_capsule(prefix, out)) << "prefix length " << len;
+  }
+}
+
+TEST(Capsule, TrailingGarbageIsRejected) {
+  std::vector<std::uint64_t> words = encode_capsule(sample_capsule());
+  words.push_back(0);
+  StateCapsule out;
+  EXPECT_FALSE(decode_capsule(words, out));
+}
+
+TEST(Capsule, InflatedCountsAreRejected) {
+  // Word 6 is n_links for the sample layout; blow it past the cap and past
+  // the remaining budget — both must fail without allocating absurd memory.
+  std::vector<std::uint64_t> words = encode_capsule(sample_capsule());
+  ASSERT_GT(words.size(), 7u);
+  std::vector<std::uint64_t> huge = words;
+  huge[6] = recovery::kMaxCapsuleLinks + 1;
+  StateCapsule out;
+  EXPECT_FALSE(decode_capsule(huge, out));
+  std::vector<std::uint64_t> over = words;
+  over[6] = words.size();  // exceeds the remaining word budget
+  EXPECT_FALSE(decode_capsule(over, out));
+}
+
+TEST(Capsule, NonCanonicalLiteralOrderIsRejected) {
+  // Nogoods travel in canonical (strictly ascending var) order; a decoder
+  // accepting any order would let one logical nogood take many encodings.
+  StateCapsule in;
+  in.agent = 1;
+  in.state.learned = {Nogood{{0, 1}, {3, 0}}};
+  std::vector<std::uint64_t> words = encode_capsule(in);
+  // The two literals are the last four words before the (empty) weights
+  // count: {var0, value0, var3, value3}. Swap the pairs.
+  const std::size_t base = words.size() - 5;
+  std::swap(words[base + 0], words[base + 2]);
+  std::swap(words[base + 1], words[base + 3]);
+  StateCapsule out;
+  EXPECT_FALSE(decode_capsule(words, out));
+}
+
+TEST(Capsule, OutOfRangeIdsAreRejected) {
+  std::vector<std::uint64_t> words = encode_capsule(sample_capsule());
+  std::vector<std::uint64_t> bad_agent = words;
+  bad_agent[1] = 1ULL << 40;  // agent id beyond 2^31
+  StateCapsule out;
+  EXPECT_FALSE(decode_capsule(bad_agent, out));
+}
+
+// ----- agent-level round trips ------------------------------------------
+
+class CollectSink final : public sim::MessageSink {
+ public:
+  void send(AgentId to, sim::MessagePayload payload) override {
+    (void)to;
+    payloads.push_back(std::move(payload));
+  }
+  std::vector<sim::MessagePayload> payloads;
+};
+
+analysis::ReproBundle small_bundle(const std::string& algo) {
+  Rng rng(77);
+  const auto instance = gen::generate_coloring3(12, rng);
+  analysis::ReproBundle bundle;
+  bundle.algo = algo;
+  bundle.strategy = "Rslv";
+  bundle.seed = 77;
+  bundle.instance = gen::distribute(instance);
+  bundle.initial.resize(12);
+  for (auto& v : bundle.initial) v = static_cast<Value>(rng.index(3));
+  return bundle;
+}
+
+TEST(Capsule, AwcAgentConservesLearningAcrossExportImport) {
+  auto donor_pop = net::make_job_agents(small_bundle("awc"));
+  auto adopter_pop = net::make_job_agents(small_bundle("awc"));
+  sim::Agent& donor = *donor_pop[0];
+  sim::Agent& adopter = *adopter_pop[0];
+
+  // Teach the donor via the import path (the same store the solver learns
+  // into), then export: the capsule must carry exactly that state.
+  CollectSink sink;
+  recovery::Checkpoint taught;
+  taught.has_value = true;
+  taught.value = 1;
+  taught.priority = 5;
+  taught.learned = {Nogood{{0, 0}, {1, 1}}, Nogood{{0, 2}, {3, 0}}};
+  donor.import_capsule(taught, sink);
+  EXPECT_EQ(donor.learned_count(), 2u);
+
+  recovery::Checkpoint exported;
+  ASSERT_TRUE(donor.export_capsule(exported));
+  EXPECT_EQ(capsule_learned_count(exported), 2u);
+  EXPECT_TRUE(exported.has_value);
+  EXPECT_EQ(exported.value, 1);
+  EXPECT_EQ(exported.priority, 5);
+
+  // Wire round trip, then adoption: the floor is raised BEFORE the import
+  // (the import announces, and those announcements must clear the floor).
+  StateCapsule capsule;
+  capsule.agent = donor.id();
+  capsule.seq = donor.announce_seq();
+  capsule.state = exported;
+  StateCapsule landed;
+  ASSERT_TRUE(decode_capsule(encode_capsule(capsule), landed));
+
+  const std::uint64_t floor = 1000;
+  adopter.set_seq_floor(floor);
+  CollectSink adopt_sink;
+  adopter.import_capsule(landed.state, adopt_sink);
+  EXPECT_GE(adopter.learned_count(), capsule_learned_count(landed.state));
+  EXPECT_EQ(adopter.current_value(), 1);
+  EXPECT_GT(adopter.announce_seq(), floor);
+  EXPECT_FALSE(adopt_sink.payloads.empty());  // it re-announced itself
+
+  recovery::Checkpoint back;
+  ASSERT_TRUE(adopter.export_capsule(back));
+  EXPECT_EQ(capsule_learned_count(back), 2u);
+  EXPECT_EQ(back.learned, exported.learned);
+}
+
+TEST(Capsule, DbAgentConservesRaisedWeightsAcrossExportImport) {
+  auto donor_pop = net::make_job_agents(small_bundle("db"));
+  auto adopter_pop = net::make_job_agents(small_bundle("db"));
+  sim::Agent& donor = *donor_pop[0];
+  sim::Agent& adopter = *adopter_pop[0];
+
+  recovery::Checkpoint shape;
+  ASSERT_TRUE(donor.export_capsule(shape));
+  ASSERT_FALSE(shape.weights.empty());  // one weight per local constraint
+  shape.weights[0] = 3;  // breakout raised this constraint twice
+  if (shape.weights.size() > 1) shape.weights[1] = 2;
+
+  CollectSink sink;
+  donor.import_capsule(shape, sink);
+  const std::uint64_t raised = donor.learned_count();
+  EXPECT_EQ(raised, shape.weights.size() > 1 ? 2u : 1u);
+
+  recovery::Checkpoint exported;
+  ASSERT_TRUE(donor.export_capsule(exported));
+  EXPECT_EQ(exported.weights, shape.weights);
+
+  StateCapsule capsule;
+  capsule.agent = donor.id();
+  capsule.seq = donor.announce_seq();
+  capsule.state = exported;
+  StateCapsule landed;
+  ASSERT_TRUE(decode_capsule(encode_capsule(capsule), landed));
+
+  adopter.set_seq_floor(500);
+  CollectSink adopt_sink;
+  adopter.import_capsule(landed.state, adopt_sink);
+  EXPECT_EQ(adopter.learned_count(), raised);
+  EXPECT_GT(adopter.announce_seq(), 500u);
+
+  recovery::Checkpoint back;
+  ASSERT_TRUE(adopter.export_capsule(back));
+  EXPECT_EQ(back.weights, exported.weights);
+}
+
+}  // namespace
+}  // namespace discsp

@@ -95,6 +95,41 @@ TEST(CoordJournal, ReplayRebuildsControlPlaneStateExactly) {
   std::filesystem::remove(path);
 }
 
+TEST(CoordJournal, AssignRecordsReplayOwnershipExactly) {
+  // Shard-migration ownership flips (r-assign) must replay bit-identically:
+  // a resumed coordinator routes by the exact journaled owner map, which is
+  // what makes failover and migration compose.
+  const std::string path = temp_journal("discsp_coord_journal_assign.wal");
+  {
+    CoordJournal journal(config_for(path));
+    std::string error;
+    ASSERT_TRUE(journal.start(seed_state(), &error)) << error;
+    journal.record_assign(3, 1);
+    journal.record_assign(5, 0);
+    journal.record_assign(3, 2);  // later flip wins (handback)
+  }
+  std::string error;
+  const auto loaded = CoordJournal::load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->owners,
+            (std::vector<std::pair<AgentId, int>>{{3, 2}, {5, 0}}));
+
+  // Checkpoint compaction carries the owner map through the snapshot region.
+  {
+    CoordJournal journal(config_for(path));
+    ASSERT_TRUE(journal.start(seed_state(), &error)) << error;
+    CoordState state = seed_state();
+    state.owners = {{7, 2}};
+    ASSERT_TRUE(journal.checkpoint(state, &error)) << error;
+    journal.record_assign(8, 1);
+  }
+  const auto reloaded = CoordJournal::load(path, &error);
+  ASSERT_TRUE(reloaded.has_value()) << error;
+  EXPECT_EQ(reloaded->owners,
+            (std::vector<std::pair<AgentId, int>>{{7, 2}, {8, 1}}));
+  std::filesystem::remove(path);
+}
+
 TEST(CoordJournal, SeqBlocksMakeRoutineRoutingAppendFree) {
   const std::string path = temp_journal("discsp_coord_journal_blocks.wal");
   CoordJournal journal(config_for(path));

@@ -186,6 +186,96 @@ TEST(NetFrame, StopPingPongErrorRoundTrip) {
   }
 }
 
+TEST(NetFrame, MigrationFramesRoundTrip) {
+  // The protocol v3 shard-migration quartet: MIGRATE (capsule upload /
+  // handback), ADOPT (takeover order), ADOPT_ACK, RELEASE.
+  {
+    net::NetMigrate migrate;
+    migrate.agent = 5;
+    migrate.seq = 77;
+    migrate.release = true;
+    migrate.capsule = {1, 2, 3, 4};
+    auto decoded = decode_net_frame(encode_net_frame(migrate));
+    ASSERT_TRUE(decoded.ok());
+    const auto& got = std::get<net::NetMigrate>(*decoded.frame);
+    EXPECT_EQ(got.agent, 5);
+    EXPECT_EQ(got.seq, 77u);
+    EXPECT_TRUE(got.release);
+    EXPECT_EQ(got.capsule, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  }
+  {
+    net::NetAdopt adopt;
+    adopt.agent = 9;
+    adopt.seq_floor = 1234;
+    adopt.have_capsule = true;
+    adopt.capsule = {42};
+    auto decoded = decode_net_frame(encode_net_frame(adopt));
+    ASSERT_TRUE(decoded.ok());
+    const auto& got = std::get<net::NetAdopt>(*decoded.frame);
+    EXPECT_EQ(got.agent, 9);
+    EXPECT_EQ(got.seq_floor, 1234u);
+    EXPECT_TRUE(got.have_capsule);
+    EXPECT_EQ(got.capsule, (std::vector<std::uint64_t>{42}));
+  }
+  {
+    // Capsule-less ADOPT: the adopter falls back to crash_restart.
+    net::NetAdopt adopt;
+    adopt.agent = 0;
+    adopt.seq_floor = 1;
+    auto decoded = decode_net_frame(encode_net_frame(adopt));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(std::get<net::NetAdopt>(*decoded.frame).have_capsule);
+    EXPECT_TRUE(std::get<net::NetAdopt>(*decoded.frame).capsule.empty());
+  }
+  {
+    net::NetAdoptAck ack;
+    ack.agent = 3;
+    ack.learned = 17;
+    ack.seq_floor = 1234;
+    auto decoded = decode_net_frame(encode_net_frame(ack));
+    ASSERT_TRUE(decoded.ok());
+    const auto& got = std::get<net::NetAdoptAck>(*decoded.frame);
+    EXPECT_EQ(got.agent, 3);
+    EXPECT_EQ(got.learned, 17u);
+    EXPECT_EQ(got.seq_floor, 1234u);
+  }
+  {
+    auto decoded = decode_net_frame(encode_net_frame(net::NetRelease{21}));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<net::NetRelease>(*decoded.frame).agent, 21);
+  }
+}
+
+TEST(NetFrame, MigrationFramesRejectBadBounds) {
+  {
+    net::NetMigrate migrate;
+    migrate.agent = -1;
+    EXPECT_EQ(decode_net_frame(encode_net_frame(migrate)).error,
+              NetDecodeError::kBadBounds);
+  }
+  {
+    // A capsule-less ADOPT must not smuggle capsule words.
+    net::NetAdopt adopt;
+    adopt.agent = 1;
+    adopt.have_capsule = false;
+    adopt.capsule = {1, 2};
+    EXPECT_EQ(decode_net_frame(encode_net_frame(adopt)).error,
+              NetDecodeError::kBadBounds);
+  }
+  {
+    net::NetAdoptAck ack;
+    ack.agent = -2;
+    EXPECT_EQ(decode_net_frame(encode_net_frame(ack)).error,
+              NetDecodeError::kBadBounds);
+  }
+  {
+    net::NetRelease release;
+    release.agent = -1;
+    EXPECT_EQ(decode_net_frame(encode_net_frame(release)).error,
+              NetDecodeError::kBadBounds);
+  }
+}
+
 TEST(NetFrame, RejectsTruncation) {
   // Losing the trailing word breaks the seal (or the length, whichever the
   // decoder checks first) — either way the frame must not decode.
@@ -286,6 +376,15 @@ std::vector<WireFrame> fuzz_corpus() {
   stats.incarnation = 2;
   stats.metrics_words = {1, 2, 3};
   stats.values = {{0, 1}, {2, -1}};
+  net::NetMigrate migrate;
+  migrate.agent = 4;
+  migrate.seq = 11;
+  migrate.capsule = {5, 6, 7};
+  net::NetAdopt adopt;
+  adopt.agent = 4;
+  adopt.seq_floor = 12;
+  adopt.have_capsule = true;
+  adopt.capsule = {5, 6, 7};
   return {encode_net_frame(hello),
           encode_net_frame(welcome),
           encode_net_frame(NetJob{"job 1\n"}),
@@ -295,7 +394,11 @@ std::vector<WireFrame> fuzz_corpus() {
           encode_net_frame(NetStop{StopReason::kSolved}),
           encode_net_frame(NetPing{7, 8}),
           encode_net_frame(NetPong{7, 8}),
-          encode_net_frame(NetError{NetErrorCode::kStaleCoordinator})};
+          encode_net_frame(NetError{NetErrorCode::kStaleCoordinator}),
+          encode_net_frame(migrate),
+          encode_net_frame(adopt),
+          encode_net_frame(net::NetAdoptAck{4, 2, 12}),
+          encode_net_frame(net::NetRelease{4})};
 }
 
 TEST(NetFrame, FuzzTruncatedPrefixesOfEveryKindNeverDecode) {
@@ -339,7 +442,7 @@ TEST(NetFrame, FuzzRandomWordsNeverCrash) {
     for (auto& word : frame) word = next();
     if (!frame.empty()) {
       // Half the trials target real control kinds with garbage fields.
-      if (trial % 2 == 0) frame[0] = 100 + next() % 10;
+      if (trial % 2 == 0) frame[0] = 100 + next() % 14;
       if (trial % 4 < 2 && frame.size() >= 2) sim::seal_frame(frame);
     }
     (void)decode_net_frame(frame);  // must not crash; result irrelevant

@@ -171,6 +171,48 @@ TEST(NetSupervisor, PhiTransitionsAreDeterministic) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(NetSupervisor, PhiDoesNotFalselySuspectBatchedCarriers) {
+  // A worker heartbeats every 10 ms but its carrier coalesces frames and
+  // flushes every ~50 ms (--batch-flush-us): the coordinator observes
+  // arrivals at flush boundaries, not send times. The accrual model is
+  // built from those observed arrivals, so one flush window of silence is
+  // the learned norm — no false suspicion however bursty the carrier makes
+  // the traffic look.
+  const SupervisorConfig config = phi_config();
+  PeerSupervisor batched(config, 1);
+  batched.note_attached(0, 0);
+  std::int64_t last = 0;
+  for (int beat = 1; beat <= 30; ++beat) {
+    // Flush boundaries with +-2 ms of deterministic carrier jitter.
+    const std::int64_t at = 50 * beat + (beat % 5) - 2;
+    // Health is evaluated continuously between flushes; it must never
+    // degrade inside the normal flush cadence.
+    for (std::int64_t now = last + 1; now < at; ++now) {
+      EXPECT_EQ(batched.health(0, now), PeerHealth::kHealthy) << "at " << now;
+    }
+    batched.note_alive(0, at);
+    last = at;
+  }
+  // One more full flush window of silence: still the learned cadence.
+  EXPECT_EQ(batched.health(0, last + 50), PeerHealth::kHealthy);
+  EXPECT_LT(batched.phi(0, last + 50), config.phi_suspect);
+
+  // Contrast: a model built from the raw 10 ms send cadence calls that same
+  // one-flush-window silence dead — observing *arrivals* is exactly what
+  // saves a batched carrier from false suspicion.
+  PeerSupervisor unbatched(phi_config(), 1);
+  unbatched.note_attached(0, 0);
+  for (std::int64_t now = 10; now <= 300; now += 10) {
+    unbatched.note_alive(0, now);
+  }
+  EXPECT_GT(unbatched.phi(0, 350), config.phi_dead);
+
+  // Adaptivity is not blindness: a genuine stall several flush windows deep
+  // still crosses phi_dead long before the fixed dead_after_ms cap.
+  EXPECT_GT(batched.phi(0, last + 200), config.phi_dead);
+  EXPECT_EQ(batched.health(0, last + 200), PeerHealth::kDead);
+}
+
 TEST(NetSupervisor, PhiRespectsTheHardDeadCap) {
   // Huge observed variance would stretch phi's window far out; the fixed
   // dead_after_ms stays a hard cap regardless.

@@ -170,5 +170,36 @@ TEST(ReproConfig, RejectsBadPartitionAndQuarantineKnobs) {
   EXPECT_EQ(config.fault_corrupt, 0.01);
 }
 
+TEST(NetConfig, BatchCloseFlushAndMigrationKnobsParseAndDefault) {
+  // Defaults: the 50 ms close() final-flush budget, migration off.
+  const char* plain[] = {"prog"};
+  const NetConfig defaults = net_config_from(Options(1, plain));
+  EXPECT_EQ(defaults.batch_close_flush_ms, 50);
+  EXPECT_FALSE(defaults.migrate_after_dead);
+  EXPECT_EQ(defaults.migration_max_batch, 8);
+
+  const char* argv[] = {"prog", "--batch-close-flush-ms=120",
+                        "--migrate-after-dead", "--migration-max-batch=3"};
+  const NetConfig cfg = net_config_from(Options(4, argv));
+  EXPECT_EQ(cfg.batch_close_flush_ms, 120);
+  EXPECT_TRUE(cfg.migrate_after_dead);
+  EXPECT_EQ(cfg.migration_max_batch, 3);
+
+  // 0 is legal for the close flush (shed the queue, close immediately).
+  const char* zero[] = {"prog", "--batch-close-flush-ms=0"};
+  EXPECT_EQ(net_config_from(Options(2, zero)).batch_close_flush_ms, 0);
+}
+
+TEST(NetConfig, RejectsBadBatchCloseFlushAndMigrationKnobs) {
+  const auto reject = [](const char* flag) {
+    const char* argv[] = {"prog", flag};
+    EXPECT_THROW(net_config_from(Options(2, argv)), std::invalid_argument)
+        << flag << " was accepted";
+  };
+  reject("--batch-close-flush-ms=-1");
+  reject("--migration-max-batch=0");
+  reject("--migration-max-batch=-4");
+}
+
 }  // namespace
 }  // namespace discsp

@@ -12,13 +12,22 @@
 #      port-file workers park orphaned and re-rendezvous with incarnation 2.
 #      >= 95% must end SOLVED with zero monitor violations and metrics
 #      folding both incarnations.
-#   3. Deadline trial: a large instance under a tiny wall-clock budget must
+#   3. Migration trials: 4 workers under the same 10% drop + 5% dup channel;
+#      one worker is SIGKILLed permanently (NO replacement) with
+#      --migrate-after-dead on, so the coordinator re-shards the dead
+#      worker's agents onto the survivors. >= 95% must end SOLVED with zero
+#      monitor violations (the handoff monitor checks nogood-count
+#      conservation on every adoption, so zero violations IS the
+#      conservation gate). Per-trial migration counters are appended to
+#      $NET_SMOKE_METRICS when set (uploaded as a CI artifact).
+#   4. Deadline trial: a large instance under a tiny wall-clock budget must
 #      degrade gracefully — exit code 3 and a well-formed partial report.
 #
 # Usage: tools/net_smoke.sh [build-dir]
-#   CLI=path        override the discsp_cli binary
-#   TRIALS=n        chaos trials per leg (default 20)
-#   NET_SMOKE_N=n   chaos instance size (default 36)
+#   CLI=path               override the discsp_cli binary
+#   TRIALS=n               chaos trials per leg (default 20)
+#   NET_SMOKE_N=n          chaos instance size (default 36)
+#   NET_SMOKE_METRICS=path append per-trial migration metrics here
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,6 +35,10 @@ build="${1:-build}"
 cli="${CLI:-${build}/examples/discsp_cli}"
 trials="${TRIALS:-20}"
 n="${NET_SMOKE_N:-36}"
+metrics_file="${NET_SMOKE_METRICS:-}"
+if [[ -n "${metrics_file}" ]]; then
+  : >"${metrics_file}"
+fi
 
 if [[ ! -x "${cli}" ]]; then
   echo "net_smoke: ${cli} not built" >&2
@@ -169,6 +182,66 @@ run_failover_trial() {
   return 0
 }
 
+run_migration_trial() {
+  local seed="$1" log="$2"
+  local port_file="${work}/mport.${seed}"
+  rm -f "${port_file}"
+
+  timeout 120 "${cli}" serve "${work}/chaos.dcsp" \
+    --listen 127.0.0.1:0 --port-file "${port_file}" \
+    --workers 4 --deadline-ms 90000 --seed "${seed}" \
+    --fault-drop 0.10 --fault-duplicate 0.05 \
+    --migrate-after-dead --dead-after-ms 600 >"${log}" 2>&1 &
+  local serve_pid=$!
+
+  if ! wait_port_file "${port_file}"; then
+    echo "trial ${seed}: coordinator never bound" >&2
+    kill -9 "${serve_pid}" 2>/dev/null || true
+    wait "${serve_pid}" 2>/dev/null || true
+    return 1
+  fi
+  local port
+  port="$(cat "${port_file}")"
+
+  for _ in 1 2 3; do
+    timeout 120 "${cli}" worker --connect "127.0.0.1:${port}" >/dev/null 2>&1 &
+  done
+  # The victim runs bare so the SIGKILL reaches the worker itself.
+  "${cli}" worker --connect "127.0.0.1:${port}" >/dev/null 2>&1 &
+  local victim_pid=$!
+
+  # Permanent loss: SIGKILL one worker mid-solve and NEVER replace it. The
+  # coordinator declares the slot dead after --dead-after-ms of silence and
+  # adopts its agents onto the three survivors.
+  sleep 0.25
+  kill -9 "${victim_pid}" 2>/dev/null || true
+
+  local status=0
+  wait "${serve_pid}" || status=$?
+  wait 2>/dev/null || true
+
+  if [[ -n "${metrics_file}" ]]; then
+    {
+      printf 'trial %s: exit %s; ' "${seed}" "${status}"
+      grep -o "migration: agents adopted [0-9]*, stale frames fenced [0-9]*" \
+        "${log}" || echo "migration: report line missing"
+    } >>"${metrics_file}"
+  fi
+  if [[ "${status}" -ne 0 ]]; then
+    echo "trial ${seed}: serve exited ${status}" >&2
+    return 1
+  fi
+  if ! grep -q "SOLVED; validated: yes" "${log}"; then
+    echo "trial ${seed}: no validated solution" >&2
+    return 1
+  fi
+  if ! grep -q "monitor: violations 0," "${log}"; then
+    echo "trial ${seed}: monitor violations reported" >&2
+    return 1
+  fi
+  return 0
+}
+
 echo "=== chaos trials: ${trials} x (3 workers, 1 SIGKILLed, 10% drop + 5% dup) ==="
 solved=0
 for t in $(seq 1 "${trials}"); do
@@ -197,6 +270,28 @@ done
 echo "solved ${fsolved}/${trials} (need >= ${need})"
 if [[ "${fsolved}" -lt "${need}" ]]; then
   echo "net_smoke: coordinator-failover solve rate below 95%" >&2
+  exit 1
+fi
+
+echo "=== migration trials: ${trials} x (4 workers, 1 SIGKILLed permanently, --migrate-after-dead) ==="
+msolved=0
+migrated=0
+for t in $(seq 1 "${trials}"); do
+  if run_migration_trial "$((500 + t))" "${work}/migrate.${t}.log"; then
+    msolved=$((msolved + 1))
+  else
+    sed -n '1,16p' "${work}/migrate.${t}.log" >&2 || true
+  fi
+  if grep -q "migration: agents adopted [1-9]" "${work}/migrate.${t}.log"; then
+    migrated=$((migrated + 1))
+  fi
+done
+echo "solved ${msolved}/${trials} (need >= ${need}); kill landed mid-run in ${migrated}"
+if [[ -n "${metrics_file}" ]]; then
+  echo "summary: solved ${msolved}/${trials}, migrated ${migrated}" >>"${metrics_file}"
+fi
+if [[ "${msolved}" -lt "${need}" ]]; then
+  echo "net_smoke: migration solve rate below 95%" >&2
   exit 1
 fi
 
