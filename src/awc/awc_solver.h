@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "csp/distributed_problem.h"
+#include "csp/store_kernel.h"
 #include "learning/strategy.h"
 #include "recovery/journal.h"
 #include "sim/metrics.h"
@@ -28,6 +29,8 @@ struct AwcOptions {
   /// Counter-based consistency tests (paper metrics are bit-identical to the
   /// flat-scan path; see docs/PERF.md).
   bool incremental = true;
+  /// Consistency engine behind the nogood store (--store-kernel).
+  StoreKernel kernel = StoreKernel::kCounters;
 };
 
 class AwcSolver {

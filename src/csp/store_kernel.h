@@ -1,0 +1,36 @@
+// Selector for the consistency engine behind a nogood database
+// (--store-kernel=counters|watched). Kept in its own tiny header so the
+// agent/solver option structs and the CLI layers can name the knob without
+// pulling in the full NogoodStore.
+//
+// Both kernels answer every violation query identically and keep the
+// paper's metrics (cycles / checks / maxcck / solve%) bit-identical; they
+// differ only in machine cost per view update — see docs/PERF.md.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace discsp {
+
+enum class StoreKernel {
+  kCounters,  ///< per-nogood match counters + var->occurrence index (PR 3)
+  kWatched,   ///< two watched literals per nogood, bucketed watch arena
+};
+
+// Header-only: the common options layer parses this knob and must not link
+// against the csp library.
+inline const char* to_string(StoreKernel kernel) {
+  return kernel == StoreKernel::kWatched ? "watched" : "counters";
+}
+
+/// Parse "counters" / "watched"; throws std::invalid_argument (naming the
+/// --store-kernel flag) on anything else.
+inline StoreKernel store_kernel_from_string(const std::string& name) {
+  if (name == "counters") return StoreKernel::kCounters;
+  if (name == "watched") return StoreKernel::kWatched;
+  throw std::invalid_argument("--store-kernel must be counters or watched, got '" +
+                              name + "'");
+}
+
+}  // namespace discsp

@@ -136,6 +136,7 @@ std::vector<std::unique_ptr<sim::Agent>> make_job_agents(
     options.journal_config.checkpoint_interval =
         static_cast<std::size_t>(bundle.checkpoint_interval);
     options.incremental = bundle.incremental;
+    options.kernel = store_kernel_from_string(bundle.store_kernel);
     auto strategy = learning::make_strategy(bundle.strategy);
     awc::AwcSolver solver(bundle.instance, *strategy, options);
     return solver.make_agents(bundle.initial, rng.derive(1));
@@ -145,6 +146,7 @@ std::vector<std::unique_ptr<sim::Agent>> make_job_agents(
   options.journal_config.checkpoint_interval =
       static_cast<std::size_t>(bundle.checkpoint_interval);
   options.incremental = bundle.incremental;
+  options.kernel = store_kernel_from_string(bundle.store_kernel);
   db::DbSolver solver(bundle.instance, options);
   return solver.make_agents(bundle.initial, rng.derive(1));
 }

@@ -48,11 +48,13 @@ TEST(NogoodProperties, SubsetIsReflexiveTransitiveAntisymmetric) {
   for (int round = 0; round < 200; ++round) {
     const Nogood a = random_nogood(rng, 8, 2, 5);
     EXPECT_TRUE(a.subset_of(a));
-    const Nogood b = merge(a, random_nogood(rng, 8, 2, 3).without(
-                                  a.empty() ? 0 : a.items()[0].var));
-    // b was built by merging; when compatible, a ⊆ b must hold...
-    // compatibility can fail (same var, different value), so only assert
-    // the conditional properties:
+    // merge() requires compatible inputs (one binding per variable), so
+    // strip every var of `a` from the extension before merging.
+    Nogood extra = random_nogood(rng, 8, 2, 3);
+    for (const Assignment& item : a) extra = extra.without(item.var);
+    const Nogood b = merge(a, extra);
+    EXPECT_TRUE(a.subset_of(b));
+    EXPECT_TRUE(extra.subset_of(b));
     if (a.subset_of(b) && b.subset_of(a)) EXPECT_EQ(a, b);
   }
 }

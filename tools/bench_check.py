@@ -8,8 +8,11 @@ Dispatches on the probe's "probe" field:
 table2_3sat_consistency_kernel (BENCH_core.json) fails when:
   - the counter path saves fewer than MIN_WORK_RATIO x constraint-check
     operations over the flat scan (the consistency engine's core claim), or
+  - the watched-literal kernel saves fewer than MIN_WATCHED_RATIO x
+    hot-path work ops over the counter kernel at Table-2 scale (the
+    two-watched-literal acceptance bar), or
   - incremental ns/check regressed more than MAX_NS_REGRESSION x against
-    the baseline.
+    the baseline (the counter path must not pay for the watched kernel).
 
 net_carrier_throughput (BENCH_net.json) fails when:
   - the batched carrier is less than MIN_TCP_SPEEDUP x faster than the
@@ -26,6 +29,7 @@ import json
 import sys
 
 MIN_WORK_RATIO = 5.0
+MIN_WATCHED_RATIO = 1.5
 MAX_NS_REGRESSION = 3.0
 MIN_TCP_SPEEDUP = 3.0
 MIN_INPROC_SPEEDUP = 2.0
@@ -40,9 +44,18 @@ def check_core(probe, baseline) -> bool:
         print(f"FAIL: work-op ratio {ratio:.2f} < {MIN_WORK_RATIO}")
         ok = False
 
+    watched = probe["watched_vs_counters_work_ratio"]
+    print(f"watched_vs_counters_work_ratio: {watched:.2f}x "
+          f"(counters {probe['counters_hot_work_ops']} vs "
+          f"watched {probe['watched_hot_work_ops']} hot work ops)")
+    if watched < MIN_WATCHED_RATIO:
+        print(f"FAIL: watched work-op ratio {watched:.2f} < {MIN_WATCHED_RATIO}")
+        ok = False
+
     ns = probe["incremental_ns_per_check"]
     print(f"incremental_ns_per_check: {ns:.4f} "
           f"(scan {probe['scan_ns_per_check']:.4f}, "
+          f"watched {probe['watched_ns_per_check']:.4f}, "
           f"wall speedup {probe['wall_speedup']:.1f}x)")
     if baseline is not None:
         base_ns = baseline["incremental_ns_per_check"]
@@ -52,6 +65,16 @@ def check_core(probe, baseline) -> bool:
             ok = False
         else:
             print(f"ns/check within {MAX_NS_REGRESSION}x of baseline {base_ns:.4f}")
+        base_wns = baseline.get("watched_ns_per_check")
+        if base_wns is not None:
+            wns = probe["watched_ns_per_check"]
+            if wns > MAX_NS_REGRESSION * base_wns:
+                print(f"FAIL: watched ns/check {wns:.4f} > "
+                      f"{MAX_NS_REGRESSION}x baseline {base_wns:.4f}")
+                ok = False
+            else:
+                print(f"watched ns/check within {MAX_NS_REGRESSION}x of "
+                      f"baseline {base_wns:.4f}")
     return ok
 
 
